@@ -1,0 +1,22 @@
+"""Ablation A2: do *shared* permutation rungs matter? (Lemma 4.2)
+
+Funnel graph, fully static: the sink hears the entire informed middle
+clique, so a delivery needs exactly one transmitter among k = n−2
+peers. With shared rungs (permuted decay) or a shared clock (plain
+decay) the solo window opens with probability Ω(1/log n) per round;
+with private rungs it collapses like (k/log n)·e^{-k/log n} — the
+uncoordinated series stops solving at all as n grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_contrasts, assert_success, run_experiment
+
+
+def test_a2_shared_rungs(benchmark):
+    result = run_experiment(benchmark, "A2")
+    assert_success(result, skip_labels=("uncoordinated",))
+    assert_contrasts(result)
+    # The collapse is visible in the success rate itself at the top n.
+    uncoordinated = result.series_by_label("uncoordinated decay (private rungs)")
+    assert uncoordinated.sweep.success_rates()[-1] < 1.0

@@ -1,0 +1,19 @@
+"""Ablation A1: does hiding the decay schedule matter? (§4.1 motivation)
+
+Same dual clique, same oblivious schedule-predicting adversary, four
+series: {plain, permuted} × {attacked, control}. The attack multiplies
+plain decay's cost — its per-round prediction of the expected
+transmitter count is exact — while permuted decay, whose rungs come
+from post-start bits the adversary never sees, stays within a constant
+of its unattacked control.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_contrasts, assert_success, run_experiment
+
+
+def test_a1_hidden_schedule(benchmark):
+    result = run_experiment(benchmark, "A1")
+    assert_success(result)
+    assert_contrasts(result)

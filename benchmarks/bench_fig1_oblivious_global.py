@@ -1,0 +1,30 @@
+"""Figure 1, row 3, global: O(D log n + log² n) obliviously (Theorem 4.1).
+
+E7a: the *same dual clique* that costs near-linear rounds against the
+adaptive adversaries (rows 1–2) costs only polylog against the whole
+oblivious suite — the paper's central separation, measured. E7b checks
+the ``D log n`` term on fading lines of cliques.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_growth, assert_success, run_experiment
+
+
+def test_e7a_oblivious_global_constant_diameter(benchmark):
+    result = run_experiment(benchmark, "E7a")
+    assert_success(result)
+    for sr in result.series_results:
+        assert sr.growth_class == "sublinear", (
+            f"{sr.series.label}: {sr.growth_class} ({sr.sweep.medians()})"
+        )
+
+
+def test_e7b_oblivious_global_diameter_sweep(benchmark):
+    result = run_experiment(benchmark, "E7b")
+    assert_success(result)
+    assert_growth(result, "permuted-decay vs GE-fade", "near-linear")
+    # Round robin's nD pays an extra factor of n over permuted decay.
+    rr = result.series_by_label("round-robin vs GE-fade")
+    pd = result.series_by_label("permuted-decay vs GE-fade")
+    assert rr.sweep.medians()[-1] > 2 * pd.sweep.medians()[-1]

@@ -1,0 +1,34 @@
+"""Figure 1, row 1: the offline adaptive dual graph model — Ω(n) [11].
+
+The solo-blocker adversary (sees the realized coins) forces linear
+round counts on the constant-diameter dual clique for both problems,
+and round robin's O(n) upper bound closes the cell from above: the
+measured victim and baseline medians grow together, linearly.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_growth, assert_success, run_experiment
+
+
+def test_e3_offline_adaptive_global(benchmark):
+    result = run_experiment(benchmark, "E3")
+    assert_success(result)
+    assert_growth(result, "uniform(1/|A|) vs solo-blocker", "near-linear")
+    assert_growth(result, "round-robin vs solo-blocker", "near-linear")
+    # Ω(n) floor with a generous constant.
+    victim = result.series_by_label("uniform(1/|A|) vs solo-blocker")
+    for n, median in zip(victim.sweep.parameters(), victim.sweep.medians()):
+        assert median >= n / 8
+
+
+def test_e4_offline_adaptive_local(benchmark):
+    result = run_experiment(benchmark, "E4")
+    assert_success(result)
+    assert_growth(result, "uniform(1/|A|) vs solo-blocker", "near-linear")
+    # Footnote 4: round robin solves local broadcast within n rounds
+    # against ANY link process — deterministically.
+    rr = result.series_by_label("round-robin vs solo-blocker")
+    for point in rr.sweep.points:
+        for trial in point.stats.results:
+            assert trial.solved and trial.rounds <= point.parameter

@@ -1,0 +1,38 @@
+"""Figure 1, row 2: the online adaptive dual graph model — Ω(n/log n).
+
+Theorem 3.1's dense/sparse adversary (thresholds the conditional
+expectation ``E[|X| | S]``, never the coins) on the dual clique. The
+threshold-riding uniform algorithm is the best response: it keeps every
+round sparse and pays ``Θ(n / threshold) = Θ(n / log n)`` — the row's
+shape, a log factor below the offline row measured in
+``bench_fig1_offline``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks._common import assert_growth, assert_success, run_experiment
+
+
+def test_e5_online_adaptive_global(benchmark):
+    result = run_experiment(benchmark, "E5")
+    assert_success(result)
+    assert_growth(
+        result, "threshold-riding uniform vs dense/sparse", "near-linear"
+    )
+    # Ω(n / log n) floor with a generous constant.
+    riding = result.series_by_label("threshold-riding uniform vs dense/sparse")
+    for n, median in zip(riding.sweep.parameters(), riding.sweep.medians()):
+        assert median >= n / math.log2(n) / 8
+
+
+def test_e6_online_adaptive_local(benchmark):
+    result = run_experiment(benchmark, "E6")
+    assert_success(result)
+    assert_growth(
+        result, "threshold-riding uniform vs dense/sparse", "near-linear"
+    )
+    riding = result.series_by_label("threshold-riding uniform vs dense/sparse")
+    for n, median in zip(riding.sweep.parameters(), riding.sweep.medians()):
+        assert median >= n / math.log2(n) / 8

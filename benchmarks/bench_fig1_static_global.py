@@ -1,0 +1,28 @@
+"""Figure 1, row 4, global broadcast: the static protocol model.
+
+Regenerates the ``Θ(D log(n/D) + log² n)`` reference cell twice over:
+E1a sweeps the diameter (line of cliques), E1b sweeps contention at
+constant diameter (cliques). Together they exhibit both terms of the
+classic bound that the dual-graph rows are measured against.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_growth, assert_success, run_experiment
+
+
+def test_e1a_static_global_diameter_sweep(benchmark):
+    result = run_experiment(benchmark, "E1a")
+    assert_success(result)
+    # At fixed n both grow linearly with D; round robin pays ~n per hop
+    # vs decay's ~log n, which the registry's contrast claim certifies.
+    assert_growth(result, "plain-decay [2]", "near-linear")
+    assert_growth(result, "round-robin", "near-linear")
+
+
+def test_e1b_static_global_contention_sweep(benchmark):
+    result = run_experiment(benchmark, "E1b")
+    assert_success(result)
+    # Constant diameter: only the polylog contention term remains.
+    assert_growth(result, "plain-decay [2]", "sublinear")
+    assert_growth(result, "permuted-decay §4.1", "sublinear")

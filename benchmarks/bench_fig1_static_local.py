@@ -1,0 +1,35 @@
+"""Figure 1, row 4, local broadcast: ``Θ(log n log Δ)`` in the static model.
+
+E2a runs [8]-style decay local broadcast on geographic graphs (constant
+density ⇒ slowly growing Δ); E2b stresses the ``log Δ`` term on
+all-broadcaster cliques (Δ = n − 1) and shows the ladder is the
+mechanism by ablating it to a single rung.
+"""
+
+from __future__ import annotations
+
+from benchmarks._common import assert_growth, assert_success, run_experiment
+
+
+def test_e2a_static_local_geographic(benchmark):
+    result = run_experiment(benchmark, "E2a")
+    assert_success(result)
+    assert_growth(result, "static-local-decay [8]", "sublinear")
+    # Round robin pays Θ(n) regardless of the easy radio environment.
+    rr = result.series_by_label("round-robin")
+    decay = result.series_by_label("static-local-decay [8]")
+    assert rr.sweep.medians()[-1] > 2 * decay.sweep.medians()[-1]
+
+
+def test_e2b_static_local_clique(benchmark):
+    result = run_experiment(benchmark, "E2b")
+    assert_success(result, skip_labels=("ladderless",))
+    assert_growth(
+        result, "static-local-decay [8] (ladder to 1/Δ)", "sublinear"
+    )
+    # Without the ladder the fixed 1/2 rate cannot find a solo
+    # transmitter among n-1 contenders: it must be far slower (or
+    # censored at its cap) at the largest n.
+    ladder = result.series_by_label("static-local-decay [8] (ladder to 1/Δ)")
+    flat = result.series_by_label("uniform(1/2) ladderless")
+    assert flat.sweep.medians()[-1] > 3 * ladder.sweep.medians()[-1]

@@ -1,0 +1,75 @@
+"""Lemma 3.2: the β-hitting envelope — no player beats k/(β−1).
+
+Regenerates the lemma the lower bounds stand on: empirical win rates
+for three player strategies across a (β, k) grid, printed against the
+envelope. The no-repeat player achieves k/β, pinning the envelope to
+within its β/(β−1) slack.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.tables import render_table
+from repro.games.hitting import (
+    NoRepeatRandomPlayer,
+    SequentialPlayer,
+    UniformRandomPlayer,
+    empirical_win_rate,
+    lemma_3_2_envelope,
+)
+
+from benchmarks._common import BENCH_SCALE
+
+GRID = {
+    "tiny": ([(32, 4), (32, 16)], 200),
+    "small": ([(64, 8), (64, 32), (128, 16), (128, 64)], 600),
+    "full": ([(64, 8), (64, 32), (128, 16), (128, 64), (256, 32), (256, 128)], 1500),
+}
+
+
+def run_grid():
+    cells, trials = GRID[BENCH_SCALE]
+    rng = random.Random(2013)
+    rows = []
+    all_within = True
+    for beta, k in cells:
+        envelope = lemma_3_2_envelope(beta, k)
+        slack = 3.0 * (envelope * (1 - envelope) / trials) ** 0.5 + 0.02
+        rates = {
+            "sequential": empirical_win_rate(
+                beta, k, lambda r: SequentialPlayer(beta), trials=trials, rng=rng
+            ),
+            "uniform": empirical_win_rate(
+                beta, k, lambda r: UniformRandomPlayer(beta, r), trials=trials, rng=rng
+            ),
+            "no-repeat": empirical_win_rate(
+                beta, k, lambda r: NoRepeatRandomPlayer(beta, r), trials=trials, rng=rng
+            ),
+        }
+        within = all(rate <= envelope + slack for rate in rates.values())
+        all_within = all_within and within
+        rows.append(
+            [
+                beta,
+                k,
+                f"{envelope:.3f}",
+                f"{rates['sequential']:.3f}",
+                f"{rates['uniform']:.3f}",
+                f"{rates['no-repeat']:.3f}",
+                within,
+            ]
+        )
+    table = render_table(
+        ["β", "k", "k/(β-1)", "sequential", "uniform", "no-repeat", "within"],
+        rows,
+        title="Lemma 3.2 — empirical win rates vs the envelope:",
+    )
+    return table, all_within
+
+
+def test_lemma_3_2_envelope(benchmark):
+    table, all_within = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print()
+    print(table)
+    assert all_within

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Watching an oblivious adversary predict the future (Theorem 4.3).
+
+The bracelet network's bands evolve independently for their first
+L = √(n/2) rounds, so an adversary that must commit its link schedule
+*before round 0* can still simulate each band privately (Lemma 4.4),
+predict how many band heads will broadcast each round, and sever the
+cross links exactly when few heads speak. This demo shows:
+
+1. the prediction quality — predicted vs. realized head counts, round
+   by round (Lemma 4.5's concentration, visualized), and
+2. the damage — rounds to solve local broadcast with and without the
+   precomputed attack.
+
+Run:  python examples/bracelet_attack_demo.py [--band-length 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+
+from repro.adversaries import NoFlakyLinks
+from repro.adversaries.bracelet_attack import BraceletObliviousAttacker
+from repro.algorithms import make_static_local_broadcast
+from repro.analysis import render_table, run_broadcast_trial
+from repro.core import RadioNetworkEngine, TraceCollector
+from repro.core.rng import derive_seed
+from repro.graphs import bracelet
+from repro.problems import LocalBroadcastProblem
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--band-length", type=int, default=16)
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    length = args.band_length
+    br = bracelet(length, rng=random.Random(args.seed))
+    broadcasters = frozenset(br.heads_a())
+    spec = make_static_local_broadcast(br.n, broadcasters, br.graph.max_degree)
+    print(f"bracelet : {br.graph.summary()}  (L = {length}, n = {br.n})")
+    print(f"secret   : clasp joins band pair #{br.clasp_index} — the attacker never sees this\n")
+
+    # --- 1. Prediction quality ---------------------------------------
+    # The engine starts the attacker with the algorithm description
+    # (spec.info() carries the blueprint the isolated simulations need).
+    attacker = BraceletObliviousAttacker(br, threshold_factor=0.75)
+    processes = spec.build_processes(br.n, br.graph.max_degree, seed=args.seed + 2)
+    trace = TraceCollector()
+    engine = RadioNetworkEngine(
+        br.graph,
+        processes,
+        attacker,
+        seed=args.seed + 2,
+        algorithm_info=spec.info(),
+        observers=[trace],
+    )
+    head_mask = 0
+    for head in br.heads_a() + br.heads_b():
+        head_mask |= 1 << head
+    engine.run(max_rounds=min(length, 12))
+    rows = []
+    for r, record in enumerate(trace.records):
+        realized = bin(record.transmitter_mask & head_mask).count("1")
+        rows.append(
+            [
+                r,
+                attacker.predicted_counts[r],
+                realized,
+                "dense (links ON)" if attacker.labels[r] else "sparse (links OFF)",
+            ]
+        )
+    print(
+        render_table(
+            ["round", "predicted heads", "realized heads", "schedule"],
+            rows,
+            title="Lemma 4.5 in action — the pre-committed schedule classifies the real run:",
+        )
+    )
+
+    # --- 2. The damage -----------------------------------------------
+    # Victim: the threshold-riding uniform algorithm — the best response
+    # to the attacker's dense/sparse rule, i.e. the algorithm whose
+    # slowdown estimates the lower bound's shape (same as the E8 bench).
+    import math
+
+    from repro.algorithms import make_uniform_local_broadcast
+
+    def median_rounds(attacked: bool) -> float:
+        rounds = []
+        for trial in range(args.trials):
+            seed = derive_seed(args.seed, "trial", trial, attacked)
+            net = bracelet(length, rng=random.Random(derive_seed(seed, "clasp")))
+            b = frozenset(net.heads_a())
+            threshold = 0.75 * math.log(net.n)
+            algo = make_uniform_local_broadcast(
+                net.n,
+                b,
+                net.graph.max_degree,
+                probability=min(0.5, threshold / (2.0 * length)),
+            )
+            adversary = (
+                BraceletObliviousAttacker(net, threshold_factor=0.75)
+                if attacked
+                else NoFlakyLinks()
+            )
+            result = run_broadcast_trial(
+                network=net.graph,
+                algorithm=algo,
+                link_process=adversary,
+                problem=LocalBroadcastProblem(net.graph, b),
+                seed=seed,
+                max_rounds=64 * net.n,
+            )
+            rounds.append(result.rounds_to_solve())
+        return statistics.median(rounds)
+
+    attacked = median_rounds(True)
+    control = median_rounds(False)
+    print(f"\nrounds to solve local broadcast (medians over {args.trials} trials):")
+    print(f"  with the precomputed attack : {attacked:.0f}")
+    print(f"  without any attack          : {control:.0f}")
+    print(
+        f"\nReading: an adversary that committed everything before round 0 "
+        f"still slowed\nlocal broadcast {attacked / max(control, 1):.1f}x — "
+        f"and the slowdown grows like √n/log n (run the\nE8 bench for the sweep)."
+    )
+
+
+if __name__ == "__main__":
+    main()

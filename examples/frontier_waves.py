@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Frontier waves: watching the ``D log n`` term happen, hop by hop.
+
+Global broadcast on a line of cliques is a wave: the message crosses
+one bridge, floods a clique, crosses the next. This demo runs three
+algorithms on the same network and prints their informed-node curves
+(as sparklines) and per-hop latencies — decay spends ``Θ(log n)``
+rounds per hop, round robin spends ``Θ(n)``, and the uncoordinated
+ablation shows what losing rung coordination does to the wave.
+
+Run:  python examples/frontier_waves.py [--cliques 8] [--clique-size 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.adversaries import NoFlakyLinks
+from repro.algorithms import (
+    make_oblivious_global_broadcast,
+    make_plain_decay_global_broadcast,
+    make_round_robin_global_broadcast,
+)
+from repro.analysis import (
+    ascii_sparkline,
+    informed_curve,
+    per_hop_latencies,
+    render_table,
+)
+from repro.core import RadioNetworkEngine
+from repro.core.rng import derive_seed
+from repro.graphs import line_of_cliques
+from repro.problems import GlobalBroadcastProblem
+
+
+def run_with_observer(network, spec, seed):
+    problem = GlobalBroadcastProblem(network, 0)
+    observer = problem.make_observer()
+    engine = RadioNetworkEngine(
+        network,
+        spec.build_processes(network.n, network.max_degree, seed=seed),
+        NoFlakyLinks(),
+        seed=seed,
+        observers=[observer],
+    )
+    result = engine.run(max_rounds=64 * network.n, stop=lambda: observer.solved)
+    return result, observer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cliques", type=int, default=8)
+    parser.add_argument("--clique-size", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    network = line_of_cliques(args.cliques, args.clique_size)
+    print(f"network: {network.summary()}, D = {network.g_diameter()}\n")
+
+    algorithms = {
+        "plain decay [2]": make_plain_decay_global_broadcast(network.n, 0),
+        "permuted decay §4.1": make_oblivious_global_broadcast(network.n, 0),
+        "round robin": make_round_robin_global_broadcast(
+            network.n, 0, slot_seed=derive_seed(args.seed, "slots")
+        ),
+    }
+
+    rows = []
+    print("informed-node curves (each column ≈ equal share of the run):")
+    for name, spec in algorithms.items():
+        result, observer = run_with_observer(network, spec, args.seed)
+        curve = informed_curve(observer)
+        latencies = per_hop_latencies(network, observer)
+        numeric = [lat for lat in latencies if lat is not None]
+        rows.append(
+            [
+                name,
+                result.rounds,
+                f"{min(numeric)}–{max(numeric)}" if numeric else "-",
+                round(sum(numeric) / len(numeric), 1) if numeric else "-",
+            ]
+        )
+        print(f"  {name:22s} {ascii_sparkline(curve, width=60)}")
+    print()
+    print(
+        render_table(
+            ["algorithm", "total rounds", "per-hop latency range", "mean per hop"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: decay's wave advances every O(log n) rounds per hop; round "
+        "robin's\nadvances once per O(n)-round sweep — same wave, different "
+        "clock, which is the\nD log n vs nD gap of Figure 1's last row."
+    )
+
+
+if __name__ == "__main__":
+    main()

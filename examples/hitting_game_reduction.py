@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The lower-bound machine, live: broadcast algorithms playing β-hitting.
+
+Theorem 3.1's proof is an executable object in this library: a player
+that wins the β-hitting game by simulating a broadcast algorithm on a
+bridgeless dual clique and converting its transmission pattern into
+guesses. This demo plays the game with three different "engines" —
+the paper's permuted-decay algorithm, the threshold-riding best
+response, and round robin — and compares their guess counts with the
+baseline players and Lemma 3.2's envelope.
+
+If broadcast were solvable in o(n/log n) rounds, the corresponding
+player would beat Ω(β) guesses — which Lemma 3.2 forbids. Watching the
+guess counts track β is watching the lower bound happen.
+
+Run:  python examples/hitting_game_reduction.py [--beta 32]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import statistics
+
+from repro.algorithms import (
+    make_oblivious_global_broadcast,
+    make_round_robin_global_broadcast,
+    make_uniform_global_broadcast,
+)
+from repro.analysis import render_table
+from repro.games import (
+    DualCliqueReductionPlayer,
+    NoRepeatRandomPlayer,
+    SequentialPlayer,
+    play_hitting_game,
+)
+
+
+def riding_uniform(n, side_a):
+    threshold = 2.0 * math.log2(n)
+    return make_uniform_global_broadcast(
+        n, 0, probability=threshold / (2.0 * len(side_a))
+    )
+
+
+def permuted(n, side_a):
+    return make_oblivious_global_broadcast(n, 0, gamma=2)
+
+
+def round_robin(n, side_a):
+    return make_round_robin_global_broadcast(n, 0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--beta", type=int, default=32)
+    parser.add_argument("--trials", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    beta = args.beta
+    rng = random.Random(args.seed)
+
+    players = {
+        "P_A(threshold-riding uniform)": lambda: DualCliqueReductionPlayer(
+            beta, riding_uniform, seed=rng.getrandbits(63)
+        ),
+        "P_A(permuted decay §4.1)": lambda: DualCliqueReductionPlayer(
+            beta, permuted, seed=rng.getrandbits(63)
+        ),
+        "P_A(round robin)": lambda: DualCliqueReductionPlayer(
+            beta, round_robin, seed=rng.getrandbits(63)
+        ),
+        "no-repeat guesser (optimal)": lambda: NoRepeatRandomPlayer(beta, rng),
+        "sequential guesser": lambda: SequentialPlayer(beta),
+    }
+
+    print(f"β-hitting game, β = {beta}; {args.trials} games per player")
+    print(f"Lemma 3.2: winning within k guesses has probability ≤ k/(β−1),")
+    print(f"so any player needs ~β guesses to win reliably.\n")
+
+    rows = []
+    for name, factory in players.items():
+        guesses = []
+        for _ in range(args.trials):
+            outcome = play_hitting_game(
+                beta, factory(), rng, max_guesses=4 * beta * beta
+            )
+            guesses.append(outcome.guesses_used if outcome.won else float("inf"))
+        rows.append([name, statistics.median(guesses), f"{beta}"])
+    print(
+        render_table(
+            ["player", "median guesses to win", "Ω(β) reference"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: the reduction players' guess counts sit in the same "
+        "Θ(β) band as the\noptimal guessers — simulating a broadcast "
+        "algorithm buys no shortcut, which is\nexactly why broadcast "
+        "cannot beat Ω(n/log n) rounds online-adaptively."
+    )
+
+
+if __name__ == "__main__":
+    main()

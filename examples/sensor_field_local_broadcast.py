@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Sensor field: local broadcast under environmental interference.
+
+The scenario the paper's introduction motivates: a field of wireless
+sensors whose grey-zone links flicker with the environment. A quarter
+of the sensors hold fresh readings to share with their neighbors
+(local broadcast); we compare the paper's Section 4.3 algorithm against
+the classic static-model decay and the naive baselines, under three
+oblivious environments — calm, bursty fading, and a moving interference
+front sweeping the field.
+
+Run:  python examples/sensor_field_local_broadcast.py [--n 128]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+
+from repro.adversaries import (
+    GilbertElliottNodeFade,
+    MovingRegionFade,
+    NoFlakyLinks,
+)
+from repro.algorithms import (
+    make_geographic_local_broadcast,
+    make_round_robin_local_broadcast,
+    make_static_local_broadcast,
+    make_uniform_local_broadcast,
+)
+from repro.analysis import render_table, run_broadcast_trial
+from repro.core.rng import derive_seed
+from repro.graphs import RegionDecomposition, random_geographic
+from repro.problems import LocalBroadcastProblem
+
+
+def build_field(n: int, seed: int):
+    network = random_geographic(n, grey_ratio=2.0, seed=seed)
+    rng = random.Random(derive_seed(seed, "sensors"))
+    broadcasters = frozenset(rng.sample(range(n), max(1, n // 4)))
+    return network, broadcasters
+
+
+ENVIRONMENTS = {
+    "calm (G only)": lambda net: NoFlakyLinks(),
+    "bursty fading": lambda net: GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3),
+    "moving front": lambda net: MovingRegionFade(fade_radius=1.5, speed=0.3),
+}
+
+
+def algorithms_for(network, broadcasters):
+    delta = network.max_degree
+    return {
+        "geo-local §4.3": make_geographic_local_broadcast(
+            network.n, broadcasters, delta
+        ),
+        "static decay [8]": make_static_local_broadcast(
+            network.n, broadcasters, delta
+        ),
+        "uniform(1/Δ)": make_uniform_local_broadcast(network.n, broadcasters, delta),
+        "round robin": make_round_robin_local_broadcast(network.n, broadcasters),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=128)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2013)
+    args = parser.parse_args()
+
+    network, broadcasters = build_field(args.n, args.seed)
+    problem = LocalBroadcastProblem(network, broadcasters)
+    regions = RegionDecomposition.build(network)
+    print(f"field    : {network.summary()}")
+    print(f"problem  : {problem.describe()}")
+    print(f"regions  : {regions.summary()}\n")
+
+    algo_names = list(algorithms_for(network, broadcasters))
+    rows = []
+    for env_name, make_env in ENVIRONMENTS.items():
+        row = [env_name]
+        for algo_name in algo_names:
+            rounds = []
+            for trial in range(args.trials):
+                seed = derive_seed(args.seed, env_name, algo_name, trial)
+                net, sensors = build_field(args.n, derive_seed(seed, "field"))
+                algos = algorithms_for(net, sensors)
+                result = run_broadcast_trial(
+                    network=net,
+                    algorithm=algos[algo_name],
+                    link_process=make_env(net),
+                    seed=seed,
+                    max_rounds=64 * net.n + 8192,
+                )
+                rounds.append(result.rounds if result.solved else float("inf"))
+            row.append(statistics.median(rounds))
+        rows.append(row)
+
+    print(render_table(["environment"] + algo_names, rows,
+                       title=f"median rounds to serve every receiver ({args.trials} trials):"))
+    print(
+        "\nReading: the §4.3 algorithm pays a fixed polylog setup (its "
+        "initialization stage)\nbut its round count is insensitive to the "
+        "environment — the oblivious-adversary\nguarantee at work. Round "
+        "robin is environment-proof too, at Θ(n) cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on environments whose
+setuptools predates the bundled ``bdist_wheel`` (< 70.1) and that lack
+the ``wheel`` package — pip then falls back to the classic
+``setup.py develop`` editable path. All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Reproduction of Ghaffari, Lynch, Newport (PODC 2013):
+*The Cost of Radio Network Broadcast for Different Models of Unreliable Links.*
+
+A dual-graph radio network simulator plus every algorithm, adversary,
+lower-bound construction, and experiment the paper defines. See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro.graphs import random_geographic
+    from repro.algorithms import make_oblivious_global_broadcast
+    from repro.adversaries import GilbertElliottNodeFade
+    from repro.analysis import run_broadcast_trial
+
+    network = random_geographic(n=128, grey_ratio=1.6, seed=7)
+    spec = make_oblivious_global_broadcast(network, source=0)
+    result = run_broadcast_trial(
+        network=network,
+        algorithm=spec,
+        link_process=GilbertElliottNodeFade(p_fail=0.2, p_recover=0.4),
+        seed=7,
+    )
+    print(result.rounds_to_solve())
+"""
+
+from repro.core import (
+    BitCursor,
+    BitStream,
+    ExecutionResult,
+    Message,
+    MessageKind,
+    Process,
+    ProcessContext,
+    RadioNetworkEngine,
+    RoundPlan,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitCursor",
+    "BitStream",
+    "ExecutionResult",
+    "Message",
+    "MessageKind",
+    "Process",
+    "ProcessContext",
+    "RadioNetworkEngine",
+    "RoundPlan",
+    "__version__",
+]

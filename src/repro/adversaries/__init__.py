@@ -1,0 +1,71 @@
+"""Link processes for every adversary class the paper studies.
+
+Oblivious (schedule fixed before execution): static endpoints,
+stochastic nature models, structured jammers, the schedule-predicting
+dense/sparse attacker, and the Theorem 4.3 bracelet attacker (exported
+from :mod:`repro.adversaries.bracelet_attack` once the isolated-band
+machinery is importable).
+
+Online adaptive: the Theorem 3.1 dense/sparse attacker (thresholds on
+``E[|X| | S]``).
+
+Offline adaptive: the [11]-style solo blocker (sees realized coins).
+"""
+
+from repro.adversaries.base import (
+    AdversaryClass,
+    AlgorithmInfo,
+    HistoryEntry,
+    LinkProcess,
+    ObliviousView,
+    OfflineAdaptiveView,
+    OnlineAdaptiveView,
+    RoundTopology,
+)
+from repro.adversaries.dense_sparse import OnlineDenseSparseAttacker, default_dense_threshold
+from repro.adversaries.jamming import MovingRegionFade, PeriodicCutJammer
+from repro.adversaries.offline import OfflineSoloBlockerAttacker
+from repro.adversaries.schedule_attack import (
+    PrecomputedDenseSparseLinks,
+    PredictedDenseSparseAttacker,
+    predict_plain_decay_counts,
+)
+from repro.adversaries.static import (
+    AllFlakyLinks,
+    AlternatingLinks,
+    FixedFlakyLinks,
+    NoFlakyLinks,
+)
+from repro.adversaries.stochastic import (
+    BernoulliEdgeLinks,
+    BernoulliNodeFade,
+    GilbertElliottEdgeLinks,
+    GilbertElliottNodeFade,
+)
+
+__all__ = [
+    "AdversaryClass",
+    "AlgorithmInfo",
+    "HistoryEntry",
+    "LinkProcess",
+    "ObliviousView",
+    "OnlineAdaptiveView",
+    "OfflineAdaptiveView",
+    "RoundTopology",
+    "NoFlakyLinks",
+    "AllFlakyLinks",
+    "FixedFlakyLinks",
+    "AlternatingLinks",
+    "BernoulliEdgeLinks",
+    "GilbertElliottEdgeLinks",
+    "BernoulliNodeFade",
+    "GilbertElliottNodeFade",
+    "PeriodicCutJammer",
+    "MovingRegionFade",
+    "PredictedDenseSparseAttacker",
+    "PrecomputedDenseSparseLinks",
+    "predict_plain_decay_counts",
+    "OnlineDenseSparseAttacker",
+    "default_dense_threshold",
+    "OfflineSoloBlockerAttacker",
+]

@@ -1,0 +1,267 @@
+"""Link processes: the adversaries that control unreliable links.
+
+Section 2 of the paper: "the choice of which edges from ``E' \\ E`` to
+include in the communication topology each round is determined by an
+adversary called a *link process*", and three classical strength levels
+are studied:
+
+* **oblivious** — commits to all link decisions before the execution
+  starts, knowing only the network topology and the algorithm
+  description;
+* **online adaptive** — sees the execution history through round
+  ``r - 1`` (and anything derivable from start-of-round state, such as
+  the expected transmitter count ``E[|X| | S]``), but *not* the round-r
+  coins;
+* **offline adaptive** — additionally sees the round-r random choices,
+  i.e. the realized transmitter set.
+
+The engine enforces these entitlements *structurally* through typed
+views: an oblivious process is handed an :class:`ObliviousView` that
+simply contains no execution state. Subclasses declare their class via
+:attr:`LinkProcess.adversary_class`, and the engine constructs the
+matching view each round.
+
+The chosen topology is returned as a :class:`RoundTopology` — the full
+per-node adjacency bitmasks for the round (``G`` plus chosen flaky
+edges). Common patterns (all flaky links on, none on, a cut switched
+off) are precomputed once and reused, which keeps adversaries O(1) per
+round.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.errors import TopologyViolationError
+from repro.core.trace import iter_bits
+from repro.graphs.dual_graph import DualGraph, Edge, normalize_edge
+
+__all__ = [
+    "AdversaryClass",
+    "RoundTopology",
+    "ObliviousView",
+    "OnlineAdaptiveView",
+    "OfflineAdaptiveView",
+    "AlgorithmInfo",
+    "LinkProcess",
+]
+
+
+class AdversaryClass(enum.Enum):
+    """The three adversary strengths of the paper, weakest first."""
+
+    OBLIVIOUS = "oblivious"
+    ONLINE_ADAPTIVE = "online-adaptive"
+    OFFLINE_ADAPTIVE = "offline-adaptive"
+
+    def at_least(self, other: "AdversaryClass") -> bool:
+        """True iff this class is at least as strong as ``other``."""
+        order = [
+            AdversaryClass.OBLIVIOUS,
+            AdversaryClass.ONLINE_ADAPTIVE,
+            AdversaryClass.OFFLINE_ADAPTIVE,
+        ]
+        return order.index(self) >= order.index(other)
+
+
+@dataclass(frozen=True)
+class RoundTopology:
+    """The communication topology fixed for one round.
+
+    ``masks[u]`` is the adjacency bitmask of node ``u`` this round. A
+    legal topology satisfies ``G ⊆ topology ⊆ G'`` per node; the engine
+    validates this when constructed with ``validate=True``.
+
+    Use the factory helpers — they precompute masks once per pattern:
+
+    * :meth:`reliable_only` — no flaky edge participates (bare ``G``);
+    * :meth:`all_links` — every flaky edge participates (full ``G'``);
+    * :meth:`without_cut` — all flaky edges except those crossing a
+      node cut (the dense/sparse attackers' "sparse" pattern);
+    * :meth:`from_flaky_edges` — an explicit flaky edge subset.
+    """
+
+    masks: tuple[int, ...]
+    label: str = "custom"
+
+    @classmethod
+    def reliable_only(cls, network: DualGraph) -> "RoundTopology":
+        """Only the reliable edges of ``G``."""
+        return cls(masks=network.g_masks, label="G-only")
+
+    @classmethod
+    def all_links(cls, network: DualGraph) -> "RoundTopology":
+        """Every potential edge of ``G'``."""
+        return cls(masks=network.gp_masks, label="G'-all")
+
+    @classmethod
+    def without_cut(cls, network: DualGraph, side_mask: int, *, label: str = "cut-off") -> "RoundTopology":
+        """All flaky edges except those crossing the ``side_mask`` cut.
+
+        ``side_mask`` is a bitmask of one side of the cut; flaky edges
+        with exactly one endpoint inside it are excluded, all other
+        flaky edges are included. Reliable ``G`` edges always remain.
+        """
+        other = ((1 << network.n) - 1) & ~side_mask
+        masks = []
+        for u in range(network.n):
+            keep = side_mask if (side_mask >> u) & 1 else other
+            masks.append(network.g_masks[u] | (network.flaky_masks[u] & keep))
+        return cls(masks=tuple(masks), label=label)
+
+    @classmethod
+    def from_flaky_edges(
+        cls, network: DualGraph, flaky_edges: Iterable[Edge], *, label: str = "edge-set"
+    ) -> "RoundTopology":
+        """``G`` plus an explicit set of flaky edges.
+
+        Raises :class:`TopologyViolationError` if an edge is not in
+        ``G' \\ G`` (adding a ``G`` edge is a no-op, adding a non-``G'``
+        edge is illegal).
+        """
+        masks = list(network.g_masks)
+        for u, v in (normalize_edge(a, b) for a, b in flaky_edges):
+            if (network.g_masks[u] >> v) & 1:
+                continue  # already reliable
+            if not (network.gp_masks[u] >> v) & 1:
+                raise TopologyViolationError(f"edge ({u}, {v}) is not in G'")
+            masks[u] |= 1 << v
+            masks[v] |= 1 << u
+        return cls(masks=tuple(masks), label=label)
+
+    @classmethod
+    def from_active_flaky_nodes(
+        cls, network: DualGraph, active_mask: int, *, label: str = "node-fade"
+    ) -> "RoundTopology":
+        """Node-level fading: a flaky edge is on iff *both* endpoints are active.
+
+        ``active_mask`` marks unfaded nodes. This is the O(n) pattern
+        used by the node-level stochastic link processes.
+        """
+        masks = []
+        for u in range(network.n):
+            if (active_mask >> u) & 1:
+                masks.append(network.g_masks[u] | (network.flaky_masks[u] & active_mask))
+            else:
+                masks.append(network.g_masks[u])
+        return cls(masks=tuple(masks), label=label)
+
+    def validate(self, network: DualGraph) -> None:
+        """Check ``G ⊆ topology ⊆ G'`` and symmetry; raise on violation."""
+        if len(self.masks) != network.n:
+            raise TopologyViolationError("topology mask count differs from n")
+        for u in range(network.n):
+            mask = self.masks[u]
+            if network.g_masks[u] & ~mask:
+                raise TopologyViolationError(
+                    f"round topology drops reliable G edges at node {u}"
+                )
+            if mask & ~network.gp_masks[u]:
+                raise TopologyViolationError(
+                    f"round topology adds edges outside G' at node {u}"
+                )
+        for u in range(network.n):
+            for v in iter_bits(self.masks[u]):
+                if not (self.masks[v] >> u) & 1:
+                    raise TopologyViolationError(f"round topology asymmetric at ({u}, {v})")
+
+
+# ----------------------------------------------------------------------
+# Adversary views — the information entitlements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObliviousView:
+    """What an oblivious link process may see per round: the clock only."""
+
+    round_index: int
+
+
+@dataclass(frozen=True)
+class OnlineAdaptiveView(ObliviousView):
+    """Adds start-of-round (coin-free) information.
+
+    ``transmit_probabilities[u]`` is node ``u``'s declared plan
+    probability — a deterministic function of its state ``S`` at the
+    start of the round, so ``sum(transmit_probabilities)`` is exactly
+    the ``E[|X| | S]`` of Theorem 3.1. ``history`` carries the
+    per-round transmitter masks and delivery counts through round
+    ``r - 1``.
+    """
+
+    transmit_probabilities: Sequence[float] = ()
+    history: Sequence["HistoryEntry"] = ()
+
+    def expected_transmitters(self) -> float:
+        """The conditional expectation ``E[|X| | S]`` for this round."""
+        return float(sum(self.transmit_probabilities))
+
+
+@dataclass(frozen=True)
+class OfflineAdaptiveView(OnlineAdaptiveView):
+    """Adds the realized round-r coins: the transmitter set itself."""
+
+    transmitter_mask: int = 0
+
+    def transmitters(self) -> list[int]:
+        return list(iter_bits(self.transmitter_mask))
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """Compact public history of one past round (for adaptive views)."""
+
+    round_index: int
+    transmitter_mask: int
+    delivery_count: int
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """The algorithm description an adversary may study before round 0.
+
+    All three adversary classes know "the algorithm being executed"
+    (Section 2). ``name`` and ``metadata`` describe it; ``blueprint``
+    is an optional callable ``(ProcessContext) -> Process`` with which
+    an *oblivious* adversary may pre-simulate the algorithm on
+    (sub)networks of its choosing — the isolated broadcast functions of
+    Lemma 4.4 are exactly such pre-simulations.
+    """
+
+    name: str
+    metadata: dict
+    blueprint: Optional[object] = None
+
+
+class LinkProcess(abc.ABC):
+    """Base class for adversarial link processes.
+
+    Lifecycle: the engine calls :meth:`start` once before round 0 with
+    the network, the algorithm description, and a private RNG, then
+    :meth:`choose_topology` every round with a view matching
+    :attr:`adversary_class`.
+    """
+
+    #: Information entitlement of this adversary; subclasses override.
+    adversary_class: AdversaryClass = AdversaryClass.OBLIVIOUS
+
+    def start(self, network: DualGraph, algorithm: AlgorithmInfo, rng: random.Random) -> None:
+        """Study the network and algorithm; precompute schedules.
+
+        Oblivious subclasses must derive *all* future behavior from the
+        arguments of this call (plus the round index).
+        """
+        self.network = network
+        self.algorithm = algorithm
+        self.rng = rng
+
+    @abc.abstractmethod
+    def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        """Fix the communication topology for ``view.round_index``."""
+
+    def describe(self) -> str:
+        """Human-readable label for experiment tables."""
+        return f"{type(self).__name__}[{self.adversary_class.value}]"

@@ -1,0 +1,191 @@
+"""Stochastic (nature-like) oblivious link processes.
+
+The paper motivates the dual graph model with real-network measurements
+— "changes to the environment, interference from unrelated protocols
+... and even shifting weather conditions" — and cites the β-factor
+study of link *burstiness* [18]. These link processes model that
+environmental behavior:
+
+* :class:`BernoulliEdgeLinks` — each flaky edge fires independently
+  each round with probability ``p_up`` (the memoryless baseline the
+  paper dismisses as too benign — included as exactly that baseline).
+* :class:`GilbertElliottEdgeLinks` — each flaky edge follows a two-state
+  Gilbert–Elliott Markov chain (good ↔ bad), producing the correlated
+  bursts observed in [18].
+* :class:`BernoulliNodeFade` / :class:`GilbertElliottNodeFade` — the
+  same processes at node granularity: a faded node loses *all* its
+  flaky edges at once (a node walking behind a wall), which also keeps
+  per-round cost ``O(n)`` on dense graphs.
+
+All are oblivious: their state evolves from a private RNG fixed at
+``start`` and the round clock, never from the execution. (Lazy
+evaluation is an implementation detail — behavior is a deterministic
+function of ``(seed, round)``, which is exactly the "decides everything
+upfront" entitlement.)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.adversaries.base import (
+    AdversaryClass,
+    AlgorithmInfo,
+    LinkProcess,
+    ObliviousView,
+    RoundTopology,
+)
+from repro.graphs.dual_graph import DualGraph, Edge
+
+__all__ = [
+    "BernoulliEdgeLinks",
+    "GilbertElliottEdgeLinks",
+    "BernoulliNodeFade",
+    "GilbertElliottNodeFade",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class BernoulliEdgeLinks(LinkProcess):
+    """Independent per-edge, per-round link availability.
+
+    Cost is ``O(|E' \\ E|)`` per round; intended for sparse flaky sets
+    (geographic grey zones, not complete-bipartite lower-bound graphs —
+    use the node-fade variants there).
+    """
+
+    adversary_class = AdversaryClass.OBLIVIOUS
+
+    def __init__(self, p_up: float) -> None:
+        _check_probability("p_up", p_up)
+        self.p_up = p_up
+
+    def start(self, network: DualGraph, algorithm: AlgorithmInfo, rng: random.Random) -> None:
+        super().start(network, algorithm, rng)
+        self._flaky_edges: list[Edge] = sorted(network.flaky_edges())
+        self._all = RoundTopology.all_links(network)
+        self._none = RoundTopology.reliable_only(network)
+
+    def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        if self.p_up >= 1.0:
+            return self._all
+        if self.p_up <= 0.0:
+            return self._none
+        active = [edge for edge in self._flaky_edges if self.rng.random() < self.p_up]
+        return RoundTopology.from_flaky_edges(self.network, active, label="bernoulli-edges")
+
+
+class GilbertElliottEdgeLinks(LinkProcess):
+    """Per-edge two-state Markov (Gilbert–Elliott) bursty links.
+
+    Each flaky edge is *good* (up) or *bad* (down); per round a good
+    edge breaks with ``p_fail`` and a bad edge heals with ``p_recover``.
+    The stationary up-fraction is ``p_recover / (p_fail + p_recover)``
+    and mean burst lengths are ``1/p_fail`` (up) and ``1/p_recover``
+    (down) — fit these to the β-factor traces you want to mimic.
+    """
+
+    adversary_class = AdversaryClass.OBLIVIOUS
+
+    def __init__(self, p_fail: float, p_recover: float, *, start_up_fraction: float | None = None) -> None:
+        _check_probability("p_fail", p_fail)
+        _check_probability("p_recover", p_recover)
+        self.p_fail = p_fail
+        self.p_recover = p_recover
+        self.start_up_fraction = start_up_fraction
+
+    def start(self, network: DualGraph, algorithm: AlgorithmInfo, rng: random.Random) -> None:
+        super().start(network, algorithm, rng)
+        self._flaky_edges = sorted(network.flaky_edges())
+        if self.start_up_fraction is None:
+            denom = self.p_fail + self.p_recover
+            up_frac = 1.0 if denom == 0 else self.p_recover / denom
+        else:
+            up_frac = self.start_up_fraction
+        self._up = {edge: rng.random() < up_frac for edge in self._flaky_edges}
+
+    def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        active: list[Edge] = []
+        for edge in self._flaky_edges:
+            if self._up[edge]:
+                if self.rng.random() < self.p_fail:
+                    self._up[edge] = False
+            else:
+                if self.rng.random() < self.p_recover:
+                    self._up[edge] = True
+            if self._up[edge]:
+                active.append(edge)
+        return RoundTopology.from_flaky_edges(self.network, active, label="gilbert-elliott-edges")
+
+
+class BernoulliNodeFade(LinkProcess):
+    """Node-level memoryless fading: ``O(n)`` per round on any graph.
+
+    Each node is independently *clear* with probability ``p_clear``
+    each round; a flaky edge fires iff both endpoints are clear.
+    """
+
+    adversary_class = AdversaryClass.OBLIVIOUS
+
+    def __init__(self, p_clear: float) -> None:
+        _check_probability("p_clear", p_clear)
+        self.p_clear = p_clear
+
+    def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        active_mask = 0
+        for u in range(self.network.n):
+            if self.rng.random() < self.p_clear:
+                active_mask |= 1 << u
+        return RoundTopology.from_active_flaky_nodes(
+            self.network, active_mask, label="bernoulli-node-fade"
+        )
+
+
+class GilbertElliottNodeFade(LinkProcess):
+    """Node-level bursty fading (two-state Markov per node).
+
+    A clear node fades with ``p_fail`` per round; a faded node clears
+    with ``p_recover``. Flaky edges require both endpoints clear. This
+    is the recommended "realistic environment" adversary for large
+    graphs: correlated bursts, linear per-round cost.
+    """
+
+    adversary_class = AdversaryClass.OBLIVIOUS
+
+    def __init__(self, p_fail: float, p_recover: float, *, start_clear_fraction: float | None = None) -> None:
+        _check_probability("p_fail", p_fail)
+        _check_probability("p_recover", p_recover)
+        self.p_fail = p_fail
+        self.p_recover = p_recover
+        self.start_clear_fraction = start_clear_fraction
+
+    def start(self, network: DualGraph, algorithm: AlgorithmInfo, rng: random.Random) -> None:
+        super().start(network, algorithm, rng)
+        if self.start_clear_fraction is None:
+            denom = self.p_fail + self.p_recover
+            clear_frac = 1.0 if denom == 0 else self.p_recover / denom
+        else:
+            clear_frac = self.start_clear_fraction
+        self._clear_mask = 0
+        for u in range(network.n):
+            if rng.random() < clear_frac:
+                self._clear_mask |= 1 << u
+
+    def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        mask = self._clear_mask
+        for u in range(self.network.n):
+            bit = 1 << u
+            if mask & bit:
+                if self.rng.random() < self.p_fail:
+                    mask &= ~bit
+            else:
+                if self.rng.random() < self.p_recover:
+                    mask |= bit
+        self._clear_mask = mask
+        return RoundTopology.from_active_flaky_nodes(
+            self.network, mask, label="gilbert-elliott-node-fade"
+        )

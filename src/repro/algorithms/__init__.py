@@ -1,0 +1,86 @@
+"""The paper's broadcast algorithms and baselines.
+
+Upper bounds from the paper:
+
+* :func:`make_plain_decay_global_broadcast` — [2]'s decay broadcast
+  (static-model optimal up to constants; breaks under adaptive and
+  schedule-predicting adversaries).
+* :func:`make_oblivious_global_broadcast` — Section 4.1's permuted
+  decay broadcast, ``O(D log n + log² n)`` against any oblivious link
+  process.
+* :func:`make_static_local_broadcast` — [8]'s ``O(log n log Δ)`` local
+  broadcast for the static model.
+* :func:`make_geographic_local_broadcast` — Section 4.3's two-stage
+  ``O(log² n log Δ)`` local broadcast for geographic graphs.
+
+Baselines and ablations:
+
+* :func:`make_round_robin_local_broadcast` / ``…_global_…`` — the
+  footnote-4/5 adversary-proof ``O(n)`` / ``O(nD)`` schedules.
+* :func:`make_uniform_local_broadcast` — constant-rate randomization.
+* :func:`make_uncoordinated_decay_global_broadcast` — permuted decay
+  without the shared bits (what the coordination buys).
+"""
+
+from repro.algorithms.base import AlgorithmSpec, ProcessFactory, log2_ceil, make_spec
+from repro.algorithms.decay import (
+    PlainDecayGlobalProcess,
+    decay_probability,
+    make_plain_decay_global_broadcast,
+)
+from repro.algorithms.global_broadcast import (
+    ObliviousGlobalBroadcastProcess,
+    UncoordinatedDecayGlobalProcess,
+    make_oblivious_global_broadcast,
+    make_uncoordinated_decay_global_broadcast,
+)
+from repro.algorithms.local_geographic import (
+    GeoLocalBroadcastParams,
+    GeoLocalBroadcastProcess,
+    make_geographic_local_broadcast,
+)
+from repro.algorithms.local_static import (
+    StaticLocalDecayProcess,
+    make_static_local_broadcast,
+)
+from repro.algorithms.permuted_decay import PermutedDecaySchedule
+from repro.algorithms.round_robin import (
+    RoundRobinGlobalProcess,
+    RoundRobinLocalProcess,
+    make_round_robin_global_broadcast,
+    make_round_robin_local_broadcast,
+)
+from repro.algorithms.uniform import (
+    UniformGlobalProcess,
+    UniformLocalProcess,
+    make_uniform_global_broadcast,
+    make_uniform_local_broadcast,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "ProcessFactory",
+    "log2_ceil",
+    "make_spec",
+    "decay_probability",
+    "PlainDecayGlobalProcess",
+    "make_plain_decay_global_broadcast",
+    "PermutedDecaySchedule",
+    "ObliviousGlobalBroadcastProcess",
+    "UncoordinatedDecayGlobalProcess",
+    "make_oblivious_global_broadcast",
+    "make_uncoordinated_decay_global_broadcast",
+    "StaticLocalDecayProcess",
+    "make_static_local_broadcast",
+    "GeoLocalBroadcastParams",
+    "GeoLocalBroadcastProcess",
+    "make_geographic_local_broadcast",
+    "RoundRobinLocalProcess",
+    "RoundRobinGlobalProcess",
+    "make_round_robin_local_broadcast",
+    "make_round_robin_global_broadcast",
+    "UniformLocalProcess",
+    "make_uniform_local_broadcast",
+    "UniformGlobalProcess",
+    "make_uniform_global_broadcast",
+]

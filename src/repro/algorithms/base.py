@@ -1,0 +1,117 @@
+"""Shared algorithm plumbing: specs, factories, and integer-log helpers.
+
+An :class:`AlgorithmSpec` bundles a named process factory with
+metadata. Factories receive a :class:`~repro.core.process.ProcessContext`
+(node id, ``n``, ``Δ``, private RNG) and return the node's process —
+so the *roles* of an experiment (which node is the global source, which
+nodes form the local broadcast set ``B``) are baked into the spec by
+the experiment code, never discovered from the topology by the process
+itself (processes must not see the graph; Section 2 makes the
+node-to-process assignment adversarial and unknown).
+
+The spec also exposes :meth:`AlgorithmSpec.build_processes` and an
+engine-ready :class:`~repro.adversaries.base.AlgorithmInfo` whose
+``blueprint`` lets *oblivious* adversaries pre-simulate the algorithm
+(Lemma 4.4's isolated broadcast functions need exactly this handle).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.adversaries.base import AlgorithmInfo
+from repro.core.process import Process, ProcessContext
+from repro.core.rng import spawn_rng
+
+__all__ = [
+    "AlgorithmSpec",
+    "ProcessFactory",
+    "log2_ceil",
+    "clamp_probability",
+]
+
+ProcessFactory = Callable[[ProcessContext], Process]
+
+
+def log2_ceil(value: int) -> int:
+    """``max(1, ⌈log2(value)⌉)`` — the paper's ``log n`` as an integer.
+
+    The paper assumes ``n`` is a power of two and ``log`` is base 2;
+    for other sizes we round up, and we floor the result at 1 so that
+    probability ladders like ``{1/2, …, 2^{-log n}}`` are never empty.
+    """
+    if value < 1:
+        raise ValueError(f"log2_ceil needs a positive value, got {value}")
+    return max(1, math.ceil(math.log2(value))) if value > 1 else 1
+
+
+def clamp_probability(p: float) -> float:
+    """Clamp a computed probability into ``[0, 1]`` (guards float drift)."""
+    return min(1.0, max(0.0, p))
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named, role-bound algorithm ready to instantiate per node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier used in tables and traces.
+    factory:
+        Builds the node process for a given context.
+    metadata:
+        Free-form description (constants used, problem roles) surfaced
+        to adversaries via :class:`AlgorithmInfo` — adversaries know
+        "the algorithm being executed" in every model variant.
+    """
+
+    name: str
+    factory: ProcessFactory
+    metadata: dict = field(default_factory=dict)
+
+    def build_processes(
+        self,
+        n: int,
+        max_degree: int,
+        *,
+        seed: int,
+        rng_label: object = "process",
+    ) -> list[Process]:
+        """Instantiate one process per node with derived private RNGs."""
+        processes = []
+        for node_id in range(n):
+            ctx = ProcessContext(
+                node_id=node_id,
+                n=n,
+                max_degree=max_degree,
+                rng=spawn_rng(seed, rng_label, node_id),
+            )
+            processes.append(self.factory(ctx))
+        return processes
+
+    def build_process(self, ctx: ProcessContext) -> Process:
+        """Instantiate the process for one explicit context (sub-simulations)."""
+        return self.factory(ctx)
+
+    def info(self) -> AlgorithmInfo:
+        """Engine-ready algorithm description (handed to the adversary)."""
+        return AlgorithmInfo(name=self.name, metadata=dict(self.metadata), blueprint=self.factory)
+
+
+def role_set(nodes: Sequence[int]) -> frozenset[int]:
+    """Normalize a role collection (source set / broadcaster set ``B``)."""
+    return frozenset(int(u) for u in nodes)
+
+
+def make_spec(
+    name: str,
+    factory: ProcessFactory,
+    *,
+    metadata: Optional[dict] = None,
+) -> AlgorithmSpec:
+    """Convenience constructor mirroring :class:`AlgorithmSpec`."""
+    return AlgorithmSpec(name=name, factory=factory, metadata=metadata or {})

@@ -1,0 +1,254 @@
+"""Section 4.1: global broadcast against an oblivious adversary.
+
+The algorithm is [2] with decay swapped for *permuted* decay:
+
+    "The source, provided message m', creates a new message
+    m = ⟨m', S⟩, where S is a collection of 32 log² n log log n bits
+    generated with uniform and independent randomness after the
+    execution begins. In the first round, the source broadcasts m to
+    its neighbors. At this point, the source's role in the broadcast is
+    finished. For every other node u, on first receiving a message
+    ⟨m', S⟩ in round r, it waits until the first round r' ≥ r, where
+    r' mod 16 log n = 0, and then calls permuted-decay(m, 16, s),
+    2 log n times in a row, where each time s includes
+    16 log n log log n new bits from S."
+
+Implementation notes (see DESIGN.md §5.4): epochs are aligned to the
+global clock (``epoch = round // (γ log n)``), and the bit chunk for
+epoch ``e`` is chunk ``e mod 2 log n`` of ``S``. This keeps every
+simultaneous caller on the *same* bits — the precondition of
+Lemma 4.2 — regardless of when each node joined, and reuses chunks
+cyclically for executions longer than ``2 log n`` epochs (harmless
+against an oblivious adversary whose schedule was fixed before ``S``
+was drawn).
+
+Also provided: :class:`UncoordinatedDecayGlobalProcess`, the A2
+ablation — identical shape, but every node draws its rung *privately*
+each round. Without the shared bits, a receiver's neighbors spread
+across rungs and the per-round solo probability collapses for large
+neighborhoods; the bench shows the coordination is what buys the
+``O(D log n + log² n)`` bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.base import AlgorithmSpec, log2_ceil
+from repro.algorithms.permuted_decay import PermutedDecaySchedule
+from repro.core.bits import BitStream
+from repro.core.messages import Message, MessageKind
+from repro.core.process import Process, ProcessContext, RoundPlan
+
+__all__ = [
+    "ObliviousGlobalBroadcastProcess",
+    "UncoordinatedDecayGlobalProcess",
+    "make_oblivious_global_broadcast",
+    "make_uncoordinated_decay_global_broadcast",
+]
+
+
+class ObliviousGlobalBroadcastProcess(Process):
+    """One node of the Section 4.1 global broadcast algorithm.
+
+    Parameters
+    ----------
+    ctx:
+        Node context.
+    source:
+        The designated source node id.
+    payload:
+        The application payload ``m'``.
+    gamma:
+        The ``γ`` of permuted decay (paper: 16).
+    epochs_per_node:
+        How many permuted-decay calls an informed node makes (paper:
+        ``2 log n``); ``None`` keeps calling until the engine stops,
+        which only helps completion and is the default for experiment
+        runs that measure rounds-to-solve.
+    num_chunks:
+        Number of distinct bit chunks in ``S`` (paper: ``2 log n``).
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        *,
+        source: int,
+        payload: object = "m",
+        gamma: int = 16,
+        epochs_per_node: Optional[int] = None,
+        num_chunks: Optional[int] = None,
+    ) -> None:
+        super().__init__(ctx)
+        self.source = source
+        self.schedule = PermutedDecaySchedule(
+            num_probabilities=log2_ceil(ctx.n), gamma=gamma
+        )
+        self.num_chunks = num_chunks or 2 * log2_ceil(ctx.n)
+        self.epochs_per_node = epochs_per_node
+        self.message: Optional[Message] = None
+        self.join_epoch: Optional[int] = None
+        if ctx.node_id == source:
+            total_bits = self.schedule.bits_per_call * self.num_chunks
+            shared = BitStream.random(ctx.rng, total_bits)
+            self.message = Message(
+                MessageKind.DATA, origin=source, payload=payload, shared_bits=shared
+            )
+
+    @property
+    def informed(self) -> bool:
+        return self.message is not None
+
+    @property
+    def epoch_length(self) -> int:
+        """Rounds per epoch: the paper's ``16 log n``."""
+        return self.schedule.rounds_per_call
+
+    def plan(self, round_index: int) -> RoundPlan:
+        if self.node_id == self.source:
+            if round_index == 0:
+                return RoundPlan.certain(self.message)
+            return RoundPlan.silence()  # "the source's role ... is finished"
+        if self.message is None or self.join_epoch is None:
+            return RoundPlan.silence()
+        epoch, round_in_epoch = divmod(round_index, self.epoch_length)
+        if epoch < self.join_epoch:
+            return RoundPlan.silence()
+        if self.epochs_per_node is not None and epoch >= self.join_epoch + self.epochs_per_node:
+            return RoundPlan.silence()
+        shared = self.message.shared_bits
+        chunk_offset = (epoch % self.num_chunks) * self.schedule.bits_per_call
+        probability = self.schedule.probability(shared, chunk_offset, round_in_epoch)
+        return RoundPlan(probability=probability, message=self.message)
+
+    def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:
+        if self.message is None and received is not None and received.is_data():
+            if received.shared_bits is None:
+                return  # not a ⟨m', S⟩ message of this algorithm
+            self.message = received
+            # Wait for the first epoch boundary strictly after this round.
+            self.join_epoch = (round_index + 1 + self.epoch_length - 1) // self.epoch_length
+
+
+class UncoordinatedDecayGlobalProcess(Process):
+    """Ablation: permuted decay without the shared bits.
+
+    Identical ladder and epoch structure, but each node draws its rung
+    privately per round. The declared plan probability is the node's
+    realized ``2^{-i}`` for the round (drawn in the previous feedback,
+    i.e. start-of-round state — keeping the plan contract honest).
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        *,
+        source: int,
+        payload: object = "m",
+        gamma: int = 16,
+    ) -> None:
+        super().__init__(ctx)
+        self.source = source
+        self.num_probabilities = log2_ceil(ctx.n)
+        self.gamma = gamma
+        self.message: Optional[Message] = None
+        self.joined = False
+        self._next_rung = 1 + ctx.rng.randrange(self.num_probabilities)
+        if ctx.node_id == source:
+            self.message = Message(MessageKind.DATA, origin=source, payload=payload)
+
+    @property
+    def informed(self) -> bool:
+        return self.message is not None
+
+    def plan(self, round_index: int) -> RoundPlan:
+        if self.node_id == self.source:
+            if round_index == 0:
+                return RoundPlan.certain(self.message)
+            return RoundPlan.silence()
+        if self.message is None or not self.joined:
+            return RoundPlan.silence()
+        return RoundPlan(
+            probability=2.0 ** (-self._next_rung), message=self.message
+        )
+
+    def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:
+        self._next_rung = 1 + self.ctx.rng.randrange(self.num_probabilities)
+        if self.message is None and received is not None and received.is_data():
+            self.message = received
+            self.joined = True
+        elif self.message is not None and self.node_id != self.source:
+            self.joined = True
+
+
+def make_oblivious_global_broadcast(
+    n: int,
+    source: int,
+    *,
+    payload: object = "m",
+    gamma: int = 4,
+    epochs_per_node: Optional[int] = None,
+    paper_constants: bool = False,
+) -> AlgorithmSpec:
+    """Spec for the Section 4.1 algorithm.
+
+    ``gamma`` defaults to 4 for laptop-scale sweeps; pass
+    ``paper_constants=True`` for the paper's ``γ = 16`` and
+    ``2 log n`` epochs per node (see DESIGN.md §5.7).
+    """
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} outside [0, {n})")
+    if paper_constants:
+        gamma = 16
+        epochs_per_node = 2 * log2_ceil(n)
+
+    def factory(ctx):
+        return ObliviousGlobalBroadcastProcess(
+            ctx,
+            source=source,
+            payload=payload,
+            gamma=gamma,
+            epochs_per_node=epochs_per_node,
+        )
+
+    return AlgorithmSpec(
+        name=f"permuted-decay-global(n={n},γ={gamma})",
+        factory=factory,
+        metadata={
+            "family": "permuted-decay",
+            "problem": "global-broadcast",
+            "source": source,
+            "gamma": gamma,
+            "epochs_per_node": epochs_per_node,
+            "schedule": "hidden (post-start shared bits)",
+        },
+    )
+
+
+def make_uncoordinated_decay_global_broadcast(
+    n: int,
+    source: int,
+    *,
+    payload: object = "m",
+    gamma: int = 4,
+) -> AlgorithmSpec:
+    """Spec for the uncoordinated ablation variant (A2)."""
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} outside [0, {n})")
+
+    def factory(ctx):
+        return UncoordinatedDecayGlobalProcess(
+            ctx, source=source, payload=payload, gamma=gamma
+        )
+
+    return AlgorithmSpec(
+        name=f"uncoordinated-decay-global(n={n})",
+        factory=factory,
+        metadata={
+            "family": "uncoordinated-decay",
+            "problem": "global-broadcast",
+            "source": source,
+            "schedule": "private per-node rungs",
+        },
+    )

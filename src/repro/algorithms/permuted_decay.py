@@ -1,0 +1,98 @@
+"""The permuted decay subroutine of Section 4.1.
+
+Plain decay's weakness in the oblivious dual graph model is its public
+schedule. Permuted decay keeps the ladder of probabilities
+``{1/2, 1/4, …, 2^{-k}}`` but *randomizes the visiting order* using
+bits drawn after the execution begins — bits the oblivious adversary's
+schedule cannot depend on:
+
+    "The permuted decay subroutine ... is called with a broadcast
+    message m, a string S of γ log n log log n permutation bits, and an
+    integer parameter γ ≥ 1. The routine runs for γ log n rounds.
+    During each round, it selects a value i ∈ [log n] using log log n
+    new bits from S. It then broadcasts m with probability 2^{-i}."
+
+Key property (Lemma 4.2): if a set ``I`` of a receiver's neighbors runs
+permuted decay *with the same bits* in the same rounds, the receiver
+gets a message with probability > 1/2 per call — for **any** oblivious
+choice of flaky links, because in every round all of ``I`` shares one
+random rung ``i``, and with probability ``1/log n`` that rung matches
+``⌊log |I_r|⌋`` for the adversary's chosen neighborhood ``I_r ⊇ I_G``.
+
+:class:`PermutedDecaySchedule` maps ``(shared bits, chunk offset,
+round-within-call) → probability`` through fixed-width windows, so
+every holder of the same bit string computes the same rung in the same
+round without any cursor coordination. The number of ladder rungs is a
+parameter: Section 4.1 uses ``log n`` (neighborhoods up to ``n``), the
+Section 4.3 local algorithm uses ``log Δ`` (see DESIGN.md §5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bits import BitStream, bits_for_uniform
+
+__all__ = ["PermutedDecaySchedule"]
+
+
+@dataclass(frozen=True)
+class PermutedDecaySchedule:
+    """Layout and semantics of one permuted-decay call.
+
+    Parameters
+    ----------
+    num_probabilities:
+        Ladder size ``k``: rungs are ``2^{-1} … 2^{-k}`` (the paper's
+        ``log n``, or ``log Δ`` in the local variant).
+    gamma:
+        Length multiplier ``γ``; a call runs ``γ · num_probabilities``
+        rounds. The paper's analysis uses ``γ = 16``; smaller values
+        trade the per-call success constant for wall-clock speed.
+    """
+
+    num_probabilities: int
+    gamma: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_probabilities < 1:
+            raise ValueError("num_probabilities must be >= 1")
+        if self.gamma < 1:
+            raise ValueError("gamma must be >= 1")
+
+    @property
+    def rounds_per_call(self) -> int:
+        """``γ · k`` — the paper's ``γ log n`` rounds per call."""
+        return self.gamma * self.num_probabilities
+
+    @property
+    def draw_width(self) -> int:
+        """Bits consumed per round (the paper's ``log log n``)."""
+        return bits_for_uniform(self.num_probabilities)
+
+    @property
+    def bits_per_call(self) -> int:
+        """Total permutation bits one call consumes
+        (the paper's ``γ log n log log n``)."""
+        return self.rounds_per_call * self.draw_width
+
+    def rung(self, bits: BitStream, chunk_offset: int, round_in_call: int) -> int:
+        """The rung index ``i ∈ [1, k]`` selected for a round of the call.
+
+        Deterministic in ``(bits, chunk_offset, round_in_call)`` — every
+        node holding the same string computes the same rung.
+        """
+        if not 0 <= round_in_call < self.rounds_per_call:
+            raise ValueError(
+                f"round_in_call {round_in_call} outside [0, {self.rounds_per_call})"
+            )
+        offset = chunk_offset + round_in_call * self.draw_width
+        return bits.uniform_at(offset, self.num_probabilities) + 1
+
+    def probability(self, bits: BitStream, chunk_offset: int, round_in_call: int) -> float:
+        """Transmit probability ``2^{-i}`` for a round of the call."""
+        return 2.0 ** (-self.rung(bits, chunk_offset, round_in_call))
+
+    def fresh_bits(self, rng, calls: int, *, cyclic: bool = False) -> BitStream:
+        """Draw a string long enough for ``calls`` consecutive calls."""
+        return BitStream.random(rng, self.bits_per_call * calls, cyclic=cyclic)

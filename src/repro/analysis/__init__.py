@@ -1,0 +1,65 @@
+"""Experiment harness: trial running, sweeps, shape fitting, tables."""
+
+from repro.analysis.fitting import (
+    STANDARD_MODELS,
+    ModelFit,
+    PowerLawFit,
+    best_model_name,
+    fit_model,
+    fit_power_law,
+    select_model,
+)
+from repro.analysis.runner import (
+    PreparedTrial,
+    Scenario,
+    TrialResult,
+    TrialStats,
+    default_round_cap,
+    infer_problem,
+    run_broadcast_trial,
+    run_broadcast_trials,
+    run_prepared_trial,
+)
+from repro.analysis.progress import (
+    ascii_sparkline,
+    frontier_progress,
+    informed_curve,
+    per_hop_latencies,
+)
+from repro.analysis.sweep import SweepPoint, SweepResult, run_sweep
+from repro.analysis.tables import (
+    format_cell,
+    render_markdown_table,
+    render_table,
+    rows_from_dicts,
+)
+
+__all__ = [
+    "PreparedTrial",
+    "Scenario",
+    "TrialResult",
+    "TrialStats",
+    "run_broadcast_trial",
+    "run_broadcast_trials",
+    "run_prepared_trial",
+    "default_round_cap",
+    "infer_problem",
+    "SweepPoint",
+    "SweepResult",
+    "run_sweep",
+    "PowerLawFit",
+    "fit_power_law",
+    "ModelFit",
+    "fit_model",
+    "select_model",
+    "best_model_name",
+    "STANDARD_MODELS",
+    "render_table",
+    "render_markdown_table",
+    "format_cell",
+    "rows_from_dicts",
+    "informed_curve",
+    "frontier_progress",
+    "per_hop_latencies",
+    "ascii_sparkline",
+]

@@ -1,0 +1,237 @@
+"""Trial runner: one execution, many executions, aggregated statistics.
+
+The paper's complexity measure is *rounds until the problem is solved*,
+with high probability over the algorithm's coins. The runner mirrors
+that: a :func:`run_broadcast_trial` executes one algorithm/adversary/
+problem triple to completion (or a round cap) and
+:func:`run_broadcast_trials` repeats it over independent seeds,
+reporting the distribution (mean/median/percentiles) plus the success
+rate under the cap.
+
+Scenario factories (:class:`Scenario`) package the whole triple so
+sweeps can rebuild fresh state per trial — adversaries and processes
+are stateful and must never be reused across executions.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.adversaries.base import LinkProcess
+from repro.algorithms.base import AlgorithmSpec
+from repro.core.engine import ExecutionResult, RadioNetworkEngine
+from repro.core.rng import derive_seed
+from repro.graphs.dual_graph import DualGraph
+from repro.problems.base import Problem
+
+__all__ = [
+    "PreparedTrial",
+    "Scenario",
+    "TrialResult",
+    "TrialStats",
+    "run_broadcast_trial",
+    "run_prepared_trial",
+    "run_broadcast_trials",
+]
+
+
+@dataclass
+class PreparedTrial:
+    """Everything one execution needs, freshly constructed."""
+
+    network: DualGraph
+    algorithm: AlgorithmSpec
+    link_process: LinkProcess
+    problem: Problem
+    max_rounds: int
+    validate_topologies: bool = False
+
+
+#: A scenario builds a fresh :class:`PreparedTrial` from a trial seed.
+Scenario = Callable[[int], PreparedTrial]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one execution."""
+
+    solved: bool
+    rounds: int
+    seed: int
+
+    def rounds_to_solve(self) -> int:
+        if not self.solved:
+            raise ValueError(f"trial (seed={self.seed}) did not solve within the cap")
+        return self.rounds
+
+
+@dataclass
+class TrialStats:
+    """Aggregate over independent trials of one scenario."""
+
+    results: list[TrialResult] = field(default_factory=list)
+
+    def add(self, result: TrialResult) -> None:
+        self.results.append(result)
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for r in self.results if r.solved)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    def solved_rounds(self) -> list[int]:
+        """Round counts of successful trials (unsolved trials excluded)."""
+        return [r.rounds for r in self.results if r.solved]
+
+    def _all_rounds_censored(self) -> list[int]:
+        """Round counts with unsolved trials censored at their cap."""
+        return [r.rounds for r in self.results]
+
+    @property
+    def mean_rounds(self) -> float:
+        """Mean rounds, censored at the cap for unsolved trials.
+
+        Censoring biases the estimate *downward*, which is conservative
+        for lower-bound experiments (measured growth only understates
+        the true cost).
+        """
+        rounds = self._all_rounds_censored()
+        return statistics.fmean(rounds) if rounds else math.nan
+
+    @property
+    def median_rounds(self) -> float:
+        rounds = self._all_rounds_censored()
+        return float(statistics.median(rounds)) if rounds else math.nan
+
+    def percentile_rounds(self, q: float) -> float:
+        """Inclusive percentile ``q ∈ [0, 100]`` of (censored) rounds."""
+        rounds = sorted(self._all_rounds_censored())
+        if not rounds:
+            return math.nan
+        if len(rounds) == 1:
+            return float(rounds[0])
+        position = (q / 100.0) * (len(rounds) - 1)
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return float(rounds[low])
+        weight = position - low
+        return rounds[low] * (1.0 - weight) + rounds[high] * weight
+
+    @property
+    def stdev_rounds(self) -> float:
+        rounds = self._all_rounds_censored()
+        return statistics.pstdev(rounds) if len(rounds) > 1 else 0.0
+
+    def summary_row(self) -> dict:
+        """Dict row for the table renderers."""
+        return {
+            "trials": self.trials,
+            "success": f"{self.success_rate:.0%}",
+            "median": self.median_rounds,
+            "mean": round(self.mean_rounds, 1),
+            "p90": round(self.percentile_rounds(90.0), 1),
+        }
+
+
+def run_prepared_trial(trial: PreparedTrial, seed: int) -> TrialResult:
+    """Execute one prepared trial to completion or its round cap."""
+    network = trial.network
+    processes = trial.algorithm.build_processes(
+        network.n, network.max_degree, seed=seed
+    )
+    observer = trial.problem.make_observer()
+    engine = RadioNetworkEngine(
+        network,
+        processes,
+        trial.link_process,
+        seed=seed,
+        algorithm_info=trial.algorithm.info(),
+        validate_topologies=trial.validate_topologies,
+        observers=[observer],
+    )
+    result: ExecutionResult = engine.run(
+        max_rounds=trial.max_rounds, stop=lambda: observer.solved
+    )
+    return TrialResult(solved=result.solved, rounds=result.rounds, seed=seed)
+
+
+def run_broadcast_trial(
+    *,
+    network: DualGraph,
+    algorithm: AlgorithmSpec,
+    link_process: LinkProcess,
+    problem: Optional[Problem] = None,
+    seed: int,
+    max_rounds: Optional[int] = None,
+    validate_topologies: bool = False,
+) -> TrialResult:
+    """Convenience single-trial entry point (used by examples/tests).
+
+    When ``problem`` is omitted it is inferred from the algorithm's
+    metadata (``problem`` + ``source``/``broadcasters`` keys every
+    factory in :mod:`repro.algorithms` fills in).
+    """
+    if problem is None:
+        problem = infer_problem(network, algorithm)
+    cap = max_rounds if max_rounds is not None else default_round_cap(network.n)
+    trial = PreparedTrial(
+        network=network,
+        algorithm=algorithm,
+        link_process=link_process,
+        problem=problem,
+        max_rounds=cap,
+        validate_topologies=validate_topologies,
+    )
+    return run_prepared_trial(trial, seed)
+
+
+def run_broadcast_trials(
+    scenario: Scenario,
+    *,
+    trials: int,
+    master_seed: int,
+    label: object = "trial",
+) -> TrialStats:
+    """Run ``trials`` independent executions of a scenario."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    stats = TrialStats()
+    for index in range(trials):
+        seed = derive_seed(master_seed, label, index)
+        trial = scenario(seed)
+        stats.add(run_prepared_trial(trial, seed))
+    return stats
+
+
+def default_round_cap(n: int) -> int:
+    """A generous default cap: the paper's footnote-5 ``n²`` fallback,
+    floored for small graphs."""
+    return max(4 * n * n, 4096)
+
+
+def infer_problem(network: DualGraph, algorithm: AlgorithmSpec) -> Problem:
+    """Build the problem instance an algorithm's metadata declares."""
+    from repro.problems.global_broadcast import GlobalBroadcastProblem
+    from repro.problems.local_broadcast import LocalBroadcastProblem
+
+    kind = algorithm.metadata.get("problem")
+    if kind == "global-broadcast":
+        return GlobalBroadcastProblem(network, int(algorithm.metadata["source"]))
+    if kind == "local-broadcast":
+        return LocalBroadcastProblem(
+            network, frozenset(algorithm.metadata["broadcasters"])
+        )
+    raise ValueError(
+        f"algorithm {algorithm.name!r} does not declare a problem; pass one explicitly"
+    )

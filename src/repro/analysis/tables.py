@@ -1,0 +1,84 @@
+"""Fixed-width and Markdown table rendering for experiment reports.
+
+Every bench prints the Figure-1 row(s) it regenerates; these helpers
+keep the formatting consistent between the console output, the
+EXPERIMENTS.md record, and the test logs. No dependencies, no wrapping
+cleverness — just aligned monospace columns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_markdown_table", "format_cell", "rows_from_dicts"]
+
+
+def format_cell(value: object) -> str:
+    """Render one value: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _normalize(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    width = len(headers)
+    table = []
+    for row in rows:
+        cells = [format_cell(cell) for cell in row]
+        if len(cells) != width:
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {width} headers"
+            )
+        table.append(cells)
+    return table
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Aligned monospace table with a rule under the header."""
+    body = _normalize(headers, rows)
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavored Markdown table (for EXPERIMENTS.md snippets)."""
+    body = _normalize(headers, rows)
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def rows_from_dicts(
+    dict_rows: Sequence[Mapping[str, object]], *, headers: Sequence[str] | None = None
+) -> tuple[list[str], list[list[object]]]:
+    """Convert dict rows (e.g. ``SweepResult.as_rows()``) to header+rows."""
+    if not dict_rows:
+        return list(headers or []), []
+    resolved = list(headers) if headers is not None else list(dict_rows[0].keys())
+    rows = [[row.get(h, "") for h in resolved] for row in dict_rows]
+    return resolved, rows

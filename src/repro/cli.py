@@ -1,0 +1,297 @@
+"""Command-line interface: run experiments and trials from a shell.
+
+Entry points (also available as ``python -m repro``):
+
+* ``list`` — show the experiment registry (every Figure-1 cell and
+  ablation, with its paper bound and available scales);
+* ``run EXP_ID [--scale S] [--seed N]`` — run one experiment and print
+  its full report;
+* ``run-all [--scale S]`` — run the whole registry in order (this is
+  how ``full_scale_results.txt`` and the EXPERIMENTS.md numbers are
+  produced);
+* ``trial`` — one ad-hoc broadcast trial: pick a network family, an
+  algorithm, and an adversary by name, and watch the round count;
+* ``paper`` — print the reproduced Figure-1 table with experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    rows = []
+    for exp_id in sorted(ALL_EXPERIMENTS):
+        exp = ALL_EXPERIMENTS[exp_id]
+        rows.append(
+            [
+                exp_id,
+                exp.figure_cell,
+                exp.paper_bound,
+                ", ".join(sorted(exp.scales)),
+                len(exp.series),
+            ]
+        )
+    print(
+        render_table(
+            ["id", "figure cell", "paper bound", "scales", "series"],
+            rows,
+            title="Experiment registry (see DESIGN.md §4 for the index):",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try: "
+            f"{', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    experiment = ALL_EXPERIMENTS[args.experiment]
+    started = time.time()
+    result = experiment.run(
+        scale=args.scale,
+        master_seed=args.seed,
+        progress=(
+            (lambda label, _: print(f"  … {label}", file=sys.stderr))
+            if args.verbose
+            else None
+        ),
+    )
+    print(result.render())
+    print(f"\n[{time.time() - started:.1f}s at scale={args.scale}, seed={args.seed}]")
+    failures = [
+        claim for claim, _, holds in result.contrast_outcomes() if not holds
+    ]
+    return 1 if failures else 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    status = 0
+    for exp_id in sorted(ALL_EXPERIMENTS):
+        sub = argparse.Namespace(
+            experiment=exp_id,
+            scale=args.scale,
+            seed=args.seed,
+            verbose=args.verbose,
+        )
+        print()
+        status |= _cmd_run(sub)
+    return status
+
+
+_NETWORKS = {
+    "geographic": "random geographic graph (grey ratio 2)",
+    "dual-clique": "two cliques, secret bridge, complete G'",
+    "bracelet": "Theorem 4.3's band construction",
+    "line-of-cliques": "8 cliques of n/8 chained by bridges",
+    "funnel": "source → clique → sink (static)",
+}
+
+_ALGORITHMS = {
+    "permuted-decay": "Section 4.1 global broadcast",
+    "plain-decay": "classic BGI global broadcast [2]",
+    "round-robin": "footnote-5 O(nD) global broadcast",
+    "geo-local": "Section 4.3 local broadcast (B = random quarter)",
+    "static-local": "[8]-style local broadcast (B = random quarter)",
+}
+
+_ADVERSARIES = {
+    "none": "no flaky links (static G)",
+    "all": "all flaky links (static G')",
+    "ge-fade": "Gilbert–Elliott bursty node fading",
+    "online-dense-sparse": "Theorem 3.1's online adaptive attacker",
+    "offline-solo-blocker": "[11]'s offline adaptive attacker",
+}
+
+
+def _build_trial(args: argparse.Namespace):
+    import random
+
+    from repro.adversaries import (
+        AllFlakyLinks,
+        GilbertElliottNodeFade,
+        NoFlakyLinks,
+        OfflineSoloBlockerAttacker,
+        OnlineDenseSparseAttacker,
+    )
+    from repro.algorithms import (
+        make_geographic_local_broadcast,
+        make_oblivious_global_broadcast,
+        make_plain_decay_global_broadcast,
+        make_round_robin_global_broadcast,
+        make_static_local_broadcast,
+    )
+    from repro.core.rng import derive_seed
+    from repro.graphs import (
+        bracelet,
+        dual_clique,
+        funnel_dual,
+        line_of_cliques,
+        random_geographic,
+    )
+
+    n = args.n
+    cut_mask = None
+    if args.network == "geographic":
+        network = random_geographic(n, seed=derive_seed(args.seed, "net"))
+    elif args.network == "dual-clique":
+        dc = dual_clique(
+            n // 2, rng=random.Random(derive_seed(args.seed, "net"))
+        )
+        network, cut_mask = dc.graph, dc.side_a_mask
+    elif args.network == "bracelet":
+        import math
+
+        br = bracelet(
+            max(2, math.isqrt(n // 2)),
+            rng=random.Random(derive_seed(args.seed, "net")),
+        )
+        network = br.graph
+        cut_mask = 0
+        for head in br.heads_a():
+            cut_mask |= 1 << head
+    elif args.network == "line-of-cliques":
+        network = line_of_cliques(8, max(2, n // 8))
+    else:
+        network = funnel_dual(n)
+    n = network.n
+
+    if args.algorithm == "permuted-decay":
+        spec = make_oblivious_global_broadcast(n, 0)
+    elif args.algorithm == "plain-decay":
+        spec = make_plain_decay_global_broadcast(n, 0)
+    elif args.algorithm == "round-robin":
+        spec = make_round_robin_global_broadcast(
+            n, 0, slot_seed=derive_seed(args.seed, "slots")
+        )
+    else:
+        rng = random.Random(derive_seed(args.seed, "B"))
+        broadcasters = frozenset(rng.sample(range(n), max(1, n // 4)))
+        if args.algorithm == "geo-local":
+            spec = make_geographic_local_broadcast(
+                n, broadcasters, network.max_degree
+            )
+        else:
+            spec = make_static_local_broadcast(n, broadcasters, network.max_degree)
+
+    if args.adversary == "none":
+        adversary = NoFlakyLinks()
+    elif args.adversary == "all":
+        adversary = AllFlakyLinks()
+    elif args.adversary == "ge-fade":
+        adversary = GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3)
+    elif args.adversary == "online-dense-sparse":
+        adversary = OnlineDenseSparseAttacker(
+            cut_mask if cut_mask is not None else (1 << (n // 2)) - 1
+        )
+    else:
+        adversary = OfflineSoloBlockerAttacker(
+            cut_mask if cut_mask is not None else (1 << (n // 2)) - 1
+        )
+    return network, spec, adversary
+
+
+def _cmd_trial(args: argparse.Namespace) -> int:
+    from repro.analysis import run_broadcast_trial
+
+    network, spec, adversary = _build_trial(args)
+    print(f"network  : {network.summary()}")
+    print(f"algorithm: {spec.name}")
+    print(f"adversary: {adversary.describe()}")
+    result = run_broadcast_trial(
+        network=network,
+        algorithm=spec,
+        link_process=adversary,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+    )
+    print(f"solved   : {result.solved}")
+    print(f"rounds   : {result.rounds}")
+    return 0 if result.solved else 1
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    rows = [
+        ["DG + offline adaptive", "Ω(n) [11] / O(n log² n) [12]", "Ω(n) [11] / O(n log n) [8]", "E3 / E4"],
+        ["DG + online adaptive", "Ω(n / log n)  (Thm 3.1)", "Ω(n / log n)  (Thm 3.1)", "E5 / E6"],
+        ["DG + oblivious", "O(D log n + log² n)  (Thm 4.1)",
+         "general: Ω(√n/log n) (Thm 4.3); geographic: O(log² n log Δ) (Thm 4.6)",
+         "E7a,E7b / E8, E9"],
+        ["no dynamic links", "Θ(D log(n/D) + log² n)", "Θ(log n log Δ)", "E1a,E1b / E2a,E2b"],
+    ]
+    print(
+        render_table(
+            ["model", "global broadcast", "local broadcast", "experiments"],
+            rows,
+            title="Figure 1 of Ghaffari, Lynch, Newport (PODC 2013), with experiment ids:",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dual-graph radio broadcast reproduction (PODC 2013).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the experiment registry").set_defaults(
+        func=_cmd_list
+    )
+    sub.add_parser("paper", help="print the reproduced Figure-1 table").set_defaults(
+        func=_cmd_paper
+    )
+
+    run = sub.add_parser("run", help="run one experiment and print its report")
+    run.add_argument("experiment", help="experiment id, e.g. E5 or A1")
+    run.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    run.add_argument("--seed", type=int, default=2013)
+    run.add_argument("--verbose", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run the whole registry")
+    run_all.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
+    run_all.add_argument("--seed", type=int, default=2013)
+    run_all.add_argument("--verbose", action="store_true")
+    run_all.set_defaults(func=_cmd_run_all)
+
+    trial = sub.add_parser("trial", help="one ad-hoc broadcast trial")
+    trial.add_argument("--network", default="geographic", choices=sorted(_NETWORKS))
+    trial.add_argument("--algorithm", default="permuted-decay", choices=sorted(_ALGORITHMS))
+    trial.add_argument("--adversary", default="ge-fade", choices=sorted(_ADVERSARIES))
+    trial.add_argument("--n", type=int, default=128)
+    trial.add_argument("--seed", type=int, default=2013)
+    trial.add_argument("--max-rounds", type=int, default=None)
+    trial.set_defaults(func=_cmd_trial)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

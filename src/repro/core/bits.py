@@ -1,0 +1,227 @@
+"""Bit streams: the shared-randomness currency of the paper.
+
+Three of the paper's constructions are, at bottom, strings of random
+bits with a precise consumption discipline:
+
+* The global broadcast algorithm of Section 4.1 has the source draw a
+  string ``S`` of ``32 log² n log log n`` bits *after the execution
+  begins* and append it to the message; downstream nodes read aligned
+  windows of ``S`` to permute their decay probabilities.
+* The local broadcast algorithm of Section 4.3 has leaders commit to
+  seeds of ``O(log³ n (log log n)²)`` bits which coordinate the
+  participation and permutation choices of every node that adopted the
+  seed.
+* The lower bound of Section 4.2 defines *support sequences* — bit
+  strings long enough to resolve every random choice of a band for
+  ``√(n/2)`` rounds — that feed the isolated broadcast functions of
+  Lemma 4.4.
+
+:class:`BitStream` models all three. It is immutable and supports two
+access styles:
+
+* **cursor reads** (:meth:`take`, :meth:`take_uniform`) for sequential
+  consumption, and
+* **window reads** (:meth:`window`, :meth:`window_value`,
+  :meth:`uniform_at`) for the offset-indexed access the broadcast
+  algorithms need so that *every node holding the same string derives
+  the same value for the same round* without sharing a cursor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.errors import BitStreamError
+
+__all__ = ["BitStream", "BitCursor", "bits_for_uniform"]
+
+
+def bits_for_uniform(num_outcomes: int) -> int:
+    """Number of bits a fixed-width uniform draw over ``num_outcomes`` uses.
+
+    The draw reads this many bits and reduces them modulo
+    ``num_outcomes``. When ``num_outcomes`` is a power of two (the
+    paper's standing assumption — it takes ``n`` to be a power of two)
+    the draw is exactly uniform; otherwise the bias is at most
+    ``num_outcomes / 2**width`` and we widen by two extra bits to keep
+    it below 25%.
+    """
+    if num_outcomes < 1:
+        raise ValueError(f"num_outcomes must be >= 1, got {num_outcomes}")
+    if num_outcomes == 1:
+        return 1
+    width = (num_outcomes - 1).bit_length()
+    if num_outcomes & (num_outcomes - 1):  # not a power of two: pad against bias
+        width += 2
+    return width
+
+
+@dataclass(frozen=True)
+class BitStream:
+    """An immutable string of ``length`` bits stored as a big integer.
+
+    Bit ``i`` (0-indexed from the *front* of the stream) is
+    ``(value >> i) & 1``; multi-bit reads return the little-endian
+    integer formed by the window, which is an arbitrary but fixed
+    convention — all consumers only need determinism, not a particular
+    endianness.
+
+    Parameters
+    ----------
+    value:
+        The packed bits.
+    length:
+        Number of valid bits in ``value``.
+    cyclic:
+        If true, reads past the end wrap around (used where the paper's
+        constant-sized strings must feed an execution whose length the
+        source cannot know, see DESIGN.md §5.4). If false, overruns
+        raise :class:`~repro.core.errors.BitStreamError`.
+    """
+
+    value: int
+    length: int
+    cyclic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError(f"length must be non-negative, got {self.length}")
+        if self.value < 0:
+            raise ValueError("value must be non-negative")
+        if self.length and self.value >> self.length:
+            raise ValueError("value has bits beyond the declared length")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, rng: random.Random, length: int, *, cyclic: bool = False) -> "BitStream":
+        """Draw a uniformly random stream of ``length`` bits from ``rng``."""
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        value = rng.getrandbits(length) if length else 0
+        return cls(value=value, length=length, cyclic=cyclic)
+
+    @classmethod
+    def from_bits(cls, bits: "list[int] | tuple[int, ...] | str", *, cyclic: bool = False) -> "BitStream":
+        """Build a stream from an explicit bit sequence.
+
+        ``bits`` may be a list/tuple of 0/1 integers or a string of
+        ``'0'``/``'1'`` characters, front bit first.
+        """
+        value = 0
+        count = 0
+        for bit in bits:
+            bit_int = int(bit)
+            if bit_int not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {bit!r}")
+            value |= bit_int << count
+            count += 1
+        return cls(value=value, length=count, cyclic=cyclic)
+
+    # ------------------------------------------------------------------
+    # Window (offset-indexed) access
+    # ------------------------------------------------------------------
+    def window_value(self, offset: int, width: int) -> int:
+        """Read ``width`` bits starting at absolute position ``offset``.
+
+        With ``cyclic=True`` the offset and any overrun wrap modulo the
+        stream length; otherwise reads must fit inside the stream.
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if width == 0:
+            return 0
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        if not self.cyclic:
+            if offset + width > self.length:
+                raise BitStreamError(
+                    f"read of {width} bits at offset {offset} overruns "
+                    f"stream of length {self.length} (cyclic=False)"
+                )
+            return (self.value >> offset) & ((1 << width) - 1)
+        if self.length == 0:
+            raise BitStreamError("cannot read from an empty cyclic stream")
+        result = 0
+        for i in range(width):
+            pos = (offset + i) % self.length
+            result |= ((self.value >> pos) & 1) << i
+        return result
+
+    def window(self, offset: int, width: int) -> "BitStream":
+        """Return the ``width``-bit substream starting at ``offset``."""
+        return BitStream(value=self.window_value(offset, width), length=width)
+
+    def uniform_at(self, offset: int, num_outcomes: int) -> int:
+        """Fixed-width uniform draw over ``range(num_outcomes)`` at ``offset``.
+
+        This is the deterministic draw shared by all nodes holding the
+        same stream: the consumed width is :func:`bits_for_uniform`
+        regardless of the drawn value, so different nodes reading the
+        same offset always agree on both the value and the layout of
+        subsequent windows.
+        """
+        width = bits_for_uniform(num_outcomes)
+        return self.window_value(offset, width) % num_outcomes
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 or 1)."""
+        return self.window_value(index, 1)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self):
+        for i in range(self.length):
+            yield (self.value >> i) & 1
+
+    def to_bitstring(self) -> str:
+        """Render as a front-bit-first string of ``'0'``/``'1'``."""
+        return "".join(str(b) for b in self)
+
+    def cursor(self) -> "BitCursor":
+        """Return a fresh sequential reader over this stream."""
+        return BitCursor(stream=self)
+
+
+@dataclass
+class BitCursor:
+    """A mutable sequential reader over a :class:`BitStream`.
+
+    Support sequences in the lower-bound machinery are consumed front to
+    back ("δ bits per round"); the cursor tracks that position.
+    """
+
+    stream: BitStream
+    position: int = field(default=0)
+
+    def take(self, width: int) -> int:
+        """Read the next ``width`` bits and advance."""
+        value = self.stream.window_value(self.position, width)
+        self.position += width
+        return value
+
+    def take_uniform(self, num_outcomes: int) -> int:
+        """Fixed-width uniform draw over ``range(num_outcomes)``, advancing."""
+        width = bits_for_uniform(num_outcomes)
+        return self.take(width) % num_outcomes
+
+    def take_bernoulli(self, probability_num: int, probability_den: int) -> bool:
+        """Draw a Bernoulli(p) with rational ``p = num/den``, advancing.
+
+        Reads ``bits_for_uniform(den)`` bits; returns true iff the value
+        lands in ``[0, num)``. Exact when ``den`` is a power of two.
+        """
+        if not 0 <= probability_num <= probability_den:
+            raise ValueError("need 0 <= num <= den")
+        return self.take_uniform(probability_den) < probability_num
+
+    @property
+    def remaining(self) -> int:
+        """Bits left before the end (may be negative for cyclic streams)."""
+        return self.stream.length - self.position

@@ -1,0 +1,292 @@
+"""The synchronous round engine for the dual graph radio model.
+
+Implements the execution semantics of Section 2: executions proceed in
+synchronous rounds; in each round every node either transmits or
+listens; the communication topology is ``G`` plus the flaky edges the
+link process selected for the round; and node ``u`` receives message
+``m`` from ``v`` iff (1) ``u`` is receiving, (2) ``v`` transmits ``m``,
+and (3) ``v`` is the *only* transmitter among ``u``'s neighbors in the
+round's topology. Concurrent neighboring transmissions collide and are
+indistinguishable from silence (no collision detection).
+
+Round pipeline (see :mod:`repro.core.process` for why plans are
+declarative)::
+
+    1. plans[u]   = process_u.plan(r)                (deterministic in state)
+    2. coins      = vectorized Bernoulli(plans.probability)
+    3. topology   = link_process.choose_topology(view_for_class(r))
+    4. deliveries = { u listens, popcount(X & mask_u) == 1 }
+    5. process_u.on_feedback(r, sent, received)
+    6. observers.on_round(record);  stop check
+
+The engine exposes both :meth:`RadioNetworkEngine.run` (run to a stop
+condition) and :meth:`RadioNetworkEngine.step` (single round), the
+latter because the lower-bound reduction players of Theorems 3.1/4.3
+interleave game guesses between simulated rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.adversaries.base import (
+    AdversaryClass,
+    AlgorithmInfo,
+    HistoryEntry,
+    LinkProcess,
+    ObliviousView,
+    OfflineAdaptiveView,
+    OnlineAdaptiveView,
+    RoundTopology,
+)
+from repro.core import rng as rng_mod
+from repro.core.errors import PlanError
+from repro.core.process import Process, RoundPlan
+from repro.core.trace import Delivery, Observer, RoundRecord
+
+__all__ = ["RadioNetworkEngine", "ExecutionResult", "StopCondition"]
+
+#: Predicate deciding, after each round, whether the execution is done.
+StopCondition = Callable[[], bool]
+
+#: Cap on retained public history entries handed to adaptive views.
+_HISTORY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of an engine run.
+
+    ``solved`` / ``solve_round`` are filled from the stop condition: if
+    the run stopped because the condition fired, ``solve_round`` is the
+    0-based round after which it first held. ``rounds`` counts executed
+    rounds (equals ``solve_round + 1`` on success).
+    """
+
+    rounds: int
+    solved: bool
+    solve_round: Optional[int]
+
+    def rounds_to_solve(self) -> int:
+        """Rounds executed up to the solve; raises if unsolved (guards analysis code)."""
+        if not self.solved:
+            raise ValueError("execution did not solve the problem")
+        return self.rounds
+
+
+@dataclass
+class _EngineStats:
+    rounds_run: int = 0
+
+
+class RadioNetworkEngine:
+    """Drives one execution of an algorithm against a link process.
+
+    Parameters
+    ----------
+    network:
+        The dual graph topology.
+    processes:
+        One :class:`~repro.core.process.Process` per node, index-aligned
+        with node ids.
+    link_process:
+        The adversary controlling flaky links.
+    seed:
+        Master seed; the transmission coins, and nothing else, are drawn
+        from the engine's own child stream so that algorithm/adversary
+        randomness never perturbs coin alignment between runs.
+    algorithm_info:
+        Description handed to the adversary's ``start`` (defaults to an
+        anonymous entry).
+    validate_topologies:
+        When true (default), every round topology is checked against
+        ``G ⊆ topology ⊆ G'``. Costs ~2x; experiment sweeps disable it
+        after the adversary under test has unit coverage.
+    observers:
+        Initial observer list; more can be added with
+        :meth:`add_observer`.
+    """
+
+    def __init__(
+        self,
+        network,
+        processes: Sequence[Process],
+        link_process: LinkProcess,
+        *,
+        seed: int,
+        algorithm_info: Optional[AlgorithmInfo] = None,
+        validate_topologies: bool = True,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if len(processes) != network.n:
+            raise PlanError(
+                f"need exactly one process per node: n={network.n}, got {len(processes)}"
+            )
+        self.network = network
+        self.processes = list(processes)
+        self.link_process = link_process
+        self.seed = seed
+        self.validate_topologies = validate_topologies
+        self.observers: list[Observer] = list(observers)
+        self.algorithm_info = algorithm_info or AlgorithmInfo(name="anonymous", metadata={})
+
+        self._coin_rng = rng_mod.spawn_numpy_rng(seed, "engine", "coins")
+        self._adversary_rng = rng_mod.spawn_rng(seed, "engine", "adversary")
+        self._history: list[HistoryEntry] = []
+        self._round = 0
+        self._started = False
+        self._stats = _EngineStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Index of the *next* round to execute."""
+        return self._round
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach an observer; it sees all rounds executed after this call."""
+        self.observers.append(observer)
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self.link_process.start(self.network, self.algorithm_info, self._adversary_rng)
+        for process in self.processes:
+            process.begin()
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute exactly one round and return its record."""
+        self._ensure_started()
+        r = self._round
+        n = self.network.n
+
+        # 1. Deterministic plans.
+        plans: list[RoundPlan] = [process.plan(r) for process in self.processes]
+        probabilities = [plan.probability for plan in plans]
+        expected = float(sum(probabilities))
+
+        # 2. Vectorized Bernoulli coins.
+        coins = self._coin_rng.random(n)
+        transmitter_mask = 0
+        for u, plan in enumerate(plans):
+            p = plan.probability
+            if p >= 1.0 or (p > 0.0 and coins[u] < p):
+                transmitter_mask |= 1 << u
+
+        # 3. Adversary fixes the round topology through its typed view.
+        view = self._build_view(r, probabilities, transmitter_mask)
+        topology = self.link_process.choose_topology(view)
+        if self.validate_topologies:
+            topology.validate(self.network)
+
+        # 4. Radio reception: exactly-one-transmitting-neighbor rule.
+        deliveries = self._resolve_receptions(plans, transmitter_mask, topology)
+
+        # 5. Feedback to processes.
+        received_by: dict[int, Delivery] = {d.receiver: d for d in deliveries}
+        for u, process in enumerate(self.processes):
+            sent = bool((transmitter_mask >> u) & 1)
+            delivery = received_by.get(u)
+            process.on_feedback(r, sent, delivery.message if delivery else None)
+
+        # 6. Record keeping.
+        record = RoundRecord(
+            round_index=r,
+            transmitter_mask=transmitter_mask,
+            deliveries=tuple(deliveries),
+            expected_transmitters=expected,
+        )
+        self._append_history(record)
+        for observer in self.observers:
+            observer.on_round(record)
+        self._round += 1
+        self._stats.rounds_run += 1
+        return record
+
+    def _build_view(
+        self, r: int, probabilities: Sequence[float], transmitter_mask: int
+    ) -> ObliviousView:
+        klass = self.link_process.adversary_class
+        if klass is AdversaryClass.OBLIVIOUS:
+            return ObliviousView(round_index=r)
+        if klass is AdversaryClass.ONLINE_ADAPTIVE:
+            return OnlineAdaptiveView(
+                round_index=r,
+                transmit_probabilities=tuple(probabilities),
+                history=tuple(self._history),
+            )
+        return OfflineAdaptiveView(
+            round_index=r,
+            transmit_probabilities=tuple(probabilities),
+            history=tuple(self._history),
+            transmitter_mask=transmitter_mask,
+        )
+
+    def _resolve_receptions(
+        self,
+        plans: Sequence[RoundPlan],
+        transmitter_mask: int,
+        topology: RoundTopology,
+    ) -> list[Delivery]:
+        deliveries: list[Delivery] = []
+        if not transmitter_mask:
+            return deliveries
+        masks = topology.masks
+        listener_mask = ((1 << self.network.n) - 1) & ~transmitter_mask
+        mask = listener_mask
+        while mask:
+            low = mask & -mask
+            u = low.bit_length() - 1
+            mask ^= low
+            neighbors_transmitting = transmitter_mask & masks[u]
+            if neighbors_transmitting and not (
+                neighbors_transmitting & (neighbors_transmitting - 1)
+            ):
+                sender = neighbors_transmitting.bit_length() - 1
+                message = plans[sender].message
+                if message is None:  # pragma: no cover - PlanError guards this
+                    raise PlanError(f"transmitter {sender} has no message")
+                deliveries.append(Delivery(receiver=u, sender=sender, message=message))
+        return deliveries
+
+    def _append_history(self, record: RoundRecord) -> None:
+        self._history.append(
+            HistoryEntry(
+                round_index=record.round_index,
+                transmitter_mask=record.transmitter_mask,
+                delivery_count=len(record.deliveries),
+            )
+        )
+        if len(self._history) > _HISTORY_WINDOW:
+            del self._history[: len(self._history) - _HISTORY_WINDOW]
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, *, max_rounds: int, stop: Optional[StopCondition] = None) -> ExecutionResult:
+        """Execute rounds until ``stop()`` fires or ``max_rounds`` elapse.
+
+        The stop condition is evaluated once before round 0 (a problem
+        can be trivially solved at start — e.g. a broadcast set whose
+        receivers are empty) and after every round.
+        """
+        if max_rounds < 0:
+            raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        self._ensure_started()
+        if stop is not None and stop():
+            return ExecutionResult(rounds=0, solved=True, solve_round=None)
+        executed = 0
+        while executed < max_rounds:
+            record = self.step()
+            executed += 1
+            if stop is not None and stop():
+                return ExecutionResult(rounds=executed, solved=True, solve_round=record.round_index)
+        return ExecutionResult(rounds=executed, solved=False, solve_round=None)

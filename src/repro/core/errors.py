@@ -1,0 +1,49 @@
+"""Exception hierarchy for the dual-graph radio network simulator.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library-level failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphValidationError(ReproError):
+    """A dual graph violated a structural invariant.
+
+    Typical causes: an edge of ``G`` missing from ``G'``, asymmetric
+    adjacency, a self-loop, or a node id outside ``range(n)``.
+    """
+
+
+class TopologyViolationError(ReproError):
+    """A link process chose a round topology outside ``[G, G']``.
+
+    The engine (when validation is enabled) checks every round that the
+    chosen communication topology contains every reliable edge of ``G``
+    and no edge absent from ``G'``.
+    """
+
+
+class PlanError(ReproError):
+    """A process declared an invalid round plan.
+
+    Raised when a plan's transmit probability is outside ``[0, 1]`` or
+    when a positive probability is declared without a message to send.
+    """
+
+
+class BitStreamError(ReproError):
+    """A bit stream was consumed past its end with cycling disabled."""
+
+
+class AdversaryUsageError(ReproError):
+    """A link process was driven with the wrong view for its class."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration is inconsistent or failed to build."""

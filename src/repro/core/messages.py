@@ -1,0 +1,78 @@
+"""Message types carried over the simulated radio network.
+
+The paper's algorithms send two kinds of content:
+
+* **Data messages** — the broadcast payload itself. In the Section 4.1
+  global broadcast algorithm the source wraps the payload together with
+  the shared permutation string ``S`` into a single message
+  ``m = ⟨m', S⟩``; every relaying node forwards the same message so the
+  shared bits spread with the payload.
+* **Seed messages** — the Section 4.3 initialization stage has leaders
+  disseminate freshly drawn seeds; nodes that receive one commit to it.
+
+A message is immutable; processes share references freely. The
+``origin`` field is the node id that *created* the message (the global
+source, the local broadcaster, or the seed's leader), which is what the
+problem observers need: local broadcast is solved when every receiver
+gets a message whose origin lies in the broadcaster set ``B``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from repro.core.bits import BitStream
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(enum.Enum):
+    """Classifies messages for observers and for algorithm dispatch."""
+
+    DATA = "data"
+    SEED = "seed"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable radio message.
+
+    Parameters
+    ----------
+    kind:
+        Message class; observers count only :attr:`MessageKind.DATA`
+        toward problem completion.
+    origin:
+        Node id that created the message.
+    payload:
+        Application payload; must be hashable so traces can dedupe.
+    shared_bits:
+        Optional shared-randomness string attached to the message
+        (the ``S`` of Section 4.1, or a leader's seed in Section 4.3).
+    tag:
+        Free-form discriminator for algorithms that send several
+        message species (e.g. the init-stage phase number).
+    """
+
+    kind: MessageKind
+    origin: int
+    payload: Hashable = None
+    shared_bits: Optional[BitStream] = None
+    tag: Hashable = None
+
+    def is_data(self) -> bool:
+        """True for payload-carrying broadcast messages."""
+        return self.kind is MessageKind.DATA
+
+    def is_seed(self) -> bool:
+        """True for initialization-stage seed messages."""
+        return self.kind is MessageKind.SEED
+
+    def describe(self) -> str:
+        """Short human-readable rendering for traces and logs."""
+        bits = f", |S|={self.shared_bits.length}" if self.shared_bits is not None else ""
+        tag = f", tag={self.tag!r}" if self.tag is not None else ""
+        return f"<{self.kind.value} from {self.origin}{bits}{tag}>"

@@ -1,0 +1,64 @@
+"""Experiment registry: every Figure-1 cell and ablation, runnable.
+
+``ALL_EXPERIMENTS`` maps experiment ids (``"E1a" … "E9"``, ``"A1" …
+"A3"``) to :class:`~repro.experiments.registry.Experiment` bundles;
+benches run them at ``small``/``full`` scale, integration tests at
+``tiny``.
+"""
+
+from repro.experiments.ablations import (
+    A1_PERMUTATION,
+    A2_COORDINATION,
+    A3_SEED_SHARING,
+    ABLATION_EXPERIMENTS,
+)
+from repro.experiments.fig1 import (
+    E1A_STATIC_GLOBAL_DIAMETER,
+    E1B_STATIC_GLOBAL_CONTENTION,
+    E2A_STATIC_LOCAL_GEO,
+    E2B_STATIC_LOCAL_CLIQUE,
+    E3_OFFLINE_GLOBAL,
+    E4_OFFLINE_LOCAL,
+    E5_ONLINE_GLOBAL,
+    E6_ONLINE_LOCAL,
+    E7A_OBLIVIOUS_GLOBAL_N,
+    E7B_OBLIVIOUS_GLOBAL_D,
+    E8_OBLIVIOUS_LOCAL_GENERAL,
+    E9_OBLIVIOUS_LOCAL_GEO,
+    FIG1_EXPERIMENTS,
+)
+from repro.experiments.registry import (
+    Experiment,
+    ExperimentResult,
+    ScalePlan,
+    Series,
+    SeriesResult,
+)
+
+ALL_EXPERIMENTS: dict[str, Experiment] = {**FIG1_EXPERIMENTS, **ABLATION_EXPERIMENTS}
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ScalePlan",
+    "Series",
+    "SeriesResult",
+    "FIG1_EXPERIMENTS",
+    "ABLATION_EXPERIMENTS",
+    "ALL_EXPERIMENTS",
+    "E1A_STATIC_GLOBAL_DIAMETER",
+    "E1B_STATIC_GLOBAL_CONTENTION",
+    "E2A_STATIC_LOCAL_GEO",
+    "E2B_STATIC_LOCAL_CLIQUE",
+    "E3_OFFLINE_GLOBAL",
+    "E4_OFFLINE_LOCAL",
+    "E5_ONLINE_GLOBAL",
+    "E6_ONLINE_LOCAL",
+    "E7A_OBLIVIOUS_GLOBAL_N",
+    "E7B_OBLIVIOUS_GLOBAL_D",
+    "E8_OBLIVIOUS_LOCAL_GENERAL",
+    "E9_OBLIVIOUS_LOCAL_GEO",
+    "A1_PERMUTATION",
+    "A2_COORDINATION",
+    "A3_SEED_SHARING",
+]

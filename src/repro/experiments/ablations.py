@@ -1,0 +1,337 @@
+"""Ablation experiments: isolating the paper's design mechanisms.
+
+The Section 4 algorithms stack three mechanisms on top of plain decay:
+(1) a *hidden* probability schedule (permutation), (2) schedule bits
+*shared* among the relevant senders (coordination), and (3) in the
+local algorithm, an initialization stage that distributes the shared
+bits to nearby nodes (seed sharing). Each ablation removes exactly one
+mechanism and measures the damage the corresponding adversary inflicts:
+
+* **A1 — permutation**: plain decay's public ladder vs. the oblivious
+  schedule attacker (which predicts it perfectly) vs. permuted decay
+  under the *same* attacker (whose prediction is now stale). This is
+  the Section 4.1 motivation, quantified.
+* **A2 — coordination**: permuted decay vs. its uncoordinated variant
+  (private per-node rungs) on the flooded dual clique. Lemma 4.2 needs
+  all senders on one rung; without it, the solo-transmission
+  probability collapses exponentially in ``|informed| / log n``.
+* **A3 — seed sharing**: the Section 4.3 algorithm with and without
+  the initialization stage on dense geographic graphs with all nodes
+  broadcasting; self-seeded nodes form singleton coordination classes
+  and pay the uncoordinated penalty locally.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from repro.adversaries.schedule_attack import (
+    PredictedDenseSparseAttacker,
+    predict_plain_decay_counts,
+)
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms import (
+    log2_ceil,
+    make_geographic_local_broadcast,
+    make_oblivious_global_broadcast,
+    make_plain_decay_global_broadcast,
+    make_uncoordinated_decay_global_broadcast,
+)
+from repro.analysis.runner import PreparedTrial, Scenario
+from repro.core.rng import derive_seed
+from repro.experiments.registry import ContrastClaim, Experiment, ScalePlan, Series
+from repro.graphs.builders import funnel_dual
+from repro.graphs.dual_clique import dual_clique
+from repro.graphs.geographic import cluster_chain_geographic
+from repro.problems.global_broadcast import GlobalBroadcastProblem
+from repro.problems.local_broadcast import LocalBroadcastProblem
+
+__all__ = [
+    "A1_PERMUTATION",
+    "A2_COORDINATION",
+    "A3_SEED_SHARING",
+    "ABLATION_EXPERIMENTS",
+]
+
+
+# ----------------------------------------------------------------------
+# A1 — the permutation (hidden schedule)
+# ----------------------------------------------------------------------
+def _a1_series(algorithm: str, attacked: bool) -> Callable[[int], Scenario]:
+    def scenario_for(n: int) -> Scenario:
+        half = n // 2
+
+        def scenario(seed: int) -> PreparedTrial:
+            net_rng = random.Random(derive_seed(seed, "network"))
+            bridge_a = 1 + net_rng.randrange(half - 1)
+            bridge_b = half + net_rng.randrange(half)
+            dc = dual_clique(half, bridge_a=bridge_a, bridge_b=bridge_b)
+            if algorithm == "plain":
+                spec = make_plain_decay_global_broadcast(dc.n, 0)
+            else:
+                spec = make_oblivious_global_broadcast(dc.n, 0)
+            if attacked:
+                # The attacker predicts *plain* decay's expected
+                # transmitter counts; against the permuted variant the
+                # same prediction is stale — that staleness is the
+                # measured quantity.
+                adversary = PredictedDenseSparseAttacker(
+                    dc.side_a_mask,
+                    predict_plain_decay_counts(half, log2_ceil(dc.n)),
+                )
+            else:
+                adversary = NoFlakyLinks()
+            return PreparedTrial(
+                network=dc.graph,
+                algorithm=spec,
+                link_process=adversary,
+                problem=GlobalBroadcastProblem(dc.graph, source=0),
+                max_rounds=96 * dc.n + 8192,
+            )
+
+        return scenario
+
+    return scenario_for
+
+
+A1_PERMUTATION = Experiment(
+    exp_id="A1",
+    figure_cell="Ablation — does the hidden schedule matter? (§4.1 motivation)",
+    paper_bound="plain decay: ~n/log n under schedule attack; permuted: polylog",
+    parameter_name="n",
+    series=(
+        Series(
+            "plain-decay vs schedule attacker",
+            _a1_series("plain", attacked=True),
+            role="ablated (public schedule), attacked",
+            expected_models=("n / log n", "n", "sqrt(n) log n"),
+            expected_growth="near-linear",
+        ),
+        Series(
+            "plain-decay, no attack",
+            _a1_series("plain", attacked=False),
+            role="ablated variant's control",
+            expected_models=("constant", "log n", "log^2 n"),
+            expected_growth="sublinear",
+        ),
+        Series(
+            "permuted-decay vs same attacker",
+            _a1_series("permuted", attacked=True),
+            role="full mechanism (hidden schedule), attacked",
+            expected_models=("constant", "log n", "log^2 n", "log^3 n"),
+            expected_growth="sublinear",
+        ),
+        Series(
+            "permuted-decay, no attack",
+            _a1_series("permuted", attacked=False),
+            role="full mechanism's control",
+            expected_models=("constant", "log n", "log^2 n", "log^3 n"),
+            expected_growth="sublinear",
+        ),
+    ),
+    scales={
+        "tiny": ScalePlan(parameters=(32, 64), trials=3),
+        "small": ScalePlan(parameters=(64, 128, 256), trials=6),
+        "full": ScalePlan(parameters=(64, 128, 256, 512), trials=8),
+    },
+    notes=(
+        "Identical network; each variant is measured attacked and "
+        "unattacked. The attack multiplies plain decay's cost (its "
+        "prediction is exact) but leaves permuted decay within a constant "
+        "of its control (the prediction is stale) — the pair of contrast "
+        "claims below."
+    ),
+    contrasts=(
+        ContrastClaim(
+            slow_label="plain-decay vs schedule attacker",
+            fast_label="plain-decay, no attack",
+            min_ratio=2.0,
+            description="the schedule attack bites the public ladder",
+        ),
+        ContrastClaim(
+            slow_label="permuted-decay vs same attacker",
+            fast_label="permuted-decay, no attack",
+            min_ratio=0.0,
+            max_ratio=2.5,
+            description="the same attack is neutralized by hidden rungs",
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# A2 — coordination (shared bits)
+# ----------------------------------------------------------------------
+def _a2_series(algorithm: str) -> Callable[[int], Scenario]:
+    def scenario_for(n: int) -> Scenario:
+        def scenario(seed: int) -> PreparedTrial:
+            del seed  # the funnel is deterministic; coins vary per trial
+            network = funnel_dual(n)
+            if algorithm == "permuted":
+                spec = make_oblivious_global_broadcast(n, 0)
+            elif algorithm == "plain":
+                spec = make_plain_decay_global_broadcast(n, 0)
+            else:
+                spec = make_uncoordinated_decay_global_broadcast(n, 0)
+            return PreparedTrial(
+                network=network,
+                algorithm=spec,
+                link_process=NoFlakyLinks(),
+                problem=GlobalBroadcastProblem(network, source=0),
+                max_rounds=16 * n + 4096,
+            )
+
+        return scenario
+
+    return scenario_for
+
+
+A2_COORDINATION = Experiment(
+    exp_id="A2",
+    figure_cell="Ablation — do shared permutation rungs matter? (Lemma 4.2)",
+    paper_bound="coordinated: polylog; uncoordinated: (k/log n)·e^{-k/log n} per-round stall",
+    parameter_name="n",
+    series=(
+        Series(
+            "permuted-decay (shared rungs)",
+            _a2_series("permuted"),
+            role="full mechanism",
+            expected_models=("constant", "log n", "log^2 n", "log^3 n"),
+            expected_growth="sublinear",
+        ),
+        Series(
+            "plain-decay (clock-coordinated)",
+            _a2_series("plain"),
+            role="classic coordination (public clock)",
+            expected_models=("constant", "log n", "log^2 n", "log^3 n"),
+            expected_growth="sublinear",
+        ),
+        Series(
+            "uncoordinated decay (private rungs)",
+            _a2_series("uncoordinated"),
+            role="ablated (independent rungs) — expect cap hits",
+            expected_models=(),
+        ),
+    ),
+    scales={
+        "tiny": ScalePlan(parameters=(16, 32), trials=3),
+        "small": ScalePlan(parameters=(32, 64, 128), trials=4),
+        "full": ScalePlan(parameters=(32, 64, 128, 256), trials=6),
+    },
+    notes=(
+        "Funnel graph (source → clique → sink), fully static: the sink hears "
+        "the whole informed middle layer, so a delivery needs exactly one "
+        "transmitter among k = n-2 peers. Success rate is the headline: "
+        "uncoordinated decay stops solving once k/log n outgrows the solo "
+        "window; medians for unsolved trials are censored at the round cap."
+    ),
+    contrasts=(
+        ContrastClaim(
+            slow_label="uncoordinated decay (private rungs)",
+            fast_label="permuted-decay (shared rungs)",
+            min_ratio=3.0,
+            description="shared rungs keep the solo window open",
+        ),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# A3 — seed sharing (the §4.3 initialization stage)
+# ----------------------------------------------------------------------
+def _a3_series(variant: str) -> Callable[[int], Scenario]:
+    def scenario_for(n: int) -> Scenario:
+        # Four dense clusters in a chain: every receiver neighbors
+        # Θ(n/4) broadcasters, so coordination classes dominate.
+        num_clusters = 4
+        cluster_size = max(2, n // num_clusters)
+
+        def scenario(seed: int) -> PreparedTrial:
+            network = cluster_chain_geographic(
+                num_clusters,
+                cluster_size,
+                seed=derive_seed(seed, "geo-chain"),
+            )
+            broadcasters = frozenset(range(network.n))  # everyone broadcasts
+            spec = make_geographic_local_broadcast(
+                network.n,
+                broadcasters,
+                network.max_degree,
+                share_seeds=(variant == "full"),
+                always_participate=(variant == "naive"),
+            )
+            return PreparedTrial(
+                network=network,
+                algorithm=spec,
+                link_process=NoFlakyLinks(),
+                problem=LocalBroadcastProblem(network, broadcasters),
+                max_rounds=24 * network.n + 4096,
+            )
+
+        return scenario
+
+    return scenario_for
+
+
+A3_SEED_SHARING = Experiment(
+    exp_id="A3",
+    figure_cell="Ablation — does the initialization stage matter? (§4.3)",
+    paper_bound="shared seeds: O(log² n log Δ); unshared: solo window collapses in Δ/log n",
+    parameter_name="n",
+    series=(
+        Series(
+            "geo-local with init stage",
+            _a3_series("full"),
+            # With B = V the neighborhood bound is Δ = Θ(n), so the
+            # paper's log²n·logΔ reads as log³n — whose apparent
+            # exponent sits exactly on the sublinear/near-linear
+            # boundary in this window; no coarse-class claim.
+            role="full mechanism",
+            expected_models=("log^2 n", "log^3 n"),
+        ),
+        Series(
+            "geo-local, self-seeded (thinned)",
+            _a3_series("self-seeded"),
+            role="partial ablation (private seeds, lottery kept)",
+            expected_models=(),
+        ),
+        Series(
+            "naive permuted decay (no coordination)",
+            _a3_series("naive"),
+            role="full ablation (§4.1 applied verbatim) — expect cap hits",
+            expected_models=(),
+        ),
+    ),
+    scales={
+        "tiny": ScalePlan(parameters=(32, 64), trials=2),
+        "small": ScalePlan(parameters=(64, 128, 256), trials=3),
+        "full": ScalePlan(parameters=(64, 128, 256, 512), trials=5),
+    },
+    notes=(
+        "Cluster-chain geographic graphs (4 near-clique clusters) with "
+        "B = V: receivers neighbor Θ(n/4) broadcasters. The naive variant "
+        "runs §4.1's subroutine independently per node (no seeds, no "
+        "participation lottery) — Section 4.2's point that the global "
+        "strategy does not transfer to local broadcast. The partial "
+        "ablation keeps the lottery and shows per-round rung randomness "
+        "already buys some thinning at laptop Δ. All variants share stage "
+        "timing; medians of unsolved trials are censored at the cap."
+    ),
+    contrasts=(
+        ContrastClaim(
+            slow_label="naive permuted decay (no coordination)",
+            fast_label="geo-local with init stage",
+            min_ratio=2.0,
+            description="§4.3's coordination is what makes local broadcast fast",
+        ),
+    ),
+)
+
+
+#: Ablation registry: experiment id → definition.
+ABLATION_EXPERIMENTS: dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (A1_PERMUTATION, A2_COORDINATION, A3_SEED_SHARING)
+}

@@ -1,0 +1,107 @@
+"""Markdown report generation: experiment results → EXPERIMENTS.md rows.
+
+EXPERIMENTS.md records paper-vs-measured for every Figure-1 cell. Its
+tables are generated from :class:`~repro.experiments.registry.ExperimentResult`
+objects by this module, so the document can be regenerated from scratch
+with::
+
+    python -m repro run-all --scale full > full_scale_results.txt
+    # or programmatically:
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.report import experiment_markdown
+    print(experiment_markdown(ALL_EXPERIMENTS["E5"].run(scale="full")))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.tables import render_markdown_table
+from repro.experiments.registry import ExperimentResult
+
+__all__ = ["experiment_markdown", "summary_markdown"]
+
+
+def experiment_markdown(result: ExperimentResult) -> str:
+    """One experiment's full Markdown section."""
+    exp = result.experiment
+    lines = [
+        f"### {exp.exp_id} — {exp.figure_cell}",
+        "",
+        f"**Paper bound:** {exp.paper_bound}",
+        "",
+    ]
+    if exp.notes:
+        lines.extend([exp.notes, ""])
+
+    params = (
+        result.series_results[0].sweep.parameters() if result.series_results else []
+    )
+    headers = [exp.parameter_name] + [
+        sr.series.label for sr in result.series_results
+    ]
+    rows = []
+    for i, parameter in enumerate(params):
+        row: list[object] = [parameter]
+        for sr in result.series_results:
+            row.append(sr.sweep.medians()[i])
+        rows.append(row)
+    lines.append(render_markdown_table(headers, rows))
+    lines.append("")
+
+    verdict_rows = []
+    for sr in result.series_results:
+        verdict_rows.append(
+            [
+                sr.series.label,
+                sr.series.role,
+                sr.growth_class or "-",
+                sr.best_model or "-",
+                f"{min(sr.sweep.success_rates()):.0%}",
+            ]
+        )
+    lines.append(
+        render_markdown_table(
+            ["series", "role", "growth", "best-fit", "min success"], verdict_rows
+        )
+    )
+    contrast_lines = []
+    for claim, ratio, holds in result.contrast_outcomes():
+        status = "**holds**" if holds else "**FAILED**"
+        contrast_lines.append(
+            f"- {claim.description or claim.slow_label}: measured "
+            f"{ratio:.1f}× ({status}; claimed ≥ {claim.min_ratio:g}"
+            + (f", ≤ {claim.max_ratio:g}" if claim.max_ratio is not None else "")
+            + ")"
+        )
+    if contrast_lines:
+        lines.append("")
+        lines.extend(contrast_lines)
+    return "\n".join(lines)
+
+
+def summary_markdown(results: Iterable[ExperimentResult]) -> str:
+    """A one-row-per-experiment overview table."""
+    rows = []
+    for result in results:
+        exp = result.experiment
+        claims = result.contrast_outcomes()
+        contrast = (
+            "; ".join(f"{ratio:.1f}×" for _, ratio, _ in claims) if claims else "-"
+        )
+        shape_checks = [
+            sr.shape_matches_expectation()
+            for sr in result.series_results
+            if sr.shape_matches_expectation() is not None
+        ]
+        shapes = (
+            f"{sum(1 for ok in shape_checks if ok)}/{len(shape_checks)}"
+            if shape_checks
+            else "-"
+        )
+        rows.append(
+            [exp.exp_id, exp.paper_bound, shapes, contrast, result.scale]
+        )
+    return render_markdown_table(
+        ["experiment", "paper bound", "growth claims OK", "contrasts", "scale"], rows
+    )

@@ -1,0 +1,44 @@
+"""Lower-bound machinery: the β-hitting game, isolated broadcast
+functions, and the executable reductions of Theorems 3.1 and 4.3."""
+
+from repro.games.hitting import (
+    GameOutcome,
+    HittingGame,
+    NoRepeatRandomPlayer,
+    Player,
+    SequentialPlayer,
+    UniformRandomPlayer,
+    empirical_win_rate,
+    lemma_3_2_envelope,
+    play_hitting_game,
+)
+from repro.games.isolated import (
+    BandSimulationResult,
+    IsolatedBroadcastFunction,
+    head_broadcast_counts,
+    simulate_isolated_band,
+    two_trial_counts,
+)
+from repro.games.reduction_bracelet import BraceletReductionPlayer, claspless_bracelet
+from repro.games.reduction_clique import DualCliqueReductionPlayer, bridgeless_dual_clique
+
+__all__ = [
+    "Player",
+    "SequentialPlayer",
+    "UniformRandomPlayer",
+    "NoRepeatRandomPlayer",
+    "HittingGame",
+    "GameOutcome",
+    "play_hitting_game",
+    "empirical_win_rate",
+    "lemma_3_2_envelope",
+    "BandSimulationResult",
+    "simulate_isolated_band",
+    "IsolatedBroadcastFunction",
+    "head_broadcast_counts",
+    "two_trial_counts",
+    "DualCliqueReductionPlayer",
+    "bridgeless_dual_clique",
+    "BraceletReductionPlayer",
+    "claspless_bracelet",
+]

@@ -1,0 +1,213 @@
+"""Isolated broadcast functions (Lemma 4.4) and their stability (Lemma 4.5).
+
+The bracelet lower bound rests on a structural fact: for the first
+``L = √(n/2)`` rounds, a band's head behaves *exactly* as it would if
+the band were an isolated ``G`` path — no information from outside the
+band (the endpoint clique, or the clasp) can travel the ``L − 1`` hops
+to the head any faster than one hop per round. Lemma 4.4 packages this
+as a deterministic function
+
+    ``f_{A,u}(support sequence, r) ∈ {0, 1}``
+
+of the band's random bits: whether head ``u`` would broadcast in round
+``r`` of an isolated execution. Because distinct bands' functions are
+evaluated on *independent* support sequences, the per-round head
+broadcast counts concentrate (Lemma 4.5): two independent trials agree
+on which rounds are dense (many heads would broadcast) and which are
+sparse — which is what lets an *oblivious* adversary precompute a
+dense/sparse schedule before the execution begins and still have it
+classify the real execution correctly w.h.p.
+
+Here a support sequence is realized as a seed: the function simulates
+the band as an isolated line with per-node RNGs and coins derived from
+that seed, caching one output vector per seed. The simulation
+replicates the engine's round semantics (plan → Bernoulli coin →
+exactly-one-transmitting-neighbor reception → feedback) on the path
+topology, where bands have no flaky edges to schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.algorithms.base import AlgorithmSpec
+from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.core.rng import derive_seed, spawn_rng
+
+__all__ = [
+    "BandSimulationResult",
+    "simulate_isolated_band",
+    "IsolatedBroadcastFunction",
+    "head_broadcast_counts",
+    "two_trial_counts",
+]
+
+
+@dataclass(frozen=True)
+class BandSimulationResult:
+    """Transmission record of one isolated band execution.
+
+    ``head_broadcasts[r]`` is whether the band head (position 0)
+    transmitted in round ``r``; ``transmit_counts[r]`` counts the whole
+    band's transmitters that round (diagnostics).
+    """
+
+    band_nodes: tuple[int, ...]
+    head_broadcasts: tuple[bool, ...]
+    transmit_counts: tuple[int, ...]
+
+
+def simulate_isolated_band(
+    spec: AlgorithmSpec,
+    band_nodes: Sequence[int],
+    *,
+    n: int,
+    max_degree: int,
+    rounds: int,
+    seed: int,
+) -> BandSimulationResult:
+    """Run ``spec`` on a band as an isolated ``G`` path for ``rounds`` rounds.
+
+    ``band_nodes`` lists the band's *real* node ids, head first — the
+    processes are built with their real ids so role assignments
+    (broadcaster set membership) match the real network, while the
+    simulated topology is the bare path with no flaky edges.
+
+    Validity horizon: head outputs are distribution-exact for
+    ``rounds ≤ len(band_nodes)`` (Lemma 4.4's staircase argument —
+    endpoint-clique influence needs one hop per round to reach the
+    head). Callers enforce the horizon; the function itself simulates
+    any requested length.
+    """
+    k = len(band_nodes)
+    if k < 1:
+        raise ValueError("band must contain at least one node")
+    processes: list[Process] = []
+    for position, real_id in enumerate(band_nodes):
+        ctx = ProcessContext(
+            node_id=int(real_id),
+            n=n,
+            max_degree=max_degree,
+            rng=spawn_rng(seed, "band-process", position),
+        )
+        processes.append(spec.build_process(ctx))
+    for process in processes:
+        process.begin()
+    coin_rng = random.Random(derive_seed(seed, "band-coins"))
+
+    head_broadcasts: list[bool] = []
+    transmit_counts: list[int] = []
+    for r in range(rounds):
+        plans: list[RoundPlan] = [process.plan(r) for process in processes]
+        transmitted = [
+            plan.probability >= 1.0
+            or (plan.probability > 0.0 and coin_rng.random() < plan.probability)
+            for plan in plans
+        ]
+        head_broadcasts.append(transmitted[0])
+        transmit_counts.append(sum(transmitted))
+        # Path reception: exactly one transmitting path-neighbor.
+        received = [None] * k
+        for position in range(k):
+            if transmitted[position]:
+                continue
+            senders = [
+                q
+                for q in (position - 1, position + 1)
+                if 0 <= q < k and transmitted[q]
+            ]
+            if len(senders) == 1:
+                received[position] = plans[senders[0]].message
+        for position, process in enumerate(processes):
+            process.on_feedback(r, transmitted[position], received[position])
+
+    return BandSimulationResult(
+        band_nodes=tuple(int(b) for b in band_nodes),
+        head_broadcasts=tuple(head_broadcasts),
+        transmit_counts=tuple(transmit_counts),
+    )
+
+
+@dataclass
+class IsolatedBroadcastFunction:
+    """Lemma 4.4's ``f_{A,u}``: (support seed, round) ↦ would-broadcast.
+
+    One instance per band. Deterministic: evaluating twice with the
+    same seed returns identical outputs (the simulation is cached per
+    seed); independent seeds give independent draws — the property
+    Lemma 4.5's concentration argument needs.
+    """
+
+    spec: AlgorithmSpec
+    band_nodes: tuple[int, ...]
+    n: int
+    max_degree: int
+    horizon: int
+    _cache: dict[int, tuple[bool, ...]] = field(default_factory=dict, repr=False)
+
+    def evaluate(self, support_seed: int, round_index: int) -> bool:
+        """``f(γ, r)``: would the head broadcast in round ``r``?"""
+        if not 0 <= round_index < self.horizon:
+            raise ValueError(
+                f"round {round_index} outside the validity horizon "
+                f"[0, {self.horizon}) of the isolated simulation"
+            )
+        return self.trajectory(support_seed)[round_index]
+
+    def trajectory(self, support_seed: int) -> tuple[bool, ...]:
+        """The full head-broadcast vector for one support sequence."""
+        cached = self._cache.get(support_seed)
+        if cached is None:
+            cached = simulate_isolated_band(
+                self.spec,
+                self.band_nodes,
+                n=self.n,
+                max_degree=self.max_degree,
+                rounds=self.horizon,
+                seed=support_seed,
+            ).head_broadcasts
+            self._cache[support_seed] = cached
+        return cached
+
+    __call__ = evaluate
+
+
+def head_broadcast_counts(
+    functions: Sequence[IsolatedBroadcastFunction],
+    support_seeds: Sequence[int],
+    horizon: int,
+) -> list[int]:
+    """Lemma 4.5's ``Y_r``: per-round count of heads that would broadcast.
+
+    ``functions[i]`` is evaluated on ``support_seeds[i]``; counts are
+    summed per round across all bands.
+    """
+    if len(functions) != len(support_seeds):
+        raise ValueError("need one support seed per function")
+    counts = [0] * horizon
+    for function, seed in zip(functions, support_seeds):
+        trajectory = function.trajectory(seed)
+        for r in range(min(horizon, len(trajectory))):
+            if trajectory[r]:
+                counts[r] += 1
+    return counts
+
+
+def two_trial_counts(
+    functions: Sequence[IsolatedBroadcastFunction],
+    horizon: int,
+    rng: random.Random,
+) -> tuple[list[int], list[int]]:
+    """Draw two independent trials of ``Y`` (Lemma 4.5's ``Y¹``, ``Y²``).
+
+    Used by the stability tests: rounds dense in one trial should not
+    be empty in the other, and sparse rounds should stay ``O(log n)``.
+    """
+    seeds_1 = [rng.getrandbits(63) for _ in functions]
+    seeds_2 = [rng.getrandbits(63) for _ in functions]
+    return (
+        head_broadcast_counts(functions, seeds_1, horizon),
+        head_broadcast_counts(functions, seeds_2, horizon),
+    )

@@ -1,0 +1,207 @@
+"""Theorem 4.3's reduction, executable: local broadcast on the bracelet
+⇒ β-hitting player with an *oblivious* simulated link process.
+
+The online-adaptive player of Theorem 3.1 labels rounds dense/sparse
+using the live expectation ``E[|X| | S]`` — information an oblivious
+adversary does not have. The bracelet construction removes the need
+for it: bands evolve independently for their first ``L = √(n/2)``
+rounds, so the player precomputes every band's isolated broadcast
+function (Lemma 4.4), evaluates them on fresh support sequences, and
+fixes the dense/sparse schedule *before the simulation starts*.
+Lemma 4.5 guarantees the precomputed labels classify the actual
+simulated execution correctly w.h.p.
+
+The player then simulates the algorithm on the bracelet **without its
+clasp** (the clasp position is the game's secret ``t``), driving the
+main engine with
+:class:`~repro.adversaries.schedule_attack.PrecomputedDenseSparseLinks`.
+Guesses per simulated round mirror Theorem 3.1, with band *heads*
+playing the role of the clique nodes (only heads carry flaky edges):
+
+* sparse → guess the band indices of broadcasting heads
+  (``a_i`` and ``b_i`` both map to game value ``i``);
+* dense ∧ exactly one broadcasting head → guess everything (sure win);
+* dense otherwise → no guesses.
+
+Here ``β = L``: the game's target is the secret clasp *band index*,
+and Lemma 3.2's ``Ω(β)`` guess bound forces local broadcast to take
+``Ω(√n / log n)`` rounds — Figure 1's oblivious general-graph cell.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Callable, Optional
+
+from repro.adversaries.schedule_attack import PrecomputedDenseSparseLinks
+from repro.algorithms.base import AlgorithmSpec
+from repro.core.engine import RadioNetworkEngine
+from repro.core.rng import spawn_rng
+from repro.core.trace import RoundRecord, iter_bits
+from repro.games.hitting import Player
+from repro.games.isolated import IsolatedBroadcastFunction, head_broadcast_counts
+from repro.graphs.bracelet import BraceletNetwork, bracelet
+from repro.graphs.dual_graph import DualGraph
+
+__all__ = ["BraceletReductionPlayer", "claspless_bracelet"]
+
+
+def claspless_bracelet(band_length: int) -> tuple[DualGraph, BraceletNetwork]:
+    """The player's simulated network: a bracelet with the clasp removed.
+
+    Returns the claspless graph plus a reference
+    :class:`~repro.graphs.bracelet.BraceletNetwork` (built with clasp
+    index 0) used purely for its id layout helpers — the clasp edge
+    itself is stripped, and the full head-to-head flaky layer is
+    restored (in the real network the secret pair is a ``G`` edge; the
+    player, not knowing it, simulates every pair as flaky).
+    """
+    reference = bracelet(band_length, clasp_index=0)
+    clasp = reference.clasp
+    g_edges = reference.graph.g_edges() - {clasp}
+    extra = reference.graph.flaky_edges() | {clasp}
+    graph = DualGraph.from_edges(
+        reference.n, g_edges, extra, name=f"claspless-bracelet-L{band_length}"
+    )
+    return graph, reference
+
+
+class BraceletReductionPlayer(Player):
+    """The Theorem 4.3 player: oblivious simulated link process.
+
+    Parameters
+    ----------
+    band_length:
+        ``L``; the game size is ``β = L`` and the simulated network has
+        ``n = 2L²`` nodes.
+    algorithm_for:
+        ``(n, heads_a) ↦ AlgorithmSpec``; the proof places all side-A
+        heads in the local broadcast set.
+    seed:
+        Master seed (support sequences, simulation processes, coins).
+    threshold_factor:
+        The ``c`` of the ``c·ln n`` dense threshold.
+    """
+
+    def __init__(
+        self,
+        band_length: int,
+        algorithm_for: Callable[[int, list[int]], AlgorithmSpec],
+        *,
+        seed: int,
+        threshold_factor: float = 1.0,
+    ) -> None:
+        self.beta = band_length
+        self.network, self.layout = claspless_bracelet(band_length)
+        heads_a = self.layout.heads_a()
+        self.spec = algorithm_for(self.network.n, heads_a)
+        self.horizon = band_length
+
+        # --- Oblivious precomputation (before any simulated round) ---
+        support_rng = spawn_rng(seed, "bracelet-support")
+        self.predicted_counts = self._predict_counts(support_rng)
+        threshold = threshold_factor * math.log(max(self.network.n, 3))
+        self.labels = [count > threshold for count in self.predicted_counts]
+
+        heads_a_mask = 0
+        for head in heads_a:
+            heads_a_mask |= 1 << head
+        self._head_mask = heads_a_mask
+        for head in self.layout.heads_b():
+            self._head_mask |= 1 << head
+        adversary = PrecomputedDenseSparseLinks(
+            heads_a_mask, self.labels, tail_dense=True
+        )
+        processes = self.spec.build_processes(
+            self.network.n, self.network.max_degree, seed=seed
+        )
+        self.engine = RadioNetworkEngine(
+            self.network,
+            processes,
+            adversary,
+            seed=seed,
+            algorithm_info=self.spec.info(),
+            validate_topologies=False,
+        )
+        self.simulated_rounds = 0
+        self._pending: deque[int] = deque()
+        self._exhausted = False
+
+    def _predict_counts(self, rng: random.Random) -> list[int]:
+        functions = []
+        for i in range(self.beta):
+            functions.append(
+                IsolatedBroadcastFunction(
+                    spec=self.spec,
+                    band_nodes=tuple(self.layout.band_a(i)),
+                    n=self.network.n,
+                    max_degree=self.network.max_degree,
+                    horizon=self.horizon,
+                )
+            )
+        for i in range(self.beta):
+            functions.append(
+                IsolatedBroadcastFunction(
+                    spec=self.spec,
+                    band_nodes=tuple(self.layout.band_b(i)),
+                    n=self.network.n,
+                    max_degree=self.network.max_degree,
+                    horizon=self.horizon,
+                )
+            )
+        seeds = [rng.getrandbits(63) for _ in functions]
+        return head_broadcast_counts(functions, seeds, self.horizon)
+
+    # ------------------------------------------------------------------
+    # Player interface
+    # ------------------------------------------------------------------
+    def next_guess(self) -> Optional[int]:
+        while not self._pending and not self._exhausted:
+            self._advance_one_round()
+        if self._pending:
+            return self._pending.popleft()
+        return None
+
+    def _advance_one_round(self) -> None:
+        if self.simulated_rounds >= self.horizon:
+            # Beyond the isolation horizon the simulation is no longer
+            # provably valid; the reduction's claim covers only the
+            # first L rounds. Fall back to exhaustive guessing (the
+            # game bound already paid Ω(L / log n) rounds to get here).
+            self._pending.extend(range(1, self.beta + 1))
+            self._exhausted = True
+            return
+        record = self.engine.step()
+        label_dense = self.labels[self.simulated_rounds]
+        self.simulated_rounds += 1
+        self._pending.extend(self._guesses_for(record, label_dense))
+
+    def _guesses_for(self, record: RoundRecord, dense: bool) -> list[int]:
+        broadcasting_heads = []
+        for node in iter_bits(record.transmitter_mask & self._head_mask):
+            classified = self.layout.head_index(node)
+            if classified is not None:
+                broadcasting_heads.append(classified[1])
+        if dense:
+            if len(broadcasting_heads) == 1:
+                return list(range(1, self.beta + 1))
+            return []
+        guesses = []
+        seen = set()
+        for band in broadcasting_heads:
+            value = band + 1
+            if value not in seen:
+                seen.add(value)
+                guesses.append(value)
+        return guesses
+
+    def describe(self) -> str:
+        dense_fraction = (
+            sum(self.labels) / len(self.labels) if self.labels else 0.0
+        )
+        return (
+            f"P_bracelet(L={self.beta}, algorithm={self.spec.name}, "
+            f"dense_fraction={dense_fraction:.2f})"
+        )

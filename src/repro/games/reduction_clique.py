@@ -1,0 +1,164 @@
+"""Theorem 3.1's reduction, executable: broadcast ⇒ β-hitting player.
+
+The proof constructs a player ``P_A`` that wins the β-hitting game by
+simulating a broadcast algorithm ``A`` on the *dual clique* network —
+crucially, on the dual clique **without its bridge**, because the
+player does not know where the bridge (= the secret target ``t``) is.
+The simulation stays valid anyway: the only rounds in which the missing
+bridge could change anything are rounds whose guesses win the game
+first.
+
+Per simulated round, with ``S`` the start-of-round states and
+``X`` the realized transmitter set:
+
+* label the round **dense** iff ``E[|X| | S] > c·log β``;
+* dense ∧ ``|X| = 1``   → guess every value ``1 … β`` (a sure win);
+* dense ∧ ``|X| ≠ 1``   → no guesses;
+* sparse                → guess the ids of ``X`` (ids from clique B
+  reduced by ``β`` — the bridge pair ``(t, t+β)`` maps to the single
+  game value ``t``);
+
+and resolve receptions with the link rule *dense → all ``G'`` edges,
+sparse → no cross edges* — which is exactly
+:class:`~repro.adversaries.dense_sparse.OnlineDenseSparseAttacker`, so
+the player literally drives the main engine with the paper's adversary
+and reads guesses off the round records.
+
+The headline consequence (tested in the benches): if ``A`` solves
+broadcast on dual cliques in ``f(n)`` rounds, ``P_A`` wins β-hitting in
+``O(f(2β) log β)`` guesses — so Lemma 3.2's ``Ω(β)`` guess bound forces
+``f(n) = Ω(n / log n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Optional
+
+from repro.adversaries.dense_sparse import OnlineDenseSparseAttacker
+from repro.algorithms.base import AlgorithmSpec
+from repro.core.engine import RadioNetworkEngine
+from repro.core.trace import RoundRecord, iter_bits
+from repro.games.hitting import Player
+from repro.graphs.dual_graph import DualGraph
+
+__all__ = ["DualCliqueReductionPlayer", "bridgeless_dual_clique"]
+
+
+def bridgeless_dual_clique(beta: int) -> DualGraph:
+    """The player's simulated network: two ``G`` cliques, complete ``G'``.
+
+    This is the dual clique of Theorem 3.1 *minus the secret bridge* —
+    all the player can construct without knowing ``t``. Side A is ids
+    ``0 … β-1``, side B is ``β … 2β-1``.
+    """
+    if beta < 2:
+        raise ValueError("beta must be >= 2")
+    n = 2 * beta
+    g_edges = []
+    for base in (0, beta):
+        g_edges.extend(
+            (base + u, base + v) for u in range(beta) for v in range(u + 1, beta)
+        )
+    extra = [(u, v) for u in range(beta) for v in range(beta, n)]
+    return DualGraph.from_edges(n, g_edges, extra, name=f"bridgeless-dual-clique-{n}")
+
+
+class DualCliqueReductionPlayer(Player):
+    """``P_A``: wins β-hitting by simulating ``A`` on the dual clique.
+
+    Parameters
+    ----------
+    beta:
+        Game size; the simulated network has ``n = 2β`` nodes.
+    algorithm_for:
+        ``(n, side_a) ↦ AlgorithmSpec`` building the broadcast algorithm
+        under reduction with the paper's role assignment — global
+        broadcast sources in side A (the proof uses node 1 ∈ A), local
+        broadcast sets ``B =`` side A.
+    seed:
+        Master seed for the simulation (processes + coins).
+    threshold_c:
+        The ``c`` of the dense threshold ``c·log β`` (base-2).
+    max_simulated_rounds:
+        Safety cap; the paper's w.l.o.g. cap is ``(2β)²``.
+    """
+
+    def __init__(
+        self,
+        beta: int,
+        algorithm_for: Callable[[int, range], AlgorithmSpec],
+        *,
+        seed: int,
+        threshold_c: float = 2.0,
+        max_simulated_rounds: Optional[int] = None,
+    ) -> None:
+        self.beta = beta
+        self.network = bridgeless_dual_clique(beta)
+        self.side_a = range(beta)
+        self.spec = algorithm_for(self.network.n, self.side_a)
+        self.threshold = threshold_c * math.log2(max(beta, 2))
+        self.max_simulated_rounds = max_simulated_rounds or (2 * beta) ** 2
+        self.simulated_rounds = 0
+        self._pending: deque[int] = deque()
+        self._exhausted = False
+
+        side_a_mask = (1 << beta) - 1
+        self.adversary = OnlineDenseSparseAttacker(
+            side_a_mask, threshold=self.threshold
+        )
+        processes = self.spec.build_processes(
+            self.network.n, self.network.max_degree, seed=seed
+        )
+        self.engine = RadioNetworkEngine(
+            self.network,
+            processes,
+            self.adversary,
+            seed=seed,
+            algorithm_info=self.spec.info(),
+            validate_topologies=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Player interface
+    # ------------------------------------------------------------------
+    def next_guess(self) -> Optional[int]:
+        while not self._pending and not self._exhausted:
+            self._advance_one_round()
+        if self._pending:
+            return self._pending.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def _advance_one_round(self) -> None:
+        if self.simulated_rounds >= self.max_simulated_rounds:
+            self._exhausted = True
+            return
+        record = self.engine.step()
+        self.simulated_rounds += 1
+        self._pending.extend(self._guesses_for(record))
+
+    def _guesses_for(self, record: RoundRecord) -> list[int]:
+        dense = record.expected_transmitters > self.threshold
+        count = record.transmitter_count
+        if dense:
+            if count == 1:
+                return list(range(1, self.beta + 1))
+            return []
+        guesses = []
+        seen = set()
+        for node in iter_bits(record.transmitter_mask):
+            value = node + 1 if node < self.beta else node - self.beta + 1
+            if value not in seen:
+                seen.add(value)
+                guesses.append(value)
+        return guesses
+
+    def describe(self) -> str:
+        return (
+            f"P_A(beta={self.beta}, algorithm={self.spec.name}, "
+            f"threshold={self.threshold:.1f})"
+        )

@@ -1,0 +1,57 @@
+"""Dual graph topologies: the core type, generic families, and the
+paper's lower-bound constructions (dual clique, bracelet) plus
+geographic graphs and their region decomposition."""
+
+from repro.graphs.bracelet import BraceletNetwork, bracelet
+from repro.graphs.builders import (
+    binary_tree_dual,
+    clique_dual,
+    er_dual,
+    funnel_dual,
+    grid_dual,
+    line_dual,
+    line_of_cliques,
+    ring_dual,
+    star_dual,
+    with_extra_flaky_edges,
+)
+from repro.graphs.dual_clique import DualCliqueNetwork, dual_clique
+from repro.graphs.dual_graph import DualGraph, Edge, edges_from_adjacency, normalize_edge
+from repro.graphs.geographic import (
+    cluster_chain_geographic,
+    edges_from_embedding,
+    geographic_from_points,
+    grid_geographic,
+    random_geographic,
+    verify_geographic_constraint,
+)
+from repro.graphs.regions import RegionDecomposition, max_region_neighbors_bound
+
+__all__ = [
+    "DualGraph",
+    "Edge",
+    "normalize_edge",
+    "edges_from_adjacency",
+    "line_dual",
+    "ring_dual",
+    "grid_dual",
+    "clique_dual",
+    "star_dual",
+    "binary_tree_dual",
+    "line_of_cliques",
+    "funnel_dual",
+    "er_dual",
+    "with_extra_flaky_edges",
+    "DualCliqueNetwork",
+    "dual_clique",
+    "BraceletNetwork",
+    "bracelet",
+    "geographic_from_points",
+    "edges_from_embedding",
+    "random_geographic",
+    "grid_geographic",
+    "cluster_chain_geographic",
+    "verify_geographic_constraint",
+    "RegionDecomposition",
+    "max_region_neighbors_bound",
+]

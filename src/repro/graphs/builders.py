@@ -1,0 +1,242 @@
+"""Generic dual-graph families used by experiments and tests.
+
+These are the workhorse topologies for the upper-bound sweeps:
+
+* lines / rings / grids / trees — diameter-controlled networks for the
+  ``D log n`` term of global broadcast;
+* cliques / stars — contention-heavy, constant-diameter networks for
+  the ``log² n`` term;
+* *line of cliques* — the classic worst case for decay-style broadcast:
+  ``k`` cliques of size ``c`` chained by bridges, giving diameter
+  ``Θ(k)`` with contention ``Θ(c)`` at every hop;
+* Erdős–Rényi dual graphs — random ``G`` plus random extra flaky edges,
+  for property-based testing.
+
+Every builder returns a validated :class:`~repro.graphs.dual_graph.DualGraph`
+whose ``G`` is connected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.dual_graph import DualGraph, Edge
+
+__all__ = [
+    "line_dual",
+    "ring_dual",
+    "grid_dual",
+    "clique_dual",
+    "star_dual",
+    "binary_tree_dual",
+    "line_of_cliques",
+    "funnel_dual",
+    "er_dual",
+    "with_extra_flaky_edges",
+]
+
+
+def _pairs_path(n: int) -> list[Edge]:
+    return [(i, i + 1) for i in range(n - 1)]
+
+
+def line_dual(n: int, *, extra_flaky_skips: int = 0, name: Optional[str] = None) -> DualGraph:
+    """A path on ``n`` nodes; optionally add skip-edges ``(i, i+2)`` to ``G' \\ G``.
+
+    With ``extra_flaky_skips = k``, the first ``k`` skip pairs become
+    unreliable shortcuts the adversary may grant or withhold — a minimal
+    dual graph where link flakiness changes the effective diameter.
+    """
+    if n < 2:
+        raise GraphValidationError("line_dual needs n >= 2")
+    skips = [(i, i + 2) for i in range(min(extra_flaky_skips, n - 2))]
+    return DualGraph.from_edges(n, _pairs_path(n), skips, name=name or f"line-{n}")
+
+
+def ring_dual(n: int, *, chords: Iterable[Edge] = (), name: Optional[str] = None) -> DualGraph:
+    """A cycle on ``n`` nodes with optional flaky chords."""
+    if n < 3:
+        raise GraphValidationError("ring_dual needs n >= 3")
+    edges = _pairs_path(n) + [(n - 1, 0)]
+    return DualGraph.from_edges(n, edges, chords, name=name or f"ring-{n}")
+
+
+def grid_dual(
+    rows: int,
+    cols: int,
+    *,
+    flaky_diagonals: bool = False,
+    name: Optional[str] = None,
+) -> DualGraph:
+    """A ``rows × cols`` grid; diagonal links are flaky when requested.
+
+    Node ``(r, c)`` has id ``r * cols + c``. Diagonal flaky edges model
+    grey-zone links between nodes at distance ``√2`` in a unit-spaced
+    deployment.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise GraphValidationError("grid_dual needs at least two nodes")
+    g_edges: list[Edge] = []
+    extra: list[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g_edges.append((u, u + 1))
+            if r + 1 < rows:
+                g_edges.append((u, u + cols))
+            if flaky_diagonals and r + 1 < rows:
+                if c + 1 < cols:
+                    extra.append((u, u + cols + 1))
+                if c > 0:
+                    extra.append((u, u + cols - 1))
+    return DualGraph.from_edges(
+        rows * cols, g_edges, extra, name=name or f"grid-{rows}x{cols}"
+    )
+
+
+def clique_dual(n: int, *, name: Optional[str] = None) -> DualGraph:
+    """The complete graph (``G = G'``): maximal contention, diameter 1."""
+    if n < 2:
+        raise GraphValidationError("clique_dual needs n >= 2")
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return DualGraph.from_edges(n, edges, name=name or f"clique-{n}")
+
+
+def star_dual(n: int, *, flaky_rim: bool = False, name: Optional[str] = None) -> DualGraph:
+    """A star with hub 0; optionally a flaky rim cycle among the leaves."""
+    if n < 2:
+        raise GraphValidationError("star_dual needs n >= 2")
+    edges = [(0, v) for v in range(1, n)]
+    extra: list[Edge] = []
+    if flaky_rim and n > 3:
+        extra = [(v, v + 1) for v in range(1, n - 1)] + [(n - 1, 1)]
+    return DualGraph.from_edges(n, edges, extra, name=name or f"star-{n}")
+
+
+def binary_tree_dual(depth: int, *, name: Optional[str] = None) -> DualGraph:
+    """A complete binary tree of the given depth (root id 0)."""
+    if depth < 1:
+        raise GraphValidationError("binary_tree_dual needs depth >= 1")
+    n = (1 << (depth + 1)) - 1
+    edges = [(child, (child - 1) // 2) for child in range(1, n)]
+    return DualGraph.from_edges(n, edges, name=name or f"btree-d{depth}")
+
+
+def line_of_cliques(
+    num_cliques: int,
+    clique_size: int,
+    *,
+    flaky_cross_links: bool = False,
+    name: Optional[str] = None,
+) -> DualGraph:
+    """``num_cliques`` cliques of ``clique_size`` chained by single bridges.
+
+    Clique ``i`` occupies ids ``[i*c, (i+1)*c)``; node ``i*c + c - 1``
+    bridges to node ``(i+1)*c`` of the next clique. Diameter is
+    ``Θ(num_cliques)`` while every hop faces ``Θ(clique_size)``
+    contention — the standard hard family for the ``D log n`` term of
+    decay broadcast.
+
+    With ``flaky_cross_links``, every pair of nodes in *adjacent*
+    cliques gains a flaky edge, letting adversaries smear collisions
+    across bridge boundaries.
+    """
+    if num_cliques < 1 or clique_size < 1 or num_cliques * clique_size < 2:
+        raise GraphValidationError("line_of_cliques needs at least two nodes")
+    c = clique_size
+    n = num_cliques * c
+    g_edges: list[Edge] = []
+    for i in range(num_cliques):
+        base = i * c
+        g_edges.extend((base + a, base + b) for a in range(c) for b in range(a + 1, c))
+        if i + 1 < num_cliques:
+            g_edges.append((base + c - 1, base + c))
+    extra: list[Edge] = []
+    if flaky_cross_links:
+        for i in range(num_cliques - 1):
+            left = range(i * c, (i + 1) * c)
+            right = range((i + 1) * c, (i + 2) * c)
+            extra.extend((a, b) for a in left for b in right)
+    return DualGraph.from_edges(
+        n, g_edges, extra, name=name or f"cliqueline-{num_cliques}x{clique_size}"
+    )
+
+
+def funnel_dual(n: int, *, name: Optional[str] = None) -> DualGraph:
+    """Source → middle clique → sink: the coordination stress graph.
+
+    Node 0 (source) neighbors every middle node; nodes ``1 … n-2`` form
+    a clique; node ``n-1`` (sink) also neighbors every middle node. The
+    graph is static (``G = G'``). After the source's announcement the
+    whole middle layer is informed, and the sink receives only in a
+    round where *exactly one* middle node transmits — the situation
+    Lemma 4.2's shared-rung coordination is designed for, and where
+    independent per-node rungs collapse (probability
+    ``≈ (k/log n)·e^{-k/log n}`` for middle size ``k``).
+    """
+    if n < 4:
+        raise GraphValidationError("funnel_dual needs n >= 4 (source, 2 middle, sink)")
+    middle = range(1, n - 1)
+    edges: list[Edge] = [(0, m) for m in middle]
+    edges.extend((a, b) for a in middle for b in middle if a < b)
+    edges.extend((m, n - 1) for m in middle)
+    return DualGraph.from_edges(n, edges, name=name or f"funnel-{n}")
+
+
+def er_dual(
+    n: int,
+    g_edge_probability: float,
+    flaky_edge_probability: float,
+    rng: random.Random,
+    *,
+    max_tries: int = 64,
+    name: Optional[str] = None,
+) -> DualGraph:
+    """Erdős–Rényi dual graph: random connected ``G`` plus random flaky extras.
+
+    ``G`` is drawn as a uniform random spanning tree (to guarantee
+    connectivity) plus each remaining pair independently with
+    ``g_edge_probability``; each non-``G`` pair then joins ``G' \\ G``
+    independently with ``flaky_edge_probability``.
+    """
+    if n < 2:
+        raise GraphValidationError("er_dual needs n >= 2")
+    for p in (g_edge_probability, flaky_edge_probability):
+        if not 0.0 <= p <= 1.0:
+            raise GraphValidationError(f"edge probability {p} outside [0, 1]")
+    del max_tries  # connectivity is guaranteed by the spanning tree
+    # Random spanning tree via random attachment of a shuffled order.
+    order = list(range(n))
+    rng.shuffle(order)
+    g_edges: set[Edge] = set()
+    for i in range(1, n):
+        parent = order[rng.randrange(i)]
+        child = order[i]
+        g_edges.add((min(parent, child), max(parent, child)))
+    extra: set[Edge] = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) in g_edges:
+                continue
+            draw = rng.random()
+            if draw < g_edge_probability:
+                g_edges.add((u, v))
+            elif draw < g_edge_probability + flaky_edge_probability:
+                extra.add((u, v))
+    return DualGraph.from_edges(n, g_edges, extra, name=name or f"er-{n}")
+
+
+def with_extra_flaky_edges(
+    network: DualGraph, extra: Iterable[Edge], *, name: Optional[str] = None
+) -> DualGraph:
+    """Return a copy of ``network`` with additional flaky edges."""
+    return DualGraph.from_edges(
+        network.n,
+        network.g_edges(),
+        network.flaky_edges() | {tuple(sorted(e)) for e in extra},
+        embedding=network.embedding,
+        name=name or f"{network.name}+flaky",
+    )

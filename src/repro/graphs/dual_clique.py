@@ -1,0 +1,156 @@
+"""The dual clique network of Theorem 3.1.
+
+Quoting the paper: "Partition the ``n`` nodes in ``V`` into two equal
+sized sets, ``A`` and ``B``. Connect the nodes in ``A`` (resp. ``B``)
+to form a clique in ``G``. Connect a single node ``t_A ∈ A`` to a
+single node ``t_B ∈ B``, forming a bridge between the two cliques. Let
+``G'`` be the complete graph over all nodes."
+
+The graph has constant diameter (2 within each side, 3 across) yet both
+broadcast problems require ``Ω(n)`` rounds against an offline adaptive
+link process and ``Ω(n / log n)`` against an online adaptive one: the
+only reliable path between the sides is the single secret bridge, and
+the adversary can flood ``G'`` edges to manufacture collisions whenever
+more than one node transmits.
+
+It is also a geographic graph (both cliques can be embedded inside a
+unit disc with ``r`` large enough), which the paper notes strengthens
+the lower bound; :func:`dual_clique` attaches such an embedding.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.dual_graph import DualGraph, Edge
+
+__all__ = ["DualCliqueNetwork", "dual_clique"]
+
+
+@dataclass(frozen=True)
+class DualCliqueNetwork:
+    """A dual clique instance: the graph plus its secret structure.
+
+    Attributes
+    ----------
+    graph:
+        The :class:`~repro.graphs.dual_graph.DualGraph`; nodes
+        ``0 … half-1`` form clique ``A``, nodes ``half … n-1`` form
+        clique ``B``.
+    bridge_a / bridge_b:
+        The bridge endpoints ``t_A ∈ A`` and ``t_B ∈ B``. These are the
+        *secret* of the lower-bound game — algorithms must not receive
+        them; experiment code passes only :attr:`graph` to algorithm
+        factories.
+    """
+
+    graph: DualGraph
+    bridge_a: int
+    bridge_b: int
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def half(self) -> int:
+        return self.graph.n // 2
+
+    def side_a(self) -> range:
+        """Node ids of clique ``A``."""
+        return range(self.half)
+
+    def side_b(self) -> range:
+        """Node ids of clique ``B``."""
+        return range(self.half, self.n)
+
+    @property
+    def side_a_mask(self) -> int:
+        """Bitmask of side ``A`` (the cut used by the attackers)."""
+        return (1 << self.half) - 1
+
+    def in_side_a(self, node: int) -> bool:
+        return node < self.half
+
+
+def dual_clique(
+    half: int,
+    *,
+    bridge_a: Optional[int] = None,
+    bridge_b: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    with_embedding: bool = True,
+) -> DualCliqueNetwork:
+    """Build a dual clique network with ``n = 2 * half`` nodes.
+
+    Parameters
+    ----------
+    half:
+        Size of each clique (``|A| = |B| = half``).
+    bridge_a / bridge_b:
+        Bridge endpoints; drawn uniformly from each side via ``rng``
+        when omitted (matching the adversarial placement of the proof —
+        the algorithm cannot predict them).
+    rng:
+        Randomness for bridge placement; defaults to a fixed seed so
+        that omitting both the bridge and the RNG still yields a
+        deterministic network.
+    with_embedding:
+        Attach the geographic embedding (two tight clusters at distance
+        just over 1) that witnesses the paper's remark that the dual
+        clique is a geographic graph.
+    """
+    if half < 2:
+        raise GraphValidationError("dual_clique needs half >= 2")
+    n = 2 * half
+    rng = rng or random.Random(0xD0A1)
+    t_a = bridge_a if bridge_a is not None else rng.randrange(half)
+    t_b = bridge_b if bridge_b is not None else half + rng.randrange(half)
+    if not 0 <= t_a < half:
+        raise GraphValidationError(f"bridge_a={t_a} must lie in side A [0, {half})")
+    if not half <= t_b < n:
+        raise GraphValidationError(f"bridge_b={t_b} must lie in side B [{half}, {n})")
+
+    g_edges: list[Edge] = []
+    for base in (0, half):
+        g_edges.extend(
+            (base + u, base + v) for u in range(half) for v in range(u + 1, half)
+        )
+    g_edges.append((t_a, t_b))
+
+    extra: list[Edge] = [
+        (u, v) for u in range(half) for v in range(half, n) if (u, v) != (t_a, t_b)
+    ]
+
+    embedding = None
+    if with_embedding:
+        embedding = _cluster_embedding(half)
+
+    graph = DualGraph.from_edges(
+        n, g_edges, extra, embedding=embedding, name=f"dual-clique-{n}"
+    )
+    return DualCliqueNetwork(graph=graph, bridge_a=t_a, bridge_b=t_b)
+
+
+def _cluster_embedding(half: int) -> list[tuple[float, float]]:
+    """Two discs of diameter 0.9 with centers 2.0 apart.
+
+    Same-side pairs sit at distance ≤ 0.9 ≤ 1 (so the cliques are
+    forced into ``G`` by the geographic constraint) while cross pairs
+    sit at distances in ``(1.1, 2.9)`` — strictly above 1 and within
+    ``r = 3`` — placing every cross edge in the grey zone where the
+    constraint allows arbitrary (adversarial) behavior.
+    """
+    points: list[tuple[float, float]] = []
+    for base_x in (0.0, 2.0):
+        for i in range(half):
+            angle = 2.0 * math.pi * i / max(half, 1)
+            radius = 0.45
+            points.append(
+                (base_x + radius * math.cos(angle), radius * math.sin(angle))
+            )
+    return points

@@ -1,0 +1,327 @@
+"""The dual graph network type: ``G = (V, E)`` and ``G' = (V, E')`` with ``E ⊆ E'``.
+
+Section 2 of the paper describes the network with two graphs over the
+same vertex set: ``G`` holds the *reliable* links that participate in
+every round's communication topology, while ``G' \\ G`` holds the
+*unreliable* (here: "flaky") links that the adversarial link process
+may add round by round. The model requires ``E ⊆ E'``; with ``G = G'``
+it degenerates to the classic static protocol model.
+
+:class:`DualGraph` is immutable and validated on construction. For the
+engine's hot path it precomputes, per node ``u``:
+
+* ``g_masks[u]`` — bitmask of ``u``'s neighbors in ``G``;
+* ``gp_masks[u]`` — bitmask of ``u``'s neighbors in ``G'``;
+* ``flaky_masks[u] = gp_masks[u] & ~g_masks[u]`` — the adversary's
+  per-node room to maneuver.
+
+Bitmasks make per-round reception resolution an ``O(n)`` loop of
+word-parallel intersections, which is what lets pure-Python simulations
+reach the network sizes the lower-bound sweeps need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.errors import GraphValidationError
+from repro.core.trace import iter_bits, popcount
+
+__all__ = ["DualGraph", "Edge", "normalize_edge", "edges_from_adjacency"]
+
+Edge = tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(min, max)`` form of an undirected edge."""
+    if u == v:
+        raise GraphValidationError(f"self-loop at node {u}")
+    return (u, v) if u < v else (v, u)
+
+
+def edges_from_adjacency(masks: Sequence[int]) -> set[Edge]:
+    """Recover the canonical edge set from adjacency bitmasks."""
+    edges: set[Edge] = set()
+    for u, mask in enumerate(masks):
+        for v in iter_bits(mask):
+            if v > u:
+                edges.add((u, v))
+    return edges
+
+
+def _masks_from_edges(n: int, edges: Iterable[Edge]) -> list[int]:
+    masks = [0] * n
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphValidationError(f"edge ({u}, {v}) outside node range [0, {n})")
+        if u == v:
+            raise GraphValidationError(f"self-loop at node {u}")
+        masks[u] |= 1 << v
+        masks[v] |= 1 << u
+    return masks
+
+
+@dataclass(frozen=True)
+class DualGraph:
+    """An immutable dual graph with precomputed adjacency bitmasks.
+
+    Build instances with :meth:`from_edges` (preferred) or supply masks
+    directly. The constructor validates symmetry implicitly (masks are
+    built from undirected edges) and checks ``E ⊆ E'``.
+
+    Attributes
+    ----------
+    n:
+        Number of nodes; node ids are ``0 … n-1``.
+    g_masks / gp_masks:
+        Per-node adjacency bitmasks of ``G`` and ``G'``.
+    embedding:
+        Optional plane embedding ``(x, y)`` per node — present for
+        geographic graphs (Section 2's geographic constraint).
+    name:
+        Human-readable label used by traces and experiment tables.
+    """
+
+    n: int
+    g_masks: tuple[int, ...]
+    gp_masks: tuple[int, ...]
+    embedding: Optional[tuple[tuple[float, float], ...]] = None
+    name: str = "dual-graph"
+    _flaky_masks: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise GraphValidationError(f"need at least one node, got n={self.n}")
+        if len(self.g_masks) != self.n or len(self.gp_masks) != self.n:
+            raise GraphValidationError("adjacency mask lists must have length n")
+        full = (1 << self.n) - 1
+        for u in range(self.n):
+            g_mask, gp_mask = self.g_masks[u], self.gp_masks[u]
+            if g_mask >> self.n or gp_mask >> self.n:
+                raise GraphValidationError(f"node {u} has neighbors outside [0, n)")
+            if (g_mask | gp_mask) & ~full:
+                raise GraphValidationError(f"node {u} mask exceeds node range")
+            if (g_mask >> u) & 1 or (gp_mask >> u) & 1:
+                raise GraphValidationError(f"self-loop at node {u}")
+            if g_mask & ~gp_mask:
+                raise GraphValidationError(
+                    f"node {u} has G edges missing from G' (E ⊆ E' violated)"
+                )
+        for u in range(self.n):  # symmetry
+            for v in iter_bits(self.g_masks[u]):
+                if not (self.g_masks[v] >> u) & 1:
+                    raise GraphValidationError(f"G edge ({u}, {v}) is asymmetric")
+            for v in iter_bits(self.gp_masks[u]):
+                if not (self.gp_masks[v] >> u) & 1:
+                    raise GraphValidationError(f"G' edge ({u}, {v}) is asymmetric")
+        if self.embedding is not None and len(self.embedding) != self.n:
+            raise GraphValidationError("embedding must give one point per node")
+        flaky = tuple(self.gp_masks[u] & ~self.g_masks[u] for u in range(self.n))
+        object.__setattr__(self, "_flaky_masks", flaky)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        g_edges: Iterable[Edge],
+        extra_gp_edges: Iterable[Edge] = (),
+        *,
+        embedding: Optional[Sequence[tuple[float, float]]] = None,
+        name: str = "dual-graph",
+    ) -> "DualGraph":
+        """Build from ``G``'s edges plus the *extra* edges of ``G' \\ G``.
+
+        ``extra_gp_edges`` lists only the unreliable edges; ``G'`` is
+        their union with ``G``, so ``E ⊆ E'`` holds by construction.
+        """
+        g_edge_set = {normalize_edge(u, v) for u, v in g_edges}
+        extra_set = {normalize_edge(u, v) for u, v in extra_gp_edges} - g_edge_set
+        g_masks = _masks_from_edges(n, g_edge_set)
+        gp_masks = _masks_from_edges(n, g_edge_set | extra_set)
+        return cls(
+            n=n,
+            g_masks=tuple(g_masks),
+            gp_masks=tuple(gp_masks),
+            embedding=tuple((float(x), float(y)) for x, y in embedding) if embedding else None,
+            name=name,
+        )
+
+    @classmethod
+    def static(
+        cls,
+        n: int,
+        g_edges: Iterable[Edge],
+        *,
+        embedding: Optional[Sequence[tuple[float, float]]] = None,
+        name: str = "static-graph",
+    ) -> "DualGraph":
+        """Build a protocol-model graph (``G = G'``, no unreliable links)."""
+        return cls.from_edges(n, g_edges, (), embedding=embedding, name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def flaky_masks(self) -> tuple[int, ...]:
+        """Per-node masks of the unreliable neighbors (``G' \\ G``)."""
+        return self._flaky_masks
+
+    def g_neighbors(self, u: int) -> list[int]:
+        """Neighbors of ``u`` in the reliable graph ``G``."""
+        return list(iter_bits(self.g_masks[u]))
+
+    def gp_neighbors(self, u: int) -> list[int]:
+        """Neighbors of ``u`` in ``G'`` (the paper's ``N_{G'}(u)``)."""
+        return list(iter_bits(self.gp_masks[u]))
+
+    def flaky_neighbors(self, u: int) -> list[int]:
+        """Neighbors reachable only through unreliable links."""
+        return list(iter_bits(self._flaky_masks[u]))
+
+    def g_degree(self, u: int) -> int:
+        return popcount(self.g_masks[u])
+
+    def gp_degree(self, u: int) -> int:
+        return popcount(self.gp_masks[u])
+
+    @property
+    def max_degree(self) -> int:
+        """The paper's ``Δ = max |N_{G'}(u)|`` (known to processes)."""
+        return max(popcount(mask) for mask in self.gp_masks)
+
+    def g_edges(self) -> set[Edge]:
+        """Canonical edge set of ``G``."""
+        return edges_from_adjacency(self.g_masks)
+
+    def gp_edges(self) -> set[Edge]:
+        """Canonical edge set of ``G'``."""
+        return edges_from_adjacency(self.gp_masks)
+
+    def flaky_edges(self) -> set[Edge]:
+        """Canonical edge set of ``G' \\ G``."""
+        return edges_from_adjacency(self._flaky_masks)
+
+    def has_g_edge(self, u: int, v: int) -> bool:
+        return bool((self.g_masks[u] >> v) & 1)
+
+    def has_gp_edge(self, u: int, v: int) -> bool:
+        return bool((self.gp_masks[u] >> v) & 1)
+
+    # ------------------------------------------------------------------
+    # Graph algorithms (on G — the problems assume G connected)
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int, *, use_gp: bool = False) -> list[int]:
+        """Hop distances from ``source``; ``-1`` marks unreachable nodes."""
+        masks = self.gp_masks if use_gp else self.g_masks
+        dist = [-1] * self.n
+        dist[source] = 0
+        frontier = 1 << source
+        seen = frontier
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = 0
+            for u in iter_bits(frontier):
+                next_frontier |= masks[u]
+            next_frontier &= ~seen
+            seen |= next_frontier
+            for u in iter_bits(next_frontier):
+                dist[u] = depth
+            frontier = next_frontier
+        return dist
+
+    def is_g_connected(self) -> bool:
+        """True iff the reliable graph ``G`` is connected."""
+        return all(d >= 0 for d in self.bfs_distances(0))
+
+    def g_diameter(self) -> int:
+        """Diameter of ``G`` (the paper's ``D``). Exact via all-sources BFS.
+
+        Quadratic in ``n``; fine for experiment-scale graphs. Raises if
+        ``G`` is disconnected.
+        """
+        best = 0
+        for source in range(self.n):
+            dist = self.bfs_distances(source)
+            ecc = max(dist)
+            if min(dist) < 0:
+                raise GraphValidationError("g_diameter() requires a connected G")
+            best = max(best, ecc)
+        return best
+
+    def g_eccentricity(self, source: int) -> int:
+        """Max hop distance from ``source`` in ``G`` (broadcast depth)."""
+        dist = self.bfs_distances(source)
+        if min(dist) < 0:
+            raise GraphValidationError("g_eccentricity() requires a connected G")
+        return max(dist)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Sequence[int], *, name: Optional[str] = None) -> "DualGraph":
+        """Induced dual subgraph on ``nodes`` with ids remapped to ``0 … k-1``.
+
+        Used by the lower-bound machinery to simulate a band of the
+        bracelet network in isolation. The returned graph keeps only
+        edges with both endpoints inside ``nodes``.
+        """
+        index = {node: i for i, node in enumerate(nodes)}
+        if len(index) != len(nodes):
+            raise GraphValidationError("induced_subgraph nodes must be distinct")
+        k = len(nodes)
+        g_masks = [0] * k
+        gp_masks = [0] * k
+        for node, i in index.items():
+            for v in iter_bits(self.g_masks[node]):
+                j = index.get(v)
+                if j is not None:
+                    g_masks[i] |= 1 << j
+            for v in iter_bits(self.gp_masks[node]):
+                j = index.get(v)
+                if j is not None:
+                    gp_masks[i] |= 1 << j
+        emb = None
+        if self.embedding is not None:
+            emb = tuple(self.embedding[node] for node in nodes)
+        return DualGraph(
+            n=k,
+            g_masks=tuple(g_masks),
+            gp_masks=tuple(gp_masks),
+            embedding=emb,
+            name=name or f"{self.name}[induced {k}]",
+        )
+
+    def as_static(self, *, use_gp: bool = False, name: Optional[str] = None) -> "DualGraph":
+        """Collapse to a protocol-model graph: ``G = G'`` on ``G`` (or on ``G'``)."""
+        masks = self.gp_masks if use_gp else self.g_masks
+        return DualGraph(
+            n=self.n,
+            g_masks=masks,
+            gp_masks=masks,
+            embedding=self.embedding,
+            name=name or f"{self.name}[static]",
+        )
+
+    def to_networkx(self):  # pragma: no cover - optional dependency convenience
+        """Export ``(G, G')`` as a pair of ``networkx.Graph`` objects."""
+        import networkx as nx
+
+        g = nx.Graph(name=f"{self.name}:G")
+        gp = nx.Graph(name=f"{self.name}:G'")
+        g.add_nodes_from(range(self.n))
+        gp.add_nodes_from(range(self.n))
+        g.add_edges_from(self.g_edges())
+        gp.add_edges_from(self.gp_edges())
+        return g, gp
+
+    def summary(self) -> str:
+        """One-line description for logs and tables."""
+        return (
+            f"{self.name}: n={self.n}, |E|={len(self.g_edges())}, "
+            f"|E'\\E|={len(self.flaky_edges())}, Δ={self.max_degree}"
+        )

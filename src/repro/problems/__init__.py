@@ -1,0 +1,19 @@
+"""Problem specifications (Section 2): global and local broadcast."""
+
+from repro.problems.base import Problem, ProblemObserver
+from repro.problems.global_broadcast import GlobalBroadcastObserver, GlobalBroadcastProblem
+from repro.problems.local_broadcast import (
+    LocalBroadcastObserver,
+    LocalBroadcastProblem,
+    receiver_set,
+)
+
+__all__ = [
+    "Problem",
+    "ProblemObserver",
+    "GlobalBroadcastProblem",
+    "GlobalBroadcastObserver",
+    "LocalBroadcastProblem",
+    "LocalBroadcastObserver",
+    "receiver_set",
+]

@@ -1,0 +1,74 @@
+"""The global broadcast problem: source-to-everyone dissemination."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.trace import RoundRecord, popcount
+from repro.graphs.dual_graph import DualGraph
+from repro.problems.base import Problem, ProblemObserver
+
+__all__ = ["GlobalBroadcastProblem", "GlobalBroadcastObserver"]
+
+
+class GlobalBroadcastObserver(ProblemObserver):
+    """Tracks which nodes hold the source's message.
+
+    A node counts as informed once it receives any DATA message whose
+    ``origin`` is the source (relays forward the original message, so
+    origin is preserved). The source starts informed. Also records each
+    node's first-informed round, which the analysis uses for frontier
+    progress plots.
+    """
+
+    def __init__(self, n: int, source: int) -> None:
+        self.n = n
+        self.source = source
+        self.informed_mask = 1 << source
+        self.first_informed_round: list[Optional[int]] = [None] * n
+        self.first_informed_round[source] = -1  # informed at start
+
+    @property
+    def solved(self) -> bool:
+        return self.informed_mask == (1 << self.n) - 1
+
+    @property
+    def informed_count(self) -> int:
+        return popcount(self.informed_mask)
+
+    def on_round(self, record: RoundRecord) -> None:
+        for delivery in record.deliveries:
+            if not delivery.message.is_data():
+                continue
+            if delivery.message.origin != self.source:
+                continue
+            bit = 1 << delivery.receiver
+            if not self.informed_mask & bit:
+                self.informed_mask |= bit
+                self.first_informed_round[delivery.receiver] = record.round_index
+
+    def progress(self) -> float:
+        return self.informed_count / self.n
+
+    def uninformed_nodes(self) -> list[int]:
+        """Nodes still missing the message (diagnostics)."""
+        return [u for u in range(self.n) if not (self.informed_mask >> u) & 1]
+
+
+class GlobalBroadcastProblem(Problem):
+    """Global broadcast from ``source`` on a connected ``G``."""
+
+    def __init__(self, network: DualGraph, source: int) -> None:
+        super().__init__(network)
+        if not 0 <= source < network.n:
+            raise ValueError(f"source {source} outside [0, {network.n})")
+        self.source = source
+
+    def make_observer(self) -> GlobalBroadcastObserver:
+        return GlobalBroadcastObserver(self.network.n, self.source)
+
+    def describe(self) -> str:
+        return (
+            f"global-broadcast(source={self.source}, n={self.network.n}, "
+            f"D={self.network.g_eccentricity(self.source)})"
+        )

@@ -1,0 +1,103 @@
+"""The local broadcast problem: one message into every receiver.
+
+From Section 2: "The local broadcast problem assumes some subset of
+nodes ``B ⊆ V`` are provided a message. Let ``R`` be the set of nodes
+with at least one neighbor in ``B`` by ``G``. The problem is solved
+when every node in ``R`` has received at least one message from a
+neighbor in ``B``."
+
+Note the asymmetry the paper highlights (footnote 2): this is the
+*receive* side only — every receiver hears *some* broadcaster, not
+every broadcaster reaches every receiver. Reception may arrive over a
+flaky ``G'`` edge; ``R`` itself is defined by ``G`` adjacency.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.core.trace import RoundRecord, iter_bits, popcount
+from repro.graphs.dual_graph import DualGraph
+from repro.problems.base import Problem, ProblemObserver
+
+__all__ = ["LocalBroadcastProblem", "LocalBroadcastObserver", "receiver_set"]
+
+
+def receiver_set(network: DualGraph, broadcasters: AbstractSet[int]) -> frozenset[int]:
+    """The paper's ``R``: nodes with at least one ``G``-neighbor in ``B``.
+
+    Broadcasters themselves belong to ``R`` when they neighbor another
+    broadcaster — the definition does not exclude them.
+    """
+    b_mask = 0
+    for b in broadcasters:
+        b_mask |= 1 << b
+    receivers = frozenset(
+        u for u in range(network.n) if network.g_masks[u] & b_mask
+    )
+    return receivers
+
+
+class LocalBroadcastObserver(ProblemObserver):
+    """Tracks which receivers have heard a message originating in ``B``."""
+
+    def __init__(self, n: int, broadcasters: frozenset[int], receivers: frozenset[int]) -> None:
+        self.n = n
+        self.broadcasters = broadcasters
+        self.receivers = receivers
+        self._pending_mask = 0
+        for u in receivers:
+            self._pending_mask |= 1 << u
+        self._total = len(receivers)
+        self.first_served_round: dict[int, int] = {}
+
+    @property
+    def solved(self) -> bool:
+        return self._pending_mask == 0
+
+    @property
+    def served_count(self) -> int:
+        return self._total - popcount(self._pending_mask)
+
+    def on_round(self, record: RoundRecord) -> None:
+        if not self._pending_mask:
+            return
+        for delivery in record.deliveries:
+            if not delivery.message.is_data():
+                continue
+            if delivery.message.origin not in self.broadcasters:
+                continue
+            bit = 1 << delivery.receiver
+            if self._pending_mask & bit:
+                self._pending_mask &= ~bit
+                self.first_served_round[delivery.receiver] = record.round_index
+
+    def progress(self) -> float:
+        if self._total == 0:
+            return 1.0
+        return self.served_count / self._total
+
+    def pending_receivers(self) -> list[int]:
+        """Receivers still waiting for a ``B``-originated message."""
+        return list(iter_bits(self._pending_mask))
+
+
+class LocalBroadcastProblem(Problem):
+    """Local broadcast with broadcaster set ``B`` on a connected ``G``."""
+
+    def __init__(self, network: DualGraph, broadcasters: AbstractSet[int]) -> None:
+        super().__init__(network)
+        self.broadcasters = frozenset(int(b) for b in broadcasters)
+        for b in self.broadcasters:
+            if not 0 <= b < network.n:
+                raise ValueError(f"broadcaster {b} outside [0, {network.n})")
+        self.receivers = receiver_set(network, self.broadcasters)
+
+    def make_observer(self) -> LocalBroadcastObserver:
+        return LocalBroadcastObserver(self.network.n, self.broadcasters, self.receivers)
+
+    def describe(self) -> str:
+        return (
+            f"local-broadcast(|B|={len(self.broadcasters)}, "
+            f"|R|={len(self.receivers)}, n={self.network.n})"
+        )

@@ -1,0 +1,187 @@
+"""Information-discipline tests: each adversary uses only its entitlement.
+
+DESIGN.md §5.8 commits to testing that shipped adversaries consume only
+the view fields their class grants. The structural check: an oblivious
+adversary's topology sequence must be *identical* across executions
+that differ only in node behavior; adaptive adversaries must react to
+exactly the granted quantities (declared probabilities for online,
+realized coins for offline) and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversaries.base import AlgorithmInfo, ObliviousView
+from repro.adversaries.bracelet_attack import BraceletObliviousAttacker
+from repro.adversaries.dense_sparse import OnlineDenseSparseAttacker
+from repro.adversaries.jamming import MovingRegionFade, PeriodicCutJammer
+from repro.adversaries.offline import OfflineSoloBlockerAttacker
+from repro.adversaries.schedule_attack import (
+    PrecomputedDenseSparseLinks,
+    PredictedDenseSparseAttacker,
+    predict_plain_decay_counts,
+)
+from repro.adversaries.static import AllFlakyLinks, AlternatingLinks, NoFlakyLinks
+from repro.adversaries.stochastic import (
+    BernoulliEdgeLinks,
+    BernoulliNodeFade,
+    GilbertElliottEdgeLinks,
+    GilbertElliottNodeFade,
+)
+from repro.algorithms.local_static import make_static_local_broadcast
+from repro.core.engine import RadioNetworkEngine
+from repro.core.trace import TraceCollector
+from repro.graphs.bracelet import bracelet
+from repro.graphs.dual_clique import dual_clique
+from repro.graphs.geographic import random_geographic
+from tests.conftest import scripted_processes
+
+BR = bracelet(4)
+GEO = random_geographic(24, seed=3)
+DC = dual_clique(6, bridge_a=1, bridge_b=7)
+
+
+def bracelet_spec():
+    return make_static_local_broadcast(
+        BR.n, frozenset(BR.heads_a()), BR.graph.max_degree
+    )
+
+
+OBLIVIOUS_CASES = [
+    ("no-flaky", DC.graph, lambda: NoFlakyLinks(), None),
+    ("all-flaky", DC.graph, lambda: AllFlakyLinks(), None),
+    ("alternating", DC.graph, lambda: AlternatingLinks((1, 2)), None),
+    ("bernoulli-edge", GEO, lambda: BernoulliEdgeLinks(0.5), None),
+    ("ge-edge", GEO, lambda: GilbertElliottEdgeLinks(0.2, 0.4), None),
+    ("bernoulli-node", DC.graph, lambda: BernoulliNodeFade(0.5), None),
+    ("ge-node", DC.graph, lambda: GilbertElliottNodeFade(0.3, 0.3), None),
+    ("cut-jammer", DC.graph, lambda: PeriodicCutJammer(DC.side_a_mask, 4, 2), None),
+    ("moving-fade", GEO, lambda: MovingRegionFade(1.0, 0.4), None),
+    (
+        "schedule-attack",
+        DC.graph,
+        lambda: PredictedDenseSparseAttacker(
+            DC.side_a_mask, predict_plain_decay_counts(6, 4)
+        ),
+        None,
+    ),
+    (
+        "precomputed",
+        DC.graph,
+        lambda: PrecomputedDenseSparseLinks(DC.side_a_mask, [True, False] * 4),
+        None,
+    ),
+    (
+        "bracelet-attack",
+        BR.graph,
+        lambda: BraceletObliviousAttacker(BR),
+        bracelet_spec,
+    ),
+]
+
+
+def topology_sequence(network, adversary, scripts, *, seed, rounds, info=None):
+    """Run an execution and return the adversary's chosen masks per round."""
+    chosen = []
+    original = adversary.choose_topology
+
+    def recording(view):
+        topology = original(view)
+        chosen.append(topology.masks)
+        return topology
+
+    adversary.choose_topology = recording  # type: ignore[method-assign]
+    engine = RadioNetworkEngine(
+        network,
+        scripted_processes(network, scripts),
+        adversary,
+        seed=seed,
+        algorithm_info=info,
+        validate_topologies=True,
+    )
+    engine.run(max_rounds=rounds)
+    return chosen
+
+
+@pytest.mark.parametrize(
+    "name,network,factory,spec_factory",
+    OBLIVIOUS_CASES,
+    ids=[case[0] for case in OBLIVIOUS_CASES],
+)
+def test_oblivious_schedule_ignores_node_behavior(
+    name, network, factory, spec_factory
+):
+    """Same adversary seed, wildly different node behavior — identical
+    link schedule. (The engine derives the adversary RNG from the
+    engine seed, so we hold that fixed and vary only the scripts.)"""
+    info = spec_factory().info() if spec_factory else None
+    silent = {}
+    noisy = {
+        u: {r: 1.0 for r in range(8)} for u in range(network.n)
+    }
+    seq_silent = topology_sequence(
+        network, factory(), silent, seed=31, rounds=8, info=info
+    )
+    seq_noisy = topology_sequence(
+        network, factory(), noisy, seed=31, rounds=8, info=info
+    )
+    assert seq_silent == seq_noisy, f"{name} adapted to execution content"
+
+
+class TestOnlineDiscipline:
+    def test_reacts_to_probabilities_not_coins(self):
+        """Two executions with the same declared probabilities but
+        different realized coins get the same online-adaptive schedule."""
+        network = DC.graph
+        scripts = {u: {r: 0.5 for r in range(8)} for u in range(network.n)}
+
+        def run(seed):
+            adversary = OnlineDenseSparseAttacker(DC.side_a_mask, threshold=3.0)
+            topology_sequence(network, adversary, scripts, seed=seed, rounds=8)
+            return adversary.dense_history
+
+        # Coins differ across seeds, but the declared probability vector
+        # (and hence E[|X| | S]) is identical every round.
+        assert run(1) == run(2)
+
+    def test_reacts_to_probability_changes(self):
+        network = DC.graph
+        low = {u: {r: 0.01 for r in range(4)} for u in range(network.n)}
+        high = {u: {r: 0.9 for r in range(4)} for u in range(network.n)}
+
+        def history(scripts):
+            adversary = OnlineDenseSparseAttacker(DC.side_a_mask, threshold=3.0)
+            topology_sequence(network, adversary, scripts, seed=5, rounds=4)
+            return adversary.dense_history
+
+        assert history(low) == [False] * 4
+        assert history(high) == [True] * 4
+
+
+class TestOfflineDiscipline:
+    def test_reacts_to_realized_coins(self):
+        """With borderline probabilities, different coins yield different
+        offline schedules — the power the online adversary lacks."""
+        network = DC.graph
+        # Rate ~1/n keeps |X| hovering around 1, where the solo/flood
+        # decision is coin-sensitive.
+        scripts = {u: {r: 1.0 / network.n for r in range(10)} for u in range(network.n)}
+
+        def flood_counts(seed):
+            adversary = OfflineSoloBlockerAttacker(DC.side_a_mask)
+            topology_sequence(network, adversary, scripts, seed=seed, rounds=10)
+            return adversary.flooded_rounds, adversary.solo_rounds
+
+        outcomes = {flood_counts(seed) for seed in range(6)}
+        assert len(outcomes) > 1
+
+    def test_deterministic_behavior_fixed_coins(self):
+        network = DC.graph
+        scripts = {0: {r: 1.0 for r in range(6)}}  # exactly one transmitter
+        adversary = OfflineSoloBlockerAttacker(DC.side_a_mask)
+        topology_sequence(network, adversary, scripts, seed=3, rounds=6)
+        assert adversary.solo_rounds == 6
+        assert adversary.flooded_rounds == 0

@@ -1,0 +1,94 @@
+"""Tests for the shared algorithm plumbing (specs, factories, helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import (
+    AlgorithmSpec,
+    clamp_probability,
+    log2_ceil,
+    make_spec,
+    role_set,
+)
+from repro.core.process import ProcessContext, SilentProcess
+
+
+class TestLog2Ceil:
+    def test_powers_of_two(self):
+        assert log2_ceil(2) == 1
+        assert log2_ceil(8) == 3
+        assert log2_ceil(1024) == 10
+
+    def test_rounds_up(self):
+        assert log2_ceil(5) == 3
+        assert log2_ceil(9) == 4
+
+    def test_floor_at_one(self):
+        assert log2_ceil(1) == 1
+        assert log2_ceil(2) == 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            log2_ceil(0)
+
+
+class TestClampProbability:
+    def test_in_range_passthrough(self):
+        assert clamp_probability(0.5) == 0.5
+
+    def test_clamps_both_ends(self):
+        assert clamp_probability(1.5) == 1.0
+        assert clamp_probability(-0.5) == 0.0
+
+
+class TestRoleSet:
+    def test_normalizes_to_frozenset_of_ints(self):
+        roles = role_set([1, 2, 2, 3])
+        assert roles == frozenset({1, 2, 3})
+        assert isinstance(roles, frozenset)
+
+
+class TestAlgorithmSpec:
+    def make(self):
+        return make_spec(
+            "silent", lambda ctx: SilentProcess(ctx), metadata={"k": 1}
+        )
+
+    def test_build_processes_assigns_ids(self):
+        processes = self.make().build_processes(5, 4, seed=1)
+        assert [p.node_id for p in processes] == list(range(5))
+
+    def test_build_processes_rngs_are_independent(self):
+        processes = self.make().build_processes(4, 3, seed=1)
+        draws = {p.ctx.rng.random() for p in processes}
+        assert len(draws) == 4
+
+    def test_build_processes_deterministic_per_seed(self):
+        a = self.make().build_processes(3, 2, seed=9)
+        b = self.make().build_processes(3, 2, seed=9)
+        assert [p.ctx.rng.random() for p in a] == [p.ctx.rng.random() for p in b]
+
+    def test_build_single_process(self):
+        import random
+
+        ctx = ProcessContext(node_id=7, n=10, max_degree=3, rng=random.Random(0))
+        process = self.make().build_process(ctx)
+        assert process.node_id == 7
+
+    def test_info_carries_blueprint_and_metadata(self):
+        spec = self.make()
+        info = spec.info()
+        assert info.name == "silent"
+        assert info.metadata == {"k": 1}
+        assert info.blueprint is spec.factory
+
+    def test_info_metadata_is_a_copy(self):
+        spec = self.make()
+        info = spec.info()
+        info.metadata["k"] = 99
+        assert spec.metadata["k"] == 1
+
+    def test_describe_state_default(self):
+        processes = self.make().build_processes(1, 1, seed=0)
+        assert "SilentProcess" in processes[0].describe_state()

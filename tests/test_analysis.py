@@ -1,0 +1,293 @@
+"""Tests for the analysis harness: runner, sweeps, fitting, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms.round_robin import make_round_robin_global_broadcast
+from repro.analysis.fitting import (
+    GROWTH_CLASSES,
+    STANDARD_MODELS,
+    best_model_name,
+    classify_growth,
+    fit_model,
+    fit_power_law,
+    select_model,
+)
+from repro.analysis.runner import (
+    PreparedTrial,
+    TrialResult,
+    TrialStats,
+    default_round_cap,
+    infer_problem,
+    run_broadcast_trial,
+    run_broadcast_trials,
+)
+from repro.analysis.sweep import run_sweep
+from repro.analysis.tables import (
+    format_cell,
+    render_markdown_table,
+    render_table,
+    rows_from_dicts,
+)
+from repro.graphs.builders import line_dual
+from repro.problems.global_broadcast import GlobalBroadcastProblem
+
+
+class TestTrialStats:
+    def make(self, rounds_list, solved=True):
+        stats = TrialStats()
+        for i, rounds in enumerate(rounds_list):
+            stats.add(TrialResult(solved=solved, rounds=rounds, seed=i))
+        return stats
+
+    def test_aggregates(self):
+        stats = self.make([10, 20, 30, 40])
+        assert stats.trials == 4
+        assert stats.success_rate == 1.0
+        assert stats.median_rounds == 25
+        assert stats.mean_rounds == 25
+        assert stats.percentile_rounds(0) == 10
+        assert stats.percentile_rounds(100) == 40
+
+    def test_percentile_interpolation(self):
+        stats = self.make([10, 20])
+        assert stats.percentile_rounds(50) == 15
+
+    def test_censoring_counts_unsolved_rounds(self):
+        stats = TrialStats()
+        stats.add(TrialResult(solved=True, rounds=10, seed=0))
+        stats.add(TrialResult(solved=False, rounds=100, seed=1))
+        assert stats.success_rate == 0.5
+        assert stats.mean_rounds == 55
+        assert stats.solved_rounds() == [10]
+
+    def test_empty_stats(self):
+        stats = TrialStats()
+        assert math.isnan(stats.mean_rounds)
+        assert stats.success_rate == 0.0
+
+    def test_summary_row_keys(self):
+        row = self.make([5, 5]).summary_row()
+        assert set(row) == {"trials", "success", "median", "mean", "p90"}
+
+
+class TestRunner:
+    def scenario(self, seed):
+        net = line_dual(5)
+        return PreparedTrial(
+            network=net,
+            algorithm=make_round_robin_global_broadcast(net.n, 0),
+            link_process=NoFlakyLinks(),
+            problem=GlobalBroadcastProblem(net, 0),
+            max_rounds=200,
+        )
+
+    def test_single_trial(self):
+        net = line_dual(5)
+        result = run_broadcast_trial(
+            network=net,
+            algorithm=make_round_robin_global_broadcast(net.n, 0),
+            link_process=NoFlakyLinks(),
+            seed=1,
+        )
+        assert result.solved
+        # Round robin on a line: worst case n per hop.
+        assert result.rounds <= net.n * net.n
+
+    def test_trials_aggregate(self):
+        stats = run_broadcast_trials(self.scenario, trials=3, master_seed=9)
+        assert stats.trials == 3
+        assert stats.success_rate == 1.0
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_broadcast_trials(self.scenario, trials=0, master_seed=9)
+
+    def test_round_robin_is_deterministic_across_seeds(self):
+        stats = run_broadcast_trials(self.scenario, trials=3, master_seed=9)
+        assert len(set(stats.solved_rounds())) == 1
+
+    def test_infer_problem_global(self):
+        net = line_dual(4)
+        problem = infer_problem(net, make_round_robin_global_broadcast(net.n, 2))
+        assert isinstance(problem, GlobalBroadcastProblem)
+        assert problem.source == 2
+
+    def test_infer_problem_requires_metadata(self):
+        from repro.algorithms.base import AlgorithmSpec
+
+        net = line_dual(4)
+        bare = AlgorithmSpec(name="x", factory=lambda ctx: None)
+        with pytest.raises(ValueError):
+            infer_problem(net, bare)
+
+    def test_default_round_cap_floor(self):
+        assert default_round_cap(2) == 4096
+        assert default_round_cap(100) == 40000
+
+    def test_unsolved_result_raises_on_rounds_to_solve(self):
+        result = TrialResult(solved=False, rounds=5, seed=0)
+        with pytest.raises(ValueError):
+            result.rounds_to_solve()
+
+
+class TestSweep:
+    def test_sweep_runs_each_parameter(self):
+        def scenario_for(n):
+            def scenario(seed):
+                net = line_dual(n)
+                return PreparedTrial(
+                    network=net,
+                    algorithm=make_round_robin_global_broadcast(net.n, 0),
+                    link_process=NoFlakyLinks(),
+                    problem=GlobalBroadcastProblem(net, 0),
+                    max_rounds=10 * n * n,
+                )
+
+            return scenario
+
+        result = run_sweep(
+            "rr-line", [4, 8], scenario_for, trials=2, master_seed=3
+        )
+        assert result.parameters() == [4, 8]
+        assert all(rate == 1.0 for rate in result.success_rates())
+        assert result.medians()[1] > result.medians()[0]
+        ratios = result.growth_ratios()
+        assert len(ratios) == 1 and ratios[0] > 1.0
+
+    def test_as_rows(self):
+        def scenario_for(n):
+            def scenario(seed):
+                net = line_dual(n)
+                return PreparedTrial(
+                    network=net,
+                    algorithm=make_round_robin_global_broadcast(net.n, 0),
+                    link_process=NoFlakyLinks(),
+                    problem=GlobalBroadcastProblem(net, 0),
+                    max_rounds=10 * n * n,
+                )
+
+            return scenario
+
+        rows = run_sweep("x", [4], scenario_for, trials=1, master_seed=0).as_rows()
+        assert rows[0]["param"] == 4
+
+
+class TestFitting:
+    def test_power_law_recovers_exponent(self):
+        xs = [16, 32, 64, 128, 256]
+        ys = [3.0 * x**1.5 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.01)
+        assert fit.coefficient == pytest.approx(3.0, rel=0.05)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.predict(512) == pytest.approx(3.0 * 512**1.5, rel=0.05)
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [3])
+
+    def test_select_model_identifies_linear(self):
+        xs = [32, 64, 128, 256]
+        ys = [2.0 * x for x in xs]
+        assert best_model_name(xs, ys) == "n"
+
+    def test_select_model_identifies_nlogn_over_n(self):
+        xs = [32, 64, 128, 256, 512, 1024]
+        ys = [x * math.log2(x) for x in xs]
+        fits = select_model(xs, ys)
+        assert fits[0].model_name == "n log n"
+
+    def test_select_model_identifies_polylog(self):
+        xs = [32, 64, 128, 256, 512, 1024]
+        ys = [5 * math.log2(x) ** 2 for x in xs]
+        assert best_model_name(xs, ys) == "log^2 n"
+
+    def test_fit_model_scale(self):
+        xs = [8, 16, 32]
+        ys = [7.0 * x for x in xs]
+        fit = fit_model(xs, ys, STANDARD_MODELS["n"], "n")
+        assert fit.scale == pytest.approx(7.0, rel=1e-6)
+        assert fit.rms_log_residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_restricted_candidates(self):
+        xs = [32, 64, 128]
+        ys = [x for x in xs]
+        models = {"log n": STANDARD_MODELS["log n"], "n": STANDARD_MODELS["n"]}
+        assert best_model_name(xs, ys, models=models) == "n"
+
+
+class TestClassifyGrowth:
+    def test_linear_series(self):
+        xs = [64, 128, 256, 512]
+        assert classify_growth(xs, [2 * x for x in xs]) == "near-linear"
+
+    def test_n_over_log_is_near_linear(self):
+        xs = [64, 128, 256, 512]
+        assert classify_growth(xs, [x / math.log2(x) for x in xs]) == "near-linear"
+
+    def test_polylog_series_is_sublinear(self):
+        xs = [64, 128, 256, 512]
+        assert classify_growth(xs, [math.log2(x) ** 2 for x in xs]) == "sublinear"
+
+    def test_sqrt_series_is_sublinear(self):
+        xs = [128, 512, 2048]
+        assert classify_growth(xs, [math.sqrt(x) for x in xs]) == "sublinear"
+
+    def test_sqrt_over_log_is_sublinear(self):
+        xs = [128, 512, 2048]
+        assert (
+            classify_growth(xs, [math.sqrt(x) / math.log2(x) for x in xs])
+            == "sublinear"
+        )
+
+    def test_quadratic_series(self):
+        xs = [8, 16, 32]
+        assert classify_growth(xs, [x * x for x in xs]) == "superlinear"
+
+    def test_classes_partition_the_line(self):
+        bounds = sorted(GROWTH_CLASSES.values())
+        for (low_a, high_a), (low_b, high_b) in zip(bounds, bounds[1:]):
+            assert high_a == low_b
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(3.0) == "3"
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(float("nan")) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell("x") == "x"
+
+    def test_render_table_alignment(self):
+        text = render_table(["name", "v"], [["a", 1], ["bbbb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert all(len(line) >= len("name  v") for line in lines[1:])
+
+    def test_render_table_validates_width(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_markdown_table(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[2] == "| 1 | 2 |"
+
+    def test_rows_from_dicts(self):
+        headers, rows = rows_from_dicts([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert headers == ["x", "y"]
+        assert rows == [[1, 2], [3, 4]]
+
+    def test_rows_from_dicts_empty(self):
+        headers, rows = rows_from_dicts([], headers=["a"])
+        assert headers == ["a"] and rows == []

@@ -1,0 +1,218 @@
+"""Tests for BitStream / BitCursor — the shared-randomness substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bits import BitCursor, BitStream, bits_for_uniform
+from repro.core.errors import BitStreamError
+
+
+class TestBitsForUniform:
+    def test_power_of_two_widths(self):
+        assert bits_for_uniform(2) == 1
+        assert bits_for_uniform(4) == 2
+        assert bits_for_uniform(8) == 3
+        assert bits_for_uniform(1024) == 10
+
+    def test_single_outcome(self):
+        assert bits_for_uniform(1) == 1
+
+    def test_non_power_of_two_padded(self):
+        # width = bitlen(n-1) + 2 when n is not a power of two
+        assert bits_for_uniform(3) == 4
+        assert bits_for_uniform(6) == 5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            bits_for_uniform(0)
+
+
+class TestBitStreamConstruction:
+    def test_from_bits_list(self):
+        s = BitStream.from_bits([1, 0, 1, 1])
+        assert len(s) == 4
+        assert list(s) == [1, 0, 1, 1]
+
+    def test_from_bits_string(self):
+        s = BitStream.from_bits("1011")
+        assert s.to_bitstring() == "1011"
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitStream.from_bits([0, 2, 1])
+
+    def test_random_has_requested_length(self, rng):
+        s = BitStream.random(rng, 137)
+        assert len(s) == 137
+
+    def test_random_zero_length(self, rng):
+        s = BitStream.random(rng, 0)
+        assert len(s) == 0
+
+    def test_value_beyond_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitStream(value=0b1000, length=3)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            BitStream(value=0, length=-1)
+
+    def test_random_is_deterministic_per_seed(self):
+        a = BitStream.random(random.Random(5), 256)
+        b = BitStream.random(random.Random(5), 256)
+        assert a == b
+
+    def test_random_differs_across_seeds(self):
+        a = BitStream.random(random.Random(5), 256)
+        b = BitStream.random(random.Random(6), 256)
+        assert a != b
+
+
+class TestWindowAccess:
+    def test_window_value_front_bits(self):
+        s = BitStream.from_bits("10110")
+        assert s.window_value(0, 1) == 1
+        assert s.window_value(1, 1) == 0
+        assert s.window_value(0, 3) == 0b101  # little-endian within window
+
+    def test_window_returns_substream(self):
+        s = BitStream.from_bits("110101")
+        w = s.window(2, 3)
+        assert len(w) == 3
+        assert w.to_bitstring() == "010"
+
+    def test_window_zero_width(self):
+        s = BitStream.from_bits("101")
+        assert s.window_value(1, 0) == 0
+
+    def test_overrun_raises_when_not_cyclic(self):
+        s = BitStream.from_bits("101")
+        with pytest.raises(BitStreamError):
+            s.window_value(2, 2)
+
+    def test_cyclic_overrun_wraps(self):
+        s = BitStream.from_bits("101", cyclic=True)
+        # offset 2 reads bit 2 (=1) then wraps to bit 0 (=1): value 0b11
+        assert s.window_value(2, 2) == 0b11
+
+    def test_cyclic_empty_stream_raises(self):
+        s = BitStream(value=0, length=0, cyclic=True)
+        with pytest.raises(BitStreamError):
+            s.window_value(0, 1)
+
+    def test_bit_accessor(self):
+        s = BitStream.from_bits("01")
+        assert s.bit(0) == 0
+        assert s.bit(1) == 1
+
+    def test_negative_offset_rejected(self):
+        s = BitStream.from_bits("1111")
+        with pytest.raises(ValueError):
+            s.window_value(-1, 2)
+
+
+class TestUniformAt:
+    def test_same_offset_same_value_for_all_holders(self, rng):
+        s = BitStream.random(rng, 512)
+        # Two independent "nodes" holding the same stream agree.
+        assert s.uniform_at(17, 8) == s.uniform_at(17, 8)
+
+    def test_values_in_range(self, rng):
+        s = BitStream.random(rng, 4096)
+        width = bits_for_uniform(8)
+        for i in range(100):
+            v = s.uniform_at(i * width, 8)
+            assert 0 <= v < 8
+
+    def test_roughly_uniform_for_power_of_two(self, rng):
+        s = BitStream.random(rng, 3 * 4000)
+        counts = [0] * 8
+        for i in range(4000):
+            counts[s.uniform_at(3 * i, 8)] += 1
+        # Each outcome expects 500; allow generous slack.
+        assert min(counts) > 350
+        assert max(counts) < 650
+
+
+class TestBitCursor:
+    def test_sequential_take(self):
+        s = BitStream.from_bits("10110100")
+        c = s.cursor()
+        assert c.take(3) == 0b101
+        assert c.take(3) == 0b101  # bits 3,4,5 = 1,0,1 -> LE 0b101
+        assert c.remaining == 2
+
+    def test_take_past_end_raises(self):
+        c = BitStream.from_bits("10").cursor()
+        c.take(2)
+        with pytest.raises(BitStreamError):
+            c.take(1)
+
+    def test_take_uniform_advances_fixed_width(self):
+        s = BitStream.random(random.Random(1), 64)
+        c = s.cursor()
+        c.take_uniform(8)
+        assert c.position == bits_for_uniform(8)
+
+    def test_take_bernoulli_bounds(self):
+        c = BitStream.random(random.Random(2), 1024).cursor()
+        draws = [c.take_bernoulli(1, 2) for _ in range(100)]
+        assert any(draws) and not all(draws)
+
+    def test_take_bernoulli_extremes(self):
+        c = BitStream.random(random.Random(3), 64).cursor()
+        assert c.take_bernoulli(4, 4) is True
+        assert c.take_bernoulli(0, 4) is False
+
+    def test_take_bernoulli_rejects_bad_fraction(self):
+        c = BitStream.random(random.Random(3), 64).cursor()
+        with pytest.raises(ValueError):
+            c.take_bernoulli(5, 4)
+
+
+class TestBitStreamProperties:
+    @given(bits=st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_roundtrip_through_bitstring(self, bits):
+        s = BitStream.from_bits(bits)
+        assert BitStream.from_bits(s.to_bitstring()) == s
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=128),
+        offset=st.integers(0, 127),
+        width=st.integers(0, 128),
+    )
+    def test_window_matches_bit_list(self, bits, offset, width):
+        s = BitStream.from_bits(bits)
+        if offset + width > len(bits):
+            if width > 0:
+                with pytest.raises(BitStreamError):
+                    s.window_value(offset, width)
+            return
+        expected = 0
+        for i in range(width):
+            expected |= bits[offset + i] << i
+        assert s.window_value(offset, width) == expected
+
+    @given(
+        bits=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+        offset=st.integers(0, 200),
+        width=st.integers(1, 64),
+    )
+    @settings(max_examples=50)
+    def test_cyclic_window_matches_modular_indexing(self, bits, offset, width):
+        s = BitStream.from_bits(bits, cyclic=True)
+        expected = 0
+        for i in range(width):
+            expected |= bits[(offset + i) % len(bits)] << i
+        assert s.window_value(offset, width) == expected
+
+    @given(num_outcomes=st.integers(1, 100), offset=st.integers(0, 50))
+    @settings(max_examples=50)
+    def test_uniform_at_always_in_range(self, num_outcomes, offset):
+        s = BitStream.random(random.Random(0), 512)
+        assert 0 <= s.uniform_at(offset, num_outcomes) < num_outcomes

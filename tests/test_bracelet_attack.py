@@ -1,0 +1,108 @@
+"""Tests for the Theorem 4.3 oblivious bracelet attacker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversaries.base import AlgorithmInfo, ObliviousView
+from repro.adversaries.bracelet_attack import BraceletObliviousAttacker
+from repro.algorithms.local_static import make_static_local_broadcast
+from repro.algorithms.uniform import make_uniform_local_broadcast
+from repro.core.errors import AdversaryUsageError
+from repro.graphs.bracelet import bracelet
+
+
+def local_spec(br, rate=None):
+    broadcasters = frozenset(br.heads_a())
+    if rate is None:
+        return make_static_local_broadcast(br.n, broadcasters, br.graph.max_degree)
+    return make_uniform_local_broadcast(
+        br.n, broadcasters, br.graph.max_degree, probability=rate
+    )
+
+
+def started_attacker(br, spec, seed=0, **kwargs):
+    attacker = BraceletObliviousAttacker(br, **kwargs)
+    attacker.start(br.graph, spec.info(), random.Random(seed))
+    return attacker
+
+
+class TestPrecomputation:
+    def test_labels_cover_the_horizon(self):
+        br = bracelet(5)
+        attacker = started_attacker(br, local_spec(br))
+        assert len(attacker.labels) == br.band_length
+        assert len(attacker.predicted_counts) == br.band_length
+
+    def test_requires_blueprint(self):
+        br = bracelet(4)
+        attacker = BraceletObliviousAttacker(br)
+        bare = AlgorithmInfo(name="x", metadata={}, blueprint=None)
+        with pytest.raises(AdversaryUsageError):
+            attacker.start(br.graph, bare, random.Random(0))
+
+    def test_prediction_counts_only_heads(self):
+        # With head rate 0 nothing ever broadcasts: all rounds sparse.
+        br = bracelet(4)
+        attacker = started_attacker(br, local_spec(br, rate=0.0))
+        assert attacker.predicted_counts == [0] * br.band_length
+        assert not any(attacker.labels)
+        assert attacker.dense_round_fraction() == 0.0
+
+    def test_high_rate_heads_make_dense_rounds(self):
+        br = bracelet(8)  # L = 8 heads at rate 1: count 8 > ln(128) ≈ 4.85
+        attacker = started_attacker(br, local_spec(br, rate=1.0))
+        assert all(attacker.labels)
+
+    def test_threshold_factor_scales_labels(self):
+        br = bracelet(8)
+        loose = started_attacker(br, local_spec(br, rate=0.5), threshold_factor=0.1)
+        tight = started_attacker(br, local_spec(br, rate=0.5), threshold_factor=10.0)
+        assert sum(loose.labels) >= sum(tight.labels)
+
+
+class TestSchedule:
+    def test_topologies_match_labels(self):
+        br = bracelet(6)
+        attacker = started_attacker(br, local_spec(br, rate=1.0))
+        topo = attacker.choose_topology(ObliviousView(0))
+        assert topo.label == "G'-all"
+
+    def test_sparse_topology_severs_all_cross_edges(self):
+        br = bracelet(4)
+        attacker = started_attacker(br, local_spec(br, rate=0.0))
+        topo = attacker.choose_topology(ObliviousView(0))
+        topo.validate(br.graph)
+        for i in range(4):
+            for j in range(4):
+                a, b = br.head_a(i), br.head_b(j)
+                if (a, b) == br.clasp:
+                    assert (topo.masks[a] >> b) & 1  # the G clasp survives
+                else:
+                    assert not (topo.masks[a] >> b) & 1
+
+    def test_tail_defaults_to_dense(self):
+        br = bracelet(4)
+        attacker = started_attacker(br, local_spec(br, rate=0.0))
+        topo = attacker.choose_topology(ObliviousView(999))
+        assert topo.label == "G'-all"
+
+    def test_schedule_is_execution_independent(self):
+        # Same seed, same algorithm: identical labels regardless of how
+        # the (hypothetical) execution would unfold — obliviousness.
+        br = bracelet(5)
+        a = started_attacker(br, local_spec(br), seed=42)
+        b = started_attacker(br, local_spec(br), seed=42)
+        assert a.labels == b.labels
+
+    def test_never_uses_the_secret_clasp(self):
+        # Two bracelets differing only in clasp index produce the same
+        # labels under the same adversary seed — the attacker cannot
+        # see the secret.
+        br1 = bracelet(5, clasp_index=0)
+        br2 = bracelet(5, clasp_index=3)
+        a = started_attacker(br1, local_spec(br1), seed=4)
+        b = started_attacker(br2, local_spec(br2), seed=4)
+        assert a.labels == b.labels

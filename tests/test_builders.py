@@ -1,0 +1,165 @@
+"""Tests for the generic dual-graph builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.builders import (
+    binary_tree_dual,
+    clique_dual,
+    er_dual,
+    funnel_dual,
+    grid_dual,
+    line_dual,
+    line_of_cliques,
+    ring_dual,
+    star_dual,
+    with_extra_flaky_edges,
+)
+
+
+class TestLine:
+    def test_structure(self):
+        g = line_dual(5)
+        assert g.g_edges() == {(0, 1), (1, 2), (2, 3), (3, 4)}
+        assert not g.flaky_edges()
+
+    def test_skip_edges(self):
+        g = line_dual(5, extra_flaky_skips=2)
+        assert g.flaky_edges() == {(0, 2), (1, 3)}
+
+    def test_skips_capped_by_length(self):
+        g = line_dual(4, extra_flaky_skips=99)
+        assert g.flaky_edges() == {(0, 2), (1, 3)}
+
+    def test_too_small(self):
+        with pytest.raises(GraphValidationError):
+            line_dual(1)
+
+
+class TestRing:
+    def test_structure(self):
+        g = ring_dual(4)
+        assert g.g_edges() == {(0, 1), (1, 2), (2, 3), (0, 3)}
+        assert g.g_diameter() == 2
+
+    def test_chords(self):
+        g = ring_dual(5, chords=[(0, 2)])
+        assert g.flaky_edges() == {(0, 2)}
+
+    def test_too_small(self):
+        with pytest.raises(GraphValidationError):
+            ring_dual(2)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid_dual(3, 4)
+        assert g.n == 12
+        assert g.g_degree(0) == 2  # corner
+        assert g.g_degree(5) == 4  # interior
+
+    def test_diagonals_are_flaky(self):
+        g = grid_dual(2, 2, flaky_diagonals=True)
+        assert g.flaky_edges() == {(0, 3), (1, 2)}
+
+    def test_diameter(self):
+        assert grid_dual(3, 3).g_diameter() == 4
+
+
+class TestCliqueStar:
+    def test_clique_complete(self):
+        g = clique_dual(5)
+        assert len(g.g_edges()) == 10
+        assert g.g_diameter() == 1
+
+    def test_star_structure(self):
+        g = star_dual(5)
+        assert g.g_degree(0) == 4
+        assert all(g.g_degree(v) == 1 for v in range(1, 5))
+
+    def test_star_flaky_rim(self):
+        g = star_dual(5, flaky_rim=True)
+        assert (1, 2) in g.flaky_edges()
+        assert (1, 4) in g.flaky_edges()  # wrap-around
+
+
+class TestBinaryTree:
+    def test_sizes(self):
+        g = binary_tree_dual(3)
+        assert g.n == 15
+        assert g.g_degree(0) == 2
+
+    def test_depth_is_eccentricity(self):
+        g = binary_tree_dual(3)
+        assert g.g_eccentricity(0) == 3
+
+
+class TestLineOfCliques:
+    def test_structure(self):
+        g = line_of_cliques(3, 4)
+        assert g.n == 12
+        # Bridge between cliques 0 and 1: (3, 4).
+        assert g.has_g_edge(3, 4)
+        assert not g.has_g_edge(0, 4)
+
+    def test_diameter_grows_with_cliques(self):
+        d1 = line_of_cliques(2, 4).g_diameter()
+        d2 = line_of_cliques(8, 4).g_diameter()
+        assert d2 > 3 * d1
+
+    def test_flaky_cross_links(self):
+        g = line_of_cliques(2, 3, flaky_cross_links=True)
+        # All non-bridge cross pairs are flaky: 3x3 minus the G bridge.
+        assert len(g.flaky_edges()) == 8
+
+    def test_connected(self):
+        assert line_of_cliques(5, 3).is_g_connected()
+
+
+class TestFunnel:
+    def test_structure(self):
+        g = funnel_dual(6)
+        # Source 0 and sink 5 not adjacent.
+        assert not g.has_g_edge(0, 5)
+        # Source and sink each neighbor the whole middle.
+        assert g.g_neighbors(0) == [1, 2, 3, 4]
+        assert g.g_neighbors(5) == [1, 2, 3, 4]
+        # Middle is a clique.
+        assert g.has_g_edge(1, 4)
+
+    def test_static(self):
+        assert not funnel_dual(6).flaky_edges()
+
+    def test_too_small(self):
+        with pytest.raises(GraphValidationError):
+            funnel_dual(3)
+
+
+class TestErDual:
+    def test_probability_validation(self):
+        with pytest.raises(GraphValidationError):
+            er_dual(5, 1.5, 0.0, random.Random(0))
+
+    def test_zero_probabilities_yield_tree(self):
+        g = er_dual(8, 0.0, 0.0, random.Random(0))
+        assert len(g.g_edges()) == 7
+        assert not g.flaky_edges()
+        assert g.is_g_connected()
+
+    def test_deterministic_given_rng_seed(self):
+        a = er_dual(10, 0.2, 0.2, random.Random(3))
+        b = er_dual(10, 0.2, 0.2, random.Random(3))
+        assert a.g_edges() == b.g_edges()
+        assert a.flaky_edges() == b.flaky_edges()
+
+
+class TestWithExtraFlaky:
+    def test_adds_flaky_edges(self):
+        g = line_dual(4)
+        g2 = with_extra_flaky_edges(g, [(0, 3)])
+        assert g2.flaky_edges() == {(0, 3)}
+        assert g2.g_edges() == g.g_edges()

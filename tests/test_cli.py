@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "E5"])
+        assert args.experiment == "E5"
+        assert args.scale == "small"
+        assert args.seed == 2013
+
+    def test_trial_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trial", "--network", "torus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E5" in out and "A2" in out
+
+    def test_paper(self, capsys):
+        assert main(["paper"]) == 0
+        out = capsys.readouterr().out
+        assert "Ω(n / log n)" in out
+        assert "no dynamic links" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_tiny_experiment(self, capsys):
+        assert main(["run", "E1b", "--scale", "tiny", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "E1b" in out and "median rounds" in out
+
+    @pytest.mark.parametrize(
+        "network,algorithm,adversary",
+        [
+            ("geographic", "permuted-decay", "none"),
+            ("dual-clique", "round-robin", "offline-solo-blocker"),
+            ("funnel", "plain-decay", "none"),
+            ("line-of-cliques", "permuted-decay", "ge-fade"),
+            ("geographic", "static-local", "all"),
+        ],
+    )
+    def test_trial_combinations(self, capsys, network, algorithm, adversary):
+        code = main(
+            [
+                "trial",
+                "--network", network,
+                "--algorithm", algorithm,
+                "--adversary", adversary,
+                "--n", "32",
+                "--seed", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "solved   : True" in out
+
+    def test_trial_bracelet_online_attack(self, capsys):
+        code = main(
+            [
+                "trial",
+                "--network", "bracelet",
+                "--algorithm", "static-local",
+                "--adversary", "online-dense-sparse",
+                "--n", "32",
+                "--seed", "5",
+            ]
+        )
+        assert code == 0
+        assert "bracelet" in capsys.readouterr().out
+
+    def test_trial_geo_local(self, capsys):
+        code = main(
+            [
+                "trial",
+                "--network", "geographic",
+                "--algorithm", "geo-local",
+                "--adversary", "ge-fade",
+                "--n", "32",
+                "--seed", "6",
+            ]
+        )
+        assert code == 0

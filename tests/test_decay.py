@@ -1,0 +1,120 @@
+"""Tests for plain decay and the BGI global broadcast process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.decay import (
+    PlainDecayGlobalProcess,
+    decay_probability,
+    make_plain_decay_global_broadcast,
+)
+from repro.core.messages import Message, MessageKind
+from tests.conftest import make_context
+
+
+class TestDecayProbability:
+    def test_ladder_values(self):
+        assert decay_probability(0, 4) == 0.5
+        assert decay_probability(1, 4) == 0.25
+        assert decay_probability(3, 4) == 0.0625
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            decay_probability(4, 4)
+        with pytest.raises(ValueError):
+            decay_probability(-1, 4)
+
+
+def data_message(origin=0, payload="m"):
+    return Message(MessageKind.DATA, origin=origin, payload=payload)
+
+
+class TestPlainDecayProcess:
+    def make_source(self, n=16, phase_length=4):
+        return PlainDecayGlobalProcess(
+            make_context(0, n), source=0, phase_length=phase_length
+        )
+
+    def make_other(self, node_id=3, n=16, phase_length=4):
+        return PlainDecayGlobalProcess(
+            make_context(node_id, n), source=0, phase_length=phase_length
+        )
+
+    def test_source_announces_round_zero(self):
+        plan = self.make_source().plan(0)
+        assert plan.probability == 1.0
+        assert plan.message.is_data()
+
+    def test_source_decays_after_announcement(self):
+        src = self.make_source(phase_length=4)
+        assert src.plan(1).probability == 0.5
+        assert src.plan(2).probability == 0.25
+        assert src.plan(5).probability == 0.5  # next phase
+
+    def test_uninformed_node_is_silent(self):
+        other = self.make_other()
+        assert other.plan(0).probability == 0.0
+        assert not other.informed
+
+    def test_node_joins_at_next_phase_boundary(self):
+        other = self.make_other(phase_length=4)
+        # Receives at round 2; boundaries are rounds 1, 5, 9, ...
+        other.on_feedback(2, sent=False, received=data_message())
+        assert other.informed
+        assert other.plan(3).probability == 0.0
+        assert other.plan(4).probability == 0.0
+        assert other.plan(5).probability == 0.5  # phase starts
+
+    def test_reception_at_boundary_joins_immediately(self):
+        other = self.make_other(phase_length=4)
+        # Receives at round 4 (feedback of round 4); next round 5 is a boundary.
+        other.on_feedback(4, sent=False, received=data_message())
+        assert other.plan(5).probability == 0.5
+
+    def test_ladder_position_is_globally_aligned(self):
+        # Two nodes joining at different times use the same rung per round.
+        a = self.make_other(node_id=3, phase_length=4)
+        b = self.make_other(node_id=7, phase_length=4)
+        a.on_feedback(0, sent=False, received=data_message())
+        b.on_feedback(6, sent=False, received=data_message())
+        for r in range(9, 17):
+            assert a.plan(r).probability == b.plan(r).probability
+
+    def test_active_phase_budget(self):
+        other = self.make_other(phase_length=4)
+        other.active_phases = 1
+        other.on_feedback(0, sent=False, received=data_message())
+        assert other.plan(1).probability > 0
+        assert other.plan(4).probability > 0
+        assert other.plan(5).probability == 0.0  # budget exhausted
+
+    def test_relay_forwards_original_message(self):
+        other = self.make_other()
+        msg = data_message(payload="hello")
+        other.on_feedback(0, sent=False, received=msg)
+        assert other.plan(1).message is msg
+
+    def test_ignores_non_data_messages(self):
+        other = self.make_other()
+        seed_msg = Message(MessageKind.SEED, origin=2)
+        other.on_feedback(0, sent=False, received=seed_msg)
+        assert not other.informed
+
+
+class TestFactory:
+    def test_metadata(self):
+        spec = make_plain_decay_global_broadcast(16, 2)
+        assert spec.metadata["problem"] == "global-broadcast"
+        assert spec.metadata["source"] == 2
+        assert spec.metadata["schedule"] == "public"
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            make_plain_decay_global_broadcast(8, 8)
+
+    def test_build_processes_roles(self):
+        spec = make_plain_decay_global_broadcast(8, 2)
+        processes = spec.build_processes(8, 7, seed=1)
+        assert processes[2].informed
+        assert not processes[0].informed

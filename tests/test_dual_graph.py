@@ -1,0 +1,194 @@
+"""Tests for the DualGraph type: invariants, masks, graph algorithms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.builders import er_dual, line_dual
+from repro.graphs.dual_graph import DualGraph, edges_from_adjacency, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphValidationError):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_from_edges_builds_symmetric_masks(self):
+        g = DualGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.g_masks[0] == 0b010
+        assert g.g_masks[1] == 0b101
+        assert g.g_masks[2] == 0b010
+
+    def test_extra_edges_go_to_gp_only(self):
+        g = DualGraph.from_edges(3, [(0, 1)], [(1, 2)])
+        assert g.has_gp_edge(1, 2)
+        assert not g.has_g_edge(1, 2)
+        assert g.flaky_edges() == {(1, 2)}
+
+    def test_duplicate_extra_edge_absorbed_into_g(self):
+        g = DualGraph.from_edges(3, [(0, 1)], [(0, 1), (1, 2)])
+        assert g.flaky_edges() == {(1, 2)}
+
+    def test_edge_outside_range_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph.from_edges(3, [(0, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph.from_edges(3, [(1, 1)])
+
+    def test_g_not_subset_gp_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph(n=2, g_masks=(0b10, 0b01), gp_masks=(0, 0))
+
+    def test_asymmetric_masks_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph(n=2, g_masks=(0b10, 0b00), gp_masks=(0b10, 0b00))
+
+    def test_embedding_length_checked(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph.from_edges(3, [(0, 1), (1, 2)], embedding=[(0, 0)])
+
+    def test_static_constructor_equates_graphs(self):
+        g = DualGraph.static(3, [(0, 1), (1, 2)])
+        assert g.g_masks == g.gp_masks
+        assert not g.flaky_edges()
+
+
+class TestAccessors:
+    def make(self):
+        return DualGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)], [(0, 2), (1, 3)])
+
+    def test_neighbors(self):
+        g = self.make()
+        assert g.g_neighbors(1) == [0, 2]
+        assert g.gp_neighbors(1) == [0, 2, 3]
+        assert g.flaky_neighbors(1) == [3]
+
+    def test_degrees(self):
+        g = self.make()
+        assert g.g_degree(1) == 2
+        assert g.gp_degree(1) == 3
+        assert g.max_degree == 3
+
+    def test_edge_sets(self):
+        g = self.make()
+        assert g.g_edges() == {(0, 1), (1, 2), (2, 3)}
+        assert g.flaky_edges() == {(0, 2), (1, 3)}
+        assert g.gp_edges() == g.g_edges() | g.flaky_edges()
+
+    def test_edge_queries(self):
+        g = self.make()
+        assert g.has_g_edge(0, 1) and g.has_g_edge(1, 0)
+        assert not g.has_g_edge(0, 2)
+        assert g.has_gp_edge(0, 2)
+
+    def test_edges_from_adjacency_roundtrip(self):
+        g = self.make()
+        assert edges_from_adjacency(g.g_masks) == g.g_edges()
+
+    def test_summary_mentions_counts(self):
+        text = self.make().summary()
+        assert "n=4" in text and "Δ=3" in text
+
+
+class TestGraphAlgorithms:
+    def test_bfs_distances_line(self):
+        g = line_dual(5)
+        assert g.bfs_distances(0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_with_gp_uses_flaky_edges(self):
+        g = line_dual(5, extra_flaky_skips=3)
+        dist = g.bfs_distances(0, use_gp=True)
+        assert dist[2] == 1  # skip edge (0, 2)
+
+    def test_bfs_unreachable_marked(self):
+        g = DualGraph.from_edges(3, [(0, 1)])
+        assert g.bfs_distances(0)[2] == -1
+
+    def test_connectivity(self):
+        assert line_dual(6).is_g_connected()
+        assert not DualGraph.from_edges(3, [(0, 1)]).is_g_connected()
+
+    def test_diameter_line(self):
+        assert line_dual(6).g_diameter() == 5
+
+    def test_diameter_disconnected_raises(self):
+        with pytest.raises(GraphValidationError):
+            DualGraph.from_edges(3, [(0, 1)]).g_diameter()
+
+    def test_eccentricity(self):
+        g = line_dual(5)
+        assert g.g_eccentricity(0) == 4
+        assert g.g_eccentricity(2) == 2
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_remaps_ids(self):
+        g = line_dual(5, extra_flaky_skips=3)
+        sub = g.induced_subgraph([2, 3, 4])
+        assert sub.n == 3
+        assert sub.has_g_edge(0, 1) and sub.has_g_edge(1, 2)
+        # skip edge (2, 4) maps to (0, 2)
+        assert sub.has_gp_edge(0, 2) and not sub.has_g_edge(0, 2)
+
+    def test_induced_subgraph_duplicate_nodes_rejected(self):
+        with pytest.raises(GraphValidationError):
+            line_dual(4).induced_subgraph([1, 1])
+
+    def test_as_static_on_g(self):
+        g = line_dual(4, extra_flaky_skips=2)
+        s = g.as_static()
+        assert s.g_masks == s.gp_masks == g.g_masks
+
+    def test_as_static_on_gp(self):
+        g = line_dual(4, extra_flaky_skips=2)
+        s = g.as_static(use_gp=True)
+        assert s.g_masks == g.gp_masks
+
+    def test_induced_subgraph_keeps_embedding(self):
+        g = DualGraph.from_edges(
+            3, [(0, 1), (1, 2)], embedding=[(0, 0), (1, 0), (2, 0)]
+        )
+        sub = g.induced_subgraph([1, 2])
+        assert sub.embedding == ((1.0, 0.0), (2.0, 0.0))
+
+
+class TestRandomGraphProperties:
+    @given(
+        n=st.integers(4, 24),
+        pg=st.floats(0.0, 0.4),
+        pf=st.floats(0.0, 0.4),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_er_dual_invariants(self, n, pg, pf, seed):
+        g = er_dual(n, pg, pf, random.Random(seed))
+        # E ⊆ E' everywhere.
+        for u in range(n):
+            assert not g.g_masks[u] & ~g.gp_masks[u]
+            assert not (g.g_masks[u] >> u) & 1
+        # Spanning tree guarantees connectivity.
+        assert g.is_g_connected()
+        # Flaky masks = difference.
+        for u in range(n):
+            assert g.flaky_masks[u] == g.gp_masks[u] & ~g.g_masks[u]
+
+    @given(n=st.integers(4, 16), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_er_dual_symmetry(self, n, seed):
+        g = er_dual(n, 0.3, 0.3, random.Random(seed))
+        for u in range(n):
+            for v in g.gp_neighbors(u):
+                assert u in g.gp_neighbors(v)

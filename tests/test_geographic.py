@@ -1,0 +1,170 @@
+"""Tests for geographic graphs and the region decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.geographic import (
+    cluster_chain_geographic,
+    edges_from_embedding,
+    geographic_from_points,
+    grid_geographic,
+    random_geographic,
+    verify_geographic_constraint,
+)
+from repro.graphs.regions import (
+    CELL_SIDE,
+    RegionDecomposition,
+    max_region_neighbors_bound,
+)
+
+
+class TestEdgesFromEmbedding:
+    def test_classification_by_distance(self):
+        points = [(0.0, 0.0), (0.8, 0.0), (2.0, 0.0), (9.0, 0.0)]
+        reliable, grey = edges_from_embedding(points, 2.5)
+        assert (0, 1) in reliable  # d = 0.8 <= 1
+        assert (0, 2) in grey  # 1 < d = 2 <= 2.5
+        assert (1, 2) in grey  # d = 1.2
+        assert all(3 not in e for e in reliable + grey)  # d > r
+
+    def test_grey_ratio_below_one_rejected(self):
+        with pytest.raises(GraphValidationError):
+            edges_from_embedding([(0, 0), (1, 1)], 0.5)
+
+    def test_boundary_distance_one_is_reliable(self):
+        reliable, grey = edges_from_embedding([(0.0, 0.0), (1.0, 0.0)], 2.0)
+        assert (0, 1) in reliable and not grey
+
+    @given(
+        seed=st.integers(0, 200),
+        grey_ratio=st.floats(1.0, 3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, seed, grey_ratio):
+        import random
+
+        rng = random.Random(seed)
+        points = [(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(25)]
+        reliable, grey = edges_from_embedding(points, grey_ratio)
+        reliable_set, grey_set = set(reliable), set(grey)
+        for u in range(25):
+            for v in range(u + 1, 25):
+                d = math.dist(points[u], points[v])
+                if d <= 1.0:
+                    assert (u, v) in reliable_set
+                elif d <= grey_ratio:
+                    assert (u, v) in grey_set
+                else:
+                    assert (u, v) not in reliable_set | grey_set
+
+
+class TestGenerators:
+    def test_random_geographic_connected_and_legal(self):
+        g = random_geographic(50, grey_ratio=2.0, seed=1)
+        assert g.is_g_connected()
+        verify_geographic_constraint(g, 2.0)
+
+    def test_random_geographic_deterministic(self):
+        a = random_geographic(40, seed=9)
+        b = random_geographic(40, seed=9)
+        assert a.g_edges() == b.g_edges()
+
+    def test_random_geographic_density_knob(self):
+        sparse = random_geographic(60, density=8.0, seed=3)
+        dense = random_geographic(60, density=30.0, seed=3)
+        assert dense.max_degree > sparse.max_degree
+
+    def test_grid_geographic_connected(self):
+        g = grid_geographic(5, 8)
+        assert g.n == 40
+        assert g.is_g_connected()
+        verify_geographic_constraint(g, 2.0)
+
+    def test_grid_geographic_rejects_loose_spacing(self):
+        with pytest.raises(GraphValidationError):
+            grid_geographic(3, 3, spacing=1.0, jitter=0.2)
+
+    def test_cluster_chain_diameter_scales(self):
+        short = cluster_chain_geographic(3, 6, seed=2)
+        long = cluster_chain_geographic(9, 6, seed=2)
+        assert long.g_diameter() > short.g_diameter()
+
+    def test_cluster_chain_legal(self):
+        g = cluster_chain_geographic(4, 5, seed=0)
+        verify_geographic_constraint(g, 2.0)
+
+    def test_verify_constraint_catches_missing_g_edge(self):
+        g = geographic_from_points([(0, 0), (0.5, 0)], 2.0)
+        # Forge a graph that drops the required close edge.
+        from repro.graphs.dual_graph import DualGraph
+
+        bad = DualGraph(
+            n=2, g_masks=(0, 0), gp_masks=(0b10, 0b01), embedding=g.embedding
+        )
+        with pytest.raises(GraphValidationError):
+            verify_geographic_constraint(bad, 2.0)
+
+    def test_verify_constraint_requires_embedding(self):
+        from repro.graphs.builders import line_dual
+
+        with pytest.raises(GraphValidationError):
+            verify_geographic_constraint(line_dual(3), 2.0)
+
+
+class TestRegionDecomposition:
+    def test_same_region_implies_g_adjacency(self):
+        g = random_geographic(60, seed=4)
+        rd = RegionDecomposition.build(g)
+        rd.verify_same_region_g_adjacency()  # raises on violation
+
+    def test_every_node_in_exactly_one_region(self):
+        g = random_geographic(50, seed=5)
+        rd = RegionDecomposition.build(g)
+        seen = [u for region in rd.regions for u in region]
+        assert sorted(seen) == list(range(g.n))
+        for u in range(g.n):
+            assert u in rd.regions[rd.region_of[u]]
+
+    def test_neighbor_sets_reflexive(self):
+        g = random_geographic(50, seed=6)
+        rd = RegionDecomposition.build(g)
+        for i in range(rd.num_regions):
+            assert i in rd.neighbor_sets[i]
+
+    def test_neighbor_count_bounded_by_gamma_r(self):
+        g = random_geographic(80, grey_ratio=2.0, seed=7)
+        rd = RegionDecomposition.build(g)
+        assert rd.max_neighboring_regions() <= max_region_neighbors_bound(2.0)
+
+    def test_gamma_r_grows_with_r(self):
+        assert max_region_neighbors_bound(3.0) > max_region_neighbors_bound(1.0)
+
+    def test_requires_embedding(self):
+        from repro.graphs.builders import clique_dual
+
+        with pytest.raises(GraphValidationError):
+            RegionDecomposition.build(clique_dual(4))
+
+    def test_cell_side_gives_unit_diagonal(self):
+        assert CELL_SIDE * math.sqrt(2.0) == pytest.approx(1.0)
+
+    def test_regions_of_nodes(self):
+        g = random_geographic(40, seed=8)
+        rd = RegionDecomposition.build(g)
+        regions = rd.regions_of_nodes([0, 1, 2])
+        assert regions == {rd.region_of[0], rd.region_of[1], rd.region_of[2]}
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_decomposition_invariants_random(self, seed):
+        g = random_geographic(40, seed=seed)
+        rd = RegionDecomposition.build(g)
+        rd.verify_same_region_g_adjacency()
+        assert rd.max_neighboring_regions() <= max_region_neighbors_bound(2.0)
+        assert sum(len(r) for r in rd.regions) == g.n

@@ -1,0 +1,182 @@
+"""Tests for the Section 4.1 oblivious global broadcast algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import AllFlakyLinks, NoFlakyLinks
+from repro.algorithms.base import log2_ceil
+from repro.algorithms.global_broadcast import (
+    ObliviousGlobalBroadcastProcess,
+    UncoordinatedDecayGlobalProcess,
+    make_oblivious_global_broadcast,
+    make_uncoordinated_decay_global_broadcast,
+)
+from repro.analysis.runner import run_broadcast_trial
+from repro.core.messages import Message, MessageKind
+from repro.graphs.builders import clique_dual, line_dual, line_of_cliques
+from tests.conftest import make_context
+
+
+class TestSourceBehavior:
+    def test_source_wraps_payload_with_shared_bits(self):
+        src = ObliviousGlobalBroadcastProcess(
+            make_context(0, 16), source=0, payload="hello", gamma=2
+        )
+        plan = src.plan(0)
+        assert plan.probability == 1.0
+        assert plan.message.payload == "hello"
+        assert plan.message.shared_bits is not None
+        expected_bits = src.schedule.bits_per_call * src.num_chunks
+        assert plan.message.shared_bits.length == expected_bits
+
+    def test_source_silent_after_round_zero(self):
+        src = ObliviousGlobalBroadcastProcess(make_context(0, 16), source=0, gamma=2)
+        assert src.plan(1).probability == 0.0
+        assert src.plan(100).probability == 0.0
+
+    def test_shared_bits_differ_per_source_rng(self):
+        a = ObliviousGlobalBroadcastProcess(make_context(0, 16, seed=1), source=0)
+        b = ObliviousGlobalBroadcastProcess(make_context(0, 16, seed=2), source=0)
+        assert a.message.shared_bits != b.message.shared_bits
+
+
+class TestRelayBehavior:
+    def make_informed_relay(self, n=16, gamma=2, receive_round=0):
+        src = ObliviousGlobalBroadcastProcess(
+            make_context(0, n, seed=9), source=0, gamma=gamma
+        )
+        relay = ObliviousGlobalBroadcastProcess(
+            make_context(5, n, seed=5), source=0, gamma=gamma
+        )
+        relay.on_feedback(receive_round, sent=False, received=src.message)
+        return src, relay
+
+    def test_uninformed_silent(self):
+        relay = ObliviousGlobalBroadcastProcess(make_context(5, 16), source=0, gamma=2)
+        for r in range(10):
+            assert relay.plan(r).probability == 0.0
+
+    def test_joins_next_epoch_boundary(self):
+        src, relay = self.make_informed_relay(receive_round=0)
+        epoch_len = relay.epoch_length
+        assert relay.join_epoch == 1
+        # Silent through the rest of epoch 0.
+        assert relay.plan(epoch_len - 1).probability == 0.0
+        assert relay.plan(epoch_len).probability > 0.0
+
+    def test_forwards_identical_message(self):
+        src, relay = self.make_informed_relay()
+        r = relay.epoch_length
+        assert relay.plan(r).message is src.message
+
+    def test_rung_agreement_between_relays(self):
+        # Two relays holding the same S use the same probability per round.
+        src, relay_a = self.make_informed_relay()
+        relay_b = ObliviousGlobalBroadcastProcess(
+            make_context(7, 16, seed=7), source=0, gamma=2
+        )
+        relay_b.on_feedback(3, sent=False, received=src.message)
+        start = max(relay_a.join_epoch, relay_b.join_epoch) * relay_a.epoch_length
+        for r in range(start, start + 2 * relay_a.epoch_length):
+            assert relay_a.plan(r).probability == relay_b.plan(r).probability
+
+    def test_late_joiner_aligned_with_early_joiner(self):
+        # A node joining epochs later still agrees rung-for-round
+        # (chunks are indexed by absolute epoch).
+        src, early = self.make_informed_relay()
+        late = ObliviousGlobalBroadcastProcess(
+            make_context(9, 16, seed=11), source=0, gamma=2
+        )
+        late.on_feedback(3 * early.epoch_length + 1, sent=False, received=src.message)
+        start = late.join_epoch * late.epoch_length
+        for r in range(start, start + early.epoch_length):
+            assert early.plan(r).probability == late.plan(r).probability
+
+    def test_epoch_budget_silences_node(self):
+        src = ObliviousGlobalBroadcastProcess(make_context(0, 16, seed=9), source=0, gamma=2)
+        relay = ObliviousGlobalBroadcastProcess(
+            make_context(5, 16, seed=5), source=0, gamma=2, epochs_per_node=1
+        )
+        relay.on_feedback(0, sent=False, received=src.message)
+        first = relay.join_epoch * relay.epoch_length
+        assert relay.plan(first).probability > 0.0
+        assert relay.plan(first + relay.epoch_length).probability == 0.0
+
+    def test_ignores_messages_without_shared_bits(self):
+        relay = ObliviousGlobalBroadcastProcess(make_context(5, 16), source=0, gamma=2)
+        bare = Message(MessageKind.DATA, origin=0, payload="m")
+        relay.on_feedback(0, sent=False, received=bare)
+        assert not relay.informed
+
+
+class TestEndToEnd:
+    def test_solves_line_static(self):
+        net = line_dual(12)
+        spec = make_oblivious_global_broadcast(net.n, 0, gamma=2)
+        result = run_broadcast_trial(
+            network=net, algorithm=spec, link_process=NoFlakyLinks(), seed=3
+        )
+        assert result.solved
+
+    def test_solves_clique_under_full_flaky(self):
+        net = clique_dual(16)
+        spec = make_oblivious_global_broadcast(net.n, 0, gamma=2)
+        result = run_broadcast_trial(
+            network=net, algorithm=spec, link_process=AllFlakyLinks(), seed=4
+        )
+        assert result.solved
+
+    def test_solves_line_of_cliques(self):
+        net = line_of_cliques(3, 5)
+        spec = make_oblivious_global_broadcast(net.n, 0, gamma=2)
+        result = run_broadcast_trial(
+            network=net, algorithm=spec, link_process=NoFlakyLinks(), seed=5
+        )
+        assert result.solved
+
+    def test_paper_constants_preset(self):
+        spec = make_oblivious_global_broadcast(16, 0, paper_constants=True)
+        assert spec.metadata["gamma"] == 16
+        assert spec.metadata["epochs_per_node"] == 2 * log2_ceil(16)
+
+
+class TestUncoordinatedVariant:
+    def test_source_announces(self):
+        p = UncoordinatedDecayGlobalProcess(make_context(0, 16), source=0)
+        assert p.plan(0).probability == 1.0
+
+    def test_relay_draws_private_rungs(self):
+        src = UncoordinatedDecayGlobalProcess(make_context(0, 16, seed=1), source=0)
+        relay = UncoordinatedDecayGlobalProcess(make_context(3, 16, seed=2), source=0)
+        relay.on_feedback(0, sent=False, received=src.message)
+        probs = {relay.plan(r).probability for r in range(1, 2)}
+        assert all(0 < p <= 0.5 for p in probs)
+
+    def test_two_relays_disagree_eventually(self):
+        # Private rungs: over many rounds two relays pick different
+        # probabilities at least once (they re-draw each feedback).
+        src = UncoordinatedDecayGlobalProcess(make_context(0, 16, seed=1), source=0)
+        a = UncoordinatedDecayGlobalProcess(make_context(3, 16, seed=2), source=0)
+        b = UncoordinatedDecayGlobalProcess(make_context(4, 16, seed=3), source=0)
+        for relay in (a, b):
+            relay.on_feedback(0, sent=False, received=src.message)
+        disagreements = 0
+        for r in range(1, 40):
+            if a.plan(r).probability != b.plan(r).probability:
+                disagreements += 1
+            a.on_feedback(r, sent=False, received=None)
+            b.on_feedback(r, sent=False, received=None)
+        assert disagreements > 0
+
+    def test_factory_metadata(self):
+        spec = make_uncoordinated_decay_global_broadcast(16, 0)
+        assert spec.metadata["schedule"] == "private per-node rungs"
+
+    def test_solves_easy_topologies(self):
+        net = line_dual(8)
+        spec = make_uncoordinated_decay_global_broadcast(net.n, 0)
+        result = run_broadcast_trial(
+            network=net, algorithm=spec, link_process=NoFlakyLinks(), seed=6
+        )
+        assert result.solved

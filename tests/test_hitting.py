@@ -1,0 +1,139 @@
+"""Tests for the β-hitting game and Lemma 3.2's empirical envelope."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.games.hitting import (
+    HittingGame,
+    NoRepeatRandomPlayer,
+    Player,
+    SequentialPlayer,
+    UniformRandomPlayer,
+    empirical_win_rate,
+    lemma_3_2_envelope,
+    play_hitting_game,
+)
+
+
+class TestGameMechanics:
+    def test_sequential_player_wins_at_target(self):
+        game = HittingGame(beta=10, target=7)
+        outcome = game.play(SequentialPlayer(10), max_guesses=100)
+        assert outcome.won
+        assert outcome.guesses_used == 7
+        assert outcome.rounds_to_win() == 7
+
+    def test_loss_when_guesses_exhausted(self):
+        game = HittingGame(beta=10, target=9)
+        outcome = game.play(SequentialPlayer(10), max_guesses=5)
+        assert not outcome.won
+        assert outcome.guesses_used == 5
+        with pytest.raises(ValueError):
+            outcome.rounds_to_win()
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            HittingGame(beta=5, target=6)
+        with pytest.raises(ValueError):
+            HittingGame(beta=5, target=0)
+        with pytest.raises(ValueError):
+            HittingGame(beta=0, target=1)
+
+    def test_passing_player_does_not_consume_guesses(self):
+        class Passer(Player):
+            def __init__(self):
+                self.calls = 0
+
+            def next_guess(self):
+                self.calls += 1
+                if self.calls % 2 == 0:
+                    return self.calls // 2  # guess 1, 2, 3 ... on even calls
+                return None
+
+        game = HittingGame(beta=10, target=3)
+        outcome = game.play(Passer(), max_guesses=100)
+        assert outcome.won
+        assert outcome.guesses_used == 3
+
+    def test_forever_passing_player_terminates_as_loss(self):
+        class Mute(Player):
+            def next_guess(self):
+                return None
+
+        outcome = HittingGame(beta=5, target=1).play(Mute(), max_guesses=10)
+        assert not outcome.won
+
+    def test_on_miss_feedback_is_given(self):
+        misses = []
+
+        class Recorder(SequentialPlayer):
+            def on_miss(self, guess):
+                misses.append(guess)
+
+        HittingGame(beta=6, target=4).play(Recorder(6), max_guesses=10)
+        assert misses == [1, 2, 3]
+
+    def test_play_hitting_game_uniform_target(self):
+        rng = random.Random(0)
+        targets = {
+            play_hitting_game(8, SequentialPlayer(8), rng).target for _ in range(40)
+        }
+        assert len(targets) > 4  # targets vary
+
+
+class TestPlayers:
+    def test_sequential_wraps(self):
+        p = SequentialPlayer(3)
+        assert [p.next_guess() for _ in range(5)] == [1, 2, 3, 1, 2]
+
+    def test_no_repeat_covers_everything_once(self):
+        p = NoRepeatRandomPlayer(8, random.Random(1))
+        guesses = [p.next_guess() for _ in range(8)]
+        assert sorted(guesses) == list(range(1, 9))
+        assert p.next_guess() is None
+
+    def test_uniform_player_in_range(self):
+        p = UniformRandomPlayer(5, random.Random(2))
+        assert all(1 <= p.next_guess() <= 5 for _ in range(50))
+
+
+class TestLemma32:
+    def test_envelope_values(self):
+        assert lemma_3_2_envelope(65, 16) == pytest.approx(16 / 64)
+
+    def test_envelope_validation(self):
+        with pytest.raises(ValueError):
+            lemma_3_2_envelope(3, 1)
+        with pytest.raises(ValueError):
+            lemma_3_2_envelope(10, 9)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("beta,k", [(64, 8), (64, 32), (128, 16)])
+    def test_no_player_beats_the_envelope(self, beta, k):
+        """The empirical content of Lemma 3.2: win rates stay below
+        k/(β−1) plus sampling slack, for every player type."""
+        rng = random.Random(99)
+        trials = 600
+        envelope = lemma_3_2_envelope(beta, k)
+        slack = 3.0 * (envelope * (1 - envelope) / trials) ** 0.5 + 0.02
+        factories = {
+            "sequential": lambda r: SequentialPlayer(beta),
+            "uniform": lambda r: UniformRandomPlayer(beta, r),
+            "no-repeat": lambda r: NoRepeatRandomPlayer(beta, r),
+        }
+        for name, factory in factories.items():
+            rate = empirical_win_rate(beta, k, factory, trials=trials, rng=rng)
+            assert rate <= envelope + slack, f"{name} beat the envelope: {rate}"
+
+    @pytest.mark.slow
+    def test_no_repeat_player_is_near_optimal(self):
+        """The optimal k/β rate is achieved, pinning the envelope."""
+        rng = random.Random(5)
+        beta, k, trials = 64, 16, 800
+        rate = empirical_win_rate(
+            beta, k, lambda r: NoRepeatRandomPlayer(beta, r), trials=trials, rng=rng
+        )
+        assert rate == pytest.approx(k / beta, abs=0.06)

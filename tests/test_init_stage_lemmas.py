@@ -1,0 +1,128 @@
+"""Statistical tests for the Section 4.3 initialization stage
+(Lemmas 4.7–4.9) and the broadcast stage's coordination, through the
+real engine on real geographic graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms.base import log2_ceil
+from repro.algorithms.local_geographic import (
+    GeoLocalBroadcastParams,
+    make_geographic_local_broadcast,
+)
+from repro.core.engine import RadioNetworkEngine
+from repro.graphs.geographic import random_geographic
+from repro.graphs.regions import RegionDecomposition
+
+
+def run_init_stage(n: int, seed: int, *, share_seeds: bool = True):
+    """Run exactly the initialization stage and return the processes."""
+    network = random_geographic(n, seed=seed)
+    spec = make_geographic_local_broadcast(
+        network.n,
+        frozenset(range(0, network.n, 3)),
+        network.max_degree,
+        gamma=2,
+        share_seeds=share_seeds,
+    )
+    processes = spec.build_processes(network.n, network.max_degree, seed=seed)
+    engine = RadioNetworkEngine(
+        network, processes, NoFlakyLinks(), seed=seed, validate_topologies=False
+    )
+    params = processes[0].params
+    engine.run(max_rounds=params.init_stage_rounds)
+    return network, processes, params
+
+
+class TestLemma47to49:
+    """The stage's guarantees: everyone commits, few seeds per region."""
+
+    @pytest.mark.slow
+    def test_every_node_commits_by_stage_end(self):
+        for seed in (1, 2, 3):
+            _, processes, _ = run_init_stage(64, seed)
+            assert all(p.seed is not None for p in processes)
+            assert not any(p.active for p in processes)
+
+    @pytest.mark.slow
+    def test_adopted_seeds_exist(self):
+        """Leaders' seeds actually spread — not everyone self-seeds."""
+        _, processes, _ = run_init_stage(64, 4)
+        adopted = sum(1 for p in processes if not p.seed_is_own)
+        assert adopted > len(processes) // 4
+
+    @pytest.mark.slow
+    def test_seed_diversity_is_logarithmic_per_region(self):
+        """Lemma 4.9's content: no node neighbors more than O(log n)
+        unique seeds. We check the per-region unique-seed count against
+        a generous c·log n bound."""
+        for seed in (5, 6):
+            network, processes, _ = run_init_stage(96, seed)
+            regions = RegionDecomposition.build(network)
+            log_n = log2_ceil(network.n)
+            for members in regions.regions:
+                unique = {id(processes[u].seed) for u in members}
+                assert len(unique) <= 6 * log_n, (
+                    f"region with {len(members)} nodes holds {len(unique)} seeds"
+                )
+
+    @pytest.mark.slow
+    def test_neighborhood_seed_diversity(self):
+        """The quantity Theorem 4.6 actually uses: unique seeds among a
+        node's G' neighbors stays O(log n)."""
+        network, processes, _ = run_init_stage(96, 7)
+        log_n = log2_ceil(network.n)
+        worst = 0
+        for u in range(network.n):
+            unique = {
+                id(processes[v].seed) for v in network.gp_neighbors(u)
+            }
+            worst = max(worst, len(unique))
+        assert worst <= 10 * log_n
+
+    @pytest.mark.slow
+    def test_sharing_disabled_gives_all_own_seeds(self):
+        _, processes, _ = run_init_stage(48, 8, share_seeds=False)
+        assert all(p.seed_is_own for p in processes)
+
+
+class TestStageTiming:
+    def test_stage_lengths_match_paper_shape(self):
+        """init = Θ(log Δ · log² n) rounds, broadcast iterations = Θ(log² n)."""
+        small = GeoLocalBroadcastParams.resolve(64, 15, gamma=2)
+        big = GeoLocalBroadcastParams.resolve(1024, 15, gamma=2)
+        # Same Δ: stage length scales like log² n (factor (10/6)² ≈ 2.8).
+        ratio = big.init_stage_rounds / small.init_stage_rounds
+        assert 1.8 < ratio < 4.0
+
+    def test_stage_scales_with_delta(self):
+        narrow = GeoLocalBroadcastParams.resolve(256, 7, gamma=2)
+        wide = GeoLocalBroadcastParams.resolve(256, 255, gamma=2)
+        assert wide.num_phases > narrow.num_phases
+        assert wide.init_stage_rounds > narrow.init_stage_rounds
+
+    def test_broadcast_stage_iteration_length_uses_log_delta(self):
+        """DESIGN.md §5.5: iterations are γ·log Δ rounds, not γ·log n."""
+        params = GeoLocalBroadcastParams.resolve(4096, 15, gamma=2)
+        assert params.schedule.rounds_per_call == 2 * log2_ceil(16)
+
+
+class TestBroadcastStageCoordination:
+    @pytest.mark.slow
+    def test_same_seed_classes_act_in_lockstep(self):
+        """After a real initialization, any two broadcasters sharing a
+        seed declare identical probabilities in every broadcast round."""
+        network, processes, params = run_init_stage(64, 9)
+        by_seed: dict[int, list] = {}
+        for p in processes:
+            if p.is_broadcaster:
+                by_seed.setdefault(id(p.seed), []).append(p)
+        classes = [group for group in by_seed.values() if len(group) > 1]
+        assert classes, "expected at least one multi-member seed class"
+        start = params.init_stage_rounds
+        for group in classes:
+            for r in range(start, start + 2 * params.schedule.rounds_per_call):
+                probabilities = {p.plan(r).probability for p in group}
+                assert len(probabilities) == 1

@@ -1,0 +1,150 @@
+"""Integration tests: tiny-scale runs of every Figure-1 cell and ablation.
+
+These execute each experiment end-to-end (fresh networks, adversaries,
+problems per trial) and assert the *robust* facts — solvability under
+upper-bound algorithms, the key within-experiment separations, and
+sanity of the measured numbers. Growth-class claims are asserted only
+where tiny scale already suffices; the benches check shapes at real
+scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: One cached tiny run per experiment (they are independent trials).
+_RESULTS: dict[str, object] = {}
+
+
+def tiny(exp_id: str):
+    if exp_id not in _RESULTS:
+        _RESULTS[exp_id] = ALL_EXPERIMENTS[exp_id].run(scale="tiny", master_seed=2013)
+    return _RESULTS[exp_id]
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_runs_at_tiny_scale(exp_id):
+    result = tiny(exp_id)
+    assert result.series_results
+    for sr in result.series_results:
+        assert sr.sweep.points
+        # Every trial terminated (solved or hit its cap) with sane rounds.
+        for point in sr.sweep.points:
+            for trial in point.stats.results:
+                assert trial.rounds >= 0
+
+
+@pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
+def test_render_is_printable(exp_id):
+    text = tiny(exp_id).render()
+    assert ALL_EXPERIMENTS[exp_id].paper_bound.split()[0] in text
+
+
+class TestUpperBoundsSolve:
+    """Upper-bound algorithms must actually solve their problems."""
+
+    @pytest.mark.parametrize(
+        "exp_id",
+        ["E1a", "E1b", "E2a", "E2b", "E7a", "E7b", "E9"],
+    )
+    def test_full_success_rates(self, exp_id):
+        result = tiny(exp_id)
+        for sr in result.series_results:
+            if "ladderless" in sr.series.label:
+                continue  # the deliberately broken baseline may fail
+            assert min(sr.sweep.success_rates()) == 1.0, sr.series.label
+
+    def test_offline_rows_solve_within_caps(self):
+        for exp_id in ("E3", "E4"):
+            for sr in tiny(exp_id).series_results:
+                assert min(sr.sweep.success_rates()) == 1.0, sr.series.label
+
+    def test_online_rows_solve_within_caps(self):
+        for exp_id in ("E5", "E6"):
+            for sr in tiny(exp_id).series_results:
+                assert min(sr.sweep.success_rates()) == 1.0, sr.series.label
+
+
+class TestKeySeparations:
+    """The paper's qualitative separations, visible even at tiny scale."""
+
+    def test_adaptive_adversaries_hurt_on_dual_clique(self):
+        """E7a (oblivious) vs E3/E5 (adaptive) on comparable dual
+        cliques: adaptive attacks cost more rounds than the whole
+        oblivious suite at the same n."""
+        oblivious = tiny("E7a")
+        online = tiny("E5")
+        offline = tiny("E3")
+        # Compare permuted decay at the shared parameter n = 32.
+        def median_at_32(result, label_contains):
+            for sr in result.series_results:
+                if label_contains in sr.series.label:
+                    params = sr.sweep.parameters()
+                    assert 32 in params
+                    return sr.sweep.medians()[params.index(32)]
+            raise AssertionError(f"series {label_contains!r} not found")
+
+        oblivious_worst = max(
+            sr.sweep.medians()[sr.sweep.parameters().index(32)]
+            for sr in oblivious.series_results
+        )
+        online_victim = median_at_32(online, "permuted-decay")
+        offline_victim = median_at_32(offline, "permuted-decay")
+        assert online_victim > 0 and offline_victim > 0
+        # The offline attack is at least as costly as typical oblivious runs.
+        assert offline_victim >= 0.5 * oblivious_worst
+
+    def test_offline_costs_at_least_online(self):
+        """Figure 1 row order: offline adaptive ≥ online adaptive for the
+        same victim (permuted decay) at the same n."""
+        online = tiny("E5").series_by_label("permuted-decay §4.1 vs dense/sparse")
+        offline = tiny("E3").series_by_label("permuted-decay §4.1 vs solo-blocker")
+        assert offline.sweep.medians()[-1] >= 0.8 * online.sweep.medians()[-1]
+
+    def test_round_robin_meets_its_deterministic_bound(self):
+        """Round robin local broadcast solves within n rounds even under
+        the offline adaptive attacker (footnote 4)."""
+        result = tiny("E4")
+        rr = result.series_by_label("round-robin vs solo-blocker")
+        for point in rr.sweep.points:
+            n = point.parameter
+            for trial in point.stats.results:
+                assert trial.solved
+                assert trial.rounds <= n
+
+    def test_a2_uncoordinated_collapses_at_larger_n(self):
+        """At n = 32 on the funnel the uncoordinated variant is already
+        far slower than the coordinated ones."""
+        result = tiny("A2")
+        coordinated = result.series_by_label("permuted-decay (shared rungs)")
+        uncoordinated = result.series_by_label("uncoordinated decay (private rungs)")
+        assert (
+            uncoordinated.sweep.medians()[-1]
+            >= 1.5 * coordinated.sweep.medians()[-1]
+        )
+
+
+class TestLowerBoundFloors:
+    """Measured rounds respect the paper's lower bounds (up to the
+    constants the proofs leave free)."""
+
+    def test_offline_global_respects_linear_floor(self):
+        result = tiny("E3")
+        for sr in result.series_results:
+            if "round-robin" in sr.series.label:
+                continue
+            for point in sr.sweep.points:
+                # Ω(n) with a generous constant: at least n/8 rounds.
+                assert point.stats.median_rounds >= point.parameter / 8
+
+    def test_online_global_respects_n_over_log_floor(self):
+        import math
+
+        result = tiny("E5")
+        riding = result.series_by_label("threshold-riding uniform vs dense/sparse")
+        for point in riding.sweep.points:
+            n = point.parameter
+            floor = n / math.log2(n) / 8
+            assert point.stats.median_rounds >= floor

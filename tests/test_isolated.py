@@ -1,0 +1,188 @@
+"""Tests for isolated broadcast functions (Lemma 4.4) and their
+two-trial stability (Lemma 4.5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.local_static import make_static_local_broadcast
+from repro.algorithms.uniform import make_uniform_local_broadcast
+from repro.games.isolated import (
+    IsolatedBroadcastFunction,
+    head_broadcast_counts,
+    simulate_isolated_band,
+    two_trial_counts,
+)
+from repro.graphs.bracelet import bracelet
+
+
+def band_spec(br, rate=None):
+    """A local broadcast spec with B = side-A heads (the Thm 4.3 roles)."""
+    broadcasters = frozenset(br.heads_a())
+    if rate is None:
+        return make_static_local_broadcast(
+            br.n, broadcasters, br.graph.max_degree
+        )
+    return make_uniform_local_broadcast(
+        br.n, broadcasters, br.graph.max_degree, probability=rate
+    )
+
+
+class TestBandSimulation:
+    def test_records_have_requested_length(self):
+        br = bracelet(4)
+        result = simulate_isolated_band(
+            band_spec(br), br.band_a(0), n=br.n, max_degree=br.graph.max_degree,
+            rounds=4, seed=1,
+        )
+        assert len(result.head_broadcasts) == 4
+        assert len(result.transmit_counts) == 4
+        assert result.band_nodes == tuple(br.band_a(0))
+
+    def test_deterministic_per_seed(self):
+        br = bracelet(4)
+        args = dict(n=br.n, max_degree=br.graph.max_degree, rounds=4)
+        a = simulate_isolated_band(band_spec(br), br.band_a(1), seed=7, **args)
+        b = simulate_isolated_band(band_spec(br), br.band_a(1), seed=7, **args)
+        assert a == b
+
+    def test_different_seeds_vary(self):
+        br = bracelet(6)
+        args = dict(n=br.n, max_degree=br.graph.max_degree, rounds=6)
+        outcomes = {
+            simulate_isolated_band(
+                band_spec(br), br.band_a(0), seed=s, **args
+            ).head_broadcasts
+            for s in range(12)
+        }
+        assert len(outcomes) > 1
+
+    def test_non_broadcaster_band_is_silent(self):
+        # Side-B bands have no broadcasters under the Thm 4.3 roles —
+        # every node listens forever, so no transmissions at all.
+        br = bracelet(4)
+        result = simulate_isolated_band(
+            band_spec(br), br.band_b(2), n=br.n, max_degree=br.graph.max_degree,
+            rounds=4, seed=3,
+        )
+        assert result.transmit_counts == (0, 0, 0, 0)
+
+    def test_head_rate_matches_algorithm(self):
+        # A uniform-rate head transmits ~rate per round in isolation.
+        br = bracelet(4)
+        hits = total = 0
+        for seed in range(60):
+            result = simulate_isolated_band(
+                band_spec(br, rate=0.3), br.band_a(0),
+                n=br.n, max_degree=br.graph.max_degree, rounds=4, seed=seed,
+            )
+            hits += sum(result.head_broadcasts)
+            total += len(result.head_broadcasts)
+        assert 0.18 < hits / total < 0.42
+
+    def test_empty_band_rejected(self):
+        br = bracelet(4)
+        with pytest.raises(ValueError):
+            simulate_isolated_band(
+                band_spec(br), [], n=br.n, max_degree=br.graph.max_degree,
+                rounds=2, seed=0,
+            )
+
+
+class TestIsolatedBroadcastFunction:
+    def make_function(self, br, band=0):
+        return IsolatedBroadcastFunction(
+            spec=band_spec(br),
+            band_nodes=tuple(br.band_a(band)),
+            n=br.n,
+            max_degree=br.graph.max_degree,
+            horizon=br.band_length,
+        )
+
+    def test_deterministic_in_seed(self):
+        br = bracelet(5)
+        f = self.make_function(br)
+        assert f.trajectory(42) == f.trajectory(42)
+        assert f.evaluate(42, 0) == f.trajectory(42)[0]
+
+    def test_horizon_enforced(self):
+        br = bracelet(4)
+        f = self.make_function(br)
+        with pytest.raises(ValueError):
+            f.evaluate(1, br.band_length)
+
+    def test_cache_hit_avoids_resimulation(self):
+        br = bracelet(4)
+        f = self.make_function(br)
+        f.trajectory(9)
+        assert 9 in f._cache
+
+    def test_head_counts_sum_per_round(self):
+        br = bracelet(3)
+        functions = [self.make_function(br, band=i) for i in range(3)]
+        seeds = [1, 2, 3]
+        counts = head_broadcast_counts(functions, seeds, br.band_length)
+        assert len(counts) == br.band_length
+        for r, count in enumerate(counts):
+            manual = sum(f.trajectory(s)[r] for f, s in zip(functions, seeds))
+            assert count == manual
+
+    def test_head_counts_validates_lengths(self):
+        br = bracelet(3)
+        with pytest.raises(ValueError):
+            head_broadcast_counts([self.make_function(br)], [1, 2], 3)
+
+
+class TestLemma45Stability:
+    """Two independent trials of the head counts agree on dense/sparse —
+    the statistical heart of the oblivious bracelet attack."""
+
+    @pytest.mark.slow
+    def test_two_trials_track_each_other(self):
+        br = bracelet(8)
+        spec = band_spec(br, rate=0.25)
+        functions = [
+            IsolatedBroadcastFunction(
+                spec=spec,
+                band_nodes=tuple(br.band_a(i)),
+                n=br.n,
+                max_degree=br.graph.max_degree,
+                horizon=br.band_length,
+            )
+            for i in range(br.band_length)
+        ]
+        rng = random.Random(17)
+        agreements = disagreements = 0
+        threshold = 0.25 * br.band_length  # the mean rate: a fair splitter
+        for _ in range(20):
+            y1, y2 = two_trial_counts(functions, br.band_length, rng)
+            for a, b in zip(y1, y2):
+                # Lemma 4.5-style check, loosened for small n: if one
+                # trial is far above threshold the other is not near zero.
+                if a >= 2 * threshold:
+                    (agreements, disagreements) = (
+                        (agreements + 1, disagreements)
+                        if b >= 1
+                        else (agreements, disagreements + 1)
+                    )
+        assert disagreements <= max(1, agreements // 4)
+
+    def test_uniform_rate_counts_concentrate(self):
+        # With L heads at rate p, counts should hover near L·p.
+        br = bracelet(8)
+        spec = band_spec(br, rate=0.5)
+        functions = [
+            IsolatedBroadcastFunction(
+                spec=spec,
+                band_nodes=tuple(br.band_a(i)),
+                n=br.n,
+                max_degree=br.graph.max_degree,
+                horizon=4,
+            )
+            for i in range(br.band_length)
+        ]
+        seeds = list(range(br.band_length))
+        counts = head_broadcast_counts(functions, seeds, 4)
+        assert all(0 < c < br.band_length for c in counts)

@@ -1,0 +1,155 @@
+"""Tests for the dual clique and bracelet lower-bound constructions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import GraphValidationError
+from repro.graphs.bracelet import bracelet
+from repro.graphs.dual_clique import dual_clique
+from repro.graphs.geographic import verify_geographic_constraint
+
+
+class TestDualClique:
+    def test_sizes(self):
+        dc = dual_clique(8)
+        assert dc.n == 16
+        assert dc.half == 8
+        assert list(dc.side_a()) == list(range(8))
+        assert list(dc.side_b()) == list(range(8, 16))
+
+    def test_cliques_in_g(self):
+        dc = dual_clique(4)
+        g = dc.graph
+        for u in range(4):
+            for v in range(u + 1, 4):
+                assert g.has_g_edge(u, v)
+        for u in range(4, 8):
+            for v in range(u + 1, 8):
+                assert g.has_g_edge(u, v)
+
+    def test_single_bridge_in_g(self):
+        dc = dual_clique(6, bridge_a=2, bridge_b=9)
+        g = dc.graph
+        cross_g = [
+            (u, v)
+            for u in dc.side_a()
+            for v in dc.side_b()
+            if g.has_g_edge(u, v)
+        ]
+        assert cross_g == [(2, 9)]
+
+    def test_gp_is_complete(self):
+        dc = dual_clique(5)
+        g = dc.graph
+        for u in range(g.n):
+            for v in range(u + 1, g.n):
+                assert g.has_gp_edge(u, v)
+
+    def test_constant_diameter(self):
+        for half in (4, 16, 32):
+            assert dual_clique(half).graph.g_diameter() <= 3
+
+    def test_random_bridge_in_sides(self):
+        for seed in range(10):
+            dc = dual_clique(8, rng=random.Random(seed))
+            assert 0 <= dc.bridge_a < 8
+            assert 8 <= dc.bridge_b < 16
+
+    def test_bridge_validation(self):
+        with pytest.raises(GraphValidationError):
+            dual_clique(4, bridge_a=5, bridge_b=6)
+        with pytest.raises(GraphValidationError):
+            dual_clique(4, bridge_a=0, bridge_b=2)
+
+    def test_side_a_mask(self):
+        dc = dual_clique(4)
+        assert dc.side_a_mask == 0b1111
+        assert dc.in_side_a(3) and not dc.in_side_a(4)
+
+    def test_geographic_embedding_witness(self):
+        # The paper notes the dual clique is a geographic graph; the
+        # attached embedding satisfies the constraint with r = 3.
+        dc = dual_clique(8)
+        verify_geographic_constraint(dc.graph, 3.0)
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphValidationError):
+            dual_clique(1)
+
+
+class TestBracelet:
+    def test_node_count(self):
+        br = bracelet(4)
+        assert br.n == 32  # 2 L²
+
+    def test_heads_and_bands(self):
+        br = bracelet(3)
+        assert br.heads_a() == [0, 3, 6]
+        assert br.heads_b() == [9, 12, 15]
+        assert br.band_a(1) == [3, 4, 5]
+        assert br.band_b(2) == [15, 16, 17]
+
+    def test_bands_are_g_paths(self):
+        br = bracelet(4)
+        g = br.graph
+        for i in range(4):
+            band = br.band_a(i)
+            for a, b in zip(band, band[1:]):
+                assert g.has_g_edge(a, b)
+            # No shortcut within the band.
+            assert not g.has_g_edge(band[0], band[2])
+
+    def test_endpoint_clique(self):
+        br = bracelet(3)
+        g = br.graph
+        endpoints = br.endpoints()
+        assert len(endpoints) == 6
+        for i, u in enumerate(endpoints):
+            for v in endpoints[i + 1 :]:
+                assert g.has_g_edge(u, v)
+
+    def test_clasp_is_g_edge_between_heads(self):
+        br = bracelet(5, clasp_index=2)
+        a, b = br.clasp
+        assert a == br.head_a(2) and b == br.head_b(2)
+        assert br.graph.has_g_edge(a, b)
+
+    def test_flaky_layer_is_head_bipartite_minus_clasp(self):
+        br = bracelet(3, clasp_index=1)
+        flaky = br.graph.flaky_edges()
+        heads_a, heads_b = set(br.heads_a()), set(br.heads_b())
+        for u, v in flaky:
+            assert (u in heads_a and v in heads_b) or (u in heads_b and v in heads_a)
+        assert len(flaky) == 3 * 3 - 1
+
+    def test_g_connected(self):
+        assert bracelet(4).graph.is_g_connected()
+
+    def test_head_index_classification(self):
+        br = bracelet(3)
+        assert br.head_index(br.head_a(2)) == ("A", 2)
+        assert br.head_index(br.head_b(0)) == ("B", 0)
+        assert br.head_index(br.head_a(1) + 1) is None  # band interior
+
+    def test_random_clasp(self):
+        seen = {bracelet(4, rng=random.Random(s)).clasp_index for s in range(20)}
+        assert len(seen) > 1
+
+    def test_clasp_validation(self):
+        with pytest.raises(GraphValidationError):
+            bracelet(3, clasp_index=3)
+
+    def test_minimum_size(self):
+        with pytest.raises(GraphValidationError):
+            bracelet(1)
+
+    def test_cross_side_distance_without_clasp_is_band_length(self):
+        # Information not using the clasp must run down a band and back:
+        # head-to-endpoint is L-1 hops, so head-to-other-side-head ≥ 2(L-1)+1.
+        br = bracelet(4, clasp_index=0)
+        g = br.graph
+        dist = g.bfs_distances(br.head_a(2))
+        assert dist[br.head_b(3)] >= 2 * (br.band_length - 1) + 1

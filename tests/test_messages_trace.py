@@ -1,0 +1,125 @@
+"""Tests for messages, round records, and the bundled observers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bits import BitStream
+from repro.core.messages import Message, MessageKind
+from repro.core.process import RoundPlan
+from repro.core.errors import PlanError
+from repro.core.trace import (
+    Delivery,
+    DeliveryCounter,
+    RoundRecord,
+    TraceCollector,
+    first_delivery_round,
+    iter_bits,
+    popcount,
+)
+
+
+def data(origin=0, **kwargs):
+    return Message(MessageKind.DATA, origin=origin, payload="m", **kwargs)
+
+
+def record(r, transmitters=0, deliveries=(), expected=0.0):
+    return RoundRecord(
+        round_index=r,
+        transmitter_mask=transmitters,
+        deliveries=tuple(deliveries),
+        expected_transmitters=expected,
+    )
+
+
+class TestMessage:
+    def test_kind_predicates(self):
+        assert data().is_data() and not data().is_seed()
+        seed = Message(MessageKind.SEED, origin=1)
+        assert seed.is_seed() and not seed.is_data()
+
+    def test_describe_includes_bits_and_tag(self):
+        import random
+
+        msg = Message(
+            MessageKind.SEED,
+            origin=3,
+            shared_bits=BitStream.random(random.Random(0), 16),
+            tag=2,
+        )
+        text = msg.describe()
+        assert "seed" in text and "|S|=16" in text and "tag=2" in text
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            data().origin = 5
+
+    def test_hashable_and_comparable(self):
+        assert data() == data()
+        assert hash(data()) == hash(data())
+        assert data(origin=1) != data(origin=2)
+
+
+class TestRoundPlan:
+    def test_silence_singleton_shape(self):
+        assert RoundPlan.silence().probability == 0.0
+        assert RoundPlan.silence().message is None
+
+    def test_certain(self):
+        plan = RoundPlan.certain(data())
+        assert plan.probability == 1.0
+
+    def test_probability_bounds(self):
+        with pytest.raises(PlanError):
+            RoundPlan(probability=1.5, message=data())
+        with pytest.raises(PlanError):
+            RoundPlan(probability=-0.1, message=None)
+
+    def test_positive_probability_requires_message(self):
+        with pytest.raises(PlanError):
+            RoundPlan(probability=0.5, message=None)
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+        assert list(iter_bits(0)) == []
+
+
+class TestRoundRecord:
+    def test_transmitter_views(self):
+        rec = record(0, transmitters=0b110)
+        assert rec.transmitter_count == 2
+        assert rec.transmitters() == [1, 2]
+
+
+class TestObservers:
+    def test_trace_collector_accumulates(self):
+        tc = TraceCollector()
+        tc.on_round(record(0, deliveries=[Delivery(1, 0, data())]))
+        tc.on_round(record(1))
+        assert tc.rounds() == 2
+        assert len(tc.deliveries()) == 1
+
+    def test_delivery_counter_statistics(self):
+        counter = DeliveryCounter()
+        counter.on_round(record(0, transmitters=0b111, deliveries=[Delivery(3, 0, data())]))
+        counter.on_round(record(1, transmitters=0))
+        assert counter.rounds == 2
+        assert counter.total_deliveries == 1
+        assert counter.total_transmissions == 3
+        assert counter.max_concurrent_transmitters == 3
+        assert counter.silent_rounds == 1
+
+    def test_first_delivery_round(self):
+        records = [
+            record(0, deliveries=[Delivery(2, 1, data(origin=1))]),
+            record(1, deliveries=[Delivery(2, 0, data(origin=0))]),
+        ]
+        assert first_delivery_round(records, receiver=2) == 0
+        assert first_delivery_round(records, receiver=2, origin=0) == 1
+        assert first_delivery_round(records, receiver=5) is None

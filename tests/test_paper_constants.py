@@ -1,0 +1,88 @@
+"""Tests for the paper-faithful constant presets (DESIGN.md §5.7) and
+assorted constant-sensitive behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms.base import log2_ceil
+from repro.algorithms.global_broadcast import make_oblivious_global_broadcast
+from repro.algorithms.local_geographic import (
+    GeoLocalBroadcastParams,
+    make_geographic_local_broadcast,
+)
+from repro.algorithms.permuted_decay import PermutedDecaySchedule
+from repro.analysis.runner import run_broadcast_trial
+from repro.graphs.builders import line_dual
+from repro.graphs.geographic import random_geographic
+
+
+class TestGlobalBroadcastPaperPreset:
+    def test_paper_gamma_and_epochs(self):
+        spec = make_oblivious_global_broadcast(64, 0, paper_constants=True)
+        assert spec.metadata["gamma"] == 16
+        assert spec.metadata["epochs_per_node"] == 2 * log2_ceil(64)
+
+    def test_paper_bit_budget_shape(self):
+        """The source's string has the paper's 32 log² n log log n shape:
+        2 log n chunks of γ log n draws of ⌈log log n⌉-ish bits each."""
+        spec = make_oblivious_global_broadcast(256, 0, paper_constants=True)
+        processes = spec.build_processes(256, 255, seed=1)
+        source = processes[0]
+        schedule = PermutedDecaySchedule(num_probabilities=log2_ceil(256), gamma=16)
+        expected = schedule.bits_per_call * 2 * log2_ceil(256)
+        assert source.message.shared_bits.length == expected
+
+    def test_paper_constants_still_solve(self):
+        net = line_dual(8)
+        spec = make_oblivious_global_broadcast(net.n, 0, paper_constants=True)
+        result = run_broadcast_trial(
+            network=net, algorithm=spec, link_process=NoFlakyLinks(), seed=4
+        )
+        assert result.solved
+
+    def test_epoch_budget_comes_from_preset(self):
+        spec = make_oblivious_global_broadcast(
+            32, 0, gamma=2, epochs_per_node=7, paper_constants=True
+        )
+        # The preset overrides explicit gamma/epochs (documented).
+        assert spec.metadata["gamma"] == 16
+        assert spec.metadata["epochs_per_node"] == 2 * log2_ceil(32)
+
+
+class TestGeoLocalPaperPreset:
+    def test_paper_preset_scales_stages_up(self):
+        default = GeoLocalBroadcastParams.resolve(128, 31)
+        paper = GeoLocalBroadcastParams.resolve(128, 31, paper_constants=True)
+        assert paper.schedule.gamma == 16
+        assert paper.phase_rounds > default.phase_rounds
+        assert paper.num_iterations > default.num_iterations
+
+    @pytest.mark.slow
+    def test_paper_preset_solves(self):
+        net = random_geographic(32, seed=5)
+        spec = make_geographic_local_broadcast(
+            net.n, {0, 3, 9}, net.max_degree, paper_constants=True
+        )
+        result = run_broadcast_trial(
+            network=net,
+            algorithm=spec,
+            link_process=NoFlakyLinks(),
+            seed=6,
+            max_rounds=200_000,
+        )
+        assert result.solved
+
+
+class TestConstantSensitivity:
+    def test_gamma_lengthens_calls_linearly(self):
+        short = PermutedDecaySchedule(num_probabilities=6, gamma=2)
+        long = PermutedDecaySchedule(num_probabilities=6, gamma=16)
+        assert long.rounds_per_call == 8 * short.rounds_per_call
+        assert long.bits_per_call == 8 * short.bits_per_call
+
+    def test_init_factor_lengthens_phases(self):
+        small = GeoLocalBroadcastParams.resolve(64, 15, init_rounds_factor=1.0)
+        big = GeoLocalBroadcastParams.resolve(64, 15, init_rounds_factor=6.0)
+        assert big.phase_rounds > 4 * small.phase_rounds

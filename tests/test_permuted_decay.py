@@ -1,0 +1,123 @@
+"""Tests for the permuted decay subroutine (Section 4.1)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.permuted_decay import PermutedDecaySchedule
+from repro.core.bits import BitStream, bits_for_uniform
+
+
+class TestScheduleLayout:
+    def test_rounds_per_call(self):
+        s = PermutedDecaySchedule(num_probabilities=6, gamma=16)
+        assert s.rounds_per_call == 96  # the paper's γ log n
+
+    def test_bits_per_call(self):
+        s = PermutedDecaySchedule(num_probabilities=8, gamma=2)
+        assert s.draw_width == bits_for_uniform(8) == 3
+        assert s.bits_per_call == 16 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PermutedDecaySchedule(num_probabilities=0)
+        with pytest.raises(ValueError):
+            PermutedDecaySchedule(num_probabilities=4, gamma=0)
+
+
+class TestRungSelection:
+    def test_rungs_in_range(self, rng):
+        s = PermutedDecaySchedule(num_probabilities=8, gamma=4)
+        bits = s.fresh_bits(rng, calls=1)
+        for j in range(s.rounds_per_call):
+            assert 1 <= s.rung(bits, 0, j) <= 8
+
+    def test_probability_is_two_to_minus_rung(self, rng):
+        s = PermutedDecaySchedule(num_probabilities=4, gamma=2)
+        bits = s.fresh_bits(rng, calls=1)
+        for j in range(s.rounds_per_call):
+            assert s.probability(bits, 0, j) == 2.0 ** (-s.rung(bits, 0, j))
+
+    def test_same_bits_same_rung_for_all_holders(self, rng):
+        # The coordination property: any holder of the string computes
+        # the identical rung for the identical round.
+        s = PermutedDecaySchedule(num_probabilities=8, gamma=4)
+        bits = s.fresh_bits(rng, calls=1)
+        for j in range(s.rounds_per_call):
+            assert s.rung(bits, 0, j) == s.rung(bits, 0, j)
+
+    def test_different_chunks_differ(self, rng):
+        s = PermutedDecaySchedule(num_probabilities=8, gamma=8)
+        bits = s.fresh_bits(rng, calls=2)
+        rungs_0 = [s.rung(bits, 0, j) for j in range(s.rounds_per_call)]
+        rungs_1 = [
+            s.rung(bits, s.bits_per_call, j) for j in range(s.rounds_per_call)
+        ]
+        assert rungs_0 != rungs_1
+
+    def test_round_out_of_call_rejected(self, rng):
+        s = PermutedDecaySchedule(num_probabilities=4, gamma=1)
+        bits = s.fresh_bits(rng, calls=1)
+        with pytest.raises(ValueError):
+            s.rung(bits, 0, s.rounds_per_call)
+
+    def test_rung_distribution_roughly_uniform(self):
+        s = PermutedDecaySchedule(num_probabilities=8, gamma=4)
+        counts = Counter()
+        rng = random.Random(42)
+        for _ in range(200):
+            bits = s.fresh_bits(rng, calls=1)
+            for j in range(s.rounds_per_call):
+                counts[s.rung(bits, 0, j)] += 1
+        total = sum(counts.values())
+        for rung in range(1, 9):
+            assert 0.08 < counts[rung] / total < 0.18  # ideal 0.125
+
+    @given(
+        num_probabilities=st.integers(1, 32),
+        gamma=st.integers(1, 8),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=40)
+    def test_rung_always_valid(self, num_probabilities, gamma, seed):
+        s = PermutedDecaySchedule(num_probabilities=num_probabilities, gamma=gamma)
+        bits = s.fresh_bits(random.Random(seed), calls=1)
+        for j in range(0, s.rounds_per_call, max(1, s.rounds_per_call // 7)):
+            assert 1 <= s.rung(bits, 0, j) <= num_probabilities
+
+
+class TestLemma42Property:
+    """Empirical check of Lemma 4.2: a receiver whose neighbors share a
+    permuted-decay string receives with probability > 1/2 per call, for
+    arbitrary oblivious supersets I_r ⊇ I_G."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("reliable,extra", [(1, 0), (3, 5), (8, 8), (2, 30)])
+    def test_delivery_probability_exceeds_half(self, reliable, extra):
+        # Simulate the lemma's setting directly: |I_G| = reliable senders
+        # always connected; the adversary connects `extra` more in every
+        # round (the worst oblivious choice is any fixed superset).
+        n_for_log = 64
+        schedule = PermutedDecaySchedule(num_probabilities=6, gamma=16)
+        rng = random.Random(1234)
+        successes = 0
+        trials = 300
+        senders = reliable + extra
+        for _ in range(trials):
+            bits = schedule.fresh_bits(rng, calls=1)
+            delivered = False
+            for j in range(schedule.rounds_per_call):
+                p = schedule.probability(bits, 0, j)
+                transmitting = sum(1 for _ in range(senders) if rng.random() < p)
+                if transmitting == 1:
+                    # The solo transmitter is a neighbor (all senders are).
+                    delivered = True
+                    break
+            if delivered:
+                successes += 1
+        assert successes / trials > 0.5

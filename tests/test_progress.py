@@ -1,0 +1,99 @@
+"""Tests for the trajectory analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms.round_robin import make_round_robin_global_broadcast
+from repro.analysis.progress import (
+    ascii_sparkline,
+    frontier_progress,
+    informed_curve,
+    per_hop_latencies,
+)
+from repro.core.engine import RadioNetworkEngine
+from repro.graphs.builders import line_dual
+from repro.problems.global_broadcast import GlobalBroadcastProblem
+
+
+def run_round_robin_line(n: int, seed: int = 1):
+    network = line_dual(n)
+    spec = make_round_robin_global_broadcast(n, 0)
+    problem = GlobalBroadcastProblem(network, 0)
+    observer = problem.make_observer()
+    engine = RadioNetworkEngine(
+        network,
+        spec.build_processes(n, network.max_degree, seed=seed),
+        NoFlakyLinks(),
+        seed=seed,
+        observers=[observer],
+    )
+    engine.run(max_rounds=n * n, stop=lambda: observer.solved)
+    return network, observer
+
+
+class TestInformedCurve:
+    def test_monotone_and_complete(self):
+        network, observer = run_round_robin_line(6)
+        curve = informed_curve(observer)
+        assert curve == sorted(curve)
+        assert curve[-1] == network.n
+
+    def test_identity_round_robin_advances_one_hop_per_round(self):
+        # On an id-ordered line, RR informs node i at round i-1.
+        _, observer = run_round_robin_line(5)
+        assert observer.first_informed_round[1] == 0
+        assert observer.first_informed_round[4] == 3
+        curve = informed_curve(observer)
+        assert curve == [2, 3, 4, 5]
+
+    def test_explicit_rounds_window(self):
+        _, observer = run_round_robin_line(5)
+        assert informed_curve(observer, rounds=2) == [2, 3]
+
+
+class TestFrontierProgress:
+    def test_rings_complete_in_order(self):
+        network, observer = run_round_robin_line(6)
+        completion = frontier_progress(network, observer)
+        assert completion[0] == -1  # the source ring
+        rounds = [completion[d] for d in sorted(completion) if d > 0]
+        assert all(r is not None for r in rounds)
+        assert rounds == sorted(rounds)
+
+    def test_per_hop_latencies_positive(self):
+        network, observer = run_round_robin_line(6)
+        latencies = per_hop_latencies(network, observer)
+        assert len(latencies) == 5  # 5 rings beyond the source
+        assert all(lat is not None and lat >= 1 for lat in latencies)
+
+    def test_incomplete_ring_reports_none(self):
+        network, observer = run_round_robin_line(6)
+        # Forge an unfinished node.
+        observer.first_informed_round[5] = None
+        completion = frontier_progress(network, observer)
+        assert completion[5] is None
+        assert per_hop_latencies(network, observer)[-1] is None
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = ascii_sparkline([0, 1, 2, 3, 4])
+        assert len(line) == 5
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_downsampling_keeps_width(self):
+        line = ascii_sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert ascii_sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = ascii_sparkline([3, 3, 3])
+        assert line == "███"
+
+    def test_negative_values_clamped(self):
+        line = ascii_sparkline([-5, 0, 5])
+        assert line[0] == " "

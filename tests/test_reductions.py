@@ -1,0 +1,198 @@
+"""Tests for the executable reductions of Theorems 3.1 and 4.3."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.global_broadcast import make_oblivious_global_broadcast
+from repro.algorithms.local_static import make_static_local_broadcast
+from repro.algorithms.uniform import make_uniform_global_broadcast
+from repro.games.hitting import play_hitting_game
+from repro.games.reduction_bracelet import BraceletReductionPlayer, claspless_bracelet
+from repro.games.reduction_clique import DualCliqueReductionPlayer, bridgeless_dual_clique
+
+
+def global_algorithm(n, side_a):
+    return make_oblivious_global_broadcast(n, source=0, gamma=2)
+
+
+def local_algorithm(n, heads_a):
+    return make_static_local_broadcast(n, frozenset(heads_a), max_degree=n - 1)
+
+
+class TestBridgelessDualClique:
+    def test_structure(self):
+        g = bridgeless_dual_clique(4)
+        assert g.n == 8
+        # No G edge crosses the sides.
+        for u in range(4):
+            for v in range(4, 8):
+                assert not g.has_g_edge(u, v)
+                assert g.has_gp_edge(u, v)
+
+    def test_sides_are_cliques(self):
+        g = bridgeless_dual_clique(3)
+        assert g.has_g_edge(0, 2) and g.has_g_edge(3, 5)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            bridgeless_dual_clique(1)
+
+
+class TestDualCliqueReduction:
+    def test_player_wins_the_game(self):
+        rng = random.Random(3)
+        wins = 0
+        for trial in range(5):
+            player = DualCliqueReductionPlayer(
+                16, global_algorithm, seed=rng.getrandbits(63)
+            )
+            outcome = play_hitting_game(16, player, rng, max_guesses=4000)
+            wins += outcome.won
+        assert wins == 5
+
+    def test_player_emits_guesses_in_range(self):
+        player = DualCliqueReductionPlayer(8, global_algorithm, seed=11)
+        guesses = [player.next_guess() for _ in range(30)]
+        assert all(g is None or 1 <= g <= 8 for g in guesses)
+
+    def test_dense_round_with_solo_guesses_everything(self):
+        # Force the situation via the guess rule directly.
+        from repro.core.trace import RoundRecord
+
+        player = DualCliqueReductionPlayer(8, global_algorithm, seed=1)
+        record = RoundRecord(
+            round_index=0,
+            transmitter_mask=0b1,
+            deliveries=(),
+            expected_transmitters=player.threshold + 1,
+        )
+        assert player._guesses_for(record) == list(range(1, 9))
+
+    def test_dense_round_multi_transmitter_no_guesses(self):
+        from repro.core.trace import RoundRecord
+
+        player = DualCliqueReductionPlayer(8, global_algorithm, seed=1)
+        record = RoundRecord(
+            round_index=0,
+            transmitter_mask=0b11,
+            deliveries=(),
+            expected_transmitters=player.threshold + 1,
+        )
+        assert player._guesses_for(record) == []
+
+    def test_sparse_round_guesses_transmitters_reduced(self):
+        from repro.core.trace import RoundRecord
+
+        player = DualCliqueReductionPlayer(8, global_algorithm, seed=1)
+        # Nodes 2 (side A) and 10 (side B, maps to 10-8=2) and 11 (maps 3).
+        record = RoundRecord(
+            round_index=0,
+            transmitter_mask=(1 << 2) | (1 << 10) | (1 << 11),
+            deliveries=(),
+            expected_transmitters=0.5,
+        )
+        assert player._guesses_for(record) == [3, 4]  # node ids + 1, deduped
+
+    def test_simulation_budget_respected(self):
+        player = DualCliqueReductionPlayer(
+            8, global_algorithm, seed=1, max_simulated_rounds=3
+        )
+        # Drain guesses; the player must stop after its budget.
+        for _ in range(100):
+            if player.next_guess() is None:
+                break
+        assert player.simulated_rounds <= 3
+
+    def test_guess_efficiency_tracks_theorem(self):
+        """Theorem 3.1: a broadcast algorithm with f(n) rounds gives a
+        player winning in O(f(2β) log β) guesses. Empirically the
+        best-response uniform algorithm crosses in Θ(β/log β) rounds and
+        each sparse round emits O(log β) guesses, so total guesses stay
+        well under the naive Θ(β²)."""
+        rng = random.Random(21)
+        beta = 32
+
+        def riding(n, side_a):
+            import math
+
+            threshold = 2.0 * math.log2(n)
+            return make_uniform_global_broadcast(
+                n, 0, probability=threshold / (2.0 * len(side_a))
+            )
+
+        total_guesses = []
+        for _ in range(5):
+            player = DualCliqueReductionPlayer(beta, riding, seed=rng.getrandbits(63))
+            outcome = play_hitting_game(beta, player, rng, max_guesses=beta * beta)
+            assert outcome.won
+            total_guesses.append(outcome.guesses_used)
+        median = sorted(total_guesses)[len(total_guesses) // 2]
+        assert median <= 8 * beta  # far below β² exhaustive play
+
+
+class TestClasplessBracelet:
+    def test_clasp_removed_from_g(self):
+        graph, layout = claspless_bracelet(4)
+        for i in range(4):
+            for j in range(4):
+                assert not graph.has_g_edge(layout.head_a(i), layout.head_b(j))
+
+    def test_full_head_bipartite_flaky_layer(self):
+        graph, layout = claspless_bracelet(3)
+        for i in range(3):
+            for j in range(3):
+                assert graph.has_gp_edge(layout.head_a(i), layout.head_b(j))
+
+    def test_g_still_connected_via_endpoint_clique(self):
+        graph, _ = claspless_bracelet(4)
+        assert graph.is_g_connected()
+
+
+class TestBraceletReduction:
+    def test_player_wins_the_game(self):
+        rng = random.Random(7)
+        wins = 0
+        for _ in range(5):
+            player = BraceletReductionPlayer(
+                6, local_algorithm, seed=rng.getrandbits(63)
+            )
+            outcome = play_hitting_game(6, player, rng, max_guesses=2000)
+            wins += outcome.won
+        assert wins == 5
+
+    def test_labels_precomputed_before_any_round(self):
+        player = BraceletReductionPlayer(5, local_algorithm, seed=2)
+        assert len(player.labels) == 5
+        assert player.simulated_rounds == 0
+
+    def test_guesses_are_band_indices(self):
+        rng = random.Random(9)
+        player = BraceletReductionPlayer(6, local_algorithm, seed=rng.getrandbits(63))
+        for _ in range(20):
+            guess = player.next_guess()
+            if guess is None:
+                break
+            assert 1 <= guess <= 6
+
+    def test_exhaustive_fallback_beyond_horizon(self):
+        # With a never-transmitting algorithm, no guesses arise within
+        # the horizon; the player then falls back to guessing everything.
+        def silent_algorithm(n, heads_a):
+            return make_static_local_broadcast(n, frozenset(), max_degree=4)
+
+        player = BraceletReductionPlayer(4, silent_algorithm, seed=3)
+        guesses = []
+        for _ in range(10):
+            g = player.next_guess()
+            if g is None:
+                break
+            guesses.append(g)
+        assert guesses == [1, 2, 3, 4]
+        assert player.simulated_rounds == player.horizon
+
+    def test_describe_mentions_dense_fraction(self):
+        player = BraceletReductionPlayer(4, local_algorithm, seed=5)
+        assert "dense_fraction" in player.describe()

@@ -1,0 +1,135 @@
+"""Tests for the experiment registry framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.static import NoFlakyLinks
+from repro.algorithms.round_robin import make_round_robin_global_broadcast
+from repro.analysis.runner import PreparedTrial
+from repro.core.errors import ExperimentError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.registry import ContrastClaim, Experiment, ScalePlan, Series
+from repro.graphs.builders import line_dual
+from repro.problems.global_broadcast import GlobalBroadcastProblem
+
+
+def rr_series(label="rr", expected_growth=None):
+    def scenario_for(n):
+        def scenario(seed):
+            net = line_dual(n)
+            return PreparedTrial(
+                network=net,
+                algorithm=make_round_robin_global_broadcast(net.n, 0),
+                link_process=NoFlakyLinks(),
+                problem=GlobalBroadcastProblem(net, 0),
+                max_rounds=10 * n * n,
+            )
+
+        return scenario
+
+    return Series(label, scenario_for, expected_growth=expected_growth)
+
+
+def toy_experiment(**kwargs):
+    defaults = dict(
+        exp_id="T1",
+        figure_cell="toy",
+        paper_bound="O(nD)",
+        parameter_name="n",
+        series=(rr_series(expected_growth="near-linear"),),
+        scales={"tiny": ScalePlan(parameters=(4, 8), trials=2)},
+    )
+    defaults.update(kwargs)
+    return Experiment(**defaults)
+
+
+class TestExperimentRun:
+    def test_runs_and_renders(self):
+        result = toy_experiment().run(scale="tiny", master_seed=1)
+        text = result.render()
+        assert "T1" in text and "paper bound" in text
+        assert result.series_results[0].sweep.parameters() == [4, 8]
+
+    def test_growth_claim_checked(self):
+        result = toy_experiment().run(scale="tiny", master_seed=1)
+        sr = result.series_results[0]
+        # Round robin on an id-ordered line advances one hop per round
+        # (slot order matches the path): linear growth.
+        assert sr.growth_class == "near-linear"
+        assert sr.shape_matches_expectation() is True
+
+    def test_no_claim_returns_none(self):
+        exp = toy_experiment(series=(rr_series(expected_growth=None),))
+        sr = exp.run(scale="tiny", master_seed=1).series_results[0]
+        assert sr.shape_matches_expectation() is None
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(ExperimentError):
+            toy_experiment().plan("galactic")
+
+    def test_contrast_outcomes(self):
+        exp = toy_experiment(
+            series=(rr_series("a"), rr_series("b")),
+            contrasts=(
+                ContrastClaim(slow_label="a", fast_label="b", min_ratio=0.5),
+                ContrastClaim(slow_label="a", fast_label="b", min_ratio=100.0),
+            ),
+        )
+        result = exp.run(scale="tiny", master_seed=1)
+        outcomes = result.contrast_outcomes()
+        # Identical series: ratio 1.0 — first claim holds, second fails.
+        assert outcomes[0][1] == pytest.approx(1.0)
+        assert outcomes[0][2] is True
+        assert outcomes[1][2] is False
+        assert "contrast" in result.render()
+
+    def test_series_by_label_missing(self):
+        result = toy_experiment().run(scale="tiny", master_seed=1)
+        with pytest.raises(ExperimentError):
+            result.series_by_label("nope")
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        toy_experiment().run(
+            scale="tiny", master_seed=1, progress=lambda label, _: seen.append(label)
+        )
+        assert seen == ["rr"]
+
+
+class TestRegistryContents:
+    def test_all_figure_cells_present(self):
+        for exp_id in [
+            "E1a", "E1b", "E2a", "E2b", "E3", "E4", "E5", "E6",
+            "E7a", "E7b", "E8", "E9", "A1", "A2", "A3",
+        ]:
+            assert exp_id in ALL_EXPERIMENTS
+
+    def test_every_experiment_has_tiny_and_small_scales(self):
+        for exp in ALL_EXPERIMENTS.values():
+            assert "tiny" in exp.scales
+            assert "small" in exp.scales
+            assert "full" in exp.scales
+
+    def test_scales_are_increasing(self):
+        for exp in ALL_EXPERIMENTS.values():
+            tiny = exp.scales["tiny"]
+            full = exp.scales["full"]
+            assert len(full.parameters) >= len(tiny.parameters)
+            assert max(full.parameters) >= max(tiny.parameters)
+
+    def test_paper_bounds_are_stated(self):
+        for exp in ALL_EXPERIMENTS.values():
+            assert exp.paper_bound
+
+    def test_series_labels_unique_within_experiment(self):
+        for exp in ALL_EXPERIMENTS.values():
+            labels = [s.label for s in exp.series]
+            assert len(labels) == len(set(labels)), exp.exp_id
+
+    def test_contrast_labels_resolve(self):
+        for exp in ALL_EXPERIMENTS.values():
+            labels = {s.label for s in exp.series}
+            for claim in exp.contrasts:
+                assert claim.slow_label in labels
+                assert claim.fast_label in labels

@@ -1,0 +1,41 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import experiment_markdown, summary_markdown
+
+_CACHE: dict[str, object] = {}
+
+
+def tiny_result(exp_id: str):
+    if exp_id not in _CACHE:
+        _CACHE[exp_id] = ALL_EXPERIMENTS[exp_id].run(scale="tiny", master_seed=11)
+    return _CACHE[exp_id]
+
+
+class TestExperimentMarkdown:
+    def test_contains_bound_and_tables(self):
+        text = experiment_markdown(tiny_result("E1b"))
+        assert "### E1b" in text
+        assert "**Paper bound:**" in text
+        assert text.count("| ---") >= 2  # medians table + verdicts table
+
+    def test_contrast_lines_rendered(self):
+        text = experiment_markdown(tiny_result("A2"))
+        assert "measured" in text and "×" in text
+
+    def test_series_labels_present(self):
+        result = tiny_result("E1b")
+        text = experiment_markdown(result)
+        for sr in result.series_results:
+            assert sr.series.label in text
+
+
+class TestSummaryMarkdown:
+    def test_one_row_per_experiment(self):
+        results = [tiny_result("E1b"), tiny_result("A2")]
+        text = summary_markdown(results)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(results)  # header + rule + rows
+        assert "E1b" in text and "A2" in text

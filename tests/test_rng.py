@@ -1,0 +1,64 @@
+"""Tests for the deterministic seed tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rng import derive_seed, fresh_seed_sequence, spawn_numpy_rng, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "node", 3) == derive_seed(42, "node", 3)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "node", 3) != derive_seed(42, "node", 4)
+        assert derive_seed(42, "node") != derive_seed(42, "edge")
+
+    def test_master_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_label_concatenation_does_not_collide(self):
+        # ("ab", "c") must differ from ("a", "bc") — the separator works.
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_no_labels_is_valid(self):
+        assert isinstance(derive_seed(7), int)
+
+    def test_result_fits_64_bits(self):
+        for labels in [(), ("a",), ("node", 999999)]:
+            assert 0 <= derive_seed(123, *labels) < 2**64
+
+
+class TestSpawns:
+    def test_spawn_rng_reproducible(self):
+        a = spawn_rng(9, "alg").random()
+        b = spawn_rng(9, "alg").random()
+        assert a == b
+
+    def test_spawn_rng_independent_streams(self):
+        a = [spawn_rng(9, "x").random() for _ in range(1)]
+        b = [spawn_rng(9, "y").random() for _ in range(1)]
+        assert a != b
+
+    def test_spawn_numpy_rng_reproducible(self):
+        a = spawn_numpy_rng(9, "coins").random(4)
+        b = spawn_numpy_rng(9, "coins").random(4)
+        assert list(a) == list(b)
+
+
+class TestFreshSeedSequence:
+    def test_count_and_range(self):
+        seeds = fresh_seed_sequence(random.Random(0), 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**63 for s in seeds)
+
+    def test_distinct_with_high_probability(self):
+        seeds = fresh_seed_sequence(random.Random(0), 100)
+        assert len(set(seeds)) == 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            fresh_seed_sequence(random.Random(0), -1)

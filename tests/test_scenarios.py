@@ -1,0 +1,121 @@
+"""Consistency tests for every registered experiment's scenario builders.
+
+These construct (without running) the `PreparedTrial` for each series at
+each tiny-scale parameter and check the structural facts every trial
+must satisfy: fresh per-seed state, role/problem agreement, legal caps,
+and solvable problem instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.base import LinkProcess
+from repro.algorithms.base import AlgorithmSpec
+from repro.analysis.runner import PreparedTrial
+from repro.experiments import ALL_EXPERIMENTS
+from repro.problems.base import Problem
+from repro.problems.global_broadcast import GlobalBroadcastProblem
+from repro.problems.local_broadcast import LocalBroadcastProblem
+
+
+def tiny_trials():
+    for exp_id, exp in sorted(ALL_EXPERIMENTS.items()):
+        plan = exp.scales["tiny"]
+        for series in exp.series:
+            parameter = plan.parameters[0]
+            scenario = series.scenario_for(parameter)
+            yield exp_id, series.label, scenario
+
+
+ALL_TINY = list(tiny_trials())
+IDS = [f"{exp_id}:{label}" for exp_id, label, _ in ALL_TINY]
+
+
+@pytest.mark.parametrize("exp_id,label,scenario", ALL_TINY, ids=IDS)
+class TestScenarioConsistency:
+    def test_builds_a_complete_trial(self, exp_id, label, scenario):
+        trial = scenario(12345)
+        assert isinstance(trial, PreparedTrial)
+        assert isinstance(trial.algorithm, AlgorithmSpec)
+        assert isinstance(trial.link_process, LinkProcess)
+        assert isinstance(trial.problem, Problem)
+        assert trial.max_rounds > 0
+        assert trial.network.is_g_connected()
+
+    def test_roles_match_problem(self, exp_id, label, scenario):
+        trial = scenario(12345)
+        metadata = trial.algorithm.metadata
+        if isinstance(trial.problem, GlobalBroadcastProblem):
+            assert metadata.get("problem") == "global-broadcast"
+            assert metadata.get("source") == trial.problem.source
+        elif isinstance(trial.problem, LocalBroadcastProblem):
+            assert metadata.get("problem") == "local-broadcast"
+            assert (
+                frozenset(metadata.get("broadcasters", ()))
+                == trial.problem.broadcasters
+            )
+
+    def test_processes_build_for_the_network(self, exp_id, label, scenario):
+        trial = scenario(12345)
+        processes = trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=7
+        )
+        assert len(processes) == trial.network.n
+
+    def test_fresh_adversary_per_trial(self, exp_id, label, scenario):
+        a = scenario(1)
+        b = scenario(2)
+        assert a.link_process is not b.link_process
+
+    def test_deterministic_in_seed(self, exp_id, label, scenario):
+        a = scenario(99)
+        b = scenario(99)
+        assert a.network.g_edges() == b.network.g_edges()
+        assert a.network.flaky_edges() == b.network.flaky_edges()
+        assert a.max_rounds == b.max_rounds
+
+
+class TestSecretFreshness:
+    """Lower-bound scenarios must redraw their secret structure per seed."""
+
+    @pytest.mark.parametrize("exp_id", ["E3", "E5"])
+    def test_dual_clique_bridge_varies(self, exp_id):
+        exp = ALL_EXPERIMENTS[exp_id]
+        scenario = exp.series[0].scenario_for(exp.scales["tiny"].parameters[0])
+        cross_edges = set()
+        for seed in range(8):
+            trial = scenario(seed)
+            half = trial.network.n // 2
+            for u in range(half):
+                for v in range(half, trial.network.n):
+                    if trial.network.has_g_edge(u, v):
+                        cross_edges.add((u, v))
+        assert len(cross_edges) > 1  # the bridge moved across seeds
+
+    def test_bracelet_clasp_varies(self):
+        exp = ALL_EXPERIMENTS["E8"]
+        scenario = exp.series[0].scenario_for(exp.scales["tiny"].parameters[0])
+        clasps = set()
+        for seed in range(8):
+            trial = scenario(seed)
+            # Recover the clasp: the unique cross-head G edge.
+            n = trial.network.n
+            for u in range(n):
+                for v in trial.network.g_neighbors(u):
+                    if abs(v - u) >= n // 2 and trial.network.has_g_edge(u, v):
+                        clasps.add((min(u, v), max(u, v)))
+        assert len(clasps) > 1
+
+    def test_source_never_the_bridge(self):
+        """The adversarial bridge placement avoids the trivially-informed
+        source (proofs pick the hardest position)."""
+        exp = ALL_EXPERIMENTS["E3"]
+        scenario = exp.series[0].scenario_for(32)
+        for seed in range(8):
+            trial = scenario(seed)
+            half = trial.network.n // 2
+            assert not any(
+                trial.network.has_g_edge(0, v) and v >= half
+                for v in trial.network.g_neighbors(0)
+            )
