@@ -13,47 +13,39 @@ against:
 and the printed table is Figure 1's column-of-rows for global
 broadcast: polylog under oblivious, ~n/log n online, ~n offline.
 
-Run:  python examples/adversary_showdown.py  [--half 64] [--trials 5]
+Each contender is one declarative :class:`repro.api.ScenarioSpec` —
+only the ``adversary`` section differs — and because specs are plain
+data the trials fan out across cores with ``--parallel``.
+
+Run:  python examples/adversary_showdown.py  [--half 64] [--trials 5] [--parallel]
 """
 
 from __future__ import annotations
 
 import argparse
-import random
-import statistics
 
-from repro.adversaries import (
-    AllFlakyLinks,
-    GilbertElliottNodeFade,
-    NoFlakyLinks,
-    OfflineSoloBlockerAttacker,
-    OnlineDenseSparseAttacker,
-)
-from repro.algorithms import make_oblivious_global_broadcast
-from repro.analysis import render_table, run_broadcast_trial
-from repro.core.rng import derive_seed
-from repro.graphs import dual_clique
+from repro.analysis import render_table
+from repro.api import ParallelExecutor, ScenarioSpec, Simulation
 
-
-def median_rounds(half: int, make_adversary, trials: int, master_seed: int) -> float:
-    rounds = []
-    for trial in range(trials):
-        seed = derive_seed(master_seed, "showdown", half, trial)
-        rng = random.Random(derive_seed(seed, "bridge"))
-        dc = dual_clique(
-            half,
-            bridge_a=1 + rng.randrange(half - 1),  # never the source
-            bridge_b=half + rng.randrange(half),
-        )
-        result = run_broadcast_trial(
-            network=dc.graph,
-            algorithm=make_oblivious_global_broadcast(dc.n, 0),
-            link_process=make_adversary(dc),
-            seed=seed,
-            max_rounds=200 * dc.n,
-        )
-        rounds.append(result.rounds if result.solved else 200 * dc.n)
-    return statistics.median(rounds)
+ADVERSARIES = [
+    ("oblivious: no flaky links", "oblivious", ("none", {})),
+    ("oblivious: all flaky links", "oblivious", ("all", {})),
+    (
+        "oblivious: bursty GE fading",
+        "oblivious",
+        ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    ),
+    (
+        "ONLINE adaptive: dense/sparse (Thm 3.1)",
+        "online adaptive",
+        ("online-dense-sparse", {"side": "A"}),
+    ),
+    (
+        "OFFLINE adaptive: solo blocker [11]",
+        "offline adaptive",
+        ("offline-solo-blocker", {"side": "A"}),
+    ),
+]
 
 
 def main() -> None:
@@ -61,35 +53,30 @@ def main() -> None:
     parser.add_argument("--half", type=int, default=64, help="clique size |A| = |B|")
     parser.add_argument("--trials", type=int, default=5)
     parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--parallel", action="store_true", help="fan trials out across cores"
+    )
     args = parser.parse_args()
 
-    adversaries = [
-        ("oblivious: no flaky links", "oblivious", lambda dc: NoFlakyLinks()),
-        ("oblivious: all flaky links", "oblivious", lambda dc: AllFlakyLinks()),
-        (
-            "oblivious: bursty GE fading",
-            "oblivious",
-            lambda dc: GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3),
-        ),
-        (
-            "ONLINE adaptive: dense/sparse (Thm 3.1)",
-            "online adaptive",
-            lambda dc: OnlineDenseSparseAttacker(dc.side_a_mask),
-        ),
-        (
-            "OFFLINE adaptive: solo blocker [11]",
-            "offline adaptive",
-            lambda dc: OfflineSoloBlockerAttacker(dc.side_a_mask),
-        ),
-    ]
-
     n = 2 * args.half
+    executor = ParallelExecutor() if args.parallel else None
     print(f"Dual clique, n = {n}; victim: permuted-decay global broadcast (§4.1)")
     print(f"(per-trial secret bridge; medians over {args.trials} trials)\n")
+
     rows = []
-    for label, klass, factory in adversaries:
-        median = median_rounds(args.half, factory, args.trials, args.seed)
-        rows.append([label, klass, median])
+    for label, klass, adversary in ADVERSARIES:
+        spec = ScenarioSpec(
+            name=label,
+            graph=("dual-clique", {"half": args.half}),  # secret bridge per trial
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=("permuted-decay", {}),
+            adversary=adversary,
+            max_rounds=200 * n,
+        )
+        stats = Simulation.from_spec(spec).run(
+            trials=args.trials, master_seed=args.seed, executor=executor
+        )
+        rows.append([label, klass, stats.median_rounds])
     print(render_table(["adversary", "class", "median rounds"], rows))
     print(
         "\nReading: the identical algorithm on the identical network pays "

@@ -3,25 +3,28 @@
 
 A dual-graph radio network simulator plus every algorithm, adversary,
 lower-bound construction, and experiment the paper defines. See
-DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+README.md for the user guide, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured record.
 
-Quickstart::
+Quickstart (the declarative :mod:`repro.api` facade)::
 
-    from repro.graphs import random_geographic
-    from repro.algorithms import make_oblivious_global_broadcast
-    from repro.adversaries import GilbertElliottNodeFade
-    from repro.analysis import run_broadcast_trial
+    from repro.api import ScenarioSpec, Simulation
 
-    network = random_geographic(n=128, grey_ratio=1.6, seed=7)
-    spec = make_oblivious_global_broadcast(network, source=0)
-    result = run_broadcast_trial(
-        network=network,
-        algorithm=spec,
-        link_process=GilbertElliottNodeFade(p_fail=0.2, p_recover=0.4),
-        seed=7,
+    spec = ScenarioSpec(
+        graph=("geographic", {"n": 128, "grey_ratio": 1.6}),
+        problem=("global-broadcast", {"source": 0}),
+        algorithm=("permuted-decay", {}),
+        adversary=("ge-fade", {"p_fail": 0.2, "p_recover": 0.4}),
     )
+    result = Simulation.from_spec(spec).run_trial(seed=7)
     print(result.rounds_to_solve())
+
+Specs serialize to JSON (``spec.to_json()``), run from the CLI
+(``repro run-spec spec.json``), and fan out across cores
+(``executor=repro.api.ParallelExecutor()``). The lower-level building
+blocks — :mod:`repro.graphs`, :mod:`repro.algorithms`,
+:mod:`repro.adversaries`, :mod:`repro.analysis` — remain public for
+imperative use.
 """
 
 from repro.core import (

@@ -145,3 +145,26 @@ class BraceletObliviousAttacker(LinkProcess):
         if not self.labels:
             return 0.0
         return sum(self.labels) / len(self.labels)
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.core.errors import SpecError  # noqa: E402
+from repro.registry import register_adversary  # noqa: E402
+
+
+@register_adversary("bracelet-attacker")
+def _spec_bracelet_attacker(
+    ctx, *, threshold_factor: float = 1.0, horizon: Optional[int] = None
+) -> BraceletObliviousAttacker:
+    if not isinstance(ctx.network, BraceletNetwork):
+        raise SpecError(
+            "bracelet-attacker needs the 'bracelet' graph family "
+            f"(got {type(ctx.network).__name__})"
+        )
+    return BraceletObliviousAttacker(
+        ctx.network,
+        threshold_factor=float(threshold_factor),
+        horizon=None if horizon is None else int(horizon),
+    )

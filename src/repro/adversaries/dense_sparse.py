@@ -113,3 +113,24 @@ class OnlineDenseSparseAttacker(LinkProcess):
         if not self.dense_history:
             return 0.0
         return sum(self.dense_history) / len(self.dense_history)
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.registry import cut_mask_for, register_adversary  # noqa: E402
+
+
+@register_adversary("online-dense-sparse")
+def _spec_online_dense_sparse(
+    ctx, *, side="A", threshold=None, count_scope=None
+) -> OnlineDenseSparseAttacker:
+    """``count_scope`` accepts the same selector vocabulary as ``side``
+    (a named cut side, a bitmask int, or a node list)."""
+    return OnlineDenseSparseAttacker(
+        cut_mask_for(ctx, side),
+        threshold=None if threshold is None else float(threshold),
+        count_scope_mask=(
+            None if count_scope is None else cut_mask_for(ctx, count_scope)
+        ),
+    )

@@ -109,3 +109,28 @@ class MovingRegionFade(LinkProcess):
         return RoundTopology.from_active_flaky_nodes(
             self.network, active_mask, label="moving-fade"
         )
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.registry import cut_mask_for, register_adversary  # noqa: E402
+
+
+@register_adversary("cut-jammer")
+def _spec_cut_jammer(
+    ctx, *, period: int, dense_rounds: int, side="first-half", phase_offset: int = 0
+) -> PeriodicCutJammer:
+    return PeriodicCutJammer(
+        cut_mask_for(ctx, side),
+        int(period),
+        int(dense_rounds),
+        phase_offset=int(phase_offset),
+    )
+
+
+@register_adversary("moving-fade")
+def _spec_moving_fade(
+    ctx, *, fade_radius: float = 1.5, speed: float = 0.25
+) -> MovingRegionFade:
+    return MovingRegionFade(fade_radius=float(fade_radius), speed=float(speed))

@@ -87,3 +87,14 @@ class OfflineSoloBlockerAttacker(LinkProcess):
         if transmitters == 1:
             self.solo_rounds += 1
         return self._severed
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.registry import cut_mask_for, register_adversary  # noqa: E402
+
+
+@register_adversary("offline-solo-blocker")
+def _spec_offline_solo_blocker(ctx, *, side="A") -> OfflineSoloBlockerAttacker:
+    return OfflineSoloBlockerAttacker(cut_mask_for(ctx, side))

@@ -146,3 +146,45 @@ class PrecomputedDenseSparseLinks(LinkProcess):
         r = view.round_index
         dense = self.labels[r] if r < len(self.labels) else self.tail_dense
         return self._dense if dense else self._sparse
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.core.errors import SpecError  # noqa: E402
+from repro.registry import cut_mask_for, register_adversary  # noqa: E402
+
+
+@register_adversary("predicted-dense-sparse")
+def _spec_predicted_dense_sparse(
+    ctx, *, side="A", predictor: str = "plain-decay", threshold=None
+) -> PredictedDenseSparseAttacker:
+    """Schedule attack with a named clock-only predictor.
+
+    ``"plain-decay"`` predicts [2]'s public ladder for the informed
+    side (a dual clique's side A, or half the node count otherwise) —
+    exact against plain decay, stale against permuted decay.
+    """
+    if predictor != "plain-decay":
+        raise SpecError(f"unknown predictor {predictor!r}; known: 'plain-decay'")
+    # Function-local import: adversaries must not import algorithms at
+    # module level (algorithms.base imports adversaries.base).
+    from repro.algorithms.base import log2_ceil
+
+    n = ctx.graph.n
+    informed = getattr(ctx.network, "half", n // 2)
+    phase_length = log2_ceil(n)
+    return PredictedDenseSparseAttacker(
+        cut_mask_for(ctx, side),
+        predict_plain_decay_counts(informed, phase_length),
+        threshold=None if threshold is None else float(threshold),
+    )
+
+
+@register_adversary("precomputed-dense-sparse")
+def _spec_precomputed_dense_sparse(
+    ctx, *, labels, side="A", tail_dense: bool = True
+) -> PrecomputedDenseSparseLinks:
+    return PrecomputedDenseSparseLinks(
+        cut_mask_for(ctx, side), [bool(b) for b in labels], tail_dense=bool(tail_dense)
+    )

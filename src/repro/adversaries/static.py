@@ -107,3 +107,29 @@ class AlternatingLinks(LinkProcess):
                 return self._topologies[i % len(self._topologies)]
             offset -= length
         return self._topologies[0]  # pragma: no cover - unreachable
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.registry import register_adversary  # noqa: E402
+
+
+@register_adversary("none")
+def _spec_none(ctx) -> NoFlakyLinks:
+    return NoFlakyLinks()
+
+
+@register_adversary("all")
+def _spec_all(ctx) -> AllFlakyLinks:
+    return AllFlakyLinks()
+
+
+@register_adversary("alternating")
+def _spec_alternating(ctx, *, phase_lengths=(1, 1)) -> AlternatingLinks:
+    return AlternatingLinks(tuple(int(p) for p in phase_lengths))
+
+
+@register_adversary("fixed-flaky")
+def _spec_fixed_flaky(ctx, *, edges) -> FixedFlakyLinks:
+    return FixedFlakyLinks([(int(u), int(v)) for u, v in edges])

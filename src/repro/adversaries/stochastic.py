@@ -189,3 +189,43 @@ class GilbertElliottNodeFade(LinkProcess):
         return RoundTopology.from_active_flaky_nodes(
             self.network, mask, label="gilbert-elliott-node-fade"
         )
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+from repro.registry import register_adversary  # noqa: E402
+
+
+@register_adversary("bernoulli-edge")
+def _spec_bernoulli_edge(ctx, *, p_up: float) -> BernoulliEdgeLinks:
+    return BernoulliEdgeLinks(float(p_up))
+
+
+@register_adversary("ge-edge")
+def _spec_ge_edge(
+    ctx, *, p_fail: float, p_recover: float, start_up_fraction=None
+) -> GilbertElliottEdgeLinks:
+    return GilbertElliottEdgeLinks(
+        float(p_fail),
+        float(p_recover),
+        start_up_fraction=None if start_up_fraction is None else float(start_up_fraction),
+    )
+
+
+@register_adversary("bernoulli-node-fade")
+def _spec_bernoulli_node_fade(ctx, *, p_clear: float) -> BernoulliNodeFade:
+    return BernoulliNodeFade(float(p_clear))
+
+
+@register_adversary("ge-fade")
+def _spec_ge_fade(
+    ctx, *, p_fail: float, p_recover: float, start_clear_fraction=None
+) -> GilbertElliottNodeFade:
+    return GilbertElliottNodeFade(
+        float(p_fail),
+        float(p_recover),
+        start_clear_fraction=(
+            None if start_clear_fraction is None else float(start_clear_fraction)
+        ),
+    )

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.adversaries.base import AlgorithmInfo
+from repro.core.errors import SpecError
 from repro.core.process import Process, ProcessContext
 from repro.core.rng import spawn_rng
 
@@ -31,6 +32,8 @@ __all__ = [
     "ProcessFactory",
     "log2_ceil",
     "clamp_probability",
+    "spec_source",
+    "spec_broadcasters",
 ]
 
 ProcessFactory = Callable[[ProcessContext], Process]
@@ -115,3 +118,32 @@ def make_spec(
 ) -> AlgorithmSpec:
     """Convenience constructor mirroring :class:`AlgorithmSpec`."""
     return AlgorithmSpec(name=name, factory=factory, metadata=metadata or {})
+
+
+# ----------------------------------------------------------------------
+# Role resolution for registered (ScenarioSpec-facing) factories
+# ----------------------------------------------------------------------
+def spec_source(ctx, source: Optional[int] = None) -> int:
+    """A global algorithm's source: explicit param, else the problem's."""
+    if source is not None:
+        return int(source)
+    problem_source = getattr(getattr(ctx, "problem", None), "source", None)
+    if problem_source is None:
+        raise SpecError(
+            "global algorithm needs a source: pass params.source or pair it "
+            "with a global-broadcast problem"
+        )
+    return int(problem_source)
+
+
+def spec_broadcasters(ctx, broadcasters=None) -> frozenset[int]:
+    """A local algorithm's set ``B``: explicit param, else the problem's."""
+    if broadcasters is not None:
+        return frozenset(int(b) for b in broadcasters)
+    problem_b = getattr(getattr(ctx, "problem", None), "broadcasters", None)
+    if problem_b is None:
+        raise SpecError(
+            "local algorithm needs broadcasters: pass params.broadcasters or "
+            "pair it with a local-broadcast problem"
+        )
+    return frozenset(problem_b)

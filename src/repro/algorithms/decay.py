@@ -28,9 +28,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmSpec, log2_ceil
+from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_source
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = [
     "decay_probability",
@@ -152,4 +153,22 @@ def make_plain_decay_global_broadcast(
             "phase_length": resolved_phase,
             "schedule": "public",
         },
+    )
+
+
+@register_algorithm("plain-decay")
+def _spec_plain_decay(
+    ctx,
+    *,
+    source: Optional[int] = None,
+    payload: object = "m",
+    phase_length: Optional[int] = None,
+    active_phases: Optional[int] = None,
+) -> AlgorithmSpec:
+    return make_plain_decay_global_broadcast(
+        ctx.graph.n,
+        spec_source(ctx, source),
+        payload=payload,
+        phase_length=phase_length,
+        active_phases=active_phases,
     )

@@ -34,11 +34,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.algorithms.base import AlgorithmSpec, log2_ceil
+from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_source
 from repro.algorithms.permuted_decay import PermutedDecaySchedule
 from repro.core.bits import BitStream
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = [
     "ObliviousGlobalBroadcastProcess",
@@ -251,4 +252,37 @@ def make_uncoordinated_decay_global_broadcast(
             "source": source,
             "schedule": "private per-node rungs",
         },
+    )
+
+
+@register_algorithm("permuted-decay")
+def _spec_permuted_decay(
+    ctx,
+    *,
+    source: Optional[int] = None,
+    payload: object = "m",
+    gamma: int = 4,
+    epochs_per_node: Optional[int] = None,
+    paper_constants: bool = False,
+) -> AlgorithmSpec:
+    return make_oblivious_global_broadcast(
+        ctx.graph.n,
+        spec_source(ctx, source),
+        payload=payload,
+        gamma=int(gamma),
+        epochs_per_node=epochs_per_node,
+        paper_constants=bool(paper_constants),
+    )
+
+
+@register_algorithm("uncoordinated-decay")
+def _spec_uncoordinated_decay(
+    ctx,
+    *,
+    source: Optional[int] = None,
+    payload: object = "m",
+    gamma: int = 4,
+) -> AlgorithmSpec:
+    return make_uncoordinated_decay_global_broadcast(
+        ctx.graph.n, spec_source(ctx, source), payload=payload, gamma=int(gamma)
     )

@@ -40,11 +40,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Optional
 
-from repro.algorithms.base import AlgorithmSpec, log2_ceil
+from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_broadcasters
 from repro.algorithms.permuted_decay import PermutedDecaySchedule
 from repro.core.bits import BitStream, bits_for_uniform
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = [
     "GeoLocalBroadcastParams",
@@ -356,4 +357,31 @@ def make_geographic_local_broadcast(
             "share_seeds": share_seeds,
             "init_stage_rounds": params.init_stage_rounds,
         },
+    )
+
+
+@register_algorithm("geo-local")
+def _spec_geo_local(
+    ctx,
+    *,
+    broadcasters=None,
+    payload: object = "m",
+    gamma: int = 4,
+    init_rounds_factor: float = 3.0,
+    iterations_factor: float = 3.0,
+    paper_constants: bool = False,
+    share_seeds: bool = True,
+    always_participate: bool = False,
+) -> AlgorithmSpec:
+    return make_geographic_local_broadcast(
+        ctx.graph.n,
+        spec_broadcasters(ctx, broadcasters),
+        ctx.graph.max_degree,
+        payload=payload,
+        gamma=int(gamma),
+        init_rounds_factor=float(init_rounds_factor),
+        iterations_factor=float(iterations_factor),
+        paper_constants=bool(paper_constants),
+        share_seeds=bool(share_seeds),
+        always_participate=bool(always_participate),
     )

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 from typing import AbstractSet, Optional
 
-from repro.algorithms.base import AlgorithmSpec, log2_ceil
+from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_broadcasters
 from repro.algorithms.decay import decay_probability
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = ["StaticLocalDecayProcess", "make_static_local_broadcast"]
 
@@ -94,4 +95,26 @@ def make_static_local_broadcast(
             "phase_length": resolved_phase,
             "schedule": "public",
         },
+    )
+
+
+@register_algorithm("static-local-decay")
+def _spec_static_local_decay(
+    ctx,
+    *,
+    broadcasters=None,
+    ladder_delta: Optional[int] = None,
+    payload: object = "m",
+    phase_length: Optional[int] = None,
+) -> AlgorithmSpec:
+    """[8]-style local decay; ``ladder_delta`` overrides the Δ the
+    probability ladder descends to (``1`` gives the E2b "ladderless"
+    ablation), defaulting to the built graph's max degree."""
+    delta = ctx.graph.max_degree if ladder_delta is None else int(ladder_delta)
+    return make_static_local_broadcast(
+        ctx.graph.n,
+        spec_broadcasters(ctx, broadcasters),
+        delta,
+        payload=payload,
+        phase_length=phase_length,
     )

@@ -30,9 +30,10 @@ from __future__ import annotations
 import random
 from typing import AbstractSet, Optional, Sequence
 
-from repro.algorithms.base import AlgorithmSpec
+from repro.algorithms.base import AlgorithmSpec, spec_broadcasters, spec_source
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = [
     "RoundRobinLocalProcess",
@@ -176,4 +177,42 @@ def make_round_robin_global_broadcast(
             "source": source,
             "deterministic": True,
         },
+    )
+
+
+@register_algorithm("round-robin-global")
+def _spec_round_robin_global(
+    ctx,
+    *,
+    source: Optional[int] = None,
+    payload: object = "m",
+    random_slots: bool = False,
+    slot_seed: Optional[int] = None,
+) -> AlgorithmSpec:
+    """Footnote-5 baseline; ``random_slots`` draws a per-trial slot
+    permutation from the ``"slots"`` stream (the label the chain-graph
+    scenarios use so the identity schedule never luckily matches)."""
+    if slot_seed is None and random_slots:
+        slot_seed = ctx.derive("slots")
+    return make_round_robin_global_broadcast(
+        ctx.graph.n, spec_source(ctx, source), payload=payload, slot_seed=slot_seed
+    )
+
+
+@register_algorithm("round-robin-local")
+def _spec_round_robin_local(
+    ctx,
+    *,
+    broadcasters=None,
+    payload: object = "m",
+    random_slots: bool = False,
+    slot_seed: Optional[int] = None,
+) -> AlgorithmSpec:
+    if slot_seed is None and random_slots:
+        slot_seed = ctx.derive("slots")
+    return make_round_robin_local_broadcast(
+        ctx.graph.n,
+        spec_broadcasters(ctx, broadcasters),
+        payload=payload,
+        slot_seed=slot_seed,
     )

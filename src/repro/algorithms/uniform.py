@@ -14,9 +14,15 @@ from __future__ import annotations
 
 from typing import AbstractSet, Optional
 
-from repro.algorithms.base import AlgorithmSpec, clamp_probability
+from repro.algorithms.base import (
+    AlgorithmSpec,
+    clamp_probability,
+    spec_broadcasters,
+    spec_source,
+)
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.registry import register_algorithm
 
 __all__ = [
     "UniformLocalProcess",
@@ -169,4 +175,30 @@ def make_uniform_local_broadcast(
             "broadcasters": sorted(broadcaster_set),
             "probability": resolved,
         },
+    )
+
+
+@register_algorithm("uniform-global")
+def _spec_uniform_global(
+    ctx, *, probability: float, source: Optional[int] = None, payload: object = "m"
+) -> AlgorithmSpec:
+    return make_uniform_global_broadcast(
+        ctx.graph.n, spec_source(ctx, source), probability=float(probability), payload=payload
+    )
+
+
+@register_algorithm("uniform-local")
+def _spec_uniform_local(
+    ctx,
+    *,
+    broadcasters=None,
+    probability: Optional[float] = None,
+    payload: object = "m",
+) -> AlgorithmSpec:
+    return make_uniform_local_broadcast(
+        ctx.graph.n,
+        spec_broadcasters(ctx, broadcasters),
+        ctx.graph.max_degree,
+        probability=None if probability is None else float(probability),
+        payload=payload,
     )

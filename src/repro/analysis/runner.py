@@ -18,7 +18,10 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # executors live above this layer; type-only import
+    from repro.api.executor import TrialExecutor
 
 from repro.adversaries.base import LinkProcess
 from repro.algorithms.base import AlgorithmSpec
@@ -202,15 +205,28 @@ def run_broadcast_trials(
     trials: int,
     master_seed: int,
     label: object = "trial",
+    executor: Optional["TrialExecutor"] = None,
 ) -> TrialStats:
-    """Run ``trials`` independent executions of a scenario."""
+    """Run ``trials`` independent executions of a scenario.
+
+    Per-trial seeds derive from ``(master_seed, label, index)``, so the
+    batch is reproducible from one seed and independent of *where* the
+    trials run: pass an ``executor`` (see :mod:`repro.api.executor`) to
+    fan the batch out — e.g. ``ParallelExecutor()`` across cores for a
+    picklable scenario such as a :class:`~repro.api.spec.ScenarioSpec` —
+    with results identical to the default in-process loop.
+    """
     if trials < 1:
         raise ValueError("need at least one trial")
+    seeds = [derive_seed(master_seed, label, index) for index in range(trials)]
+    if executor is None:
+        # Lazy import: the executors layer sits above this module.
+        from repro.api.executor import SerialExecutor
+
+        executor = SerialExecutor()
     stats = TrialStats()
-    for index in range(trials):
-        seed = derive_seed(master_seed, label, index)
-        trial = scenario(seed)
-        stats.add(run_prepared_trial(trial, seed))
+    for result in executor.run_trials(scenario, seeds):
+        stats.add(result)
     return stats
 
 

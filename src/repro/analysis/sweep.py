@@ -10,7 +10,10 @@ to recover the growth shape.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Generic, Optional, Sequence, TypeVar
+
+if TYPE_CHECKING:  # executors live above this layer; type-only import
+    from repro.api.executor import TrialExecutor
 
 from repro.analysis.runner import Scenario, TrialStats, run_broadcast_trials
 from repro.core.rng import derive_seed
@@ -85,11 +88,14 @@ def run_sweep(
     trials: int,
     master_seed: int,
     progress: Optional[Callable[[P, TrialStats], None]] = None,
+    executor: Optional["TrialExecutor"] = None,
 ) -> SweepResult[P]:
     """Run ``trials`` executions of ``scenario_for(p)`` at every ``p``.
 
     Seeds are derived per ``(master_seed, name, parameter)`` so points
-    are independent and the whole sweep is reproducible from one seed.
+    are independent and the whole sweep is reproducible from one seed —
+    including under a parallel ``executor``, which changes only *where*
+    trials run, never their results.
     """
     result: SweepResult[P] = SweepResult(name=name)
     for parameter in parameters:
@@ -98,6 +104,7 @@ def run_sweep(
             trials=trials,
             master_seed=derive_seed(master_seed, name, repr(parameter)),
             label=(name, repr(parameter)),
+            executor=executor,
         )
         result.points.append(SweepPoint(parameter=parameter, stats=stats))
         if progress is not None:

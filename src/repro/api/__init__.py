@@ -1,0 +1,55 @@
+"""The stable public facade for declarative scenarios.
+
+Everything a caller needs to describe, serialize, and execute scenario
+cross-products lives here:
+
+* :class:`ScenarioSpec` / :class:`ComponentRef` — declarative, JSON
+  round-trippable trial descriptions;
+* the component registries and ``register_*`` decorators for plugging
+  in new graph families, algorithms, adversaries, and problems;
+* :class:`SerialExecutor` / :class:`ParallelExecutor` — interchangeable
+  trial backends (the parallel one fans out across cores);
+* :class:`Simulation`, :func:`sweep`, :func:`run_spec` — the high-level
+  entry points.
+
+See README.md for a quickstart and a JSON spec example.
+"""
+
+from repro.api.executor import ParallelExecutor, SerialExecutor, TrialExecutor
+from repro.api.facade import Simulation, load_spec, run_spec, sweep
+from repro.api.spec import ComponentRef, ScenarioSpec, build_prepared_trial
+from repro.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    GRAPHS,
+    PROBLEMS,
+    Registry,
+    ScenarioContext,
+    register_adversary,
+    register_algorithm,
+    register_graph,
+    register_problem,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ComponentRef",
+    "build_prepared_trial",
+    "TrialExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "Simulation",
+    "sweep",
+    "run_spec",
+    "load_spec",
+    "Registry",
+    "ScenarioContext",
+    "GRAPHS",
+    "ALGORITHMS",
+    "ADVERSARIES",
+    "PROBLEMS",
+    "register_graph",
+    "register_algorithm",
+    "register_adversary",
+    "register_problem",
+]

@@ -1,0 +1,263 @@
+"""The declarative scenario description: :class:`ScenarioSpec`.
+
+A spec names the four components of a trial — graph family, problem,
+algorithm, adversary — by registry key plus JSON-safe parameters, and
+carries the round cap. A spec plus a trial seed fully determines a
+:class:`~repro.analysis.runner.PreparedTrial`; all per-trial randomness
+(secret bridges, geographic placements, broadcaster samples) is drawn
+from labelled child streams of the seed inside the registered
+factories. That gives specs three properties the closure-based
+scenarios never had:
+
+* **serializable** — ``to_dict()``/``from_dict()`` round-trip through
+  JSON, so scenarios live in files, configs, and CLI arguments;
+* **picklable** — a spec is plain data, so the parallel executor can
+  ship it to worker processes;
+* **deterministic** — ``spec(seed)`` is a pure function, so serial and
+  parallel execution produce identical results.
+
+A spec is itself a :data:`~repro.analysis.runner.Scenario` (calling it
+with a seed builds the trial), so every existing sweep/trial entry
+point accepts one unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.analysis.runner import PreparedTrial, default_round_cap
+from repro.core.errors import SpecError
+from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS, ScenarioContext
+
+__all__ = ["ComponentRef", "ScenarioSpec", "build_prepared_trial"]
+
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_json_value(value: Any, where: str) -> Any:
+    """Validate (and normalize tuples in) a parameter value for JSON."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_json_value(v, where) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_check_json_value(v, where) for v in value)
+    if isinstance(value, Mapping):
+        return {str(k): _check_json_value(v, where) for k, v in value.items()}
+    raise SpecError(
+        f"{where}: parameter value {value!r} is not JSON-serializable"
+    )
+
+
+@dataclass(frozen=True)
+class ComponentRef:
+    """A registry key plus its JSON parameters.
+
+    Accepts several shorthands through :meth:`of` — a bare name, a
+    ``(name, params)`` pair, or a ``{"name": ..., "params": ...}``
+    dict — so spec literals stay compact.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError(f"component needs a non-empty string name, got {self.name!r}")
+        object.__setattr__(
+            self,
+            "params",
+            {str(k): _check_json_value(v, self.name) for k, v in dict(self.params).items()},
+        )
+
+    @classmethod
+    def of(cls, value: object, *, kind: str = "component") -> "ComponentRef":
+        if isinstance(value, ComponentRef):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            extra = set(value) - {"name", "params"}
+            if "name" not in value or extra:
+                raise SpecError(
+                    f"{kind} dict needs 'name' (+ optional 'params'); got keys {sorted(value)}"
+                )
+            return cls(name=value["name"], params=dict(value.get("params") or {}))
+        if isinstance(value, (tuple, list)) and len(value) == 2:
+            return cls(name=value[0], params=dict(value[1]))
+        raise SpecError(
+            f"cannot interpret {value!r} as a {kind}; pass a name, "
+            "(name, params), or {'name': ..., 'params': ...}"
+        )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+    def with_param(self, key: str, value: object) -> "ComponentRef":
+        params = dict(self.params)
+        params[key] = value
+        return ComponentRef(name=self.name, params=params)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the scenario space, declaratively.
+
+    Build order is graph → problem → algorithm → adversary, so problem
+    params may reference graph structure (``side: "A"``) and algorithm
+    params may omit roles the problem already fixes (source ``B``).
+
+    ``max_rounds=None`` falls back to the generous
+    :func:`~repro.analysis.runner.default_round_cap`.
+    """
+
+    graph: ComponentRef
+    problem: ComponentRef
+    algorithm: ComponentRef
+    adversary: ComponentRef
+    max_rounds: Optional[int] = None
+    validate_topologies: bool = False
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "graph", ComponentRef.of(self.graph, kind="graph"))
+        object.__setattr__(self, "problem", ComponentRef.of(self.problem, kind="problem"))
+        object.__setattr__(
+            self, "algorithm", ComponentRef.of(self.algorithm, kind="algorithm")
+        )
+        object.__setattr__(
+            self, "adversary", ComponentRef.of(self.adversary, kind="adversary")
+        )
+        if self.max_rounds is not None:
+            # Coerce: a float cap (e.g. 96.0 * n from a scale formula)
+            # must serialize and compare identically after a JSON trip.
+            object.__setattr__(self, "max_rounds", int(self.max_rounds))
+            if self.max_rounds < 1:
+                raise SpecError(f"max_rounds must be positive, got {self.max_rounds}")
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def build(self, seed: int) -> PreparedTrial:
+        """Resolve every component and assemble the trial for ``seed``."""
+        return build_prepared_trial(self, seed)
+
+    def __call__(self, seed: int) -> PreparedTrial:
+        """A spec is a Scenario: ``spec(seed)`` builds the trial."""
+        return self.build(seed)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        data = {
+            "graph": self.graph.to_dict(),
+            "problem": self.problem.to_dict(),
+            "algorithm": self.algorithm.to_dict(),
+            "adversary": self.adversary.to_dict(),
+            "max_rounds": self.max_rounds,
+            "validate_topologies": self.validate_topologies,
+        }
+        if self.name is not None:
+            data["name"] = self.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"spec must be a mapping, got {type(data).__name__}")
+        known = {
+            "graph",
+            "problem",
+            "algorithm",
+            "adversary",
+            "max_rounds",
+            "validate_topologies",
+            "name",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec keys {sorted(unknown)}; known: {sorted(known)}")
+        missing = {"graph", "problem", "algorithm", "adversary"} - set(data)
+        if missing:
+            raise SpecError(f"spec is missing sections {sorted(missing)}")
+        max_rounds = data.get("max_rounds")
+        return cls(
+            graph=ComponentRef.of(data["graph"], kind="graph"),
+            problem=ComponentRef.of(data["problem"], kind="problem"),
+            algorithm=ComponentRef.of(data["algorithm"], kind="algorithm"),
+            adversary=ComponentRef.of(data["adversary"], kind="adversary"),
+            max_rounds=None if max_rounds is None else int(max_rounds),
+            validate_topologies=bool(data.get("validate_topologies", False)),
+            name=data.get("name"),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Derivation (sweeps)
+    # ------------------------------------------------------------------
+    _SECTIONS = ("graph", "problem", "algorithm", "adversary")
+
+    def with_param(self, path: str, value: object) -> "ScenarioSpec":
+        """A copy with one dotted-path parameter replaced.
+
+        ``"graph.n"`` sets the graph's ``n`` parameter; the bare field
+        names ``"max_rounds"`` / ``"validate_topologies"`` / ``"name"``
+        set the spec's own fields. This is how :func:`repro.api.sweep`
+        derives one spec per swept value.
+        """
+        if path in ("max_rounds", "validate_topologies", "name"):
+            return dataclasses.replace(self, **{path: value})
+        section, dot, key = path.partition(".")
+        if not dot or section not in self._SECTIONS or not key:
+            raise SpecError(
+                f"bad parameter path {path!r}; use '<section>.<param>' with "
+                f"section in {self._SECTIONS} or a top-level field name"
+            )
+        ref: ComponentRef = getattr(self, section)
+        return dataclasses.replace(self, **{section: ref.with_param(key, value)})
+
+    def describe(self) -> str:
+        """Compact one-line label for tables and progress output."""
+        return self.name or (
+            f"{self.algorithm.name} vs {self.adversary.name} "
+            f"on {self.graph.name} ({self.problem.name})"
+        )
+
+
+def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
+    """Resolve a spec's components through the registries for one seed."""
+    ctx = ScenarioContext(seed=seed)
+    network = GRAPHS.build(spec.graph.name, ctx, spec.graph.params)
+    ctx.network = network
+    ctx.graph = getattr(network, "graph", network)
+    ctx.problem = PROBLEMS.build(spec.problem.name, ctx, spec.problem.params)
+    ctx.algorithm = ALGORITHMS.build(spec.algorithm.name, ctx, spec.algorithm.params)
+    adversary = ADVERSARIES.build(spec.adversary.name, ctx, spec.adversary.params)
+    cap = (
+        int(spec.max_rounds)
+        if spec.max_rounds is not None
+        else default_round_cap(ctx.graph.n)
+    )
+    return PreparedTrial(
+        network=ctx.graph,
+        algorithm=ctx.algorithm,
+        link_process=adversary,
+        problem=ctx.problem,
+        max_rounds=cap,
+        validate_topologies=spec.validate_topologies,
+    )

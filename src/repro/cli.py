@@ -4,14 +4,21 @@ Entry points (also available as ``python -m repro``):
 
 * ``list`` — show the experiment registry (every Figure-1 cell and
   ablation, with its paper bound and available scales);
-* ``run EXP_ID [--scale S] [--seed N]`` — run one experiment and print
-  its full report;
-* ``run-all [--scale S]`` — run the whole registry in order (this is
-  how ``full_scale_results.txt`` and the EXPERIMENTS.md numbers are
-  produced);
+* ``run EXP_ID [--scale S] [--seed N] [--parallel [W]]`` — run one
+  experiment and print its full report;
+* ``run-all [--scale S] [--parallel [W]]`` — run the whole registry in
+  order (this is how ``full_scale_results.txt`` and the EXPERIMENTS.md
+  numbers are produced);
+* ``run-spec SPEC.json [--trials N] [--parallel [W]]`` — execute a
+  declarative :class:`~repro.api.spec.ScenarioSpec` from a JSON file;
+* ``components`` — list every registered graph family, algorithm,
+  adversary, and problem a spec may name;
 * ``trial`` — one ad-hoc broadcast trial: pick a network family, an
   algorithm, and an adversary by name, and watch the round count;
 * ``paper`` — print the reproduced Figure-1 table with experiment ids.
+
+``--parallel`` fans trials out across worker processes (optionally
+capped at ``W`` workers) with results identical to serial runs.
 """
 
 from __future__ import annotations
@@ -24,6 +31,37 @@ from typing import Optional, Sequence
 from repro.analysis.tables import render_table
 
 __all__ = ["main", "build_parser"]
+
+
+#: nargs='?' const for a bare ``--parallel``. A non-string sentinel:
+#: argparse would run a string const through ``type=int``.
+_ALL_CORES = object()
+
+
+def _executor_from_args(args: argparse.Namespace):
+    """Build the trial executor the ``--parallel`` flag asks for."""
+    workers = getattr(args, "parallel", None)
+    if workers is None:
+        return None
+    from repro.api import ParallelExecutor
+
+    if workers is _ALL_CORES:
+        return ParallelExecutor(max_workers=None)
+    if workers < 1:
+        raise SystemExit(f"--parallel expects a positive worker count, got {workers}")
+    return ParallelExecutor(max_workers=workers)
+
+
+def _add_parallel_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        nargs="?",
+        const=_ALL_CORES,
+        default=None,
+        metavar="WORKERS",
+        help="fan trials out across processes (default: all cores)",
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -63,15 +101,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     experiment = ALL_EXPERIMENTS[args.experiment]
     started = time.time()
-    result = experiment.run(
-        scale=args.scale,
-        master_seed=args.seed,
-        progress=(
-            (lambda label, _: print(f"  … {label}", file=sys.stderr))
-            if args.verbose
-            else None
-        ),
-    )
+    executor = _executor_from_args(args)
+    try:
+        result = experiment.run(
+            scale=args.scale,
+            master_seed=args.seed,
+            progress=(
+                (lambda label, _: print(f"  … {label}", file=sys.stderr))
+                if args.verbose
+                else None
+            ),
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.shutdown()
     print(result.render())
     print(f"\n[{time.time() - started:.1f}s at scale={args.scale}, seed={args.seed}]")
     failures = [
@@ -90,138 +134,181 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             verbose=args.verbose,
+            parallel=getattr(args, "parallel", None),
         )
         print()
         status |= _cmd_run(sub)
     return status
 
 
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    from repro.api import Simulation, load_spec
+    from repro.core.errors import ReproError
+
+    try:
+        if args.spec == "-":
+            from repro.api import ScenarioSpec
+
+            spec = ScenarioSpec.from_json(sys.stdin.read())
+        else:
+            spec = load_spec(args.spec)
+    except (OSError, ReproError) as exc:
+        print(f"cannot load spec: {exc}", file=sys.stderr)
+        return 2
+    simulation = Simulation.from_spec(spec)
+    print(f"scenario : {spec.describe()}")
+    started = time.time()
+    executor = _executor_from_args(args)
+    try:
+        stats = simulation.run(
+            trials=args.trials,
+            master_seed=args.seed,
+            executor=executor,
+        )
+    except ReproError as exc:
+        print(f"cannot run spec: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if executor is not None:
+            executor.shutdown()
+    row = stats.summary_row()
+    print(
+        render_table(
+            list(row), [list(row.values())], title="aggregated trials:"
+        )
+    )
+    if args.verbose:
+        for result in stats.results:
+            status = "solved" if result.solved else "cap hit"
+            print(f"  seed={result.seed:>20}  rounds={result.rounds:>8}  {status}")
+    print(f"[{time.time() - started:.1f}s, trials={stats.trials}, seed={args.seed}]")
+    return 0 if stats.successes == stats.trials else 1
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS
+
+    for registry in (GRAPHS, ALGORITHMS, ADVERSARIES, PROBLEMS):
+        print(f"{registry.plural}:")
+        for name in registry.names():
+            print(f"  {name}")
+    return 0
+
+
+# The `trial` verb's vocabularies. One table per choice drives *both*
+# the argparse choices and the spec mapping, so they cannot diverge:
+# values are (description, spec_entry) where a network's spec entry is
+# a callable ``n -> ComponentRef-like`` (parameters depend on --n).
+def _isqrt_band(n: int) -> int:
+    import math
+
+    return max(2, math.isqrt(n // 2))
+
+
 _NETWORKS = {
-    "geographic": "random geographic graph (grey ratio 2)",
-    "dual-clique": "two cliques, secret bridge, complete G'",
-    "bracelet": "Theorem 4.3's band construction",
-    "line-of-cliques": "8 cliques of n/8 chained by bridges",
-    "funnel": "source → clique → sink (static)",
+    "geographic": (
+        "random geographic graph (grey ratio 2)",
+        lambda n: ("geographic", {"n": n}),
+    ),
+    "dual-clique": (
+        "two cliques, secret bridge, complete G'",
+        lambda n: ("dual-clique", {"half": n // 2}),
+    ),
+    "bracelet": (
+        "Theorem 4.3's band construction",
+        lambda n: ("bracelet", {"band_length": _isqrt_band(n)}),
+    ),
+    "line-of-cliques": (
+        "8 cliques of n/8 chained by bridges",
+        lambda n: ("line-of-cliques", {"num_cliques": 8, "clique_size": max(2, n // 8)}),
+    ),
+    "funnel": (
+        "source → clique → sink (static)",
+        lambda n: ("funnel", {"n": n}),
+    ),
 }
 
+#: values: (description, spec_entry, problem_kind)
 _ALGORITHMS = {
-    "permuted-decay": "Section 4.1 global broadcast",
-    "plain-decay": "classic BGI global broadcast [2]",
-    "round-robin": "footnote-5 O(nD) global broadcast",
-    "geo-local": "Section 4.3 local broadcast (B = random quarter)",
-    "static-local": "[8]-style local broadcast (B = random quarter)",
+    "permuted-decay": (
+        "Section 4.1 global broadcast",
+        ("permuted-decay", {}),
+        "global",
+    ),
+    "plain-decay": (
+        "classic BGI global broadcast [2]",
+        ("plain-decay", {}),
+        "global",
+    ),
+    "round-robin": (
+        "footnote-5 O(nD) global broadcast",
+        ("round-robin-global", {"random_slots": True}),
+        "global",
+    ),
+    "geo-local": (
+        "Section 4.3 local broadcast (B = random quarter)",
+        ("geo-local", {}),
+        "local",
+    ),
+    "static-local": (
+        "[8]-style local broadcast (B = random quarter)",
+        ("static-local-decay", {}),
+        "local",
+    ),
 }
 
 _ADVERSARIES = {
-    "none": "no flaky links (static G)",
-    "all": "all flaky links (static G')",
-    "ge-fade": "Gilbert–Elliott bursty node fading",
-    "online-dense-sparse": "Theorem 3.1's online adaptive attacker",
-    "offline-solo-blocker": "[11]'s offline adaptive attacker",
+    "none": ("no flaky links (static G)", ("none", {})),
+    "all": ("all flaky links (static G')", ("all", {})),
+    "ge-fade": (
+        "Gilbert–Elliott bursty node fading",
+        ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    ),
+    "online-dense-sparse": (
+        "Theorem 3.1's online adaptive attacker",
+        ("online-dense-sparse", {"side": "A"}),
+    ),
+    "offline-solo-blocker": (
+        "[11]'s offline adaptive attacker",
+        ("offline-solo-blocker", {"side": "A"}),
+    ),
 }
 
 
-def _build_trial(args: argparse.Namespace):
-    import random
+def _trial_spec(args: argparse.Namespace):
+    """Assemble the ad-hoc trial as a declarative ScenarioSpec."""
+    from repro.api import ScenarioSpec
 
-    from repro.adversaries import (
-        AllFlakyLinks,
-        GilbertElliottNodeFade,
-        NoFlakyLinks,
-        OfflineSoloBlockerAttacker,
-        OnlineDenseSparseAttacker,
-    )
-    from repro.algorithms import (
-        make_geographic_local_broadcast,
-        make_oblivious_global_broadcast,
-        make_plain_decay_global_broadcast,
-        make_round_robin_global_broadcast,
-        make_static_local_broadcast,
-    )
-    from repro.core.rng import derive_seed
-    from repro.graphs import (
-        bracelet,
-        dual_clique,
-        funnel_dual,
-        line_of_cliques,
-        random_geographic,
-    )
-
-    n = args.n
-    cut_mask = None
-    if args.network == "geographic":
-        network = random_geographic(n, seed=derive_seed(args.seed, "net"))
-    elif args.network == "dual-clique":
-        dc = dual_clique(
-            n // 2, rng=random.Random(derive_seed(args.seed, "net"))
-        )
-        network, cut_mask = dc.graph, dc.side_a_mask
-    elif args.network == "bracelet":
-        import math
-
-        br = bracelet(
-            max(2, math.isqrt(n // 2)),
-            rng=random.Random(derive_seed(args.seed, "net")),
-        )
-        network = br.graph
-        cut_mask = 0
-        for head in br.heads_a():
-            cut_mask |= 1 << head
-    elif args.network == "line-of-cliques":
-        network = line_of_cliques(8, max(2, n // 8))
+    _, graph = _NETWORKS[args.network]
+    _, algorithm, problem_kind = _ALGORITHMS[args.algorithm]
+    _, adversary = _ADVERSARIES[args.adversary]
+    if problem_kind == "global":
+        problem = ("global-broadcast", {"source": 0})
     else:
-        network = funnel_dual(n)
-    n = network.n
-
-    if args.algorithm == "permuted-decay":
-        spec = make_oblivious_global_broadcast(n, 0)
-    elif args.algorithm == "plain-decay":
-        spec = make_plain_decay_global_broadcast(n, 0)
-    elif args.algorithm == "round-robin":
-        spec = make_round_robin_global_broadcast(
-            n, 0, slot_seed=derive_seed(args.seed, "slots")
-        )
-    else:
-        rng = random.Random(derive_seed(args.seed, "B"))
-        broadcasters = frozenset(rng.sample(range(n), max(1, n // 4)))
-        if args.algorithm == "geo-local":
-            spec = make_geographic_local_broadcast(
-                n, broadcasters, network.max_degree
-            )
-        else:
-            spec = make_static_local_broadcast(n, broadcasters, network.max_degree)
-
-    if args.adversary == "none":
-        adversary = NoFlakyLinks()
-    elif args.adversary == "all":
-        adversary = AllFlakyLinks()
-    elif args.adversary == "ge-fade":
-        adversary = GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3)
-    elif args.adversary == "online-dense-sparse":
-        adversary = OnlineDenseSparseAttacker(
-            cut_mask if cut_mask is not None else (1 << (n // 2)) - 1
-        )
-    else:
-        adversary = OfflineSoloBlockerAttacker(
-            cut_mask if cut_mask is not None else (1 << (n // 2)) - 1
-        )
-    return network, spec, adversary
+        problem = ("local-broadcast", {"fraction": 0.25})
+    return ScenarioSpec(
+        graph=graph(args.n),
+        problem=problem,
+        algorithm=algorithm,
+        adversary=adversary,
+        max_rounds=args.max_rounds,
+    )
 
 
 def _cmd_trial(args: argparse.Namespace) -> int:
-    from repro.analysis import run_broadcast_trial
+    from repro.analysis import run_prepared_trial
+    from repro.core.errors import ReproError
 
-    network, spec, adversary = _build_trial(args)
-    print(f"network  : {network.summary()}")
-    print(f"algorithm: {spec.name}")
-    print(f"adversary: {adversary.describe()}")
-    result = run_broadcast_trial(
-        network=network,
-        algorithm=spec,
-        link_process=adversary,
-        seed=args.seed,
-        max_rounds=args.max_rounds,
-    )
+    try:
+        spec = _trial_spec(args)
+        trial = spec.build(args.seed)
+    except ReproError as exc:
+        print(f"cannot build trial: {exc}", file=sys.stderr)
+        return 2
+    print(f"network  : {trial.network.summary()}")
+    print(f"algorithm: {trial.algorithm.name}")
+    print(f"adversary: {trial.link_process.describe()}")
+    result = run_prepared_trial(trial, args.seed)
     print(f"solved   : {result.solved}")
     print(f"rounds   : {result.rounds}")
     return 0 if result.solved else 1
@@ -260,19 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("paper", help="print the reproduced Figure-1 table").set_defaults(
         func=_cmd_paper
     )
+    sub.add_parser(
+        "components", help="list registered ScenarioSpec components"
+    ).set_defaults(func=_cmd_components)
 
     run = sub.add_parser("run", help="run one experiment and print its report")
     run.add_argument("experiment", help="experiment id, e.g. E5 or A1")
     run.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
     run.add_argument("--seed", type=int, default=2013)
     run.add_argument("--verbose", action="store_true")
+    _add_parallel_flag(run)
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run the whole registry")
     run_all.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
     run_all.add_argument("--seed", type=int, default=2013)
     run_all.add_argument("--verbose", action="store_true")
+    _add_parallel_flag(run_all)
     run_all.set_defaults(func=_cmd_run_all)
+
+    run_spec = sub.add_parser(
+        "run-spec", help="run trials of a ScenarioSpec JSON file"
+    )
+    run_spec.add_argument("spec", help="path to a spec JSON file ('-' for stdin)")
+    run_spec.add_argument("--trials", type=int, default=1)
+    run_spec.add_argument("--seed", type=int, default=2013)
+    run_spec.add_argument("--verbose", action="store_true")
+    _add_parallel_flag(run_spec)
+    run_spec.set_defaults(func=_cmd_run_spec)
 
     trial = sub.add_parser("trial", help="one ad-hoc broadcast trial")
     trial.add_argument("--network", default="geographic", choices=sorted(_NETWORKS))

@@ -28,6 +28,7 @@ interleave game guesses between simulated rounds.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -55,6 +56,53 @@ StopCondition = Callable[[], bool]
 _HISTORY_WINDOW = 4096
 
 
+class _HistoryWindow(_SequenceABC):
+    """O(1) frozen-length window over the engine's append-only history.
+
+    Adaptive views used to receive ``tuple(history)`` — an O(window)
+    copy every round, which dominated long executions. A window instead
+    shares the engine's history list and pins the absolute entry range
+    ``[start, stop)`` visible at view-construction time, so snapshot
+    semantics are preserved (a view retained across rounds never grows)
+    at O(1) construction cost. Entries themselves are immutable.
+
+    The engine trims history beyond its retention window; accessing an
+    entry that has since been trimmed raises :class:`LookupError` (such
+    an access exceeds the entitlement the view modeled anyway).
+    """
+
+    __slots__ = ("_entries", "_trimmed", "_start", "_stop")
+
+    def __init__(self, entries: list, trimmed: list, start: int, stop: int) -> None:
+        self._entries = entries
+        self._trimmed = trimmed  # shared one-cell trim counter
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return tuple(
+                self[i] for i in range(*index.indices(len(self)))
+            )
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"history index {index} outside window of {length}")
+        position = self._start + index - self._trimmed[0]
+        if position < 0:
+            raise LookupError(
+                "history entry has been trimmed out of the retention window"
+            )
+        return self._entries[position]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_HistoryWindow({len(self)} entries)"
+
+
 @dataclass(frozen=True)
 class ExecutionResult:
     """Outcome of an engine run.
@@ -63,11 +111,22 @@ class ExecutionResult:
     the run stopped because the condition fired, ``solve_round`` is the
     0-based round after which it first held. ``rounds`` counts executed
     rounds (equals ``solve_round + 1`` on success).
+
+    A stop condition that already holds *before round 0* (a trivially
+    solved instance, e.g. a broadcast set with no receivers) yields
+    ``solved=True, rounds=0, solve_round=-1`` — the sentinel ``-1``
+    means "solved at start, no round executed", keeping ``solve_round``
+    unambiguous: ``None`` now always means *unsolved*.
     """
 
     rounds: int
     solved: bool
     solve_round: Optional[int]
+
+    @property
+    def solved_at_start(self) -> bool:
+        """True iff the stop condition held before any round executed."""
+        return self.solved and self.solve_round == -1
 
     def rounds_to_solve(self) -> int:
         """Rounds executed up to the solve; raises if unsolved (guards analysis code)."""
@@ -135,6 +194,7 @@ class RadioNetworkEngine:
         self._coin_rng = rng_mod.spawn_numpy_rng(seed, "engine", "coins")
         self._adversary_rng = rng_mod.spawn_rng(seed, "engine", "adversary")
         self._history: list[HistoryEntry] = []
+        self._history_trimmed = [0]  # shared with views handed out per round
         self._round = 0
         self._started = False
         self._stats = _EngineStats()
@@ -211,6 +271,13 @@ class RadioNetworkEngine:
         self._stats.rounds_run += 1
         return record
 
+    def _history_snapshot(self) -> _HistoryWindow:
+        """The retained history as an O(1) frozen-length window."""
+        start = self._history_trimmed[0]
+        return _HistoryWindow(
+            self._history, self._history_trimmed, start, start + len(self._history)
+        )
+
     def _build_view(
         self, r: int, probabilities: Sequence[float], transmitter_mask: int
     ) -> ObliviousView:
@@ -221,12 +288,12 @@ class RadioNetworkEngine:
             return OnlineAdaptiveView(
                 round_index=r,
                 transmit_probabilities=tuple(probabilities),
-                history=tuple(self._history),
+                history=self._history_snapshot(),
             )
         return OfflineAdaptiveView(
             round_index=r,
             transmit_probabilities=tuple(probabilities),
-            history=tuple(self._history),
+            history=self._history_snapshot(),
             transmitter_mask=transmitter_mask,
         )
 
@@ -266,7 +333,9 @@ class RadioNetworkEngine:
             )
         )
         if len(self._history) > _HISTORY_WINDOW:
-            del self._history[: len(self._history) - _HISTORY_WINDOW]
+            trim = len(self._history) - _HISTORY_WINDOW
+            del self._history[:trim]
+            self._history_trimmed[0] += trim
 
     # ------------------------------------------------------------------
     # Run loop
@@ -282,7 +351,7 @@ class RadioNetworkEngine:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
         self._ensure_started()
         if stop is not None and stop():
-            return ExecutionResult(rounds=0, solved=True, solve_round=None)
+            return ExecutionResult(rounds=0, solved=True, solve_round=-1)
         executed = 0
         while executed < max_rounds:
             record = self.step()

@@ -47,3 +47,20 @@ class AdversaryUsageError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration is inconsistent or failed to build."""
+
+
+class RegistryError(ReproError):
+    """A component registry lookup or registration failed.
+
+    Raised for unknown component names, duplicate registrations under
+    one name, and factories invoked with parameters they do not accept.
+    """
+
+
+class SpecError(ReproError):
+    """A :class:`~repro.api.spec.ScenarioSpec` is malformed.
+
+    Typical causes: a missing component section in a spec dict, a
+    parameter value that is not JSON-serializable, or a component that
+    requires network structure the named graph family does not provide.
+    """

@@ -19,34 +19,18 @@ mechanism and measures the damage the corresponding adversary inflicts:
   the initialization stage on dense geographic graphs with all nodes
   broadcasting; self-seeded nodes form singleton coordination classes
   and pay the uncoordinated penalty locally.
+
+Like Figure 1, every series is a declarative
+:class:`~repro.api.spec.ScenarioSpec` resolved through the component
+registries, so ablations fan out across cores like any other workload.
 """
 
 from __future__ import annotations
 
-import math
-import random
 from typing import Callable
 
-from repro.adversaries.schedule_attack import (
-    PredictedDenseSparseAttacker,
-    predict_plain_decay_counts,
-)
-from repro.adversaries.static import NoFlakyLinks
-from repro.algorithms import (
-    log2_ceil,
-    make_geographic_local_broadcast,
-    make_oblivious_global_broadcast,
-    make_plain_decay_global_broadcast,
-    make_uncoordinated_decay_global_broadcast,
-)
-from repro.analysis.runner import PreparedTrial, Scenario
-from repro.core.rng import derive_seed
+from repro.api.spec import ScenarioSpec
 from repro.experiments.registry import ContrastClaim, Experiment, ScalePlan, Series
-from repro.graphs.builders import funnel_dual
-from repro.graphs.dual_clique import dual_clique
-from repro.graphs.geographic import cluster_chain_geographic
-from repro.problems.global_broadcast import GlobalBroadcastProblem
-from repro.problems.local_broadcast import LocalBroadcastProblem
 
 __all__ = [
     "A1_PERMUTATION",
@@ -59,39 +43,25 @@ __all__ = [
 # ----------------------------------------------------------------------
 # A1 — the permutation (hidden schedule)
 # ----------------------------------------------------------------------
-def _a1_series(algorithm: str, attacked: bool) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        half = n // 2
-
-        def scenario(seed: int) -> PreparedTrial:
-            net_rng = random.Random(derive_seed(seed, "network"))
-            bridge_a = 1 + net_rng.randrange(half - 1)
-            bridge_b = half + net_rng.randrange(half)
-            dc = dual_clique(half, bridge_a=bridge_a, bridge_b=bridge_b)
-            if algorithm == "plain":
-                spec = make_plain_decay_global_broadcast(dc.n, 0)
-            else:
-                spec = make_oblivious_global_broadcast(dc.n, 0)
-            if attacked:
-                # The attacker predicts *plain* decay's expected
-                # transmitter counts; against the permuted variant the
-                # same prediction is stale — that staleness is the
-                # measured quantity.
-                adversary = PredictedDenseSparseAttacker(
-                    dc.side_a_mask,
-                    predict_plain_decay_counts(half, log2_ceil(dc.n)),
-                )
-            else:
-                adversary = NoFlakyLinks()
-            return PreparedTrial(
-                network=dc.graph,
-                algorithm=spec,
-                link_process=adversary,
-                problem=GlobalBroadcastProblem(dc.graph, source=0),
-                max_rounds=96 * dc.n + 8192,
-            )
-
-        return scenario
+def _a1_series(algorithm: str, attacked: bool) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        if attacked:
+            # The attacker predicts *plain* decay's expected transmitter
+            # counts; against the permuted variant the same prediction
+            # is stale — that staleness is the measured quantity.
+            adversary = ("predicted-dense-sparse", {"side": "A"})
+        else:
+            adversary = ("none", {})
+        return ScenarioSpec(
+            graph=("dual-clique", {"half": n // 2}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=(
+                "plain-decay" if algorithm == "plain" else "permuted-decay",
+                {},
+            ),
+            adversary=adversary,
+            max_rounds=96 * n + 8192,
+        )
 
     return scenario_for
 
@@ -164,26 +134,23 @@ A1_PERMUTATION = Experiment(
 # ----------------------------------------------------------------------
 # A2 — coordination (shared bits)
 # ----------------------------------------------------------------------
-def _a2_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        def scenario(seed: int) -> PreparedTrial:
-            del seed  # the funnel is deterministic; coins vary per trial
-            network = funnel_dual(n)
-            if algorithm == "permuted":
-                spec = make_oblivious_global_broadcast(n, 0)
-            elif algorithm == "plain":
-                spec = make_plain_decay_global_broadcast(n, 0)
-            else:
-                spec = make_uncoordinated_decay_global_broadcast(n, 0)
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=NoFlakyLinks(),
-                problem=GlobalBroadcastProblem(network, source=0),
-                max_rounds=16 * n + 4096,
-            )
+_A2_ALGORITHMS = {
+    "permuted": "permuted-decay",
+    "plain": "plain-decay",
+    "uncoordinated": "uncoordinated-decay",
+}
 
-        return scenario
+
+def _a2_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        # The funnel is deterministic; coins vary per trial.
+        return ScenarioSpec(
+            graph=("funnel", {"n": n}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=(_A2_ALGORITHMS[algorithm], {}),
+            adversary=("none", {}),
+            max_rounds=16 * n + 4096,
+        )
 
     return scenario_for
 
@@ -241,36 +208,29 @@ A2_COORDINATION = Experiment(
 # ----------------------------------------------------------------------
 # A3 — seed sharing (the §4.3 initialization stage)
 # ----------------------------------------------------------------------
-def _a3_series(variant: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _a3_series(variant: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         # Four dense clusters in a chain: every receiver neighbors
         # Θ(n/4) broadcasters, so coordination classes dominate.
         num_clusters = 4
         cluster_size = max(2, n // num_clusters)
-
-        def scenario(seed: int) -> PreparedTrial:
-            network = cluster_chain_geographic(
-                num_clusters,
-                cluster_size,
-                seed=derive_seed(seed, "geo-chain"),
-            )
-            broadcasters = frozenset(range(network.n))  # everyone broadcasts
-            spec = make_geographic_local_broadcast(
-                network.n,
-                broadcasters,
-                network.max_degree,
-                share_seeds=(variant == "full"),
-                always_participate=(variant == "naive"),
-            )
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=NoFlakyLinks(),
-                problem=LocalBroadcastProblem(network, broadcasters),
-                max_rounds=24 * network.n + 4096,
-            )
-
-        return scenario
+        total = num_clusters * cluster_size
+        return ScenarioSpec(
+            graph=(
+                "cluster-chain",
+                {"num_clusters": num_clusters, "cluster_size": cluster_size},
+            ),
+            problem=("local-broadcast", {"side": "all"}),  # everyone broadcasts
+            algorithm=(
+                "geo-local",
+                {
+                    "share_seeds": variant == "full",
+                    "always_participate": variant == "naive",
+                },
+            ),
+            adversary=("none", {}),
+            max_rounds=24 * total + 4096,
+        )
 
     return scenario_for
 

@@ -9,47 +9,23 @@ worst-case shape; upper bound cells run the paper's algorithm against a
 suite of oblivious adversaries and check the polylog/linear-in-D
 shapes.
 
-All scenario factories build *fresh* networks, algorithms, adversaries,
-and problems per trial (secret structure — bridges, clasps — is redrawn
-every trial, and stateful adversaries must never be reused).
+Every series is expressed as a declarative
+:class:`~repro.api.spec.ScenarioSpec` — component names plus JSON
+parameters resolved through :mod:`repro.registry`. Specs rebuild
+*fresh* networks, algorithms, adversaries, and problems per trial
+(secret structure — bridges, clasps — is redrawn from labelled child
+streams of each trial seed, and stateful adversaries are never reused),
+and being plain data they are picklable, so any experiment fans out
+across cores via :class:`repro.api.ParallelExecutor` unchanged.
 """
 
 from __future__ import annotations
 
 import math
-import random
-from typing import Callable, Optional
+from typing import Callable
 
-from repro.adversaries.bracelet_attack import BraceletObliviousAttacker
-from repro.adversaries.dense_sparse import OnlineDenseSparseAttacker
-from repro.adversaries.jamming import MovingRegionFade, PeriodicCutJammer
-from repro.adversaries.offline import OfflineSoloBlockerAttacker
-from repro.adversaries.schedule_attack import (
-    PredictedDenseSparseAttacker,
-    predict_plain_decay_counts,
-)
-from repro.adversaries.static import AllFlakyLinks, AlternatingLinks, NoFlakyLinks
-from repro.adversaries.stochastic import GilbertElliottNodeFade
-from repro.algorithms import (
-    log2_ceil,
-    make_geographic_local_broadcast,
-    make_oblivious_global_broadcast,
-    make_plain_decay_global_broadcast,
-    make_round_robin_global_broadcast,
-    make_round_robin_local_broadcast,
-    make_static_local_broadcast,
-    make_uniform_global_broadcast,
-    make_uniform_local_broadcast,
-)
-from repro.analysis.runner import PreparedTrial, Scenario
-from repro.core.rng import derive_seed
+from repro.api.spec import ScenarioSpec
 from repro.experiments.registry import ContrastClaim, Experiment, ScalePlan, Series
-from repro.graphs.bracelet import bracelet
-from repro.graphs.builders import clique_dual, funnel_dual, line_of_cliques
-from repro.graphs.dual_clique import dual_clique
-from repro.graphs.geographic import random_geographic
-from repro.problems.global_broadcast import GlobalBroadcastProblem
-from repro.problems.local_broadcast import LocalBroadcastProblem
 
 __all__ = [
     "E1A_STATIC_GLOBAL_DIAMETER",
@@ -69,45 +45,35 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
-# Scenario helpers
+# Spec helpers
 # ----------------------------------------------------------------------
-def _dual_clique_scenario(
+def _dual_clique_spec(
     half: int,
-    make_algorithm,
-    make_adversary,
+    algorithm,
+    adversary,
     *,
     problem: str,
     cap_factor: float = 48.0,
-) -> Scenario:
+) -> ScenarioSpec:
     """Dual clique with a per-trial secret bridge (never the source).
 
-    ``make_algorithm(dc) -> AlgorithmSpec`` and ``make_adversary(dc) ->
-    LinkProcess`` receive the :class:`DualCliqueNetwork` so attacks can
-    target the A/B cut (public structure); the bridge stays per-trial
-    random — the adversarial placement of the proofs, which avoid the
-    source side's trivially-informed node.
+    The ``dual-clique`` graph factory redraws the bridge from each
+    trial seed's ``"network"`` stream, avoiding the source side's
+    trivially-informed node — the adversarial placement of the proofs.
+    Cut-based adversaries target side A declaratively (``side: "A"``).
     """
-
-    def scenario(seed: int) -> PreparedTrial:
-        net_rng = random.Random(derive_seed(seed, "network"))
-        bridge_a = 1 + net_rng.randrange(half - 1)  # side A minus the source (0)
-        bridge_b = half + net_rng.randrange(half)
-        dc = dual_clique(half, bridge_a=bridge_a, bridge_b=bridge_b)
-        spec = make_algorithm(dc)
-        if problem == "global":
-            prob = GlobalBroadcastProblem(dc.graph, source=0)
-        else:
-            prob = LocalBroadcastProblem(dc.graph, frozenset(dc.side_a()))
-        cap = int(cap_factor * dc.n) + 4096
-        return PreparedTrial(
-            network=dc.graph,
-            algorithm=spec,
-            link_process=make_adversary(dc),
-            problem=prob,
-            max_rounds=cap,
-        )
-
-    return scenario
+    n = 2 * half
+    if problem == "global":
+        prob = ("global-broadcast", {"source": 0})
+    else:
+        prob = ("local-broadcast", {"side": "A"})
+    return ScenarioSpec(
+        graph=("dual-clique", {"half": half}),
+        problem=prob,
+        algorithm=algorithm,
+        adversary=adversary,
+        max_rounds=int(cap_factor * n) + 4096,
+    )
 
 
 def _online_threshold(n: int) -> float:
@@ -115,49 +81,22 @@ def _online_threshold(n: int) -> float:
     return 2.0 * math.log2(max(n, 2))
 
 
-def _geo_network(n: int, seed: int):
-    """Per-trial random geographic graph (constant grey ratio)."""
-    return random_geographic(n, grey_ratio=2.0, seed=derive_seed(seed, "geo"))
-
-
-def _geo_broadcasters(n: int, seed: int) -> frozenset[int]:
-    """A random quarter of the nodes as the local broadcast set."""
-    rng = random.Random(derive_seed(seed, "broadcasters"))
-    count = max(1, n // 4)
-    return frozenset(rng.sample(range(n), count))
-
-
-def _geo_local_scenario(
-    n: int,
-    make_adversary,
-    *,
-    algorithm: str = "geo",
-    cap: Optional[int] = None,
-) -> Scenario:
-    def scenario(seed: int) -> PreparedTrial:
-        network = _geo_network(n, seed)
-        broadcasters = _geo_broadcasters(n, seed)
-        delta = network.max_degree
-        if algorithm == "geo":
-            spec = make_geographic_local_broadcast(network.n, broadcasters, delta)
-        elif algorithm == "static-decay":
-            spec = make_static_local_broadcast(network.n, broadcasters, delta)
-        elif algorithm == "uniform":
-            spec = make_uniform_local_broadcast(network.n, broadcasters, delta)
-        elif algorithm == "round-robin":
-            spec = make_round_robin_local_broadcast(network.n, broadcasters)
-        else:  # pragma: no cover - registry misuse
-            raise ValueError(f"unknown algorithm {algorithm!r}")
-        problem = LocalBroadcastProblem(network, broadcasters)
-        return PreparedTrial(
-            network=network,
-            algorithm=spec,
-            link_process=make_adversary(network),
-            problem=problem,
-            max_rounds=cap if cap is not None else 64 * network.n + 8192,
-        )
-
-    return scenario
+def _geo_local_spec(n: int, adversary, *, algorithm: str = "geo", cap=None) -> ScenarioSpec:
+    """Per-trial random geographic graph (constant grey ratio) with a
+    random quarter of the nodes as the local broadcast set."""
+    algorithms = {
+        "geo": ("geo-local", {}),
+        "static-decay": ("static-local-decay", {}),
+        "uniform": ("uniform-local", {}),
+        "round-robin": ("round-robin-local", {}),
+    }
+    return ScenarioSpec(
+        graph=("geographic", {"n": n, "grey_ratio": 2.0}),
+        problem=("local-broadcast", {"fraction": 0.25}),
+        algorithm=algorithms[algorithm],
+        adversary=adversary,
+        max_rounds=cap if cap is not None else 64 * n + 8192,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -165,33 +104,29 @@ def _geo_local_scenario(
 # ----------------------------------------------------------------------
 _E1A_TOTAL_NODES = 128
 
+_E1A_ALGORITHMS = {
+    "plain-decay": ("plain-decay", {}),
+    "permuted-decay": ("permuted-decay", {}),
+    # Random slot order: the identity schedule would luckily sweep the
+    # chain in id order (see round_robin docstring).
+    "round-robin": ("round-robin-global", {"random_slots": True}),
+}
 
-def _e1a_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(num_cliques: int) -> Scenario:
+
+def _e1a_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(num_cliques: int) -> ScenarioSpec:
         clique_size = max(2, _E1A_TOTAL_NODES // num_cliques)
-
-        def scenario(seed: int) -> PreparedTrial:
-            network = line_of_cliques(num_cliques, clique_size)
-            n = network.n
-            if algorithm == "plain-decay":
-                spec = make_plain_decay_global_broadcast(n, 0)
-            elif algorithm == "permuted-decay":
-                spec = make_oblivious_global_broadcast(n, 0)
-            else:
-                # Random slot order: the identity schedule would luckily
-                # sweep the chain in id order (see round_robin docstring).
-                spec = make_round_robin_global_broadcast(
-                    n, 0, slot_seed=derive_seed(seed, "slots")
-                )
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=NoFlakyLinks(),
-                problem=GlobalBroadcastProblem(network, source=0),
-                max_rounds=32 * n * num_cliques + 4096,
-            )
-
-        return scenario
+        n = num_cliques * clique_size
+        return ScenarioSpec(
+            graph=(
+                "line-of-cliques",
+                {"num_cliques": num_cliques, "clique_size": clique_size},
+            ),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=_E1A_ALGORITHMS[algorithm],
+            adversary=("none", {}),
+            max_rounds=32 * n * num_cliques + 4096,
+        )
 
     return scenario_for
 
@@ -246,23 +181,15 @@ E1A_STATIC_GLOBAL_DIAMETER = Experiment(
 )
 
 
-def _e1b_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        def scenario(seed: int) -> PreparedTrial:
-            network = funnel_dual(n)
-            if algorithm == "plain-decay":
-                spec = make_plain_decay_global_broadcast(n, 0)
-            else:
-                spec = make_oblivious_global_broadcast(n, 0)
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=NoFlakyLinks(),
-                problem=GlobalBroadcastProblem(network, source=0),
-                max_rounds=64 * n + 4096,
-            )
-
-        return scenario
+def _e1b_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        return ScenarioSpec(
+            graph=("funnel", {"n": n}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=(algorithm, {}),
+            adversary=("none", {}),
+            max_rounds=64 * n + 4096,
+        )
 
     return scenario_for
 
@@ -302,9 +229,9 @@ E1B_STATIC_GLOBAL_CONTENTION = Experiment(
 )
 
 
-def _e2a_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        return _geo_local_scenario(n, lambda net: NoFlakyLinks(), algorithm=algorithm)
+def _e2a_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        return _geo_local_spec(n, ("none", {}), algorithm=algorithm)
 
     return scenario_for
 
@@ -346,28 +273,19 @@ E2A_STATIC_LOCAL_GEO = Experiment(
 )
 
 
-def _e2b_series(phase_by_delta: bool) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        def scenario(seed: int) -> PreparedTrial:
-            network = clique_dual(n)
-            broadcasters = frozenset(range(n))
-            spec = make_static_local_broadcast(
-                n,
-                broadcasters,
-                network.max_degree if phase_by_delta else 1,
-            )
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=NoFlakyLinks(),
-                problem=LocalBroadcastProblem(network, broadcasters),
-                # The ladderless ablation burns this whole budget; keep
-                # it tight enough that censored trials stay cheap while
-                # staying 10x above the ladder series' needs.
-                max_rounds=16 * n + 2048,
-            )
-
-        return scenario
+def _e2b_series(phase_by_delta: bool) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        ladder = {} if phase_by_delta else {"ladder_delta": 1}
+        return ScenarioSpec(
+            graph=("clique", {"n": n}),
+            problem=("local-broadcast", {"side": "all"}),
+            algorithm=("static-local-decay", ladder),
+            adversary=("none", {}),
+            # The ladderless ablation burns this whole budget; keep it
+            # tight enough that censored trials stay cheap while
+            # staying 10x above the ladder series' needs.
+            max_rounds=16 * n + 2048,
+        )
 
     return scenario_for
 
@@ -407,24 +325,19 @@ E2B_STATIC_LOCAL_CLIQUE = Experiment(
 # ----------------------------------------------------------------------
 # Row 1 — offline adaptive: Ω(n) [11] / upper O(n)
 # ----------------------------------------------------------------------
-def _e3_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _e3_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         half = n // 2
-
-        def make_algorithm(dc):
-            if algorithm == "uniform-1/|A|":
-                return make_uniform_global_broadcast(
-                    dc.n, 0, probability=1.0 / half
-                )
-            if algorithm == "permuted-decay":
-                return make_oblivious_global_broadcast(dc.n, 0)
-            return make_round_robin_global_broadcast(dc.n, 0)
-
-        def make_adversary(dc):
-            return OfflineSoloBlockerAttacker(dc.side_a_mask)
-
-        return _dual_clique_scenario(
-            half, make_algorithm, make_adversary, problem="global"
+        algorithms = {
+            "uniform-1/|A|": ("uniform-global", {"probability": 1.0 / half}),
+            "permuted-decay": ("permuted-decay", {}),
+            "round-robin": ("round-robin-global", {}),
+        }
+        return _dual_clique_spec(
+            half,
+            algorithms[algorithm],
+            ("offline-solo-blocker", {"side": "A"}),
+            problem="global",
         )
 
     return scenario_for
@@ -471,27 +384,19 @@ E3_OFFLINE_GLOBAL = Experiment(
 )
 
 
-def _e4_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _e4_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         half = n // 2
-
-        def make_algorithm(dc):
-            broadcasters = frozenset(dc.side_a())
-            if algorithm == "uniform-1/|A|":
-                return make_uniform_local_broadcast(
-                    dc.n, broadcasters, dc.graph.max_degree, probability=1.0 / half
-                )
-            if algorithm == "static-decay":
-                return make_static_local_broadcast(
-                    dc.n, broadcasters, dc.graph.max_degree
-                )
-            return make_round_robin_local_broadcast(dc.n, broadcasters)
-
-        def make_adversary(dc):
-            return OfflineSoloBlockerAttacker(dc.side_a_mask)
-
-        return _dual_clique_scenario(
-            half, make_algorithm, make_adversary, problem="local"
+        algorithms = {
+            "uniform-1/|A|": ("uniform-local", {"probability": 1.0 / half}),
+            "static-decay": ("static-local-decay", {}),
+            "round-robin": ("round-robin-local", {}),
+        }
+        return _dual_clique_spec(
+            half,
+            algorithms[algorithm],
+            ("offline-solo-blocker", {"side": "A"}),
+            problem="local",
         )
 
     return scenario_for
@@ -537,25 +442,23 @@ E4_OFFLINE_LOCAL = Experiment(
 # ----------------------------------------------------------------------
 # Row 2 — online adaptive: Ω(n / log n) (Theorem 3.1)
 # ----------------------------------------------------------------------
-def _e5_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _e5_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         half = n // 2
         threshold = _online_threshold(n)
-
-        def make_algorithm(dc):
-            if algorithm == "threshold-riding":
-                return make_uniform_global_broadcast(
-                    dc.n, 0, probability=threshold / (2.0 * half)
-                )
-            if algorithm == "permuted-decay":
-                return make_oblivious_global_broadcast(dc.n, 0)
-            return make_round_robin_global_broadcast(dc.n, 0)
-
-        def make_adversary(dc):
-            return OnlineDenseSparseAttacker(dc.side_a_mask, threshold=threshold)
-
-        return _dual_clique_scenario(
-            half, make_algorithm, make_adversary, problem="global"
+        algorithms = {
+            "threshold-riding": (
+                "uniform-global",
+                {"probability": threshold / (2.0 * half)},
+            ),
+            "permuted-decay": ("permuted-decay", {}),
+            "round-robin": ("round-robin-global", {}),
+        }
+        return _dual_clique_spec(
+            half,
+            algorithms[algorithm],
+            ("online-dense-sparse", {"side": "A", "threshold": threshold}),
+            problem="global",
         )
 
     return scenario_for
@@ -603,31 +506,23 @@ E5_ONLINE_GLOBAL = Experiment(
 )
 
 
-def _e6_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _e6_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         half = n // 2
         threshold = _online_threshold(n)
-
-        def make_algorithm(dc):
-            broadcasters = frozenset(dc.side_a())
-            if algorithm == "threshold-riding":
-                return make_uniform_local_broadcast(
-                    dc.n,
-                    broadcasters,
-                    dc.graph.max_degree,
-                    probability=threshold / (2.0 * half),
-                )
-            if algorithm == "static-decay":
-                return make_static_local_broadcast(
-                    dc.n, broadcasters, dc.graph.max_degree
-                )
-            return make_round_robin_local_broadcast(dc.n, broadcasters)
-
-        def make_adversary(dc):
-            return OnlineDenseSparseAttacker(dc.side_a_mask, threshold=threshold)
-
-        return _dual_clique_scenario(
-            half, make_algorithm, make_adversary, problem="local"
+        algorithms = {
+            "threshold-riding": (
+                "uniform-local",
+                {"probability": threshold / (2.0 * half)},
+            ),
+            "static-decay": ("static-local-decay", {}),
+            "round-robin": ("round-robin-local", {}),
+        }
+        return _dual_clique_spec(
+            half,
+            algorithms[algorithm],
+            ("online-dense-sparse", {"side": "A", "threshold": threshold}),
+            problem="local",
         )
 
     return scenario_for
@@ -673,28 +568,20 @@ E6_ONLINE_LOCAL = Experiment(
 # ----------------------------------------------------------------------
 # Row 3 — oblivious: global O(D log n + log² n) (Theorem 4.1)
 # ----------------------------------------------------------------------
-_OBLIVIOUS_SUITE: dict[str, Callable[[object], object]] = {
-    "G-only": lambda dc: NoFlakyLinks(),
-    "G'-always": lambda dc: AllFlakyLinks(),
-    "alternating": lambda dc: AlternatingLinks((1, 1)),
-    "GE-fade": lambda dc: GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3),
-    "avg-schedule-attack": lambda dc: PredictedDenseSparseAttacker(
-        dc.side_a_mask,
-        predict_plain_decay_counts(dc.half, log2_ceil(dc.n)),
-    ),
+_OBLIVIOUS_SUITE: dict[str, tuple[str, dict]] = {
+    "G-only": ("none", {}),
+    "G'-always": ("all", {}),
+    "alternating": ("alternating", {"phase_lengths": [1, 1]}),
+    "GE-fade": ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    "avg-schedule-attack": ("predicted-dense-sparse", {"side": "A"}),
 }
 
 
-def _e7a_series(adversary_name: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        half = n // 2
-
-        def make_algorithm(dc):
-            return make_oblivious_global_broadcast(dc.n, 0)
-
-        return _dual_clique_scenario(
-            half,
-            make_algorithm,
+def _e7a_series(adversary_name: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        return _dual_clique_spec(
+            n // 2,
+            ("permuted-decay", {}),
             _OBLIVIOUS_SUITE[adversary_name],
             problem="global",
             cap_factor=96.0,
@@ -732,31 +619,30 @@ E7A_OBLIVIOUS_GLOBAL_N = Experiment(
 
 _E7B_TOTAL_NODES = 128
 
+_E7B_ALGORITHMS = {
+    "permuted-decay": ("permuted-decay", {}),
+    "round-robin": ("round-robin-global", {"random_slots": True}),
+}
 
-def _e7b_series(algorithm: str) -> Callable[[int], Scenario]:
-    def scenario_for(num_cliques: int) -> Scenario:
+
+def _e7b_series(algorithm: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(num_cliques: int) -> ScenarioSpec:
         clique_size = max(2, _E7B_TOTAL_NODES // num_cliques)
-
-        def scenario(seed: int) -> PreparedTrial:
-            network = line_of_cliques(
-                num_cliques, clique_size, flaky_cross_links=True
-            )
-            n = network.n
-            if algorithm == "permuted-decay":
-                spec = make_oblivious_global_broadcast(n, 0)
-            else:
-                spec = make_round_robin_global_broadcast(
-                    n, 0, slot_seed=derive_seed(seed, "slots")
-                )
-            return PreparedTrial(
-                network=network,
-                algorithm=spec,
-                link_process=GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3),
-                problem=GlobalBroadcastProblem(network, source=0),
-                max_rounds=64 * n * num_cliques + 4096,
-            )
-
-        return scenario
+        n = num_cliques * clique_size
+        return ScenarioSpec(
+            graph=(
+                "line-of-cliques",
+                {
+                    "num_cliques": num_cliques,
+                    "clique_size": clique_size,
+                    "flaky_cross_links": True,
+                },
+            ),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=_E7B_ALGORITHMS[algorithm],
+            adversary=("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+            max_rounds=64 * n * num_cliques + 4096,
+        )
 
     return scenario_for
 
@@ -808,46 +694,36 @@ E7B_OBLIVIOUS_GLOBAL_D = Experiment(
 _E8_THRESHOLD_FACTOR = 0.75
 
 
-def _e8_series(kind: str) -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
+def _e8_series(kind: str) -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
         band_length = math.isqrt(n // 2)
         if 2 * band_length * band_length != n:
             raise ValueError(f"E8 parameters must be n = 2L²; got {n}")
-
-        def scenario(seed: int) -> PreparedTrial:
-            net_rng = random.Random(derive_seed(seed, "clasp"))
-            br = bracelet(band_length, rng=net_rng)
-            broadcasters = frozenset(br.heads_a())
-            threshold = _E8_THRESHOLD_FACTOR * math.log(max(br.n, 3))
-            if kind == "riding":
-                # Rides the attacker's threshold: expected head count
-                # stays τ/2 (every round sparse), crossing probability
-                # per round ≈ τ / 2L — the Ω(√n / log n) shape exactly.
-                spec = make_uniform_local_broadcast(
-                    br.n,
-                    broadcasters,
-                    br.graph.max_degree,
-                    probability=min(0.5, threshold / (2.0 * band_length)),
-                )
-            else:
-                spec = make_static_local_broadcast(
-                    br.n, broadcasters, br.graph.max_degree
-                )
-            if kind == "control":
-                adversary = NoFlakyLinks()
-            else:
-                adversary = BraceletObliviousAttacker(
-                    br, threshold_factor=_E8_THRESHOLD_FACTOR
-                )
-            return PreparedTrial(
-                network=br.graph,
-                algorithm=spec,
-                link_process=adversary,
-                problem=LocalBroadcastProblem(br.graph, broadcasters),
-                max_rounds=64 * br.n + 8192,
+        threshold = _E8_THRESHOLD_FACTOR * math.log(max(n, 3))
+        if kind == "riding":
+            # Rides the attacker's threshold: expected head count stays
+            # τ/2 (every round sparse), crossing probability per round
+            # ≈ τ / 2L — the Ω(√n / log n) shape exactly.
+            algorithm = (
+                "uniform-local",
+                {"probability": min(0.5, threshold / (2.0 * band_length))},
             )
-
-        return scenario
+        else:
+            algorithm = ("static-local-decay", {})
+        if kind == "control":
+            adversary = ("none", {})
+        else:
+            adversary = (
+                "bracelet-attacker",
+                {"threshold_factor": _E8_THRESHOLD_FACTOR},
+            )
+        return ScenarioSpec(
+            graph=("bracelet", {"band_length": band_length}),
+            problem=("local-broadcast", {"side": "A"}),
+            algorithm=algorithm,
+            adversary=adversary,
+            max_rounds=64 * n + 8192,
+        )
 
     return scenario_for
 
@@ -906,22 +782,21 @@ E8_OBLIVIOUS_LOCAL_GENERAL = Experiment(
 # ----------------------------------------------------------------------
 # Row 3 — oblivious: local O(log² n log Δ) on geographic graphs (Thm 4.6)
 # ----------------------------------------------------------------------
-_GEO_SUITE: dict[str, Callable[[object], object]] = {
-    "G-only": lambda net: NoFlakyLinks(),
-    "G'-always": lambda net: AllFlakyLinks(),
-    "GE-fade": lambda net: GilbertElliottNodeFade(p_fail=0.3, p_recover=0.3),
-    "moving-fade": lambda net: MovingRegionFade(fade_radius=1.5, speed=0.3),
-    "cut-jammer": lambda net: PeriodicCutJammer(
-        side_mask=(1 << (net.n // 2)) - 1, period=8, dense_rounds=4
+_GEO_SUITE: dict[str, tuple[str, dict]] = {
+    "G-only": ("none", {}),
+    "G'-always": ("all", {}),
+    "GE-fade": ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    "moving-fade": ("moving-fade", {"fade_radius": 1.5, "speed": 0.3}),
+    "cut-jammer": (
+        "cut-jammer",
+        {"side": "first-half", "period": 8, "dense_rounds": 4},
     ),
 }
 
 
-def _e9_series(adversary_name: str, algorithm: str = "geo") -> Callable[[int], Scenario]:
-    def scenario_for(n: int) -> Scenario:
-        return _geo_local_scenario(
-            n, _GEO_SUITE[adversary_name], algorithm=algorithm
-        )
+def _e9_series(adversary_name: str, algorithm: str = "geo") -> Callable[[int], ScenarioSpec]:
+    def scenario_for(n: int) -> ScenarioSpec:
+        return _geo_local_spec(n, _GEO_SUITE[adversary_name], algorithm=algorithm)
 
     return scenario_for
 

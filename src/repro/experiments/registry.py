@@ -226,8 +226,14 @@ class Experiment:
         scale: str = "small",
         master_seed: int = 2013,
         progress: Optional[Callable[[str, int], None]] = None,
+        executor=None,
     ) -> ExperimentResult:
-        """Run every series' sweep at the given scale."""
+        """Run every series' sweep at the given scale.
+
+        ``executor`` (a :class:`repro.api.executor.TrialExecutor`) fans
+        each series' trials out — results are identical to serial runs
+        because trials are pure functions of their derived seeds.
+        """
         plan = self.plan(scale)
         models = (
             {name: STANDARD_MODELS[name] for name in self.candidate_models}
@@ -244,6 +250,7 @@ class Experiment:
                 series.scenario_for,
                 trials=plan.trials,
                 master_seed=master_seed,
+                executor=executor,
             )
             fits: list[ModelFit] = []
             growth_class: Optional[str] = None

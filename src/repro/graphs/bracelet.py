@@ -33,6 +33,7 @@ from typing import Optional
 
 from repro.core.errors import GraphValidationError
 from repro.graphs.dual_graph import DualGraph, Edge
+from repro.registry import register_graph
 
 __all__ = ["BraceletNetwork", "bracelet"]
 
@@ -177,3 +178,14 @@ def bracelet(
 
     graph = DualGraph.from_edges(n, g_edges, extra, name=f"bracelet-L{length}")
     return BraceletNetwork(graph=graph, band_length=length, clasp_index=t)
+
+
+@register_graph("bracelet")
+def _spec_bracelet(
+    ctx, *, band_length: int, clasp_index: Optional[int] = None
+) -> BraceletNetwork:
+    """Per-trial secret clasp from the ``"clasp"`` derivation stream
+    (the label the E8 closures always used) unless pinned explicitly."""
+    if clasp_index is not None:
+        return bracelet(int(band_length), clasp_index=int(clasp_index))
+    return bracelet(int(band_length), rng=ctx.rng("clasp"))

@@ -23,6 +23,7 @@ from typing import Iterable, Optional
 
 from repro.core.errors import GraphValidationError
 from repro.graphs.dual_graph import DualGraph, Edge
+from repro.registry import register_graph
 
 __all__ = [
     "line_dual",
@@ -239,4 +240,63 @@ def with_extra_flaky_edges(
         network.flaky_edges() | {tuple(sorted(e)) for e in extra},
         embedding=network.embedding,
         name=name or f"{network.name}+flaky",
+    )
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+@register_graph("line")
+def _spec_line(ctx, *, n: int, extra_flaky_skips: int = 0) -> DualGraph:
+    return line_dual(int(n), extra_flaky_skips=int(extra_flaky_skips))
+
+
+@register_graph("ring")
+def _spec_ring(ctx, *, n: int, chords: Iterable[Edge] = ()) -> DualGraph:
+    return ring_dual(int(n), chords=[tuple(e) for e in chords])
+
+
+@register_graph("grid")
+def _spec_grid(ctx, *, rows: int, cols: int, flaky_diagonals: bool = False) -> DualGraph:
+    return grid_dual(int(rows), int(cols), flaky_diagonals=bool(flaky_diagonals))
+
+
+@register_graph("clique")
+def _spec_clique(ctx, *, n: int) -> DualGraph:
+    return clique_dual(int(n))
+
+
+@register_graph("star")
+def _spec_star(ctx, *, n: int, flaky_rim: bool = False) -> DualGraph:
+    return star_dual(int(n), flaky_rim=bool(flaky_rim))
+
+
+@register_graph("binary-tree")
+def _spec_binary_tree(ctx, *, depth: int) -> DualGraph:
+    return binary_tree_dual(int(depth))
+
+
+@register_graph("line-of-cliques")
+def _spec_line_of_cliques(
+    ctx, *, num_cliques: int, clique_size: int, flaky_cross_links: bool = False
+) -> DualGraph:
+    return line_of_cliques(
+        int(num_cliques), int(clique_size), flaky_cross_links=bool(flaky_cross_links)
+    )
+
+
+@register_graph("funnel")
+def _spec_funnel(ctx, *, n: int) -> DualGraph:
+    return funnel_dual(int(n))
+
+
+@register_graph("er")
+def _spec_er(
+    ctx, *, n: int, g_edge_probability: float, flaky_edge_probability: float
+) -> DualGraph:
+    return er_dual(
+        int(n),
+        float(g_edge_probability),
+        float(flaky_edge_probability),
+        ctx.rng("er"),
     )

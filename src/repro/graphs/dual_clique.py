@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.core.errors import GraphValidationError
 from repro.graphs.dual_graph import DualGraph, Edge
+from repro.registry import register_graph
 
 __all__ = ["DualCliqueNetwork", "dual_clique"]
 
@@ -134,6 +135,42 @@ def dual_clique(
         n, g_edges, extra, embedding=embedding, name=f"dual-clique-{n}"
     )
     return DualCliqueNetwork(graph=graph, bridge_a=t_a, bridge_b=t_b)
+
+
+@register_graph("dual-clique")
+def _spec_dual_clique(
+    ctx,
+    *,
+    half: int,
+    bridge_a: Optional[int] = None,
+    bridge_b: Optional[int] = None,
+    avoid_source: bool = True,
+    with_embedding: bool = True,
+) -> DualCliqueNetwork:
+    """Per-trial secret bridge, redrawn from the ``"network"`` stream.
+
+    ``avoid_source`` (default) excludes node 0 from the side-A endpoint
+    — the proofs' adversarial placement, which never hands the bridge
+    to the trivially-informed source. The derivation label matches the
+    legacy Figure-1 closures, so spec-built dual cliques are identical
+    draw for draw.
+    """
+    half = int(half)
+    if bridge_a is None or bridge_b is None:
+        rng = ctx.rng("network")
+        if bridge_a is None:
+            if avoid_source and half > 1:
+                bridge_a = 1 + rng.randrange(half - 1)
+            else:
+                bridge_a = rng.randrange(half)
+        if bridge_b is None:
+            bridge_b = half + rng.randrange(half)
+    return dual_clique(
+        half,
+        bridge_a=int(bridge_a),
+        bridge_b=int(bridge_b),
+        with_embedding=bool(with_embedding),
+    )
 
 
 def _cluster_embedding(half: int) -> list[tuple[float, float]]:

@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 
 from repro.core.errors import GraphValidationError
 from repro.graphs.dual_graph import DualGraph, Edge
+from repro.registry import register_graph
 
 __all__ = [
     "edges_from_embedding",
@@ -248,3 +249,71 @@ def verify_geographic_constraint(graph: DualGraph, grey_ratio: float) -> None:
                 raise GraphValidationError(
                     f"nodes {u},{v} at distance {dist:.3f} > r={grey_ratio} have a G' edge"
                 )
+
+
+# ----------------------------------------------------------------------
+# Declarative ScenarioSpec registrations
+# ----------------------------------------------------------------------
+@register_graph("geographic")
+def _spec_random_geographic(
+    ctx,
+    *,
+    n: int,
+    grey_ratio: float = 2.0,
+    density: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> DualGraph:
+    """Per-trial random deployment; omit ``seed`` to redraw every trial.
+
+    The default per-trial seed uses the ``"geo"`` derivation label the
+    Figure-1 scenarios have always used, so spec-built trials reproduce
+    the legacy closures bit for bit.
+    """
+    return random_geographic(
+        int(n),
+        grey_ratio=float(grey_ratio),
+        density=None if density is None else float(density),
+        seed=ctx.derive("geo") if seed is None else int(seed),
+    )
+
+
+@register_graph("grid-geographic")
+def _spec_grid_geographic(
+    ctx,
+    *,
+    rows: int,
+    cols: int,
+    spacing: float = 0.7,
+    jitter: float = 0.1,
+    grey_ratio: float = 2.0,
+    seed: Optional[int] = None,
+) -> DualGraph:
+    return grid_geographic(
+        int(rows),
+        int(cols),
+        spacing=float(spacing),
+        jitter=float(jitter),
+        grey_ratio=float(grey_ratio),
+        seed=ctx.derive("geo-grid") if seed is None else int(seed),
+    )
+
+
+@register_graph("cluster-chain")
+def _spec_cluster_chain(
+    ctx,
+    *,
+    num_clusters: int,
+    cluster_size: int,
+    cluster_radius: float = 0.35,
+    cluster_spacing: float = 0.9,
+    grey_ratio: float = 2.0,
+    seed: Optional[int] = None,
+) -> DualGraph:
+    return cluster_chain_geographic(
+        int(num_clusters),
+        int(cluster_size),
+        cluster_radius=float(cluster_radius),
+        cluster_spacing=float(cluster_spacing),
+        grey_ratio=float(grey_ratio),
+        seed=ctx.derive("geo-chain") if seed is None else int(seed),
+    )

@@ -7,6 +7,7 @@ from typing import Optional
 from repro.core.trace import RoundRecord, popcount
 from repro.graphs.dual_graph import DualGraph
 from repro.problems.base import Problem, ProblemObserver
+from repro.registry import register_problem
 
 __all__ = ["GlobalBroadcastProblem", "GlobalBroadcastObserver"]
 
@@ -72,3 +73,8 @@ class GlobalBroadcastProblem(Problem):
             f"global-broadcast(source={self.source}, n={self.network.n}, "
             f"D={self.network.g_eccentricity(self.source)})"
         )
+
+
+@register_problem("global-broadcast")
+def _spec_global_broadcast(ctx, *, source: int = 0) -> GlobalBroadcastProblem:
+    return GlobalBroadcastProblem(ctx.graph, int(source))

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 from typing import AbstractSet, Optional
 
+from repro.core.errors import SpecError
 from repro.core.trace import RoundRecord, iter_bits, popcount
 from repro.graphs.dual_graph import DualGraph
 from repro.problems.base import Problem, ProblemObserver
+from repro.registry import cut_mask_for, register_problem
 
 __all__ = ["LocalBroadcastProblem", "LocalBroadcastObserver", "receiver_set"]
 
@@ -101,3 +103,37 @@ class LocalBroadcastProblem(Problem):
             f"local-broadcast(|B|={len(self.broadcasters)}, "
             f"|R|={len(self.receivers)}, n={self.network.n})"
         )
+
+
+@register_problem("local-broadcast")
+def _spec_local_broadcast(
+    ctx, *, broadcasters=None, fraction=None, side=None
+) -> LocalBroadcastProblem:
+    """Declarative broadcaster-set selection for ``B``.
+
+    Exactly one selector:
+
+    * ``broadcasters`` — an explicit node list;
+    * ``fraction`` — a per-trial uniform sample of ``max(1, ⌊fraction·n⌋)``
+      nodes from the ``"broadcasters"`` derivation stream (the label the
+      geographic Figure-1 closures always used);
+    * ``side`` — ``"all"`` for ``B = V``, or any cut-side selector
+      understood by :func:`repro.registry.cut_mask_for` (``"A"`` picks a
+      dual clique's side A / a bracelet's A-heads).
+    """
+    chosen = [s for s in (broadcasters, fraction, side) if s is not None]
+    if len(chosen) != 1:
+        raise SpecError(
+            "local-broadcast needs exactly one of 'broadcasters', 'fraction', 'side'"
+        )
+    n = ctx.graph.n
+    if broadcasters is not None:
+        b = frozenset(int(u) for u in broadcasters)
+    elif fraction is not None:
+        count = max(1, int(n * float(fraction)))
+        b = frozenset(ctx.rng("broadcasters").sample(range(n), count))
+    elif side == "all":
+        b = frozenset(range(n))
+    else:
+        b = frozenset(iter_bits(cut_mask_for(ctx, side)))
+    return LocalBroadcastProblem(ctx.graph, b)

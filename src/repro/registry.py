@@ -1,0 +1,252 @@
+"""Component registries: names → scenario-buildable factories.
+
+The declarative :class:`~repro.api.spec.ScenarioSpec` API names every
+piece of a trial — graph family, algorithm, adversary, problem — by a
+registry key plus JSON parameters. Component modules register their
+spec-facing factories with the decorators defined here::
+
+    from repro.registry import register_graph
+
+    @register_graph("line")
+    def _spec_line(ctx, *, n, extra_flaky_skips=0):
+        return line_dual(n, extra_flaky_skips=extra_flaky_skips)
+
+A registered factory receives a :class:`ScenarioContext` (trial seed,
+plus the already-built components earlier in the build order: graph →
+problem → algorithm → adversary) followed by the spec's parameters as
+keyword arguments. Factories draw *all* per-trial randomness from
+labelled child streams of the context seed (:meth:`ScenarioContext.rng`
+/ :meth:`ScenarioContext.derive`) so that a spec plus a seed fully
+determines the trial — the property that makes specs safe to fan out
+across worker processes.
+
+This module deliberately imports nothing from the component packages;
+they import *it*. :func:`ensure_builtins_loaded` performs the reverse
+(lazy) imports so that resolving a name never requires callers to have
+imported the right module first.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.errors import RegistryError, SpecError
+from repro.core.rng import derive_seed
+
+__all__ = [
+    "Registry",
+    "ScenarioContext",
+    "GRAPHS",
+    "ALGORITHMS",
+    "ADVERSARIES",
+    "PROBLEMS",
+    "register_graph",
+    "register_algorithm",
+    "register_adversary",
+    "register_problem",
+    "ensure_builtins_loaded",
+    "cut_mask_for",
+]
+
+
+@dataclass
+class ScenarioContext:
+    """Mutable build state threaded through a spec's component factories.
+
+    The spec builder fills fields in build order, so each factory sees
+    everything built before it: problem factories see the graph,
+    algorithm factories see graph + problem (roles such as the source or
+    broadcaster set come from the problem), adversary factories see all
+    three.
+    """
+
+    seed: int
+    #: The structured network as returned by the graph factory — may be
+    #: a bare DualGraph or a wrapper (DualCliqueNetwork, BraceletNetwork).
+    network: Any = None
+    #: The engine-facing DualGraph (``network.graph`` when wrapped).
+    graph: Any = None
+    problem: Any = None
+    algorithm: Any = None
+
+    def derive(self, *labels: object) -> int:
+        """Child seed for a named per-trial random consumer."""
+        return derive_seed(self.seed, *labels)
+
+    def rng(self, *labels: object) -> random.Random:
+        """Labelled per-trial :class:`random.Random` stream."""
+        return random.Random(self.derive(*labels))
+
+
+class Registry:
+    """A name → factory mapping for one component kind."""
+
+    def __init__(self, kind: str, *, plural: Optional[str] = None) -> None:
+        self.kind = kind
+        self.plural = plural or f"{kind}s"
+        self._factories: dict[str, Callable[..., Any]] = {}
+
+    def register(self, name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``factory`` under ``name``."""
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} registry needs a non-empty string name")
+
+        def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            existing = self._factories.get(name)
+            if existing is not None and existing is not factory:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"({existing.__module__}.{existing.__qualname__})"
+                )
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """Resolve a factory by name, loading built-in components first."""
+        ensure_builtins_loaded()
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def build(self, name: str, ctx: ScenarioContext, params: dict) -> Any:
+        """Invoke the named factory with a context and spec parameters.
+
+        Parameter mismatches are rejected up front via signature
+        binding so they read as spec errors naming the component;
+        ``TypeError`` raised *inside* a factory body stays a genuine
+        bug and propagates unmasked.
+        """
+        factory = self.get(name)
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # C callables etc. — skip the precheck
+            signature = None
+        if signature is not None:
+            try:
+                signature.bind(ctx, **params)
+            except TypeError as exc:
+                raise RegistryError(
+                    f"{self.kind} {name!r} rejected parameters {sorted(params)}: {exc}"
+                ) from exc
+        return factory(ctx, **params)
+
+    def names(self) -> list[str]:
+        ensure_builtins_loaded()
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        ensure_builtins_loaded()
+        return name in self._factories
+
+
+GRAPHS = Registry("graph")
+ALGORITHMS = Registry("algorithm")
+ADVERSARIES = Registry("adversary", plural="adversaries")
+PROBLEMS = Registry("problem")
+
+
+def register_graph(name: str):
+    """Register a graph-family factory ``(ctx, **params) -> network``.
+
+    The factory may return a bare :class:`~repro.graphs.dual_graph.DualGraph`
+    or a structured wrapper exposing ``.graph`` (dual clique, bracelet);
+    downstream factories see both through the context.
+    """
+    return GRAPHS.register(name)
+
+
+def register_algorithm(name: str):
+    """Register an algorithm factory ``(ctx, **params) -> AlgorithmSpec``."""
+    return ALGORITHMS.register(name)
+
+
+def register_adversary(name: str):
+    """Register a link-process factory ``(ctx, **params) -> LinkProcess``."""
+    return ADVERSARIES.register(name)
+
+
+def register_problem(name: str):
+    """Register a problem factory ``(ctx, **params) -> Problem``."""
+    return PROBLEMS.register(name)
+
+
+_BUILTINS_STATE = "unloaded"  # "unloaded" | "loading" | "loaded"
+
+
+def ensure_builtins_loaded() -> None:
+    """Import the component packages so their registrations run.
+
+    Idempotent and cycle-safe: the component packages import only this
+    module's decorators, never the registries' consumers. The "loading"
+    state guards re-entrancy during those imports; a failed import
+    resets to "unloaded" so the real error resurfaces on retry instead
+    of poisoning the registries with empty tables.
+    """
+    global _BUILTINS_STATE
+    if _BUILTINS_STATE != "unloaded":
+        return
+    _BUILTINS_STATE = "loading"
+    try:
+        import repro.adversaries  # noqa: F401
+        import repro.algorithms  # noqa: F401
+        import repro.graphs  # noqa: F401
+        import repro.problems  # noqa: F401
+
+        # Not exported from repro.adversaries (it depends on repro.games,
+        # which the package __init__ avoids importing); load it directly.
+        import repro.adversaries.bracelet_attack  # noqa: F401
+    except BaseException:
+        _BUILTINS_STATE = "unloaded"
+        raise
+    _BUILTINS_STATE = "loaded"
+
+
+def cut_mask_for(ctx: ScenarioContext, side: object) -> int:
+    """Resolve a declarative cut-side selector into a node bitmask.
+
+    Accepted selectors (the JSON-friendly vocabulary cut-based
+    adversaries share):
+
+    * ``"A"`` — the structured network's distinguished side: a dual
+      clique's side A, a bracelet's A-band heads; falls back to the
+      first half of the id space on plain graphs (the convention the
+      CLI's ad-hoc trials always used);
+    * ``"first-half"`` — nodes ``0 … n/2 - 1`` regardless of structure;
+    * an ``int`` — an explicit bitmask, passed through;
+    * a list of node ids — converted to a bitmask.
+    """
+    if isinstance(side, bool):
+        raise SpecError(f"invalid cut side selector {side!r}")
+    if isinstance(side, int):
+        return side
+    if isinstance(side, (list, tuple)):
+        mask = 0
+        for u in side:
+            mask |= 1 << int(u)
+        return mask
+    network = ctx.network
+    n = ctx.graph.n
+    if side == "A":
+        if hasattr(network, "side_a_mask"):
+            return network.side_a_mask
+        if hasattr(network, "heads_a"):
+            mask = 0
+            for head in network.heads_a():
+                mask |= 1 << head
+            return mask
+        return (1 << (n // 2)) - 1
+    if side == "first-half":
+        return (1 << (n // 2)) - 1
+    raise SpecError(
+        f"invalid cut side selector {side!r}; expected 'A', 'first-half', "
+        "a bitmask int, or a node list"
+    )

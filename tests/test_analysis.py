@@ -57,6 +57,32 @@ class TestTrialStats:
         stats = self.make([10, 20])
         assert stats.percentile_rounds(50) == 15
 
+    def test_percentile_empty_is_nan(self):
+        stats = TrialStats()
+        for q in (0, 50, 90, 100):
+            assert math.isnan(stats.percentile_rounds(q))
+
+    def test_percentile_single_trial_is_constant(self):
+        stats = self.make([42])
+        for q in (0, 25, 50, 90, 100):
+            assert stats.percentile_rounds(q) == 42.0
+
+    def test_percentile_interpolates_between_order_statistics(self):
+        stats = self.make([10, 20, 30, 40])
+        # Inclusive scaling: position = q/100 * 3, so q=25 sits 0.75 of
+        # the way from 10 to 20 and q=90 sits 0.7 between 30 and 40.
+        assert stats.percentile_rounds(25) == pytest.approx(17.5)
+        assert stats.percentile_rounds(90) == pytest.approx(37.0)
+        # Unsorted insertion order must not matter.
+        shuffled = self.make([40, 10, 30, 20])
+        assert shuffled.percentile_rounds(90) == pytest.approx(37.0)
+
+    def test_percentile_censors_unsolved_at_cap(self):
+        stats = TrialStats()
+        stats.add(TrialResult(solved=True, rounds=10, seed=0))
+        stats.add(TrialResult(solved=False, rounds=500, seed=1))
+        assert stats.percentile_rounds(100) == 500.0
+
     def test_censoring_counts_unsolved_rounds(self):
         stats = TrialStats()
         stats.add(TrialResult(solved=True, rounds=10, seed=0))
@@ -117,13 +143,49 @@ class TestRunner:
         assert isinstance(problem, GlobalBroadcastProblem)
         assert problem.source == 2
 
+    def test_infer_problem_local(self):
+        from repro.algorithms.local_static import make_static_local_broadcast
+        from repro.problems.local_broadcast import LocalBroadcastProblem
+
+        net = line_dual(4)
+        problem = infer_problem(
+            net, make_static_local_broadcast(net.n, {0, 2}, net.max_degree)
+        )
+        assert isinstance(problem, LocalBroadcastProblem)
+        assert problem.broadcasters == frozenset({0, 2})
+
     def test_infer_problem_requires_metadata(self):
         from repro.algorithms.base import AlgorithmSpec
 
         net = line_dual(4)
         bare = AlgorithmSpec(name="x", factory=lambda ctx: None)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="does not declare a problem"):
             infer_problem(net, bare)
+
+    def test_infer_problem_rejects_unknown_kind(self):
+        from repro.algorithms.base import AlgorithmSpec
+
+        net = line_dual(4)
+        odd = AlgorithmSpec(
+            name="x",
+            factory=lambda ctx: None,
+            metadata={"problem": "leader-election"},
+        )
+        with pytest.raises(ValueError, match="does not declare a problem"):
+            infer_problem(net, odd)
+
+    def test_infer_problem_requires_role_keys(self):
+        from repro.algorithms.base import AlgorithmSpec
+
+        net = line_dual(4)
+        # Declares the problem kind but omits the role key it implies.
+        broken = AlgorithmSpec(
+            name="x",
+            factory=lambda ctx: None,
+            metadata={"problem": "global-broadcast"},
+        )
+        with pytest.raises(KeyError):
+            infer_problem(net, broken)
 
     def test_default_round_cap_floor(self):
         assert default_round_cap(2) == 4096

@@ -1,0 +1,297 @@
+"""Tests for the declarative ScenarioSpec API and component registries.
+
+The acceptance bar: ``ScenarioSpec.from_dict(spec.to_dict())``
+round-trips for *every* registered component, and every registered
+component resolves into a buildable trial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.base import LinkProcess
+from repro.algorithms.base import AlgorithmSpec
+from repro.analysis.runner import PreparedTrial
+from repro.api import ComponentRef, ScenarioSpec, build_prepared_trial
+from repro.core.errors import RegistryError, SpecError
+from repro.problems.base import Problem
+from repro.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    GRAPHS,
+    PROBLEMS,
+    Registry,
+    ScenarioContext,
+)
+
+#: Canonical parameters for each graph family (small but valid).
+GRAPH_PARAMS = {
+    "line": {"n": 8},
+    "ring": {"n": 8},
+    "grid": {"rows": 3, "cols": 3},
+    "clique": {"n": 8},
+    "star": {"n": 8},
+    "binary-tree": {"depth": 3},
+    "line-of-cliques": {"num_cliques": 3, "clique_size": 4},
+    "funnel": {"n": 8},
+    "er": {"n": 8, "g_edge_probability": 0.2, "flaky_edge_probability": 0.2},
+    "geographic": {"n": 16},
+    "grid-geographic": {"rows": 4, "cols": 4},
+    "cluster-chain": {"num_clusters": 3, "cluster_size": 5},
+    "dual-clique": {"half": 6},
+    "bracelet": {"band_length": 3},
+}
+
+#: Canonical algorithm parameters and the problem kind each one needs.
+ALGORITHM_PARAMS = {
+    "plain-decay": ({}, "global"),
+    "permuted-decay": ({}, "global"),
+    "uncoordinated-decay": ({}, "global"),
+    "round-robin-global": ({"random_slots": True}, "global"),
+    "uniform-global": ({"probability": 0.1}, "global"),
+    "static-local-decay": ({}, "local"),
+    "geo-local": ({}, "local"),
+    "round-robin-local": ({}, "local"),
+    "uniform-local": ({}, "local"),
+}
+
+#: Canonical adversary parameters and the graph each one needs.
+ADVERSARY_PARAMS = {
+    "none": ({}, "dual-clique"),
+    "all": ({}, "dual-clique"),
+    "alternating": ({"phase_lengths": [2, 1]}, "dual-clique"),
+    "fixed-flaky": ({"edges": [[0, 7]]}, "dual-clique"),
+    "bernoulli-edge": ({"p_up": 0.5}, "dual-clique"),
+    "ge-edge": ({"p_fail": 0.3, "p_recover": 0.3}, "dual-clique"),
+    "bernoulli-node-fade": ({"p_clear": 0.7}, "dual-clique"),
+    "ge-fade": ({"p_fail": 0.3, "p_recover": 0.3}, "dual-clique"),
+    "cut-jammer": ({"period": 4, "dense_rounds": 2}, "dual-clique"),
+    "moving-fade": ({}, "geographic"),
+    "online-dense-sparse": ({"side": "A"}, "dual-clique"),
+    "offline-solo-blocker": ({"side": "A"}, "dual-clique"),
+    "predicted-dense-sparse": ({"side": "A"}, "dual-clique"),
+    "precomputed-dense-sparse": ({"labels": [True, False, True]}, "dual-clique"),
+    "bracelet-attacker": ({"threshold_factor": 0.75}, "bracelet"),
+}
+
+
+def spec_for(
+    graph: str = "dual-clique",
+    algorithm: str = "permuted-decay",
+    adversary: str = "none",
+    problem_kind: str = "global",
+) -> ScenarioSpec:
+    if problem_kind == "global":
+        problem = ("global-broadcast", {"source": 0})
+    else:
+        problem = ("local-broadcast", {"fraction": 0.25})
+    return ScenarioSpec(
+        graph=(graph, GRAPH_PARAMS[graph]),
+        problem=problem,
+        algorithm=(algorithm, ALGORITHM_PARAMS[algorithm][0]),
+        adversary=(adversary, ADVERSARY_PARAMS[adversary][0]),
+        max_rounds=256,
+    )
+
+
+class TestRegistryCoverage:
+    """The canonical-parameter tables must cover every registration."""
+
+    def test_all_graphs_covered(self):
+        assert sorted(GRAPH_PARAMS) == GRAPHS.names()
+
+    def test_all_algorithms_covered(self):
+        assert sorted(ALGORITHM_PARAMS) == ALGORITHMS.names()
+
+    def test_all_adversaries_covered(self):
+        assert sorted(ADVERSARY_PARAMS) == ADVERSARIES.names()
+
+    def test_problems_registered(self):
+        assert PROBLEMS.names() == ["global-broadcast", "local-broadcast"]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("graph", sorted(GRAPH_PARAMS))
+    def test_graph_round_trip(self, graph):
+        spec = spec_for(graph=graph)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHM_PARAMS))
+    def test_algorithm_round_trip(self, algorithm):
+        spec = spec_for(
+            algorithm=algorithm, problem_kind=ALGORITHM_PARAMS[algorithm][1]
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_PARAMS))
+    def test_adversary_round_trip(self, adversary):
+        spec = spec_for(
+            graph=ADVERSARY_PARAMS[adversary][1], adversary=adversary
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("problem_kind", ["global", "local"])
+    def test_problem_round_trip(self, problem_kind):
+        spec = spec_for(
+            algorithm="permuted-decay" if problem_kind == "global" else "uniform-local",
+            problem_kind=problem_kind,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBuilds:
+    """Every registered component must resolve into a buildable trial."""
+
+    @pytest.mark.parametrize("graph", sorted(GRAPH_PARAMS))
+    def test_graph_builds(self, graph):
+        trial = spec_for(graph=graph).build(seed=11)
+        assert isinstance(trial, PreparedTrial)
+        assert trial.network.is_g_connected()
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHM_PARAMS))
+    def test_algorithm_builds(self, algorithm):
+        trial = spec_for(
+            algorithm=algorithm, problem_kind=ALGORITHM_PARAMS[algorithm][1]
+        ).build(seed=11)
+        assert isinstance(trial.algorithm, AlgorithmSpec)
+        assert isinstance(trial.problem, Problem)
+        # Role agreement: algorithm metadata matches the resolved problem.
+        kind = ALGORITHM_PARAMS[algorithm][1]
+        assert trial.algorithm.metadata["problem"] == f"{kind}-broadcast"
+
+    @pytest.mark.parametrize("adversary", sorted(ADVERSARY_PARAMS))
+    def test_adversary_builds(self, adversary):
+        trial = spec_for(
+            graph=ADVERSARY_PARAMS[adversary][1], adversary=adversary
+        ).build(seed=11)
+        assert isinstance(trial.link_process, LinkProcess)
+
+    def test_build_is_deterministic_in_seed(self):
+        spec = spec_for(graph="geographic", adversary="ge-fade")
+        a, b = spec.build(99), spec.build(99)
+        assert a.network.g_edges() == b.network.g_edges()
+        assert a.network.flaky_edges() == b.network.flaky_edges()
+
+    def test_secret_structure_redrawn_per_seed(self):
+        spec = spec_for(graph="dual-clique")
+        bridges = set()
+        for seed in range(8):
+            network = spec.build(seed).network
+            half = network.n // 2
+            for u in range(half):
+                for v in range(half, network.n):
+                    if network.has_g_edge(u, v):
+                        bridges.add((u, v))
+        assert len(bridges) > 1
+
+
+class TestSpecErrors:
+    def test_missing_section_rejected(self):
+        with pytest.raises(SpecError, match="missing sections"):
+            ScenarioSpec.from_dict({"graph": {"name": "line"}})
+
+    def test_unknown_key_rejected(self):
+        data = spec_for().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_component_name(self):
+        spec = ScenarioSpec(
+            graph=("torus", {"n": 8}),
+            problem=("global-broadcast", {}),
+            algorithm=("permuted-decay", {}),
+            adversary=("none", {}),
+        )
+        with pytest.raises(RegistryError, match="unknown graph 'torus'"):
+            spec.build(seed=1)
+
+    def test_bad_parameters_name_the_component(self):
+        spec = ScenarioSpec(
+            graph=("line", {"n": 8, "wormholes": 3}),
+            problem=("global-broadcast", {}),
+            algorithm=("permuted-decay", {}),
+            adversary=("none", {}),
+        )
+        with pytest.raises(RegistryError, match="graph 'line' rejected"):
+            spec.build(seed=1)
+
+    def test_non_json_parameter_rejected(self):
+        with pytest.raises(SpecError, match="not JSON-serializable"):
+            ScenarioSpec(
+                graph=("line", {"n": object()}),
+                problem=("global-broadcast", {}),
+                algorithm=("permuted-decay", {}),
+                adversary=("none", {}),
+            )
+
+    def test_invalid_json_text(self):
+        with pytest.raises(SpecError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_bad_component_ref(self):
+        with pytest.raises(SpecError):
+            ComponentRef.of(42)
+
+    def test_local_problem_needs_one_selector(self):
+        spec = ScenarioSpec(
+            graph=("clique", {"n": 8}),
+            problem=("local-broadcast", {}),
+            algorithm=("static-local-decay", {}),
+            adversary=("none", {}),
+        )
+        with pytest.raises(SpecError, match="exactly one of"):
+            spec.build(seed=1)
+
+    def test_bracelet_attacker_needs_bracelet(self):
+        spec = spec_for(graph="clique", adversary="bracelet-attacker")
+        with pytest.raises(SpecError, match="bracelet"):
+            spec.build(seed=1)
+
+
+class TestWithParam:
+    def test_component_param_path(self):
+        spec = spec_for()
+        derived = spec.with_param("graph.half", 10)
+        assert derived.graph.params["half"] == 10
+        assert spec.graph.params["half"] == 6  # original untouched
+
+    def test_top_level_field(self):
+        derived = spec_for().with_param("max_rounds", 512)
+        assert derived.max_rounds == 512
+
+    def test_bad_path_rejected(self):
+        with pytest.raises(SpecError, match="bad parameter path"):
+            spec_for().with_param("nonsense", 1)
+        with pytest.raises(SpecError, match="bad parameter path"):
+            spec_for().with_param("graph.", 1)
+
+
+class TestRegistryMechanics:
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+
+        @registry.register("x")
+        def _factory(ctx):
+            return 1
+
+        with pytest.raises(RegistryError, match="already registered"):
+
+            @registry.register("x")
+            def _other(ctx):
+                return 2
+
+    def test_same_factory_reregistration_is_idempotent(self):
+        registry = Registry("thing")
+
+        def factory(ctx):
+            return 1
+
+        registry.register("x")(factory)
+        registry.register("x")(factory)  # re-import scenario: no error
+
+    def test_context_rng_is_labelled_and_stable(self):
+        ctx = ScenarioContext(seed=5)
+        assert ctx.rng("a").random() == ScenarioContext(seed=5).rng("a").random()
+        assert ctx.derive("a") != ctx.derive("b")

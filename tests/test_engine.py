@@ -181,6 +181,61 @@ class TestAdversaryViews:
         assert views[2].history[1].transmitter_mask == 0b001
 
 
+class TestHistoryWindow:
+    """The adaptive views' history is an O(1) window, not a per-round copy."""
+
+    def run_recording(self, rounds=4):
+        recorder = TestAdversaryViews()
+        net = line_dual(3)
+        adv, views = recorder.make_view_recorder(AdversaryClass.ONLINE_ADAPTIVE)
+        run_engine(
+            net, {0: {r: 1.0 for r in range(rounds)}}, rounds=rounds, link_process=adv
+        )
+        return views
+
+    def test_window_shares_storage_instead_of_copying(self):
+        # Successive views alias one underlying list — the O(window)
+        # per-round tuple copy is gone.
+        views = self.run_recording()
+        backing = {id(v.history._entries) for v in views}
+        assert len(backing) == 1
+
+    def test_window_length_is_frozen_at_construction(self):
+        # Snapshot semantics: a view retained across rounds never grows.
+        views = self.run_recording(rounds=5)
+        assert [len(v.history) for v in views] == [0, 1, 2, 3, 4]
+
+    def test_window_supports_sequence_protocol(self):
+        views = self.run_recording(rounds=4)
+        history = views[3].history
+        assert [e.round_index for e in history] == [0, 1, 2]
+        assert history[-1].round_index == 2
+        assert [e.round_index for e in history[1:]] == [1, 2]
+        with pytest.raises(IndexError):
+            history[3]
+
+    def test_trimmed_entries_raise_on_access(self):
+        from repro.core import engine as engine_mod
+
+        net = line_dual(3)
+        recorder = TestAdversaryViews()
+        adv, views = recorder.make_view_recorder(AdversaryClass.ONLINE_ADAPTIVE)
+        window = engine_mod._HISTORY_WINDOW
+        try:
+            engine_mod._HISTORY_WINDOW = 3  # force trimming quickly
+            run_engine(
+                net, {0: {r: 1.0 for r in range(6)}}, rounds=6, link_process=adv
+            )
+        finally:
+            engine_mod._HISTORY_WINDOW = window
+        late = views[-1]
+        assert len(late.history) == 3  # retention window
+        assert late.history[-1].round_index == 4
+        early = views[3]  # saw rounds 0..2, all trimmed by round 5
+        with pytest.raises(LookupError):
+            early.history[0]
+
+
 class TestEngineMechanics:
     def test_deterministic_given_seed(self):
         net = clique_dual(8)
@@ -235,6 +290,28 @@ class TestEngineMechanics:
         engine = RadioNetworkEngine(net, processes, ReliableOnlyLinks(), seed=0)
         result = engine.run(max_rounds=10, stop=lambda: True)
         assert result.solved and result.rounds == 0
+        # Sentinel -1 ("solved before round 0") keeps solve_round
+        # unambiguous: None now always means unsolved.
+        assert result.solve_round == -1
+        assert result.solved_at_start
+        assert result.rounds_to_solve() == 0
+
+    def test_solve_round_none_only_when_unsolved(self):
+        net = line_dual(3)
+        processes = scripted_processes(net, {})
+        engine = RadioNetworkEngine(net, processes, ReliableOnlyLinks(), seed=0)
+        result = engine.run(max_rounds=3, stop=lambda: False)
+        assert not result.solved
+        assert result.solve_round is None
+        assert not result.solved_at_start
+
+    def test_solved_mid_run_is_not_solved_at_start(self):
+        net = line_dual(3)
+        processes = scripted_processes(net, {1: {0: 1.0}})
+        engine = RadioNetworkEngine(net, processes, ReliableOnlyLinks(), seed=0)
+        result = engine.run(max_rounds=10, stop=lambda: bool(processes[0].received))
+        assert result.solved and result.solve_round == 0
+        assert not result.solved_at_start
 
     def test_step_api_advances_one_round(self):
         net = line_dual(3)
