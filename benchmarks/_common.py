@@ -1,41 +1,141 @@
 """Shared bench harness.
 
-Every bench runs one registry experiment exactly once (timed through
+Every bench runs one registry experiment (timed through
 ``benchmark.pedantic``), prints the full report — the regenerated
 Figure-1 row — and asserts the robust facts (success rates, growth
 classes, contrast claims) that the paper's table rests on.
 
-Scale selection: set ``REPRO_BENCH_SCALE=tiny|small|full`` (default
-``small``). ``full`` reproduces the EXPERIMENTS.md numbers; ``small``
-keeps the suite in the minutes range.
+Knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE=tiny|small|full`` (default ``small``) — sweep
+  sizing. ``full`` reproduces the EXPERIMENTS.md numbers; ``small``
+  keeps the suite in the minutes range.
+* ``REPRO_BENCH_ENGINE=reference|bitset`` (default ``reference``) —
+  the round-loop implementation
+  (:data:`repro.core.engine.ENGINE_NAMES`). Results are seed-for-seed
+  identical across engines, so switching only moves wall-clock time;
+  run a bench once per engine to measure the fast path's speedup.
+* ``REPRO_BENCH_REPEATS`` (default 1) — timing repeats per experiment;
+  with ≥ 2 the JSON artifact gains a spread and a 95% CI.
+* ``REPRO_BENCH_RESULTS`` — directory for the machine-readable
+  ``BENCH_<experiment>_<scale>_<engine>.json`` artifacts (default
+  ``benchmarks/results/``). Set it empty to disable writing.
+
+The JSON artifacts are how the perf trajectory is tracked across PRs:
+each file records the experiment, scale, engine, per-repeat wall
+times, and summary statistics, so ``git log -p benchmarks/results``
+reads as a performance history. See ``docs/architecture.md``
+("Engines") for how to read them.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.registry import ExperimentResult
 
-__all__ = ["BENCH_SCALE", "run_experiment", "assert_success", "assert_contrasts"]
+__all__ = [
+    "BENCH_SCALE",
+    "BENCH_ENGINE",
+    "BENCH_REPEATS",
+    "run_experiment",
+    "assert_success",
+    "assert_contrasts",
+    "assert_growth",
+]
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "reference")
+BENCH_REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "1")))
 
 #: Master seed shared by all benches (the paper year).
 MASTER_SEED = 2013
 
 
-def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
-    """Run experiment ``exp_id`` once under the benchmark timer."""
-    experiment = ALL_EXPERIMENTS[exp_id]
+def _results_dir() -> Optional[Path]:
+    configured = os.environ.get("REPRO_BENCH_RESULTS")
+    if configured is not None:
+        return Path(configured) if configured else None
+    return Path(__file__).resolve().parent / "results"
 
-    result = benchmark.pedantic(
-        lambda: experiment.run(scale=BENCH_SCALE, master_seed=MASTER_SEED),
-        rounds=1,
-        iterations=1,
-    )
+
+def _summarize(seconds: list[float]) -> dict:
+    """Median/CI summary of repeat wall times (normal-approximation CI)."""
+    summary = {
+        "all": [round(s, 6) for s in seconds],
+        "median": round(statistics.median(seconds), 6),
+        "mean": round(statistics.fmean(seconds), 6),
+        "min": round(min(seconds), 6),
+        "max": round(max(seconds), 6),
+    }
+    if len(seconds) >= 2:
+        stdev = statistics.stdev(seconds)
+        half_width = 1.96 * stdev / math.sqrt(len(seconds))
+        mean = statistics.fmean(seconds)
+        summary["stdev"] = round(stdev, 6)
+        summary["ci95"] = [round(mean - half_width, 6), round(mean + half_width, 6)]
+    else:
+        summary["stdev"] = None
+        summary["ci95"] = None
+    return summary
+
+
+def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
+    """Persist ``BENCH_<exp>_<scale>_<engine>.json`` (returns its path)."""
+    directory = _results_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": exp_id,
+        "scale": BENCH_SCALE,
+        "engine": BENCH_ENGINE,
+        "master_seed": MASTER_SEED,
+        "repeats": len(seconds),
+        "seconds": _summarize(seconds),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{BENCH_ENGINE}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
+    """Run experiment ``exp_id`` under the benchmark timer.
+
+    The experiment executes ``BENCH_REPEATS`` times with the engine
+    selected by ``REPRO_BENCH_ENGINE``; wall times are recorded both in
+    pytest-benchmark's own stats and in the committed JSON artifact.
+    """
+    experiment = ALL_EXPERIMENTS[exp_id]
+    seconds: list[float] = []
+
+    def timed_run() -> ExperimentResult:
+        started = time.perf_counter()
+        outcome = experiment.run(
+            scale=BENCH_SCALE, master_seed=MASTER_SEED, engine=BENCH_ENGINE
+        )
+        seconds.append(time.perf_counter() - started)
+        return outcome
+
+    result = benchmark.pedantic(timed_run, rounds=BENCH_REPEATS, iterations=1)
+    artifact = write_bench_artifact(exp_id, seconds)
     print()
     print(result.render())
+    print(
+        f"[engine={BENCH_ENGINE}, repeats={len(seconds)}, "
+        f"median={statistics.median(seconds):.2f}s"
+        + (f", artifact={artifact}]" if artifact else "]")
+    )
     return result
 
 

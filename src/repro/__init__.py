@@ -28,7 +28,9 @@ imperative use.
 """
 
 from repro.core import (
+    ENGINE_NAMES,
     BitCursor,
+    BitsetRadioNetworkEngine,
     BitStream,
     ExecutionResult,
     Message,
@@ -37,6 +39,7 @@ from repro.core import (
     ProcessContext,
     RadioNetworkEngine,
     RoundPlan,
+    create_engine,
 )
 
 __version__ = "1.0.0"
@@ -44,6 +47,8 @@ __version__ = "1.0.0"
 __all__ = [
     "BitCursor",
     "BitStream",
+    "BitsetRadioNetworkEngine",
+    "ENGINE_NAMES",
     "ExecutionResult",
     "Message",
     "MessageKind",
@@ -51,5 +56,6 @@ __all__ = [
     "ProcessContext",
     "RadioNetworkEngine",
     "RoundPlan",
+    "create_engine",
     "__version__",
 ]

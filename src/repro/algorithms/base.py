@@ -25,7 +25,7 @@ from typing import Callable, Optional, Sequence
 from repro.adversaries.base import AlgorithmInfo
 from repro.core.errors import SpecError
 from repro.core.process import Process, ProcessContext
-from repro.core.rng import spawn_rng
+from repro.core.rng import spawn_lazy_rng
 
 __all__ = [
     "AlgorithmSpec",
@@ -84,14 +84,21 @@ class AlgorithmSpec:
         seed: int,
         rng_label: object = "process",
     ) -> list[Process]:
-        """Instantiate one process per node with derived private RNGs."""
+        """Instantiate one process per node with derived private RNGs.
+
+        The per-node streams are lazy (:class:`~repro.core.rng.LazyRng`):
+        derivation and Mersenne Twister seeding — the dominant cost of
+        constructing thousands of mostly coin-free processes per trial —
+        happen only for nodes that actually draw, with draws
+        bit-identical to eager streams.
+        """
         processes = []
         for node_id in range(n):
             ctx = ProcessContext(
                 node_id=node_id,
                 n=n,
                 max_degree=max_degree,
-                rng=spawn_rng(seed, rng_label, node_id),
+                rng=spawn_lazy_rng(seed, rng_label, node_id),
             )
             processes.append(self.factory(ctx))
         return processes

@@ -38,7 +38,7 @@ from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_source
 from repro.algorithms.permuted_decay import PermutedDecaySchedule
 from repro.core.bits import BitStream
 from repro.core.messages import Message, MessageKind
-from repro.core.process import Process, ProcessContext, RoundPlan
+from repro.core.process import SILENT_SIGNATURE, Process, ProcessContext, RoundPlan
 from repro.registry import register_algorithm
 
 __all__ = [
@@ -80,22 +80,43 @@ class ObliviousGlobalBroadcastProcess(Process):
         gamma: int = 16,
         epochs_per_node: Optional[int] = None,
         num_chunks: Optional[int] = None,
+        schedule: Optional[PermutedDecaySchedule] = None,
     ) -> None:
         super().__init__(ctx)
         self.source = source
-        self.schedule = PermutedDecaySchedule(
+        # An immutable schedule can be shared by all n processes of a
+        # run (the factory passes one); building it per node is only
+        # the fallback for direct construction.
+        self.schedule = schedule or PermutedDecaySchedule(
             num_probabilities=log2_ceil(ctx.n), gamma=gamma
         )
         self.num_chunks = num_chunks or 2 * log2_ceil(ctx.n)
         self.epochs_per_node = epochs_per_node
+        # Constructor-derived plan inputs, precomputed once: the fast
+        # path consults the signature every node-round, so it must not
+        # re-walk property chains or re-hash the schedule dataclass.
+        self._epoch_len = self.schedule.rounds_per_call
+        self._is_source = ctx.node_id == source
+        self._static_signature = (
+            self.epochs_per_node,
+            self.num_chunks,
+            self.schedule.num_probabilities,
+            self.schedule.gamma,
+        )
         self.message: Optional[Message] = None
         self.join_epoch: Optional[int] = None
+        self._active_signature: Optional[tuple] = None
         if ctx.node_id == source:
             total_bits = self.schedule.bits_per_call * self.num_chunks
             shared = BitStream.random(ctx.rng, total_bits)
             self.message = Message(
                 MessageKind.DATA, origin=source, payload=payload, shared_bits=shared
             )
+
+    #: State only changes on first reception of ⟨m', S⟩; idle and
+    #: pure-transmit feedback are both safe to skip.
+    idle_feedback_noop = True
+    transmit_feedback_noop = True
 
     @property
     def informed(self) -> bool:
@@ -105,6 +126,40 @@ class ObliviousGlobalBroadcastProcess(Process):
     def epoch_length(self) -> int:
         """Rounds per epoch: the paper's ``16 log n``."""
         return self.schedule.rounds_per_call
+
+    def plan_signature(self, round_index: int):
+        # Lemma 4.2's precondition *is* the sharing structure: every
+        # active node reads the same chunk of S for the same epoch, so
+        # the round's rung — and the plan — is one computation for the
+        # entire informed set, however staggered the join epochs (a
+        # finite epochs_per_node budget re-ties the key to the join
+        # epoch; see on_feedback, where the key is precomputed).
+        if self._is_source:
+            return None if round_index == 0 else SILENT_SIGNATURE
+        join = self.join_epoch
+        if join is None:
+            return SILENT_SIGNATURE
+        epoch = round_index // self._epoch_len
+        if epoch < join:
+            return SILENT_SIGNATURE
+        if self.epochs_per_node is not None and epoch >= join + self.epochs_per_node:
+            return SILENT_SIGNATURE
+        return self._active_signature
+
+    def plan_signature_expiry(self, round_index: int):
+        # Silent → (announcement) → waiting-for-epoch-boundary →
+        # active permuted decay → (budget exhausted).
+        if self._is_source:
+            return 1 if round_index == 0 else None
+        join = self.join_epoch
+        if join is None:
+            return None  # adoption arrives via feedback
+        if round_index < join * self._epoch_len:
+            return join * self._epoch_len
+        if self.epochs_per_node is None:
+            return None
+        end = (join + self.epochs_per_node) * self._epoch_len
+        return end if round_index < end else None
 
     def plan(self, round_index: int) -> RoundPlan:
         if self.node_id == self.source:
@@ -130,6 +185,12 @@ class ObliviousGlobalBroadcastProcess(Process):
             self.message = received
             # Wait for the first epoch boundary strictly after this round.
             self.join_epoch = (round_index + 1 + self.epoch_length - 1) // self.epoch_length
+            if self.epochs_per_node is not None:
+                self._active_signature = (
+                    id(received), self.join_epoch, self._static_signature,
+                )
+            else:
+                self._active_signature = (id(received), self._static_signature)
 
 
 class UncoordinatedDecayGlobalProcess(Process):
@@ -153,6 +214,7 @@ class UncoordinatedDecayGlobalProcess(Process):
         self.source = source
         self.num_probabilities = log2_ceil(ctx.n)
         self.gamma = gamma
+        self._is_source = ctx.node_id == source
         self.message: Optional[Message] = None
         self.joined = False
         self._next_rung = 1 + ctx.rng.randrange(self.num_probabilities)
@@ -162,6 +224,24 @@ class UncoordinatedDecayGlobalProcess(Process):
     @property
     def informed(self) -> bool:
         return self.message is not None
+
+    def plan_signature(self, round_index: int):
+        # Rungs are private per node — only certain listeners can be
+        # shared. idle_feedback_noop stays False: every feedback call
+        # redraws the next rung from the node's RNG, so skipping idle
+        # rounds would desynchronize the stream.
+        if self._is_source:
+            return None if round_index == 0 else SILENT_SIGNATURE
+        if self.message is None or not self.joined:
+            return SILENT_SIGNATURE
+        return None
+
+    def plan_signature_expiry(self, round_index: int):
+        # Every state transition rides feedback (delivered to this
+        # process each round — it is never idle-skipped).
+        if self._is_source:
+            return 1 if round_index == 0 else None
+        return None
 
     def plan(self, round_index: int) -> RoundPlan:
         if self.node_id == self.source:
@@ -203,6 +283,9 @@ def make_oblivious_global_broadcast(
     if paper_constants:
         gamma = 16
         epochs_per_node = 2 * log2_ceil(n)
+    shared_schedule = PermutedDecaySchedule(
+        num_probabilities=log2_ceil(n), gamma=gamma
+    )
 
     def factory(ctx):
         return ObliviousGlobalBroadcastProcess(
@@ -211,6 +294,7 @@ def make_oblivious_global_broadcast(
             payload=payload,
             gamma=gamma,
             epochs_per_node=epochs_per_node,
+            schedule=shared_schedule,
         )
 
     return AlgorithmSpec(

@@ -1,4 +1,41 @@
-"""Experiment harness: trial running, sweeps, shape fitting, tables."""
+"""Experiment harness: from single executions to Figure-1 style claims.
+
+The paper states asymptotic bounds; the reproduction's claims are
+*measured growth shapes*. This package is the pipeline that turns
+engine executions into those claims, bottom-up:
+
+* :mod:`repro.analysis.runner` — one trial
+  (:func:`run_prepared_trial`: build processes, pick an engine via
+  :func:`repro.core.engine.create_engine`, run to the problem
+  observer's stop condition) and batches of independent trials with
+  per-seed derivation (:func:`run_broadcast_trials`), aggregated into
+  :class:`TrialStats` (success rate, censored medians/percentiles —
+  censoring at the round cap is conservative for lower bounds).
+
+* :mod:`repro.analysis.sweep` — one scenario family across a swept
+  parameter (``n``, ``D``, ``Δ``): the empirical analogue of "as n
+  grows", and the unit every Figure-1 cell is measured in.
+
+* :mod:`repro.analysis.fitting` — turns sweep medians into shape
+  verdicts: log-log power-law slopes, candidate-model selection
+  (``log n``, ``log² n``, ``√n``, ``n`` …), and the coarse
+  :func:`~repro.analysis.fitting.classify_growth` classes
+  (sublinear / near-linear) that the experiment registry asserts —
+  robust claims, since neighbouring fine-grained models are
+  indistinguishable at laptop scale.
+
+* :mod:`repro.analysis.progress` — trajectory diagnostics (informed
+  curves, per-hop latencies): *how* a broadcast advances, which is
+  where algorithm mechanisms and attack effects become visible before
+  they show up in the endpoint round counts.
+
+* :mod:`repro.analysis.tables` — fixed-width/Markdown rendering shared
+  by the CLI, benches, and EXPERIMENTS.md so reports diff cleanly.
+
+Everything here is engine-agnostic: trials built from specs honor the
+spec's ``engine`` field, and statistics are identical under the
+reference and bitset engines by the equivalence guarantee.
+"""
 
 from repro.analysis.fitting import (
     STANDARD_MODELS,

@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # executors live above this layer; type-only import
 
 from repro.adversaries.base import LinkProcess
 from repro.algorithms.base import AlgorithmSpec
-from repro.core.engine import ExecutionResult, RadioNetworkEngine
+from repro.core.engine import ExecutionResult, create_engine
 from repro.core.rng import derive_seed
 from repro.graphs.dual_graph import DualGraph
 from repro.problems.base import Problem
@@ -43,7 +43,12 @@ __all__ = [
 
 @dataclass
 class PreparedTrial:
-    """Everything one execution needs, freshly constructed."""
+    """Everything one execution needs, freshly constructed.
+
+    ``engine`` selects the round-loop implementation
+    (:data:`repro.core.engine.ENGINE_NAMES`): ``"reference"`` or the
+    seed-for-seed identical ``"bitset"`` fast path.
+    """
 
     network: DualGraph
     algorithm: AlgorithmSpec
@@ -51,6 +56,7 @@ class PreparedTrial:
     problem: Problem
     max_rounds: int
     validate_topologies: bool = False
+    engine: str = "reference"
 
 
 #: A scenario builds a fresh :class:`PreparedTrial` from a trial seed.
@@ -154,10 +160,11 @@ def run_prepared_trial(trial: PreparedTrial, seed: int) -> TrialResult:
         network.n, network.max_degree, seed=seed
     )
     observer = trial.problem.make_observer()
-    engine = RadioNetworkEngine(
+    engine = create_engine(
         network,
         processes,
         trial.link_process,
+        engine=trial.engine,
         seed=seed,
         algorithm_info=trial.algorithm.info(),
         validate_topologies=trial.validate_topologies,
@@ -178,6 +185,7 @@ def run_broadcast_trial(
     seed: int,
     max_rounds: Optional[int] = None,
     validate_topologies: bool = False,
+    engine: str = "reference",
 ) -> TrialResult:
     """Convenience single-trial entry point (used by examples/tests).
 
@@ -195,6 +203,7 @@ def run_broadcast_trial(
         problem=problem,
         max_rounds=cap,
         validate_topologies=validate_topologies,
+        engine=engine,
     )
     return run_prepared_trial(trial, seed)
 

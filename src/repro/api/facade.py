@@ -69,9 +69,18 @@ class Simulation:
         self.spec = spec
 
     @classmethod
-    def from_spec(cls, spec: SpecLike) -> "Simulation":
-        """Build from a :class:`ScenarioSpec`, spec dict, or JSON string."""
-        return cls(_coerce_spec(spec))
+    def from_spec(cls, spec: SpecLike, *, engine: Optional[str] = None) -> "Simulation":
+        """Build from a :class:`ScenarioSpec`, spec dict, or JSON string.
+
+        ``engine`` (optional) overrides the spec's round-loop
+        implementation — e.g. ``engine="bitset"`` opts a stored
+        scenario into the vectorized fast path without editing the
+        file. Results are engine-independent; only wall-clock changes.
+        """
+        resolved = _coerce_spec(spec)
+        if engine is not None:
+            resolved = resolved.with_param("engine", engine)
+        return cls(resolved)
 
     @classmethod
     def from_file(cls, path: Union[str, os.PathLike]) -> "Simulation":
@@ -147,8 +156,9 @@ def run_spec(
     trials: int = 1,
     master_seed: int = 2013,
     executor: Optional[TrialExecutor] = None,
+    engine: Optional[str] = None,
 ) -> TrialStats:
     """Convenience: coerce, run, aggregate — the ``repro run-spec`` verb."""
-    return Simulation.from_spec(spec).run(
+    return Simulation.from_spec(spec, engine=engine).run(
         trials=trials, master_seed=master_seed, executor=executor
     )

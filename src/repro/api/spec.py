@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro.analysis.runner import PreparedTrial, default_round_cap
+from repro.core.engine import ENGINE_NAMES
 from repro.core.errors import SpecError
 from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS, ScenarioContext
 
@@ -113,6 +114,15 @@ class ScenarioSpec:
 
     ``max_rounds=None`` falls back to the generous
     :func:`~repro.analysis.runner.default_round_cap`.
+
+    ``engine`` picks the round-loop implementation
+    (:data:`~repro.core.engine.ENGINE_NAMES`): ``"reference"``
+    (default) or ``"bitset"``, the vectorized fast path that is
+    seed-for-seed identical and auto-falls-back (with a warning) for
+    adaptive adversaries. Because it cannot change results, the engine
+    is a *performance* knob: it serializes with the spec so a saved
+    scenario reruns the way it was tuned, but editing it never alters
+    the measured rounds.
     """
 
     graph: ComponentRef
@@ -122,6 +132,7 @@ class ScenarioSpec:
     max_rounds: Optional[int] = None
     validate_topologies: bool = False
     name: Optional[str] = None
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "graph", ComponentRef.of(self.graph, kind="graph"))
@@ -138,6 +149,10 @@ class ScenarioSpec:
             object.__setattr__(self, "max_rounds", int(self.max_rounds))
             if self.max_rounds < 1:
                 raise SpecError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.engine not in ENGINE_NAMES:
+            raise SpecError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_NAMES}"
+            )
 
     # ------------------------------------------------------------------
     # Building
@@ -161,6 +176,7 @@ class ScenarioSpec:
             "adversary": self.adversary.to_dict(),
             "max_rounds": self.max_rounds,
             "validate_topologies": self.validate_topologies,
+            "engine": self.engine,
         }
         if self.name is not None:
             data["name"] = self.name
@@ -178,6 +194,7 @@ class ScenarioSpec:
             "max_rounds",
             "validate_topologies",
             "name",
+            "engine",
         }
         unknown = set(data) - known
         if unknown:
@@ -194,6 +211,7 @@ class ScenarioSpec:
             max_rounds=None if max_rounds is None else int(max_rounds),
             validate_topologies=bool(data.get("validate_topologies", False)),
             name=data.get("name"),
+            engine=str(data.get("engine", "reference")),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -217,10 +235,11 @@ class ScenarioSpec:
 
         ``"graph.n"`` sets the graph's ``n`` parameter; the bare field
         names ``"max_rounds"`` / ``"validate_topologies"`` / ``"name"``
-        set the spec's own fields. This is how :func:`repro.api.sweep`
-        derives one spec per swept value.
+        / ``"engine"`` set the spec's own fields. This is how
+        :func:`repro.api.sweep` derives one spec per swept value and
+        how ``--engine`` overrides ride along an experiment.
         """
-        if path in ("max_rounds", "validate_topologies", "name"):
+        if path in ("max_rounds", "validate_topologies", "name", "engine"):
             return dataclasses.replace(self, **{path: value})
         section, dot, key = path.partition(".")
         if not dot or section not in self._SECTIONS or not key:
@@ -239,10 +258,35 @@ class ScenarioSpec:
         )
 
 
+#: Shared builds of deterministic graph families, keyed by
+#: ``(name, canonical params JSON)``. DualGraphs are immutable, so one
+#: instance can back every trial of a sweep point; this removes graph
+#: construction + validation from the per-trial hot path (it dominated
+#: short executions on large fixed topologies). Bounded FIFO — a sweep
+#: only ever touches a handful of keys.
+_DETERMINISTIC_NETWORKS: dict = {}
+_DETERMINISTIC_NETWORKS_MAX = 64
+
+
+def _build_network(spec: "ScenarioSpec", ctx: ScenarioContext):
+    """Build (or reuse) the spec's network for this trial."""
+    name, params = spec.graph.name, spec.graph.params
+    if not GRAPHS.is_deterministic(name):
+        return GRAPHS.build(name, ctx, params)
+    key = (name, json.dumps(params, sort_keys=True))
+    network = _DETERMINISTIC_NETWORKS.get(key)
+    if network is None:
+        network = GRAPHS.build(name, ctx, params)
+        if len(_DETERMINISTIC_NETWORKS) >= _DETERMINISTIC_NETWORKS_MAX:
+            _DETERMINISTIC_NETWORKS.pop(next(iter(_DETERMINISTIC_NETWORKS)))
+        _DETERMINISTIC_NETWORKS[key] = network
+    return network
+
+
 def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
     """Resolve a spec's components through the registries for one seed."""
     ctx = ScenarioContext(seed=seed)
-    network = GRAPHS.build(spec.graph.name, ctx, spec.graph.params)
+    network = _build_network(spec, ctx)
     ctx.network = network
     ctx.graph = getattr(network, "graph", network)
     ctx.problem = PROBLEMS.build(spec.problem.name, ctx, spec.problem.params)
@@ -260,4 +304,5 @@ def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
         problem=ctx.problem,
         max_rounds=cap,
         validate_topologies=spec.validate_topologies,
+        engine=spec.engine,
     )

@@ -64,6 +64,21 @@ def _add_parallel_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    from repro.core.engine import ENGINE_NAMES
+
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINE_NAMES),
+        default=None,
+        help=(
+            "round-loop implementation: 'bitset' is the vectorized fast "
+            "path, seed-for-seed identical to 'reference' (auto-falls "
+            "back, with a warning, for adaptive adversaries)"
+        ),
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -112,6 +127,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 else None
             ),
             executor=executor,
+            engine=getattr(args, "engine", None),
         )
     finally:
         if executor is not None:
@@ -135,6 +151,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             seed=args.seed,
             verbose=args.verbose,
             parallel=getattr(args, "parallel", None),
+            engine=getattr(args, "engine", None),
         )
         print()
         status |= _cmd_run(sub)
@@ -155,8 +172,9 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     except (OSError, ReproError) as exc:
         print(f"cannot load spec: {exc}", file=sys.stderr)
         return 2
-    simulation = Simulation.from_spec(spec)
-    print(f"scenario : {spec.describe()}")
+    simulation = Simulation.from_spec(spec, engine=getattr(args, "engine", None))
+    print(f"scenario : {simulation.spec.describe()}")
+    print(f"engine   : {simulation.spec.engine}")
     started = time.time()
     executor = _executor_from_args(args)
     try:
@@ -292,6 +310,7 @@ def _trial_spec(args: argparse.Namespace):
         algorithm=algorithm,
         adversary=adversary,
         max_rounds=args.max_rounds,
+        engine=getattr(args, "engine", None) or "reference",
     )
 
 
@@ -357,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=2013)
     run.add_argument("--verbose", action="store_true")
     _add_parallel_flag(run)
+    _add_engine_flag(run)
     run.set_defaults(func=_cmd_run)
 
     run_all = sub.add_parser("run-all", help="run the whole registry")
@@ -364,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--seed", type=int, default=2013)
     run_all.add_argument("--verbose", action="store_true")
     _add_parallel_flag(run_all)
+    _add_engine_flag(run_all)
     run_all.set_defaults(func=_cmd_run_all)
 
     run_spec = sub.add_parser(
@@ -374,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("--seed", type=int, default=2013)
     run_spec.add_argument("--verbose", action="store_true")
     _add_parallel_flag(run_spec)
+    _add_engine_flag(run_spec)
     run_spec.set_defaults(func=_cmd_run_spec)
 
     trial = sub.add_parser("trial", help="one ad-hoc broadcast trial")
@@ -383,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     trial.add_argument("--n", type=int, default=128)
     trial.add_argument("--seed", type=int, default=2013)
     trial.add_argument("--max-rounds", type=int, default=None)
+    _add_engine_flag(trial)
     trial.set_defaults(func=_cmd_trial)
 
     return parser

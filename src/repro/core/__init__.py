@@ -7,16 +7,24 @@ plumbing everything else builds on.
 """
 
 from repro.core.bits import BitCursor, BitStream, bits_for_uniform
-from repro.core.engine import ExecutionResult, RadioNetworkEngine
+from repro.core.engine import (
+    ENGINE_NAMES,
+    ExecutionResult,
+    RadioNetworkEngine,
+    create_engine,
+)
 from repro.core.errors import (
     AdversaryUsageError,
     BitStreamError,
+    EngineError,
+    EngineFallbackWarning,
     ExperimentError,
     GraphValidationError,
     PlanError,
     ReproError,
     TopologyViolationError,
 )
+from repro.core.fastpath import BitsetRadioNetworkEngine
 from repro.core.messages import Message, MessageKind
 from repro.core.process import Process, ProcessContext, RoundPlan, SilentProcess
 from repro.core.rng import derive_seed, spawn_numpy_rng, spawn_rng
@@ -33,8 +41,13 @@ __all__ = [
     "BitCursor",
     "BitStream",
     "bits_for_uniform",
+    "ENGINE_NAMES",
     "ExecutionResult",
     "RadioNetworkEngine",
+    "BitsetRadioNetworkEngine",
+    "create_engine",
+    "EngineError",
+    "EngineFallbackWarning",
     "Message",
     "MessageKind",
     "Process",

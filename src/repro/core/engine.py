@@ -23,14 +23,25 @@ The engine exposes both :meth:`RadioNetworkEngine.run` (run to a stop
 condition) and :meth:`RadioNetworkEngine.step` (single round), the
 latter because the lower-bound reduction players of Theorems 3.1/4.3
 interleave game guesses between simulated rounds.
+
+:class:`RadioNetworkEngine` is the **reference** implementation — the
+straight-line per-node loop that everything else is audited against.
+A seed-for-seed identical vectorized implementation (the ``bitset``
+fast path) lives in :mod:`repro.core.fastpath`; select between them
+with :func:`create_engine` (or the ``engine=`` field on
+:class:`~repro.api.spec.ScenarioSpec` and the CLI's ``--engine``).
 """
 
 from __future__ import annotations
 
+import math
 import random
+import warnings
 from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from repro.adversaries.base import (
     AdversaryClass,
@@ -43,11 +54,21 @@ from repro.adversaries.base import (
     RoundTopology,
 )
 from repro.core import rng as rng_mod
-from repro.core.errors import PlanError
+from repro.core.errors import EngineError, EngineFallbackWarning, PlanError
 from repro.core.process import Process, RoundPlan
 from repro.core.trace import Delivery, Observer, RoundRecord
 
-__all__ = ["RadioNetworkEngine", "ExecutionResult", "StopCondition"]
+__all__ = [
+    "RadioNetworkEngine",
+    "ExecutionResult",
+    "StopCondition",
+    "ENGINE_NAMES",
+    "create_engine",
+]
+
+#: Engine implementations selectable via ``create_engine`` /
+#: ``ScenarioSpec(engine=...)`` / ``repro ... --engine``.
+ENGINE_NAMES = ("reference", "bitset")
 
 #: Predicate deciding, after each round, whether the execution is done.
 StopCondition = Callable[[], bool]
@@ -231,15 +252,15 @@ class RadioNetworkEngine:
         # 1. Deterministic plans.
         plans: list[RoundPlan] = [process.plan(r) for process in self.processes]
         probabilities = [plan.probability for plan in plans]
-        expected = float(sum(probabilities))
+        # fsum is exactly rounded and therefore order-independent, so
+        # the bitset fast path — which discovers the same probability
+        # multiset in a different order — records bit-identical values.
+        expected = math.fsum(probabilities)
 
-        # 2. Vectorized Bernoulli coins.
-        coins = self._coin_rng.random(n)
-        transmitter_mask = 0
-        for u, plan in enumerate(plans):
-            p = plan.probability
-            if p >= 1.0 or (p > 0.0 and coins[u] < p):
-                transmitter_mask |= 1 << u
+        # 2. Vectorized Bernoulli coins (shared with the fast path).
+        _, transmitter_mask = rng_mod.transmission_coins(
+            self._coin_rng, np.asarray(probabilities, dtype=np.float64)
+        )
 
         # 3. Adversary fixes the round topology through its typed view.
         view = self._build_view(r, probabilities, transmitter_mask)
@@ -359,3 +380,64 @@ class RadioNetworkEngine:
             if stop is not None and stop():
                 return ExecutionResult(rounds=executed, solved=True, solve_round=record.round_index)
         return ExecutionResult(rounds=executed, solved=False, solve_round=None)
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+def create_engine(
+    network,
+    processes: Sequence[Process],
+    link_process: LinkProcess,
+    *,
+    engine: str = "reference",
+    seed: int,
+    algorithm_info: Optional[AlgorithmInfo] = None,
+    validate_topologies: bool = True,
+    observers: Sequence[Observer] = (),
+) -> RadioNetworkEngine:
+    """Build the requested engine implementation for one execution.
+
+    ``engine="reference"`` is the straight-line round loop above;
+    ``engine="bitset"`` is the vectorized fast path of
+    :mod:`repro.core.fastpath`, which is seed-for-seed identical to the
+    reference engine (same coin stream, same records, same results) but
+    only serves *oblivious* link processes. Requesting the fast path
+    against an online/offline adaptive adversary falls back to the
+    reference engine with an :class:`EngineFallbackWarning` — adaptive
+    views are entitled to per-node plan introspection every round,
+    which is precisely the per-node work the fast path elides.
+    """
+    if engine not in ENGINE_NAMES:
+        raise EngineError(
+            f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
+        )
+    if engine == "bitset":
+        if link_process.adversary_class is AdversaryClass.OBLIVIOUS:
+            from repro.core.fastpath import BitsetRadioNetworkEngine
+
+            return BitsetRadioNetworkEngine(
+                network,
+                processes,
+                link_process,
+                seed=seed,
+                algorithm_info=algorithm_info,
+                validate_topologies=validate_topologies,
+                observers=observers,
+            )
+        warnings.warn(
+            f"bitset engine requested but {link_process.describe()} is "
+            f"{link_process.adversary_class.value}: adaptive link processes "
+            "need per-node plan introspection, using the reference engine",
+            EngineFallbackWarning,
+            stacklevel=2,
+        )
+    return RadioNetworkEngine(
+        network,
+        processes,
+        link_process,
+        seed=seed,
+        algorithm_info=algorithm_info,
+        validate_topologies=validate_topologies,
+        observers=observers,
+    )

@@ -64,3 +64,28 @@ class SpecError(ReproError):
     parameter value that is not JSON-serializable, or a component that
     requires network structure the named graph family does not provide.
     """
+
+
+class EngineError(ReproError):
+    """An engine selection or configuration is invalid.
+
+    Raised for unknown engine names passed to
+    :func:`repro.core.engine.create_engine` (and therefore to
+    ``ScenarioSpec(engine=...)`` and the CLI ``--engine`` flag).
+    """
+
+
+class EngineFallbackWarning(RuntimeWarning):
+    """The bitset fast path declined a scenario and used the reference engine.
+
+    Emitted by :func:`repro.core.engine.create_engine` when
+    ``engine="bitset"`` is requested against an *adaptive* link process:
+    online/offline adaptive adversaries are entitled to per-node plan
+    introspection (the declared probability vector, and for offline
+    adversaries the realized coins) every round, which is exactly the
+    per-node materialization the fast path exists to avoid. Results are
+    unaffected — the reference engine is used instead.
+
+    A deliberate :class:`RuntimeWarning` rather than a ``ReproError``
+    subclass: the run proceeds correctly, only slower than asked.
+    """

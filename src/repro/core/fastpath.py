@@ -1,0 +1,453 @@
+"""The bitset fast path: a vectorized, seed-for-seed identical engine.
+
+:class:`BitsetRadioNetworkEngine` executes exactly the round pipeline
+of :class:`~repro.core.engine.RadioNetworkEngine` — same plans, same
+coins, same reception rule, same records — but restructures each stage
+so the Python work per round is proportional to what *changed*, not to
+``n``:
+
+1. **Plans** are tracked through signature classes. Processes that
+   march in lockstep (all informed decay nodes share one ladder rung;
+   all uninformed nodes listen) map to one signature, the class
+   membership is a single Python int bitset, and
+   :meth:`~repro.core.process.Process.plan` runs once per class per
+   round. With the optional
+   :meth:`~repro.core.process.Process.plan_signature_expiry` promise,
+   membership is maintained *incrementally*: a node is re-polled only
+   when its signature expires or right after it received feedback, so
+   the uninformed masses cost nothing per round.
+2. **Coins** come from :func:`repro.core.rng.transmission_coins` — the
+   same helper, against the same ``("engine", "coins")`` child stream,
+   that the reference engine consumes, so coin alignment is shared by
+   construction rather than re-proved.
+3. **Reception** is resolved either by two BLAS matvecs against a
+   cached dense 0/1 neighbor matrix (static round topologies — the
+   common case for oblivious adversaries) or, for adversaries that
+   churn fresh topologies every round, by the paper's own bitset rule
+   ``popcount(transmitters & mask[u]) == 1`` restricted to the union
+   of the transmitters' neighborhoods.
+4. **Feedback** calls are skipped for nodes that provably cannot react:
+   a node that neither transmitted nor received is only called when its
+   process class overrides ``on_feedback`` without promising
+   :attr:`~repro.core.process.Process.idle_feedback_noop`.
+
+Scope: the fast path serves **oblivious** link processes only. Adaptive
+adversaries are entitled to the per-node probability vector (and, when
+offline, the realized coins) through their typed views each round —
+materializing that entitlement is exactly the per-node work this module
+exists to avoid, so :func:`~repro.core.engine.create_engine` falls back
+to the reference engine (with
+:class:`~repro.core.errors.EngineFallbackWarning`) for them.
+Equivalence across the full registered component matrix is enforced by
+``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.adversaries.base import (
+    AdversaryClass,
+    AlgorithmInfo,
+    LinkProcess,
+    ObliviousView,
+)
+from repro.core import rng as rng_mod
+from repro.core.engine import RadioNetworkEngine
+from repro.core.errors import EngineError, PlanError
+from repro.core.process import SILENT_SIGNATURE, Process, RoundPlan
+from repro.core.trace import Delivery, Observer, RoundRecord
+from repro.graphs.dual_graph import masks_to_neighbor_matrix
+
+__all__ = ["BitsetRadioNetworkEngine"]
+
+#: Above this node count the dense reception matrices stop paying for
+#: their O(n²) memory; the bigint candidate scan stays O(n²/64) per
+#: round with no footprint.
+_MATRIX_MAX_N = 2048
+
+#: Distinct round topologies worth a cached matrix. Static and
+#: pattern-cycling adversaries reuse a couple of mask tuples forever;
+#: stochastic adversaries mint a fresh tuple every round and overflow
+#: this budget immediately, which routes them to the bigint scan.
+_MATRIX_CACHE_SIZE = 8
+
+#: The shared listening plan substituted for SILENT_SIGNATURE nodes.
+_SILENCE_PLAN = RoundPlan.silence()
+
+#: Membership sentinels for the per-node class table: a node is either
+#: silent, planned directly per round, or a member of a shared
+#: ``(type, signature)`` class.
+_SILENT_KEY = object()
+_DIRECT_KEY = object()
+
+
+class BitsetRadioNetworkEngine(RadioNetworkEngine):
+    """Vectorized engine for oblivious link processes.
+
+    Construction signature and public behavior match
+    :class:`~repro.core.engine.RadioNetworkEngine` exactly; use
+    :func:`~repro.core.engine.create_engine` rather than instantiating
+    directly so adaptive adversaries fall back instead of raising.
+
+    One behavioral contract is *narrower* than the reference engine's:
+    :meth:`~repro.core.process.Process.plan` may be called fewer times
+    than once per node per round (never for silent-signature nodes,
+    once per signature class otherwise) — which the
+    :class:`~repro.core.process.Process` docstring already licenses by
+    requiring plans to be deterministic, side-effect-free functions of
+    start-of-round state.
+    """
+
+    def __init__(
+        self,
+        network,
+        processes: Sequence[Process],
+        link_process: LinkProcess,
+        *,
+        seed: int,
+        algorithm_info: Optional[AlgorithmInfo] = None,
+        validate_topologies: bool = True,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        if link_process.adversary_class is not AdversaryClass.OBLIVIOUS:
+            raise EngineError(
+                "BitsetRadioNetworkEngine serves oblivious link processes only; "
+                f"{link_process.describe()} is {link_process.adversary_class.value} "
+                "(use create_engine, which falls back to the reference engine)"
+            )
+        super().__init__(
+            network,
+            processes,
+            link_process,
+            seed=seed,
+            algorithm_info=algorithm_info,
+            validate_topologies=validate_topologies,
+            observers=observers,
+        )
+        n = network.n
+        always = 0      # nodes whose idle feedback cannot be skipped
+        send_skip = 0   # nodes whose pure-transmit feedback is a no-op
+        poll = 0        # nodes without an expiry promise: re-signed every round
+        class_traits: dict = {}  # class-level decisions, resolved once
+        for u, process in enumerate(self.processes):
+            klass = type(process)
+            traits = class_traits.get(klass)
+            if traits is None:
+                overridden = klass.on_feedback is not Process.on_feedback
+                traits = (
+                    overridden and not klass.idle_feedback_noop,
+                    not overridden or klass.transmit_feedback_noop,
+                    klass.plan_signature_expiry is Process.plan_signature_expiry,
+                )
+                class_traits[klass] = traits
+            if traits[0]:
+                always |= 1 << u
+            if traits[1]:
+                send_skip |= 1 << u
+            if traits[2]:
+                poll |= 1 << u
+        self._always_feedback_mask = always
+        self._send_feedback_skip_mask = send_skip
+        self._poll_mask = poll
+        # Incremental signature-class state. All non-poll nodes start
+        # dirty so round 0 classifies everyone.
+        self._dirty_mask = ((1 << n) - 1) & ~poll
+        self._node_key: list = [None] * n
+        self._class_masks: dict = {}
+        self._silent_mask = 0
+        self._direct_mask = 0
+        self._expiry_heap: list[tuple[int, int]] = []
+        # Round-scratch and reception state. Transmitter j is encoded
+        # as 1 + (j+1)(n+1), so one matvec yields, per listener, both
+        # the transmitting-neighbor count (mod n+1) and — when that
+        # count is 1 — the sender id (div n+1). Totals stay integral
+        # and far below 2⁵³, hence exact in float64.
+        self._prob_buffer = np.zeros(n, dtype=np.float64)
+        self._x_buffer = np.empty(n, dtype=np.float64)
+        self._sender_encoding = 1.0 + np.arange(1, n + 1, dtype=np.float64) * (n + 1)
+        self._nbytes = (n + 7) // 8
+        self._matrix_cache: dict[int, np.ndarray] = {}
+        self._matrix_keepalive: list = []
+        self._validated_topologies: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Round execution (same pipeline as the reference engine, batched)
+    # ------------------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute exactly one round and return its record."""
+        self._ensure_started()
+        r = self._round
+        processes = self.processes
+
+        # 1a. Re-classify nodes whose signature may have changed:
+        # expired promises plus everything feedback touched last round.
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= r:
+            self._dirty_mask |= 1 << heapq.heappop(heap)[1]
+        dirty = self._dirty_mask
+        self._dirty_mask = 0
+        while dirty:
+            low = dirty & -dirty
+            dirty ^= low
+            self._reclassify(low.bit_length() - 1, r)
+
+        # 1b. One plan per signature class (computed by the lowest
+        # member), plus per-node plans for direct/poll nodes.
+        probs = self._prob_buffer
+        probs.fill(0.0)
+        round_plans: dict = {}
+        node_plans: dict[int, RoundPlan] = {}
+        for key, mask in self._class_masks.items():
+            rep = (mask & -mask).bit_length() - 1
+            plan = processes[rep].plan(r)
+            round_plans[key] = plan
+            if plan.probability:
+                probs[self._mask_to_bool(mask)] = plan.probability
+        direct = self._direct_mask
+        while direct:
+            low = direct & -direct
+            u = low.bit_length() - 1
+            direct ^= low
+            plan = processes[u].plan(r)
+            node_plans[u] = plan
+            if plan.probability:
+                probs[u] = plan.probability
+        poll = self._poll_mask
+        while poll:
+            low = poll & -poll
+            u = low.bit_length() - 1
+            poll ^= low
+            process = processes[u]
+            signature = process.plan_signature(r)
+            if signature is SILENT_SIGNATURE:
+                plan = _SILENCE_PLAN
+            elif signature is None:
+                plan = process.plan(r)
+            else:
+                key = (type(process), signature)
+                plan = round_plans.get(key)
+                if plan is None:
+                    plan = process.plan(r)
+                    round_plans[key] = plan
+            node_plans[u] = plan
+            if plan.probability:
+                probs[u] = plan.probability
+
+        # fsum is exactly rounded (order-independent), matching the
+        # reference engine's fsum over the same probability multiset
+        # (extra exact zeros cannot change an exactly-rounded sum).
+        expected = math.fsum(probs.tolist())
+
+        # 2. Vectorized Bernoulli coins — the shared coin stream.
+        transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+
+        # 3. Oblivious adversaries see the clock only.
+        topology = self.link_process.choose_topology(ObliviousView(round_index=r))
+        if self.validate_topologies:
+            key = id(topology.masks)
+            if key not in self._validated_topologies:
+                topology.validate(self.network)
+                # Remember only a bounded set of validated mask tuples
+                # (they are pinned to keep ids unique): pattern-reusing
+                # adversaries hit the cache forever, while churning
+                # ones simply revalidate per round — exactly the
+                # reference engine's behavior — instead of pinning one
+                # tuple per round for the whole execution.
+                if len(self._validated_topologies) < _MATRIX_CACHE_SIZE:
+                    self._validated_topologies[key] = topology.masks
+
+        # 4. Radio reception: exactly-one-transmitting-neighbor rule.
+        node_key = self._node_key
+
+        def plan_for(u: int) -> RoundPlan:
+            key = node_key[u]
+            if key is None or key is _DIRECT_KEY:
+                return node_plans[u]
+            if key is _SILENT_KEY:  # pragma: no cover - silent nodes never send
+                return _SILENCE_PLAN
+            return round_plans[key]
+
+        if not transmitter_mask:
+            deliveries: list[Delivery] = []
+        else:
+            matrix = self._matrix_for(topology.masks)
+            if matrix is not None:
+                deliveries = self._resolve_with_matrix(plan_for, transmit, matrix)
+            else:
+                deliveries = self._resolve_candidates(
+                    plan_for, transmitter_mask, topology.masks
+                )
+
+        # 5. Feedback, restricted to nodes that can react; every node
+        # actually called is marked dirty for re-classification.
+        # Transmitters whose class promised transmit_feedback_noop are
+        # skipped outright — in dense rounds they are the bulk of the
+        # calls, and their state provably cannot have changed.
+        pending = (
+            transmitter_mask & ~self._send_feedback_skip_mask
+        ) | self._always_feedback_mask
+        received_by: dict[int, Delivery] = {}
+        for delivery in deliveries:
+            received_by[delivery.receiver] = delivery
+            pending |= 1 << delivery.receiver
+        self._dirty_mask |= pending & ~self._poll_mask
+        while pending:
+            low = pending & -pending
+            u = low.bit_length() - 1
+            pending ^= low
+            delivery = received_by.get(u)
+            processes[u].on_feedback(
+                r,
+                bool((transmitter_mask >> u) & 1),
+                delivery.message if delivery is not None else None,
+            )
+
+        # 6. Record keeping — identical to the reference engine.
+        record = RoundRecord(
+            round_index=r,
+            transmitter_mask=transmitter_mask,
+            deliveries=tuple(deliveries),
+            expected_transmitters=expected,
+        )
+        self._append_history(record)
+        for observer in self.observers:
+            observer.on_round(record)
+        self._round += 1
+        self._stats.rounds_run += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Signature-class bookkeeping
+    # ------------------------------------------------------------------
+    def _reclassify(self, u: int, r: int) -> None:
+        """Re-poll node ``u``'s signature and move it between classes."""
+        process = self.processes[u]
+        signature = process.plan_signature(r)
+        expiry = process.plan_signature_expiry(r)
+        if signature is SILENT_SIGNATURE:
+            new_key: object = _SILENT_KEY
+        elif signature is None:
+            new_key = _DIRECT_KEY
+        else:
+            new_key = (type(process), signature)
+        bit = 1 << u
+        old_key = self._node_key[u]
+        if new_key != old_key:
+            if old_key is _SILENT_KEY:
+                self._silent_mask &= ~bit
+            elif old_key is _DIRECT_KEY:
+                self._direct_mask &= ~bit
+            elif old_key is not None:
+                remaining = self._class_masks[old_key] & ~bit
+                if remaining:
+                    self._class_masks[old_key] = remaining
+                else:
+                    del self._class_masks[old_key]
+            if new_key is _SILENT_KEY:
+                self._silent_mask |= bit
+            elif new_key is _DIRECT_KEY:
+                self._direct_mask |= bit
+            else:
+                self._class_masks[new_key] = self._class_masks.get(new_key, 0) | bit
+            self._node_key[u] = new_key
+        if expiry is not None:
+            # A stale (superseded) heap entry only causes a harmless
+            # extra re-poll, so entries are never invalidated.
+            heapq.heappush(self._expiry_heap, (max(expiry, r + 1), u))
+
+    def _mask_to_bool(self, mask: int) -> np.ndarray:
+        """A member bitmask as a boolean index vector (C-speed unpack)."""
+        packed = np.frombuffer(mask.to_bytes(self._nbytes, "little"), dtype=np.uint8)
+        return np.unpackbits(
+            packed, bitorder="little", count=self.network.n
+        ).astype(bool)
+
+    # ------------------------------------------------------------------
+    # Reception helpers
+    # ------------------------------------------------------------------
+    def _matrix_for(self, masks: tuple[int, ...]) -> Optional[np.ndarray]:
+        """Dense neighbor matrix for a round topology, if worth caching."""
+        network = self.network
+        if network.n > _MATRIX_MAX_N:
+            return None
+        if masks is network.g_masks:
+            return network.neighbor_matrix()
+        if masks is network.gp_masks:
+            return network.neighbor_matrix(use_gp=True)
+        key = id(masks)
+        matrix = self._matrix_cache.get(key)
+        if matrix is not None:
+            return matrix
+        if len(self._matrix_cache) >= _MATRIX_CACHE_SIZE:
+            return None  # topology churn: the bigint scan is cheaper
+        matrix = masks_to_neighbor_matrix(masks, network.n)
+        self._matrix_cache[key] = matrix
+        # Cache keys are id()s: pin the tuples so ids stay unique.
+        self._matrix_keepalive.append(masks)
+        return matrix
+
+    def _resolve_with_matrix(
+        self,
+        plan_for: Callable[[int], RoundPlan],
+        transmit: np.ndarray,
+        matrix: np.ndarray,
+    ) -> list[Delivery]:
+        """Reception via one matvec over the count/sender encoding."""
+        x = self._x_buffer
+        np.copyto(x, transmit)
+        totals = (matrix @ (x * self._sender_encoding)).astype(np.int64)
+        modulus = self.network.n + 1
+        solo = (totals % modulus == 1) & (x == 0.0)
+        receivers = np.nonzero(solo)[0]
+        if receivers.size == 0:
+            return []
+        senders = totals[receivers] // modulus - 1
+        deliveries: list[Delivery] = []
+        for u, sender in zip(receivers.tolist(), senders.tolist()):
+            message = plan_for(sender).message
+            if message is None:  # pragma: no cover - PlanError guards this
+                raise PlanError(f"transmitter {sender} has no message")
+            deliveries.append(Delivery(receiver=u, sender=sender, message=message))
+        return deliveries
+
+    def _resolve_candidates(
+        self,
+        plan_for: Callable[[int], RoundPlan],
+        transmitter_mask: int,
+        masks: Sequence[int],
+    ) -> list[Delivery]:
+        """The paper's bitset rule over candidate listeners only.
+
+        A listener can receive only if some transmitter neighbors it,
+        so the scan covers the union of the transmitters' neighborhoods
+        instead of all ``n`` nodes — the word-parallel
+        ``popcount(X & mask[u]) == 1`` test then picks out solo
+        receptions exactly as the reference loop does.
+        """
+        reach = 0
+        t = transmitter_mask
+        while t:
+            low = t & -t
+            reach |= masks[low.bit_length() - 1]
+            t ^= low
+        candidates = reach & ~transmitter_mask
+        deliveries: list[Delivery] = []
+        while candidates:
+            low = candidates & -candidates
+            u = low.bit_length() - 1
+            candidates ^= low
+            neighbors_transmitting = transmitter_mask & masks[u]
+            if neighbors_transmitting and not (
+                neighbors_transmitting & (neighbors_transmitting - 1)
+            ):
+                sender = neighbors_transmitting.bit_length() - 1
+                message = plan_for(sender).message
+                if message is None:  # pragma: no cover - PlanError guards this
+                    raise PlanError(f"transmitter {sender} has no message")
+                deliveries.append(Delivery(receiver=u, sender=sender, message=message))
+        return deliveries

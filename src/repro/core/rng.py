@@ -30,8 +30,10 @@ import numpy as np
 __all__ = [
     "derive_seed",
     "spawn_rng",
+    "spawn_lazy_rng",
     "spawn_numpy_rng",
     "fresh_seed_sequence",
+    "transmission_coins",
 ]
 
 _SEED_BYTES = 8
@@ -65,6 +67,46 @@ def spawn_rng(master_seed: int, *labels: object) -> random.Random:
     return random.Random(derive_seed(master_seed, *labels))
 
 
+class LazyRng:
+    """A :class:`random.Random` stand-in that defers seeding to first use.
+
+    Seeding a Mersenne Twister costs ~8µs and the SHA-256 label
+    derivation another ~3µs — per *node*, per trial. Most processes
+    never touch their private stream (decay ladders and round robin
+    are coin-free outside the engine's own transmission coins), so
+    :meth:`~repro.algorithms.base.AlgorithmSpec.build_processes` hands
+    out these proxies instead. The first attribute access materializes
+    the underlying generator with the same ``(master_seed, labels)``
+    derivation, so every draw is bit-identical to an eager
+    :func:`spawn_rng` stream; consumers that draw often should hold
+    the bound method (``draw = ctx.rng.random``) as usual, which
+    skips the proxy after the first hop.
+    """
+
+    __slots__ = ("_master_seed", "_labels", "_rng")
+
+    def __init__(self, master_seed: int, labels: tuple) -> None:
+        self._master_seed = master_seed
+        self._labels = labels
+        self._rng: "random.Random | None" = None
+
+    def __getattr__(self, name: str):
+        rng = self._rng
+        if rng is None:
+            rng = random.Random(derive_seed(self._master_seed, *self._labels))
+            self._rng = rng
+        return getattr(rng, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "seeded" if self._rng is not None else "unseeded"
+        return f"LazyRng({self._labels!r}, {state})"
+
+
+def spawn_lazy_rng(master_seed: int, *labels: object) -> LazyRng:
+    """Like :func:`spawn_rng` but seeds on first draw (see :class:`LazyRng`)."""
+    return LazyRng(master_seed, labels)
+
+
 def spawn_numpy_rng(master_seed: int, *labels: object) -> np.random.Generator:
     """Return a NumPy :class:`~numpy.random.Generator` for vectorized draws.
 
@@ -72,6 +114,34 @@ def spawn_numpy_rng(master_seed: int, *labels: object) -> np.random.Generator:
     coins; stochastic link processes use their own for edge fading.
     """
     return np.random.default_rng(derive_seed(master_seed, *labels))
+
+
+def transmission_coins(
+    coin_rng: np.random.Generator, probabilities: "np.ndarray"
+) -> tuple["np.ndarray", int]:
+    """One round of Bernoulli transmission coins, as a batch.
+
+    Draws exactly ``len(probabilities)`` uniforms from ``coin_rng`` —
+    one per node, in node order — and returns ``(transmit, mask)``
+    where ``transmit[u]`` is the realized coin of node ``u`` and
+    ``mask`` is the same set packed as a Python int bitset (bit ``u``
+    set iff node ``u`` transmits).
+
+    This is the *single* place transmission coins are realized: the
+    reference and bitset engines both call it against the same
+    ``("engine", "coins")`` child stream, which is what makes them
+    seed-for-seed identical by construction.
+
+    The single comparison is exhaustive because plans clamp
+    ``p ∈ [0, 1]`` and the uniforms live in ``[0, 1)``: ``p = 0``
+    never transmits (no uniform is below 0), ``p = 1`` always does
+    (every uniform is below 1), and the open interval means no
+    tie-breaking case exists.
+    """
+    coins = coin_rng.random(len(probabilities))
+    transmit = coins < probabilities
+    mask = int.from_bytes(np.packbits(transmit, bitorder="little").tobytes(), "little")
+    return transmit, mask
 
 
 def fresh_seed_sequence(rng: random.Random, count: int) -> list[int]:

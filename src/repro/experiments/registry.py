@@ -197,6 +197,29 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+def _with_engine(
+    scenario_for: Callable[[int], Scenario], engine: str
+) -> Callable[[int], Scenario]:
+    """Wrap a series factory so every derived spec uses ``engine``.
+
+    Relies on the scenario being a :class:`~repro.api.spec.ScenarioSpec`
+    (anything exposing ``with_param``); raises a clear error otherwise
+    — closure-based scenarios predate the engine knob.
+    """
+
+    def scenario_with_engine(parameter: int) -> Scenario:
+        spec = scenario_for(parameter)
+        with_param = getattr(spec, "with_param", None)
+        if with_param is None:
+            raise ExperimentError(
+                "engine override requires spec-based series; "
+                f"{spec!r} has no with_param"
+            )
+        return with_param("engine", engine)
+
+    return scenario_with_engine
+
+
 @dataclass(frozen=True)
 class Experiment:
     """A Figure-1 cell or ablation as a runnable sweep bundle."""
@@ -227,12 +250,18 @@ class Experiment:
         master_seed: int = 2013,
         progress: Optional[Callable[[str, int], None]] = None,
         executor=None,
+        engine: Optional[str] = None,
     ) -> ExperimentResult:
         """Run every series' sweep at the given scale.
 
         ``executor`` (a :class:`repro.api.executor.TrialExecutor`) fans
         each series' trials out — results are identical to serial runs
         because trials are pure functions of their derived seeds.
+
+        ``engine`` (optional) overrides every series spec's round-loop
+        implementation (``"reference"`` / ``"bitset"``); round counts
+        are engine-independent, so this only changes wall-clock time.
+        Requires spec-based series (all registry experiments are).
         """
         plan = self.plan(scale)
         models = (
@@ -244,10 +273,13 @@ class Experiment:
         for series in self.series:
             if progress is not None:
                 progress(series.label, 0)
+            scenario_for = series.scenario_for
+            if engine is not None:
+                scenario_for = _with_engine(scenario_for, engine)
             sweep = run_sweep(
                 f"{self.exp_id}:{series.label}",
                 list(plan.parameters),
-                series.scenario_for,
+                scenario_for,
                 trials=plan.trials,
                 master_seed=master_seed,
                 executor=executor,

@@ -246,37 +246,37 @@ def with_extra_flaky_edges(
 # ----------------------------------------------------------------------
 # Declarative ScenarioSpec registrations
 # ----------------------------------------------------------------------
-@register_graph("line")
+@register_graph("line", deterministic=True)
 def _spec_line(ctx, *, n: int, extra_flaky_skips: int = 0) -> DualGraph:
     return line_dual(int(n), extra_flaky_skips=int(extra_flaky_skips))
 
 
-@register_graph("ring")
+@register_graph("ring", deterministic=True)
 def _spec_ring(ctx, *, n: int, chords: Iterable[Edge] = ()) -> DualGraph:
     return ring_dual(int(n), chords=[tuple(e) for e in chords])
 
 
-@register_graph("grid")
+@register_graph("grid", deterministic=True)
 def _spec_grid(ctx, *, rows: int, cols: int, flaky_diagonals: bool = False) -> DualGraph:
     return grid_dual(int(rows), int(cols), flaky_diagonals=bool(flaky_diagonals))
 
 
-@register_graph("clique")
+@register_graph("clique", deterministic=True)
 def _spec_clique(ctx, *, n: int) -> DualGraph:
     return clique_dual(int(n))
 
 
-@register_graph("star")
+@register_graph("star", deterministic=True)
 def _spec_star(ctx, *, n: int, flaky_rim: bool = False) -> DualGraph:
     return star_dual(int(n), flaky_rim=bool(flaky_rim))
 
 
-@register_graph("binary-tree")
+@register_graph("binary-tree", deterministic=True)
 def _spec_binary_tree(ctx, *, depth: int) -> DualGraph:
     return binary_tree_dual(int(depth))
 
 
-@register_graph("line-of-cliques")
+@register_graph("line-of-cliques", deterministic=True)
 def _spec_line_of_cliques(
     ctx, *, num_cliques: int, clique_size: int, flaky_cross_links: bool = False
 ) -> DualGraph:
@@ -285,7 +285,7 @@ def _spec_line_of_cliques(
     )
 
 
-@register_graph("funnel")
+@register_graph("funnel", deterministic=True)
 def _spec_funnel(ctx, *, n: int) -> DualGraph:
     return funnel_dual(int(n))
 

@@ -88,9 +88,22 @@ class Registry:
         self.kind = kind
         self.plural = plural or f"{kind}s"
         self._factories: dict[str, Callable[..., Any]] = {}
+        self._deterministic: set[str] = set()
+        self._signatures: dict[str, Optional[inspect.Signature]] = {}
 
-    def register(self, name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
-        """Decorator registering ``factory`` under ``name``."""
+    def register(
+        self, name: str, *, deterministic: bool = False
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``factory`` under ``name``.
+
+        ``deterministic=True`` promises the factory's output depends
+        *only* on its parameters — it never touches the context's seed
+        streams — so identical ``(name, params)`` builds are
+        interchangeable. The spec builder then shares one immutable
+        instance across trials instead of reconstructing (and
+        revalidating) it per seed, which removes graph construction
+        from the per-trial hot path for the fixed-topology families.
+        """
         if not name or not isinstance(name, str):
             raise RegistryError(f"{self.kind} registry needs a non-empty string name")
 
@@ -102,9 +115,16 @@ class Registry:
                     f"({existing.__module__}.{existing.__qualname__})"
                 )
             self._factories[name] = factory
+            if deterministic:
+                self._deterministic.add(name)
             return factory
 
         return decorator
+
+    def is_deterministic(self, name: str) -> bool:
+        """Whether the named factory promised seed-independence."""
+        ensure_builtins_loaded()
+        return name in self._deterministic
 
     def get(self, name: str) -> Callable[..., Any]:
         """Resolve a factory by name, loading built-in components first."""
@@ -127,9 +147,15 @@ class Registry:
         """
         factory = self.get(name)
         try:
-            signature = inspect.signature(factory)
-        except (TypeError, ValueError):  # C callables etc. — skip the precheck
-            signature = None
+            signature = self._signatures[name]
+        except KeyError:
+            # inspect.signature costs ~0.1ms — too much to repay per
+            # trial, so it is resolved once per registered factory.
+            try:
+                signature = inspect.signature(factory)
+            except (TypeError, ValueError):  # C callables etc. — skip the precheck
+                signature = None
+            self._signatures[name] = signature
         if signature is not None:
             try:
                 signature.bind(ctx, **params)
@@ -154,14 +180,19 @@ ADVERSARIES = Registry("adversary", plural="adversaries")
 PROBLEMS = Registry("problem")
 
 
-def register_graph(name: str):
+def register_graph(name: str, *, deterministic: bool = False):
     """Register a graph-family factory ``(ctx, **params) -> network``.
 
     The factory may return a bare :class:`~repro.graphs.dual_graph.DualGraph`
     or a structured wrapper exposing ``.graph`` (dual clique, bracelet);
     downstream factories see both through the context.
+
+    Pass ``deterministic=True`` only for families whose structure is a
+    pure function of the parameters (lines, grids, cliques, …) — never
+    for families that draw per-trial secrets (a dual clique's bridge, a
+    geographic placement): those must rebuild per seed.
     """
-    return GRAPHS.register(name)
+    return GRAPHS.register(name, deterministic=deterministic)
 
 
 def register_algorithm(name: str):

@@ -1,0 +1,61 @@
+"""The documentation stays linked to reality.
+
+Runs the standalone checker (tools/check_docs.py — the same script the
+CI docs job invokes) in-process, plus a couple of repo-specific
+guarantees the checker is too generic to know about.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists_and_is_linked_from_readme():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+    assert (REPO_ROOT / "docs" / "paper_map.md").exists()
+    assert "docs/architecture.md" in readme
+    assert "docs/paper_map.md" in readme
+
+
+def test_links_anchors_fences_and_path_references():
+    checker = _load_checker()
+    problems: list[str] = []
+    for document in checker.DOCUMENTS:
+        problems.extend(checker.check_document(document))
+    assert not problems, "\n".join(problems)
+
+
+def test_paper_map_covers_the_figure_one_experiments():
+    """Every registered experiment id appears in the paper map."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    paper_map = (REPO_ROOT / "docs" / "paper_map.md").read_text(encoding="utf-8")
+    missing = [
+        exp_id
+        for exp_id in ALL_EXPERIMENTS
+        if not exp_id.startswith("A") and exp_id not in paper_map
+    ]
+    assert not missing, f"experiments missing from docs/paper_map.md: {missing}"
+
+
+def test_readme_engine_names_match_registry():
+    from repro.core.engine import ENGINE_NAMES
+
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in ENGINE_NAMES:
+        assert f"`{name}`" in readme, f"engine {name!r} undocumented in README"

@@ -1,0 +1,277 @@
+"""Seed-for-seed equivalence of the bitset fast path and the reference engine.
+
+The bitset engine (:mod:`repro.core.fastpath`) restructures the round
+pipeline — plan deduplication by signature class, batched coins,
+matvec/bitset reception, feedback skipping — but every restructuring is
+licensed by a documented contract, so the observable execution must be
+*identical*: same :class:`~repro.core.engine.ExecutionResult`, same
+:class:`~repro.core.trace.RoundRecord` stream (transmitter masks,
+delivery tuples, expected transmitter counts), for every seed.
+
+The matrix below covers **every registered component at least once**:
+all 14 graph families, all 9 algorithms, and all 13 oblivious
+adversaries exercise the fast path directly; the 2 adaptive adversaries
+exercise the automatic fallback (and its warning) instead.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api.spec import ScenarioSpec
+from repro.core.engine import ENGINE_NAMES, create_engine
+from repro.core.errors import EngineError, EngineFallbackWarning
+from repro.core.fastpath import BitsetRadioNetworkEngine
+from repro.core.trace import TraceCollector
+from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS
+
+#: (graph, problem, algorithm, adversary) — one spec per row; together
+#: the rows cover the full registered component sets (asserted below).
+EQUIVALENCE_MATRIX = [
+    (
+        ("line", {"n": 16, "extra_flaky_skips": 2}),
+        ("global-broadcast", {"source": 0}),
+        ("plain-decay", {}),
+        ("none", {}),
+    ),
+    (
+        ("ring", {"n": 16}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("round-robin-local", {"random_slots": True}),
+        ("alternating", {"phase_lengths": [2, 3]}),
+    ),
+    (
+        ("grid", {"rows": 4, "cols": 4, "flaky_diagonals": True}),
+        ("global-broadcast", {"source": 0}),
+        ("uncoordinated-decay", {}),
+        ("bernoulli-node-fade", {"p_clear": 0.7}),
+    ),
+    (
+        ("binary-tree", {"depth": 3}),
+        ("global-broadcast", {"source": 0}),
+        ("round-robin-global", {"random_slots": True}),
+        ("fixed-flaky", {"edges": []}),
+    ),
+    (
+        ("star", {"n": 12, "flaky_rim": True}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("uniform-local", {}),
+        ("all", {}),
+    ),
+    (
+        ("clique", {"n": 16}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("static-local-decay", {}),
+        ("none", {}),
+    ),
+    (
+        ("funnel", {"n": 24}),
+        ("global-broadcast", {"source": 0}),
+        ("permuted-decay", {}),
+        ("cut-jammer", {"period": 4, "dense_rounds": 2, "side": "first-half"}),
+    ),
+    (
+        ("line-of-cliques", {"num_cliques": 3, "clique_size": 4}),
+        ("global-broadcast", {"source": 0}),
+        ("plain-decay", {}),
+        ("predicted-dense-sparse", {"side": "first-half"}),
+    ),
+    (
+        ("er", {"n": 16, "g_edge_probability": 0.3, "flaky_edge_probability": 0.2}),
+        ("global-broadcast", {"source": 0}),
+        ("uniform-global", {"probability": 0.1}),
+        ("bernoulli-edge", {"p_up": 0.5}),
+    ),
+    (
+        ("dual-clique", {"half": 8}),
+        ("global-broadcast", {"source": 0}),
+        ("uniform-global", {"probability": 0.08}),
+        (
+            "precomputed-dense-sparse",
+            {"labels": [True, False, True, False], "side": "A"},
+        ),
+    ),
+    (
+        ("geographic", {"n": 32}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("geo-local", {}),
+        ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    ),
+    (
+        ("grid-geographic", {"rows": 4, "cols": 4}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("static-local-decay", {}),
+        ("moving-fade", {"fade_radius": 1.0, "speed": 0.3}),
+    ),
+    (
+        ("cluster-chain", {"num_clusters": 3, "cluster_size": 5}),
+        ("local-broadcast", {"fraction": 0.25}),
+        ("uniform-local", {}),
+        ("ge-edge", {"p_fail": 0.3, "p_recover": 0.4}),
+    ),
+    (
+        ("bracelet", {"band_length": 3}),
+        ("local-broadcast", {"side": "A"}),
+        ("static-local-decay", {}),
+        ("bracelet-attacker", {"threshold_factor": 1.0}),
+    ),
+]
+
+#: Adaptive adversaries: the fast path must *refuse* them (fallback).
+FALLBACK_MATRIX = [
+    (
+        ("dual-clique", {"half": 8}),
+        ("global-broadcast", {"source": 0}),
+        ("uniform-global", {"probability": 0.08}),
+        ("online-dense-sparse", {"side": "A"}),
+    ),
+    (
+        ("dual-clique", {"half": 8}),
+        ("global-broadcast", {"source": 0}),
+        ("uniform-global", {"probability": 0.08}),
+        ("offline-solo-blocker", {"side": "A"}),
+    ),
+]
+
+SEEDS = (1, 2013)
+
+#: Round cap for the comparison runs: enough for most rows to solve,
+#: small enough to keep the matrix fast even when they do not.
+MAX_ROUNDS = 1500
+
+
+def _spec(row) -> ScenarioSpec:
+    graph, problem, algorithm, adversary = row
+    return ScenarioSpec(
+        graph=graph, problem=problem, algorithm=algorithm, adversary=adversary
+    )
+
+
+def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
+    """One execution with full round records collected."""
+    trial = spec.build(seed)
+    processes = trial.algorithm.build_processes(
+        trial.network.n, trial.network.max_degree, seed=seed
+    )
+    observer = trial.problem.make_observer()
+    collector = TraceCollector()
+    eng = create_engine(
+        trial.network,
+        processes,
+        trial.link_process,
+        engine=engine,
+        seed=seed,
+        algorithm_info=trial.algorithm.info(),
+        validate_topologies=True,
+        observers=[observer, collector],
+    )
+    result = eng.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
+    return eng, result, collector.records
+
+
+def _row_id(row) -> str:
+    graph, _, algorithm, adversary = row
+    return f"{graph[0]}/{algorithm[0]}/{adversary[0]}"
+
+
+class TestComponentCoverage:
+    """The matrix really does cover every registered component."""
+
+    def test_every_graph_covered(self):
+        covered = {row[0][0] for row in EQUIVALENCE_MATRIX + FALLBACK_MATRIX}
+        assert covered == set(GRAPHS.names())
+
+    def test_every_algorithm_covered(self):
+        covered = {row[2][0] for row in EQUIVALENCE_MATRIX + FALLBACK_MATRIX}
+        assert covered == set(ALGORITHMS.names())
+
+    def test_every_adversary_covered(self):
+        covered = {row[3][0] for row in EQUIVALENCE_MATRIX + FALLBACK_MATRIX}
+        assert covered == set(ADVERSARIES.names())
+
+
+class TestBitsetEquivalence:
+    @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX, ids=_row_id)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_traces_identical(self, row, seed):
+        spec = _spec(row)
+        ref_engine, ref_result, ref_records = _run_traced(spec, seed, "reference")
+        fast_engine, fast_result, fast_records = _run_traced(spec, seed, "bitset")
+        assert isinstance(fast_engine, BitsetRadioNetworkEngine)
+        assert type(ref_engine) is not BitsetRadioNetworkEngine
+        assert fast_result == ref_result
+        assert len(fast_records) == len(ref_records)
+        for ref_record, fast_record in zip(ref_records, fast_records):
+            assert fast_record == ref_record
+
+    @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX[:2], ids=_row_id)
+    def test_run_trial_results_identical(self, row):
+        """The spec-level entry point agrees too (engine rides the spec)."""
+        from repro.api import Simulation
+
+        spec = _spec(row)
+        reference = Simulation.from_spec(spec).run_trial(SEEDS[0])
+        bitset = Simulation.from_spec(spec, engine="bitset").run_trial(SEEDS[0])
+        assert bitset == reference
+
+
+class TestAdaptiveFallback:
+    @pytest.mark.parametrize("row", FALLBACK_MATRIX, ids=_row_id)
+    def test_fallback_warns_and_matches(self, row):
+        spec = _spec(row)
+        _, ref_result, ref_records = _run_traced(spec, SEEDS[0], "reference")
+        with pytest.warns(EngineFallbackWarning, match="reference engine"):
+            engine, fast_result, fast_records = _run_traced(spec, SEEDS[0], "bitset")
+        # The fallback *is* the reference engine, so equality is exact.
+        assert type(engine) is not BitsetRadioNetworkEngine
+        assert fast_result == ref_result
+        assert fast_records == ref_records
+
+    @pytest.mark.parametrize("row", FALLBACK_MATRIX[:1], ids=_row_id)
+    def test_direct_construction_rejected(self, row):
+        """Bypassing create_engine must fail loudly, not silently degrade."""
+        spec = _spec(row)
+        trial = spec.build(SEEDS[0])
+        processes = trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=SEEDS[0]
+        )
+        with pytest.raises(EngineError, match="oblivious"):
+            BitsetRadioNetworkEngine(
+                trial.network, processes, trial.link_process, seed=SEEDS[0]
+            )
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        spec = _spec(EQUIVALENCE_MATRIX[0])
+        trial = spec.build(SEEDS[0])
+        processes = trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=SEEDS[0]
+        )
+        with pytest.raises(EngineError, match="unknown engine"):
+            create_engine(
+                trial.network,
+                processes,
+                trial.link_process,
+                engine="warp",
+                seed=SEEDS[0],
+            )
+
+    def test_spec_validates_engine_name(self):
+        from repro.core.errors import SpecError
+
+        with pytest.raises(SpecError, match="unknown engine"):
+            _spec(EQUIVALENCE_MATRIX[0]).with_param("engine", "warp")
+
+    def test_engine_round_trips_through_json(self):
+        spec = _spec(EQUIVALENCE_MATRIX[0]).with_param("engine", "bitset")
+        assert ScenarioSpec.from_json(spec.to_json()).engine == "bitset"
+        assert "reference" in ENGINE_NAMES and "bitset" in ENGINE_NAMES
+
+    def test_oblivious_request_makes_no_warning(self):
+        spec = _spec(EQUIVALENCE_MATRIX[0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", EngineFallbackWarning)
+            _run_traced(spec, SEEDS[0], "bitset")

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Documentation checker: links, anchors, code fences, path references.
+
+Validates the repository's Markdown (README.md + docs/) without any
+third-party dependency, so it runs identically in CI's docs job and in
+the test suite (tests/test_docs.py):
+
+* relative links ``[text](path)`` must point at files that exist;
+* intra-document anchors ``[text](#heading)`` (and ``path#heading``)
+  must match a heading's GitHub-style slug in the target document;
+* fenced code blocks must be balanced (every ``` opener is closed);
+* inline-code references to repository paths (``src/...``,
+  ``tests/...``, ``benchmarks/...``, ``docs/...``, ``examples/...``)
+  must exist — this is what keeps docs/paper_map.md honest as modules
+  move.
+
+Exit status 0 when clean; 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Documents under check: the README plus the whole docs tree.
+DOCUMENTS = ["README.md", *sorted(str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md"))]
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+_CODE_PATH_RE = re.compile(
+    r"`((?:src|tests|benchmarks|docs|examples|tools)/[A-Za-z0-9_./-]+)`"
+)
+_FENCE_RE = re.compile(r"^\s{0,3}(```+|~~~+)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_code_blocks(lines: list[str]) -> tuple[list[str], bool]:
+    """Lines outside fenced blocks, plus whether fences balance."""
+    kept: list[str] = []
+    fence: str | None = None
+    for line in lines:
+        match = _FENCE_RE.match(line)
+        if match:
+            marker = match.group(1)[0] * 3
+            if fence is None:
+                fence = marker
+            elif line.strip().startswith(fence):
+                fence = None
+            continue
+        if fence is None:
+            kept.append(line)
+    return kept, fence is None
+
+
+def check_document(relative: str) -> list[str]:
+    path = REPO_ROOT / relative
+    problems: list[str] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    prose, balanced = strip_code_blocks(lines)
+    if not balanced:
+        problems.append(f"{relative}: unbalanced code fence")
+
+    headings = {github_slug(m.group(2)) for line in prose if (m := _HEADING_RE.match(line))}
+
+    def anchors_of(target: Path) -> set[str]:
+        target_prose, _ = strip_code_blocks(
+            target.read_text(encoding="utf-8").splitlines()
+        )
+        return {
+            github_slug(m.group(2))
+            for line in target_prose
+            if (m := _HEADING_RE.match(line))
+        }
+
+    for line_number, line in enumerate(prose, start=1):
+        for match in _LINK_RE.finditer(line):
+            destination = match.group(1)
+            if destination.startswith(("http://", "https://", "mailto:")):
+                continue
+            target_part, _, anchor = destination.partition("#")
+            if not target_part:  # same-document anchor
+                if anchor and github_slug(anchor) not in headings:
+                    problems.append(
+                        f"{relative}: broken anchor #{anchor} (near line {line_number})"
+                    )
+                continue
+            target = (path.parent / target_part).resolve()
+            if not target.exists():
+                problems.append(
+                    f"{relative}: broken link {destination} (near line {line_number})"
+                )
+                continue
+            if anchor and target.suffix == ".md":
+                if github_slug(anchor) not in anchors_of(target):
+                    problems.append(
+                        f"{relative}: broken anchor {destination} (near line {line_number})"
+                    )
+
+    full_text = "\n".join(lines)
+    for match in _CODE_PATH_RE.finditer(full_text):
+        referenced = match.group(1).rstrip("/.")
+        if not (REPO_ROOT / referenced).exists():
+            problems.append(f"{relative}: dangling path reference `{referenced}`")
+    return problems
+
+
+def main() -> int:
+    all_problems: list[str] = []
+    for document in DOCUMENTS:
+        all_problems.extend(check_document(document))
+    if all_problems:
+        print(f"docs check: {len(all_problems)} problem(s)")
+        for problem in all_problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"docs check: {len(DOCUMENTS)} documents clean ({', '.join(DOCUMENTS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
