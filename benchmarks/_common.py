@@ -25,7 +25,10 @@ The JSON artifacts are how the perf trajectory is tracked across PRs:
 each file records the experiment, scale, engine, per-repeat wall
 times, and summary statistics, so ``git log -p benchmarks/results``
 reads as a performance history. See ``docs/architecture.md``
-("Engines") for how to read them.
+("Engines") for how to read them. The campaign layer's
+:class:`repro.campaign.store.ResultStore` merges these artifacts with
+campaign shard records into one queryable history, and
+``repro campaign report`` renders them into ``docs/results.md``.
 """
 
 from __future__ import annotations
@@ -95,6 +98,10 @@ def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
         return None
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
+        # schema/kind let the campaign ResultStore merge bench artifacts
+        # with shard records into one queryable history.
+        "schema": 1,
+        "kind": "bench",
         "experiment": exp_id,
         "scale": BENCH_SCALE,
         "engine": BENCH_ENGINE,

@@ -79,6 +79,22 @@ class SweepResult(Generic[P]):
             rows.append(row)
         return rows
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary of the sweep.
+
+        Only seed-determined aggregates are included (no wall-clock or
+        host details), so two runs of the same sweep serialize to
+        byte-identical JSON — the property the campaign
+        :class:`~repro.campaign.store.ResultStore` checkpoints rely on.
+        """
+        return {
+            "name": self.name,
+            "parameters": list(self.parameters()),
+            "medians": self.medians(),
+            "means": self.means(),
+            "success_rates": self.success_rates(),
+        }
+
 
 def run_sweep(
     name: str,

@@ -10,12 +10,22 @@ cross-products lives here:
 * :class:`SerialExecutor` / :class:`ParallelExecutor` — interchangeable
   trial backends (the parallel one fans out across cores);
 * :class:`Simulation`, :func:`sweep`, :func:`run_spec` — the high-level
-  entry points.
+  entry points;
+* :class:`CampaignSpec` / :class:`CampaignRunner` / :class:`ResultStore`
+  — the campaign layer (re-exported from :mod:`repro.campaign`): whole
+  experiment grids as sharded, checkpointed, resumable runs.
 
 See README.md for a quickstart and a JSON spec example.
 """
 
 from repro.api.executor import ParallelExecutor, SerialExecutor, TrialExecutor
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    Shard,
+    load_campaign,
+)
 from repro.api.facade import Simulation, load_spec, run_spec, sweep
 from repro.api.spec import ComponentRef, ScenarioSpec, build_prepared_trial
 from repro.registry import (
@@ -52,4 +62,9 @@ __all__ = [
     "register_algorithm",
     "register_adversary",
     "register_problem",
+    "CampaignSpec",
+    "CampaignRunner",
+    "ResultStore",
+    "Shard",
+    "load_campaign",
 ]

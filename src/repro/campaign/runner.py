@@ -1,0 +1,182 @@
+"""The sharded campaign runner: fan out, checkpoint, resume.
+
+:class:`CampaignRunner` walks a spec's compiled shard list, runs each
+pending shard through :meth:`repro.experiments.registry.Experiment.run`
+(optionally over a :class:`~repro.api.executor.TrialExecutor`, so a
+single shard's trials fan out across cores), and checkpoints every
+completed shard into the :class:`~repro.campaign.store.ResultStore`
+before moving on.
+
+The resume contract: a campaign killed at any point — between shards,
+mid-shard, even mid-checkpoint-write — re-invoked with the same spec
+and store, skips exactly the shards whose records survived and re-runs
+the rest. Because each shard is a pure function of its key and the
+store's determinism surface excludes wall-clock metadata, the final
+:meth:`~repro.campaign.store.ResultStore.aggregates_json` is
+byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.campaign.spec import CampaignSpec, Shard
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+
+__all__ = ["CampaignRunner", "CampaignStatus", "ShardOutcome", "shard_record"]
+
+
+def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
+    """Assemble the JSONL checkpoint record for one finished shard.
+
+    ``aggregate`` (from
+    :meth:`~repro.experiments.registry.ExperimentResult.to_record`) is
+    the seed-determined payload; everything volatile lives under
+    ``meta`` and is excluded from the byte-identity surface.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "shard",
+        "campaign": shard.campaign,
+        "shard_id": shard.shard_id,
+        "experiment": shard.experiment,
+        "scale": shard.scale,
+        "engine": shard.engine,
+        "master_seed": shard.master_seed,
+        "aggregate": aggregate,
+        "meta": {
+            "seconds": round(seconds, 6),
+            "python": platform.python_version(),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What happened to one shard during a ``run()`` pass."""
+
+    shard: Shard
+    status: str  # "done" | "resumed"
+    seconds: float
+
+    @property
+    def ran(self) -> bool:
+        return self.status == "done"
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress of a campaign against its spec's shard list."""
+
+    spec: CampaignSpec
+    completed: tuple[Shard, ...]
+    pending: tuple[Shard, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.completed) + len(self.pending)
+
+    @property
+    def finished(self) -> bool:
+        return not self.pending
+
+    def summary(self) -> str:
+        return (
+            f"{self.spec.name}: {len(self.completed)}/{self.total} shards "
+            f"complete" + ("" if self.pending else " — campaign finished")
+        )
+
+
+class CampaignRunner:
+    """Run a campaign spec against a result store, resumably.
+
+    Parameters
+    ----------
+    spec:
+        The campaign grid. Validated against the live registries before
+        the first shard runs.
+    store:
+        Checkpoint target; pass the same store to resume.
+    executor:
+        Optional :class:`~repro.api.executor.TrialExecutor` handed down
+        to every shard's :meth:`Experiment.run` — a
+        :class:`~repro.api.ParallelExecutor` fans each shard's trials
+        across cores without changing any result.
+    progress:
+        Optional ``callback(shard, status, seconds)`` fired per shard:
+        ``status`` is ``"start"``, ``"done"``, or ``"resumed"``.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        *,
+        executor=None,
+        progress: Optional[Callable[[Shard, str, float], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.executor = executor
+        self.progress = progress
+
+    def status(self) -> CampaignStatus:
+        """Split the spec's shard list into completed vs pending.
+
+        Validates the spec first — a typo'd experiment id must be an
+        error here, not a forever-"pending" shard.
+        """
+        self.spec.validate()
+        done_ids = self.store.completed_ids(self.spec.name)
+        completed, pending = [], []
+        for shard in self.spec.shards():
+            (completed if shard.shard_id in done_ids else pending).append(shard)
+        return CampaignStatus(
+            spec=self.spec, completed=tuple(completed), pending=tuple(pending)
+        )
+
+    def reset(self) -> None:
+        """Drop the campaign's checkpoints (the ``--fresh`` semantics)."""
+        path = self.store.shard_path(self.spec.name)
+        if path.exists():
+            path.unlink()
+
+    def run(self, *, resume: bool = True) -> list[ShardOutcome]:
+        """Run every pending shard, checkpointing each as it completes.
+
+        With ``resume=False`` existing checkpoints are discarded first.
+        Returns one :class:`ShardOutcome` per shard in grid order.
+        """
+        from repro.experiments import ALL_EXPERIMENTS
+
+        self.spec.validate()
+        if not resume:
+            self.reset()
+        done_ids = self.store.completed_ids(self.spec.name)
+        outcomes: list[ShardOutcome] = []
+        for shard in self.spec.shards():
+            if shard.shard_id in done_ids:
+                outcomes.append(ShardOutcome(shard, "resumed", 0.0))
+                if self.progress is not None:
+                    self.progress(shard, "resumed", 0.0)
+                continue
+            if self.progress is not None:
+                self.progress(shard, "start", 0.0)
+            started = time.perf_counter()
+            result = ALL_EXPERIMENTS[shard.experiment].run(
+                scale=shard.scale,
+                master_seed=shard.master_seed,
+                executor=self.executor,
+                engine=shard.engine,
+            )
+            seconds = time.perf_counter() - started
+            self.store.append(
+                shard_record(shard, result.to_record(), seconds=seconds)
+            )
+            outcomes.append(ShardOutcome(shard, "done", seconds))
+            if self.progress is not None:
+                self.progress(shard, "done", seconds)
+        return outcomes

@@ -1,0 +1,238 @@
+"""Campaign specifications: a grid of experiments, compiled to shards.
+
+A :class:`CampaignSpec` names a cross-product — experiment ids ×
+scales × engines × a seed bank — and compiles it to a *deterministic*
+list of :class:`Shard` work units. Determinism is the whole point:
+
+* the shard list (and every shard's :attr:`~Shard.shard_id`) is a pure
+  function of the spec, so two invocations of the same campaign agree
+  on what work exists and can hand checkpointing to the
+  :class:`~repro.campaign.store.ResultStore`;
+* each shard is a pure function of its key ``(experiment, scale,
+  engine, master_seed)`` — engines are seed-for-seed identical — so a
+  killed-and-resumed campaign reproduces the uninterrupted campaign's
+  aggregates byte for byte.
+
+Specs are plain data: JSON round-trippable (``to_dict``/``from_dict``)
+and loadable from a file (:func:`load_campaign`), mirroring
+:class:`~repro.api.spec.ScenarioSpec` one layer down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.core.errors import SpecError
+
+__all__ = ["Shard", "CampaignSpec", "load_campaign"]
+
+#: Campaign names become checkpoint file names; keep them path-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One cell of a campaign grid: a single experiment run.
+
+    The :attr:`shard_id` is the checkpoint key — a resumed campaign
+    skips every shard whose id already has a record in the store.
+    """
+
+    campaign: str
+    experiment: str
+    scale: str
+    engine: str
+    master_seed: int
+
+    @property
+    def shard_id(self) -> str:
+        return (
+            f"{self.experiment}@{self.scale}/{self.engine}/seed{self.master_seed}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "experiment": self.experiment,
+            "scale": self.scale,
+            "engine": self.engine,
+            "master_seed": self.master_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Shard":
+        try:
+            return cls(
+                campaign=str(data["campaign"]),
+                experiment=str(data["experiment"]),
+                scale=str(data["scale"]),
+                engine=str(data["engine"]),
+                master_seed=int(data["master_seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SpecError(f"malformed shard record: {exc}") from exc
+
+
+def _str_tuple(value: Iterable, *, what: str) -> tuple[str, ...]:
+    if isinstance(value, str):
+        raise SpecError(f"{what} must be a sequence of names, got the string {value!r}")
+    items = tuple(str(item) for item in value)
+    if not items:
+        raise SpecError(f"{what} must not be empty")
+    if len(set(items)) != len(items):
+        raise SpecError(f"{what} contains duplicates: {list(items)}")
+    return items
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a full-grid experiment campaign."""
+
+    name: str
+    experiments: tuple[str, ...]
+    scales: tuple[str, ...] = ("tiny",)
+    engines: tuple[str, ...] = ("reference",)
+    seeds: tuple[int, ...] = (2013,)
+    #: Free-form note rendered into reports (e.g. why this grid exists).
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise SpecError(
+                f"campaign name {self.name!r} must be a path-safe slug "
+                "(letters, digits, '.', '_', '-')"
+            )
+        object.__setattr__(
+            self, "experiments", _str_tuple(self.experiments, what="experiments")
+        )
+        object.__setattr__(self, "scales", _str_tuple(self.scales, what="scales"))
+        object.__setattr__(self, "engines", _str_tuple(self.engines, what="engines"))
+        seeds = tuple(int(seed) for seed in self.seeds)
+        if not seeds:
+            raise SpecError("seeds must not be empty")
+        if len(set(seeds)) != len(seeds):
+            raise SpecError(f"seeds contains duplicates: {list(seeds)}")
+        object.__setattr__(self, "seeds", seeds)
+
+    # ------------------------------------------------------------------
+    # Validation against the live registries
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every grid axis against the registries it names.
+
+        Raises :class:`~repro.core.errors.SpecError` on an unknown
+        experiment id, an unknown engine, or a scale an experiment does
+        not define — *before* any shard runs, so a typo cannot waste a
+        long campaign.
+        """
+        from repro.core.engine import ENGINE_NAMES
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for engine in self.engines:
+            if engine not in ENGINE_NAMES:
+                raise SpecError(
+                    f"unknown engine {engine!r}; choose from {list(ENGINE_NAMES)}"
+                )
+        for exp_id in self.experiments:
+            if exp_id not in ALL_EXPERIMENTS:
+                raise SpecError(
+                    f"unknown experiment {exp_id!r}; registered ids: "
+                    f"{', '.join(sorted(ALL_EXPERIMENTS))}"
+                )
+            experiment = ALL_EXPERIMENTS[exp_id]
+            for scale in self.scales:
+                if scale not in experiment.scales:
+                    raise SpecError(
+                        f"experiment {exp_id} has no scale {scale!r}; "
+                        f"available: {sorted(experiment.scales)}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def shards(self) -> list[Shard]:
+        """Compile the grid to its deterministic shard list.
+
+        Order is the spec's declared order, experiment-major — the
+        natural reading order of the grid and the order ``campaign
+        status`` reports progress in.
+        """
+        return [
+            Shard(
+                campaign=self.name,
+                experiment=exp_id,
+                scale=scale,
+                engine=engine,
+                master_seed=seed,
+            )
+            for exp_id in self.experiments
+            for scale in self.scales
+            for engine in self.engines
+            for seed in self.seeds
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "scales": list(self.scales),
+            "engines": list(self.engines),
+            "seeds": list(self.seeds),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(
+                f"campaign spec must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = set(data) - {
+            "name", "experiments", "scales", "engines", "seeds", "description",
+        }
+        if unknown:
+            raise SpecError(f"unknown campaign spec keys: {sorted(unknown)}")
+        try:
+            name = data["name"]
+            experiments = data["experiments"]
+        except KeyError as exc:
+            raise SpecError(f"campaign spec is missing required key {exc}") from exc
+        return cls(
+            name=str(name),
+            experiments=experiments,
+            scales=data.get("scales", ("tiny",)),
+            engines=data.get("engines", ("reference",)),
+            seeds=data.get("seeds", (2013,)),
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"campaign spec is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def describe(self) -> str:
+        grid = (
+            f"{len(self.experiments)} experiments × {len(self.scales)} scales × "
+            f"{len(self.engines)} engines × {len(self.seeds)} seeds"
+        )
+        return f"campaign {self.name!r}: {grid} = {len(self.shards())} shards"
+
+
+def load_campaign(path: Union[str, os.PathLike]) -> CampaignSpec:
+    """Read a :class:`CampaignSpec` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return CampaignSpec.from_json(handle.read())

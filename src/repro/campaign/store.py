@@ -1,0 +1,261 @@
+"""The persistent result store: shard checkpoints + bench history.
+
+One directory holds everything a campaign ever measured:
+
+* ``<name>.jsonl`` — one file per campaign, one JSON record per
+  *completed* shard. This is the checkpoint: records are appended
+  (write + flush + fsync) only after a shard finishes, so a campaign
+  killed mid-shard simply lacks that shard's line and re-runs it on
+  resume. A line truncated by a hard kill is skipped on read.
+* the benchmark artifacts (``BENCH_<exp>_<scale>_<engine>.json``,
+  written by ``benchmarks/_common.py``) are merged in read-only as
+  ``kind: "bench"`` records, so one store answers both "what did we
+  measure?" and "how fast was it?".
+
+Shard records split into a seed-determined ``aggregate`` (the
+:meth:`~repro.experiments.registry.ExperimentResult.to_record` payload)
+and a volatile ``meta`` (wall-clock seconds, python version).
+:meth:`ResultStore.aggregates_json` serializes only the former, which
+is why a killed-and-resumed campaign can be asserted *byte-identical*
+to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.campaign.spec import Shard
+from repro.core.errors import ReproError
+
+__all__ = ["ResultStore", "StoreError", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+#: Keys every shard record must carry to be checkpoint-usable.
+_REQUIRED_SHARD_KEYS = (
+    "schema",
+    "kind",
+    "campaign",
+    "shard_id",
+    "experiment",
+    "scale",
+    "engine",
+    "master_seed",
+    "aggregate",
+    "meta",
+)
+
+
+class StoreError(ReproError):
+    """A result store directory or record is unusable."""
+
+
+class ResultStore:
+    """Append-only store of campaign shard records, merged with benches.
+
+    Parameters
+    ----------
+    root:
+        Directory for the per-campaign ``*.jsonl`` checkpoint files
+        (created on first write).
+    bench_dir:
+        Directory of ``BENCH_*.json`` artifacts to merge into the
+        history; defaults to the repository's ``benchmarks/results``
+        when that exists relative to the current working directory.
+        Pass ``None`` explicitly via ``bench_dir=""`` to disable.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        bench_dir: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        self.root = Path(root)
+        if bench_dir is None:
+            default = Path("benchmarks") / "results"
+            self.bench_dir: Optional[Path] = default if default.is_dir() else None
+        elif str(bench_dir) == "":
+            self.bench_dir = None
+        else:
+            self.bench_dir = Path(bench_dir)
+
+    # ------------------------------------------------------------------
+    # Shard checkpoints
+    # ------------------------------------------------------------------
+    def shard_path(self, campaign: str) -> Path:
+        return self.root / f"{campaign}.jsonl"
+
+    def append(self, record: dict) -> None:
+        """Checkpoint one completed shard (atomic at line granularity).
+
+        The line is flushed and fsynced before returning: once
+        ``append`` returns, a later resume *will* see the shard as done
+        even across a hard kill.
+        """
+        missing = [key for key in _REQUIRED_SHARD_KEYS if key not in record]
+        if missing:
+            raise StoreError(f"shard record is missing keys {missing}")
+        if record["kind"] != "shard":
+            raise StoreError(f"expected kind 'shard', got {record['kind']!r}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(record["campaign"])
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # Self-heal after a hard kill: if the previous write was cut off
+        # mid-line (no trailing newline), terminate the fragment first so
+        # this record does not merge into it and get skipped on read.
+        if path.exists() and path.stat().st_size > 0:
+            with open(path, "rb") as peek:
+                peek.seek(-1, os.SEEK_END)
+                if peek.read(1) != b"\n":
+                    line = "\n" + line
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _iter_lines(self, path: Path) -> Iterator[dict]:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A hard kill can truncate the final line mid-write;
+                # the shard it described simply re-runs on resume.
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    def campaigns(self) -> list[str]:
+        """Campaign names with a checkpoint file, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.jsonl"))
+
+    def shard_records(self, campaign: Optional[str] = None) -> list[dict]:
+        """All shard records (optionally of one campaign), replay order.
+
+        If a shard id was recorded twice (e.g. ``--fresh`` semantics
+        implemented by re-running), the *last* record wins.
+        """
+        names = [campaign] if campaign is not None else self.campaigns()
+        merged: dict[tuple[str, str], dict] = {}
+        for name in names:
+            for record in self._iter_lines(self.shard_path(name)):
+                if record.get("kind") != "shard":
+                    continue
+                key = (str(record.get("campaign")), str(record.get("shard_id")))
+                merged[key] = record
+        return list(merged.values())
+
+    def completed_ids(self, campaign: str) -> set[str]:
+        """Shard ids of the campaign that already have a checkpoint."""
+        return {
+            str(record["shard_id"])
+            for record in self.shard_records(campaign)
+            if "shard_id" in record and "aggregate" in record
+        }
+
+    # ------------------------------------------------------------------
+    # Bench artifact merge
+    # ------------------------------------------------------------------
+    def bench_records(self) -> list[dict]:
+        """The ``BENCH_*.json`` artifacts as ``kind: "bench"`` records.
+
+        Artifacts written before the store existed lack the
+        ``schema``/``kind`` envelope; they are upgraded on read.
+        """
+        if self.bench_dir is None or not self.bench_dir.is_dir():
+            return []
+        records = []
+        for path in sorted(self.bench_dir.glob("BENCH_*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(payload, dict):
+                continue
+            payload.setdefault("schema", SCHEMA_VERSION)
+            payload.setdefault("kind", "bench")
+            payload["artifact"] = path.name
+            records.append(payload)
+        return records
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def history(self) -> list[dict]:
+        """Every record the store knows: shard results then benches."""
+        return self.shard_records() + self.bench_records()
+
+    def cells(
+        self,
+        *,
+        campaign: Optional[str] = None,
+        experiment: Optional[str] = None,
+        scale: Optional[str] = None,
+        engine: Optional[str] = None,
+    ) -> list[dict]:
+        """Shard records filtered by any subset of the grid axes."""
+        out = []
+        for record in self.shard_records(campaign):
+            if experiment is not None and record.get("experiment") != experiment:
+                continue
+            if scale is not None and record.get("scale") != scale:
+                continue
+            if engine is not None and record.get("engine") != engine:
+                continue
+            out.append(record)
+        return out
+
+    def measured_experiments(self) -> set[str]:
+        """Experiment ids with at least one shard record."""
+        return {
+            str(record["experiment"])
+            for record in self.shard_records()
+            if "experiment" in record
+        }
+
+    # ------------------------------------------------------------------
+    # Determinism surface
+    # ------------------------------------------------------------------
+    def aggregates_json(self, campaign: Optional[str] = None) -> str:
+        """Canonical JSON of all seed-determined aggregates.
+
+        Sorted by shard id, stripped of volatile ``meta``: two stores
+        that measured the same grid from the same seeds — no matter how
+        many kills and resumes happened in between — serialize to the
+        same bytes. The resume tests assert exactly this.
+        """
+        rows = sorted(
+            (
+                {
+                    "campaign": record["campaign"],
+                    "shard_id": record["shard_id"],
+                    "aggregate": record["aggregate"],
+                }
+                for record in self.shard_records(campaign)
+            ),
+            key=lambda row: (row["campaign"], row["shard_id"]),
+        )
+        return json.dumps(rows, sort_keys=True, indent=1)
+
+    def shard_for(self, record: dict) -> Shard:
+        """Rebuild the :class:`Shard` key of a stored record."""
+        return Shard.from_dict(record)
+
+    def describe(self) -> str:
+        shard_count = len(self.shard_records())
+        bench_count = len(self.bench_records())
+        return (
+            f"ResultStore({self.root}): {shard_count} shard records across "
+            f"{len(self.campaigns())} campaigns, {bench_count} bench artifacts"
+        )

@@ -12,7 +12,11 @@ Entry points (also available as ``python -m repro``):
 * ``run-spec SPEC.json [--trials N] [--parallel [W]]`` — execute a
   declarative :class:`~repro.api.spec.ScenarioSpec` from a JSON file;
 * ``components`` — list every registered graph family, algorithm,
-  adversary, and problem a spec may name;
+  adversary, problem, engine, and experiment id a spec may name;
+* ``campaign run|status|report`` — sharded, resumable grid runs
+  (experiments × scales × engines × seeds) with per-shard checkpoints
+  in a persistent result store, and the ``docs/results.md`` generator
+  (see :mod:`repro.campaign`);
 * ``trial`` — one ad-hoc broadcast trial: pick a network family, an
   algorithm, and an adversary by name, and watch the round count;
 * ``paper`` — print the reproduced Figure-1 table with experiment ids.
@@ -204,12 +208,23 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
 
 
 def _cmd_components(args: argparse.Namespace) -> int:
+    from repro.core.engine import ENGINE_NAMES
+    from repro.experiments import ALL_EXPERIMENTS
     from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS
 
     for registry in (GRAPHS, ALGORITHMS, ADVERSARIES, PROBLEMS):
         print(f"{registry.plural}:")
         for name in registry.names():
             print(f"  {name}")
+    # Engines and experiment ids are registries too — the docs catalog
+    # (docs/experiments.md) and campaign specs name them, so the CLI
+    # must list them for the two to stay checkable against each other.
+    print("engines:")
+    for name in ENGINE_NAMES:
+        print(f"  {name}")
+    print("experiments:")
+    for exp_id in sorted(ALL_EXPERIMENTS):
+        print(f"  {exp_id}")
     return 0
 
 
@@ -333,6 +348,158 @@ def _cmd_trial(args: argparse.Namespace) -> int:
     return 0 if result.solved else 1
 
 
+#: Default directory for campaign checkpoints (kept out of git).
+_DEFAULT_STORE = "campaigns/store"
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    """Resolve the campaign grid: a spec file, or flags, or defaults.
+
+    With ``--spec`` the file is authoritative (mixing it with grid
+    flags is rejected — half-overridden grids silently change shard
+    ids and break resume). Without it, flags assemble a spec named
+    ``--name`` (default ``"default"``, so two bare ``repro campaign
+    run`` invocations share checkpoints and resume each other).
+    """
+    from repro.campaign import CampaignSpec, load_campaign
+    from repro.core.errors import ReproError
+
+    grid_flags = [
+        ("experiments", list(args.experiments or [])),
+        ("--scale", args.scale or []),
+        ("--engine", args.engine or []),
+        ("--seed", args.seed or []),
+    ]
+    if args.spec is not None:
+        used = [name for name, values in grid_flags if values]
+        if used or args.name is not None:
+            conflicting = used + (["--name"] if args.name is not None else [])
+            raise SystemExit(
+                f"--spec is authoritative; drop {', '.join(conflicting)}"
+            )
+        try:
+            return load_campaign(args.spec)
+        except (OSError, ReproError) as exc:
+            raise SystemExit(f"cannot load campaign spec: {exc}")
+    if args.experiments:
+        experiments = list(args.experiments)
+    else:
+        from repro.experiments import ALL_EXPERIMENTS
+
+        experiments = sorted(ALL_EXPERIMENTS)
+    try:
+        return CampaignSpec(
+            name=args.name or "default",
+            experiments=tuple(experiments),
+            scales=tuple(args.scale or ["tiny"]),
+            engines=tuple(args.engine or ["reference"]),
+            seeds=tuple(args.seed or [2013]),
+        )
+    except ReproError as exc:
+        raise SystemExit(f"invalid campaign grid: {exc}")
+
+
+def _campaign_store(args: argparse.Namespace):
+    from repro.campaign import ResultStore
+
+    return ResultStore(args.store, bench_dir=getattr(args, "bench_dir", None))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner
+    from repro.core.errors import ReproError
+
+    spec = _campaign_spec_from_args(args)
+    store = _campaign_store(args)
+    started = time.time()
+
+    def progress(shard, status, seconds):
+        if status == "start":
+            print(f"  …       {shard.shard_id}", file=sys.stderr)
+        elif status == "resumed":
+            print(f"  resumed {shard.shard_id}")
+        else:
+            print(f"  done    {shard.shard_id}  [{seconds:.2f}s]")
+
+    runner = CampaignRunner(
+        spec, store, executor=_executor_from_args(args), progress=progress
+    )
+    print(spec.describe())
+    print(f"store    : {store.shard_path(spec.name)}")
+    try:
+        outcomes = runner.run(resume=not args.fresh)
+    except ReproError as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if runner.executor is not None:
+            runner.executor.shutdown()
+    ran = sum(1 for o in outcomes if o.ran)
+    resumed = len(outcomes) - ran
+    print(
+        f"campaign {spec.name!r} complete: {ran} shards run, "
+        f"{resumed} resumed from checkpoints "
+        f"[{time.time() - started:.1f}s]"
+    )
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner
+    from repro.core.errors import ReproError
+
+    spec = _campaign_spec_from_args(args)
+    store = _campaign_store(args)
+    try:
+        status = CampaignRunner(spec, store).status()
+    except ReproError as exc:
+        print(f"invalid campaign: {exc}", file=sys.stderr)
+        return 2
+    done_ids = {shard.shard_id for shard in status.completed}
+    rows = [
+        [shard.experiment, shard.scale, shard.engine, shard.master_seed,
+         "done" if shard.shard_id in done_ids else "pending"]
+        for shard in spec.shards()
+    ]
+    print(
+        render_table(
+            ["experiment", "scale", "engine", "seed", "state"],
+            rows,
+            title=status.summary() + ":",
+        )
+    )
+    return 0 if status.finished else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign import is_stale, render_results_markdown, write_report
+
+    store = _campaign_store(args)
+    text = render_results_markdown(store)
+    if args.check:
+        target = args.out or "docs/results.md"
+        try:
+            with open(target, encoding="utf-8") as handle:
+                existing: Optional[str] = handle.read()
+        except OSError:
+            existing = None
+        if is_stale(existing, text):
+            print(
+                f"{target} is stale — regenerate with "
+                f"`repro campaign report --store {args.store} --out {target}`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{target} is up to date with the store")
+        return 0
+    if args.out:
+        write_report(store, args.out)
+        print(f"wrote {args.out}")
+        return 0
+    print(text, end="")
+    return 0
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     rows = [
         ["DG + offline adaptive", "Ω(n) [11] / O(n log² n) [12]", "Ω(n) [11] / O(n log n) [8]", "E3 / E4"],
@@ -397,6 +564,93 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flag(run_spec)
     _add_engine_flag(run_spec)
     run_spec.set_defaults(func=_cmd_run_spec)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, resumable grid runs with a persistent result store",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_grid_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "experiments",
+            nargs="*",
+            help="experiment ids (default: every registered experiment)",
+        )
+        p.add_argument("--spec", default=None, help="campaign spec JSON file")
+        p.add_argument("--name", default=None, help="campaign name (default: 'default')")
+        p.add_argument(
+            "--scale",
+            action="append",
+            choices=["tiny", "small", "full"],
+            help="scale tier(s); repeatable (default: tiny)",
+        )
+        from repro.core.engine import ENGINE_NAMES
+
+        p.add_argument(
+            "--engine",
+            action="append",
+            choices=list(ENGINE_NAMES),
+            help="engine(s); repeatable (default: reference)",
+        )
+        p.add_argument(
+            "--seed",
+            action="append",
+            type=int,
+            help="master seed(s) of the seed bank; repeatable (default: 2013)",
+        )
+        p.add_argument(
+            "--store",
+            default=_DEFAULT_STORE,
+            help=f"result store directory (default: {_DEFAULT_STORE})",
+        )
+        p.add_argument(
+            "--bench-dir",
+            default=None,
+            help="BENCH_*.json directory to merge (default: benchmarks/results)",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run pending shards, checkpointing each one"
+    )
+    _add_grid_args(campaign_run)
+    campaign_run.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard this campaign's checkpoints and re-run every shard",
+    )
+    _add_parallel_flag(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show done/pending shards (exit 1 while pending)"
+    )
+    _add_grid_args(campaign_status)
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render the store as Markdown (docs/results.md)"
+    )
+    campaign_report.add_argument(
+        "--store",
+        default=_DEFAULT_STORE,
+        help=f"result store directory (default: {_DEFAULT_STORE})",
+    )
+    campaign_report.add_argument(
+        "--bench-dir",
+        default=None,
+        help="BENCH_*.json directory to merge (default: benchmarks/results)",
+    )
+    campaign_report.add_argument(
+        "--out", default=None, help="write to this file instead of stdout"
+    )
+    campaign_report.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if --out (default docs/results.md) is stale "
+        "(runtimes are ignored)",
+    )
+    campaign_report.set_defaults(func=_cmd_campaign_report)
 
     trial = sub.add_parser("trial", help="one ad-hoc broadcast trial")
     trial.add_argument("--network", default="geographic", choices=sorted(_NETWORKS))

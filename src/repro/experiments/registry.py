@@ -13,6 +13,7 @@ the series definitions.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
@@ -115,6 +116,18 @@ class SeriesResult:
             return None
         return self.growth_class == self.series.expected_growth
 
+    def to_record(self) -> dict:
+        """JSON-safe, seed-determined summary (no timings, no host info)."""
+        return {
+            "label": self.series.label,
+            "role": self.series.role,
+            "sweep": self.sweep.to_dict(),
+            "growth_class": self.growth_class,
+            "best_model": self.best_model,
+            "expected_growth": self.series.expected_growth,
+            "growth_ok": self.shape_matches_expectation(),
+        }
+
 
 @dataclass
 class ExperimentResult:
@@ -143,6 +156,42 @@ class ExperimentResult:
             ratio = slow / fast if fast > 0 else float("inf")
             outcomes.append((claim, ratio, claim.holds(ratio)))
         return outcomes
+
+    def to_record(self) -> dict:
+        """The experiment outcome as one JSON-safe aggregate record.
+
+        This is the payload the campaign layer checkpoints: a pure
+        function of ``(experiment, scale, master_seed)``, so an
+        interrupted-and-resumed campaign reproduces it byte for byte.
+        Wall-clock time and host details deliberately live *outside*
+        this dict (in the shard record's ``meta``).
+        """
+
+        def json_safe_ratio(ratio: float):
+            # A fast series whose censored median is 0 yields inf, which
+            # json.dumps would emit as the non-RFC token ``Infinity``.
+            return ratio if math.isfinite(ratio) else "inf"
+
+        return {
+            "experiment": self.experiment.exp_id,
+            "figure_cell": self.experiment.figure_cell,
+            "paper_bound": self.experiment.paper_bound,
+            "parameter_name": self.experiment.parameter_name,
+            "scale": self.scale,
+            "series": [r.to_record() for r in self.series_results],
+            "contrasts": [
+                {
+                    "slow": claim.slow_label,
+                    "fast": claim.fast_label,
+                    "min_ratio": claim.min_ratio,
+                    "max_ratio": claim.max_ratio,
+                    "description": claim.description,
+                    "ratio": json_safe_ratio(ratio),
+                    "holds": holds,
+                }
+                for claim, ratio, holds in self.contrast_outcomes()
+            ],
+        }
 
     def render(self) -> str:
         """Human-readable report: per-series medians, ratios, and fits."""

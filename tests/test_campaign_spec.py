@@ -1,0 +1,117 @@
+"""CampaignSpec: grid normalization, validation, deterministic shards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignSpec, Shard, load_campaign
+from repro.core.errors import SpecError
+
+
+def test_shard_list_is_the_full_grid_in_declared_order():
+    spec = CampaignSpec(
+        name="grid",
+        experiments=("E1b", "E2a"),
+        scales=("tiny",),
+        engines=("reference", "bitset"),
+        seeds=(1, 2),
+    )
+    shards = spec.shards()
+    assert len(shards) == 2 * 1 * 2 * 2
+    # Experiment-major order, then scale, engine, seed.
+    assert [s.shard_id for s in shards[:4]] == [
+        "E1b@tiny/reference/seed1",
+        "E1b@tiny/reference/seed2",
+        "E1b@tiny/bitset/seed1",
+        "E1b@tiny/bitset/seed2",
+    ]
+    assert all(s.campaign == "grid" for s in shards)
+    # Compilation is deterministic: same spec, same list.
+    assert spec.shards() == shards
+
+
+def test_shard_ids_are_unique_across_the_grid():
+    spec = CampaignSpec(
+        name="u",
+        experiments=("E1b", "E2a", "E5"),
+        scales=("tiny", "small"),
+        engines=("reference", "bitset"),
+        seeds=(7, 8, 9),
+    )
+    ids = [s.shard_id for s in spec.shards()]
+    assert len(ids) == len(set(ids))
+
+
+def test_shard_round_trips_through_dict():
+    shard = Shard("c", "E5", "tiny", "bitset", 99)
+    assert Shard.from_dict(shard.to_dict()) == shard
+    with pytest.raises(SpecError):
+        Shard.from_dict({"campaign": "c"})
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(name="bad name!", experiments=("E1b",)),
+        dict(name="x", experiments=()),
+        dict(name="x", experiments=("E1b", "E1b")),
+        dict(name="x", experiments="E1b"),  # a bare string is a bug
+        dict(name="x", experiments=("E1b",), scales=()),
+        dict(name="x", experiments=("E1b",), engines=()),
+        dict(name="x", experiments=("E1b",), seeds=()),
+        dict(name="x", experiments=("E1b",), seeds=(1, 1)),
+    ],
+)
+def test_malformed_grids_are_rejected(kwargs):
+    with pytest.raises(SpecError):
+        CampaignSpec(**kwargs)
+
+
+def test_validate_checks_the_live_registries():
+    CampaignSpec(name="ok", experiments=("E1b",)).validate()
+    with pytest.raises(SpecError, match="unknown experiment"):
+        CampaignSpec(name="x", experiments=("E999",)).validate()
+    with pytest.raises(SpecError, match="unknown engine"):
+        CampaignSpec(name="x", experiments=("E1b",), engines=("warp",)).validate()
+    with pytest.raises(SpecError, match="no scale"):
+        CampaignSpec(name="x", experiments=("E1b",), scales=("galactic",)).validate()
+
+
+def test_json_round_trip_preserves_the_grid(tmp_path):
+    spec = CampaignSpec(
+        name="rt",
+        experiments=("E1b", "A1"),
+        scales=("tiny", "small"),
+        engines=("bitset",),
+        seeds=(42,),
+        description="round trip",
+    )
+    assert CampaignSpec.from_json(spec.to_json()) == spec
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json(), encoding="utf-8")
+    assert load_campaign(path) == spec
+
+
+def test_from_dict_rejects_unknown_keys_and_non_objects():
+    with pytest.raises(SpecError, match="unknown campaign spec keys"):
+        CampaignSpec.from_dict({"name": "x", "experiments": ["E1b"], "shards": 3})
+    with pytest.raises(SpecError, match="missing required key"):
+        CampaignSpec.from_dict({"name": "x"})
+    with pytest.raises(SpecError, match="JSON object"):
+        CampaignSpec.from_dict(["E1b"])
+    with pytest.raises(SpecError, match="not valid JSON"):
+        CampaignSpec.from_json("{nope")
+
+
+def test_committed_smoke_spec_is_loadable_and_valid():
+    """The spec CI runs must always compile against the registry."""
+    from pathlib import Path
+
+    spec = load_campaign(
+        Path(__file__).resolve().parent.parent / "campaigns" / "smoke.json"
+    )
+    spec.validate()
+    assert spec.name == "smoke"
+    assert len(spec.experiments) >= 2
+    assert set(spec.engines) == {"reference", "bitset"}
+    assert spec.scales == ("tiny",)

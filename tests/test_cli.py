@@ -95,3 +95,113 @@ class TestCommands:
             ]
         )
         assert code == 0
+
+    def test_components_lists_engines_and_experiments(self, capsys):
+        """The docs catalog and campaign specs name engines and
+        experiment ids; `components` must list them too."""
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        for section in ("graphs:", "algorithms:", "adversaries:", "problems:",
+                        "engines:", "experiments:"):
+            assert section in out
+        assert "  reference" in out and "  bitset" in out
+        from repro.experiments import ALL_EXPERIMENTS
+
+        for exp_id in ALL_EXPERIMENTS:
+            assert f"  {exp_id}" in out
+
+
+class TestCampaignCommands:
+    GRID = ["E1b", "--scale", "tiny", "--engine", "reference"]
+
+    def test_run_status_and_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "status", *self.GRID, "--store", store]) == 1
+        out = capsys.readouterr().out
+        assert "0/1 shards complete" in out and "pending" in out
+
+        assert main(["campaign", "run", *self.GRID, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "done    E1b@tiny/reference/seed2013" in out
+        assert "1 shards run, 0 resumed" in out
+
+        # Second invocation: everything resumes from checkpoints.
+        assert main(["campaign", "run", *self.GRID, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "resumed E1b@tiny/reference/seed2013" in out
+        assert "0 shards run, 1 resumed" in out
+
+        assert main(["campaign", "status", *self.GRID, "--store", store]) == 0
+        assert "campaign finished" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_experiment(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "E99", "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_status_rejects_unknown_experiment(self, tmp_path, capsys):
+        """A typo'd id must error, not report a forever-pending shard."""
+        code = main(
+            ["campaign", "status", "E99", "--store", str(tmp_path / "s")]
+        )
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_spec_file_is_authoritative(self, tmp_path, capsys):
+        spec_path = tmp_path / "c.json"
+        spec_path.write_text(
+            '{"name": "filed", "experiments": ["E1b"], "scales": ["tiny"]}',
+            encoding="utf-8",
+        )
+        store = str(tmp_path / "store")
+        assert main(
+            ["campaign", "run", "--spec", str(spec_path), "--store", store]
+        ) == 0
+        assert "filed" in capsys.readouterr().out
+        # Mixing --spec with grid flags is an error, not a silent merge.
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "E2a", "--spec", str(spec_path),
+                  "--store", store])
+
+    def test_fresh_reruns_everything(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["campaign", "run", *self.GRID, "--store", store])
+        capsys.readouterr()
+        assert main(
+            ["campaign", "run", *self.GRID, "--store", store, "--fresh"]
+        ) == 0
+        assert "1 shards run, 0 resumed" in capsys.readouterr().out
+
+    def test_report_write_and_staleness_check(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        out_path = tmp_path / "results.md"
+        main(["campaign", "run", *self.GRID, "--store", store])
+        capsys.readouterr()
+
+        # stdout rendering
+        assert main(["campaign", "report", "--store", store,
+                     "--bench-dir", ""]) == 0
+        assert "## Verdicts by cell" in capsys.readouterr().out
+
+        # --check before the file exists: stale
+        assert main(["campaign", "report", "--store", store, "--bench-dir", "",
+                     "--out", str(out_path), "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+        # write, then check: fresh
+        assert main(["campaign", "report", "--store", store, "--bench-dir", "",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "report", "--store", store, "--bench-dir", "",
+                     "--out", str(out_path), "--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+        # tamper with a verdict: stale again
+        out_path.write_text(
+            out_path.read_text(encoding="utf-8").replace("100%", "37%"),
+            encoding="utf-8",
+        )
+        assert main(["campaign", "report", "--store", store, "--bench-dir", "",
+                     "--out", str(out_path), "--check"]) == 1

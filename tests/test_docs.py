@@ -26,10 +26,9 @@ def _load_checker():
 
 def test_docs_tree_exists_and_is_linked_from_readme():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    assert (REPO_ROOT / "docs" / "architecture.md").exists()
-    assert (REPO_ROOT / "docs" / "paper_map.md").exists()
-    assert "docs/architecture.md" in readme
-    assert "docs/paper_map.md" in readme
+    for name in ("architecture.md", "paper_map.md", "experiments.md", "results.md"):
+        assert (REPO_ROOT / "docs" / name).exists()
+        assert f"docs/{name}" in readme
 
 
 def test_links_anchors_fences_and_path_references():
@@ -51,6 +50,45 @@ def test_paper_map_covers_the_figure_one_experiments():
         if not exp_id.startswith("A") and exp_id not in paper_map
     ]
     assert not missing, f"experiments missing from docs/paper_map.md: {missing}"
+
+
+def test_experiment_catalog_covers_the_registry():
+    """tools/check_docs.py enforces the docs/experiments.md catalog."""
+    checker = _load_checker()
+    assert checker.check_experiment_catalog() == []
+
+
+def test_experiment_catalog_check_catches_missing_ids(monkeypatch):
+    """A registered-but-undocumented experiment id fails the check."""
+    import repro.experiments as experiments
+
+    checker = _load_checker()
+    padded = dict(experiments.ALL_EXPERIMENTS)
+    padded["E99"] = None  # value unused by the checker
+    monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", padded)
+    problems = checker.check_experiment_catalog()
+    assert any("`E99`" in problem and "not in the catalog" in problem
+               for problem in problems)
+
+
+def test_experiment_catalog_check_catches_stale_ids(monkeypatch):
+    """A documented id that left the registry fails the check too."""
+    import repro.experiments as experiments
+
+    checker = _load_checker()
+    shrunk = {k: v for k, v in experiments.ALL_EXPERIMENTS.items() if k != "E9"}
+    monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", shrunk)
+    problems = checker.check_experiment_catalog()
+    assert any("`E9`" in problem and "not a registered" in problem
+               for problem in problems)
+
+
+def test_results_md_is_generated_and_marked():
+    from repro.campaign import GENERATED_MARKER
+
+    results = (REPO_ROOT / "docs" / "results.md").read_text(encoding="utf-8")
+    assert GENERATED_MARKER in results
+    assert "## Verdicts by cell" in results
 
 
 def test_readme_engine_names_match_registry():

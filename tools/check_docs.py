@@ -12,7 +12,11 @@ the test suite (tests/test_docs.py):
 * inline-code references to repository paths (``src/...``,
   ``tests/...``, ``benchmarks/...``, ``docs/...``, ``examples/...``)
   must exist — this is what keeps docs/paper_map.md honest as modules
-  move.
+  move;
+* the experiment catalog (``docs/experiments.md``) must name every
+  experiment id registered in ``repro.experiments.ALL_EXPERIMENTS``
+  (and must not name ids that no longer exist) — this is what keeps
+  the catalog honest as the registry grows.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -24,6 +28,11 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The catalog check imports the experiment registry; make the script
+# runnable from a bare checkout (no `pip install -e .`) too.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Documents under check: the README plus the whole docs tree.
 DOCUMENTS = ["README.md", *sorted(str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md"))]
@@ -113,10 +122,43 @@ def check_document(relative: str) -> list[str]:
     return problems
 
 
+#: Experiment ids as they appear in prose: `E1a`, `E7b`, `A2`, …
+_EXP_ID_RE = re.compile(r"`([EA]\d+[a-z]?)`")
+
+CATALOG = "docs/experiments.md"
+
+
+def check_experiment_catalog() -> list[str]:
+    """The catalog names exactly the registered experiment ids.
+
+    Missing ids fail (a new experiment landed without documentation);
+    unknown ids fail too (the catalog drifted ahead of — or kept a
+    removed entry from — the registry).
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    path = REPO_ROOT / CATALOG
+    if not path.exists():
+        return [f"{CATALOG}: missing (the experiment catalog is mandatory)"]
+    text = path.read_text(encoding="utf-8")
+    mentioned = set(_EXP_ID_RE.findall(text))
+    problems = [
+        f"{CATALOG}: registered experiment `{exp_id}` is not in the catalog"
+        for exp_id in sorted(ALL_EXPERIMENTS)
+        if exp_id not in mentioned
+    ]
+    problems.extend(
+        f"{CATALOG}: `{exp_id}` is not a registered experiment id"
+        for exp_id in sorted(mentioned - set(ALL_EXPERIMENTS))
+    )
+    return problems
+
+
 def main() -> int:
     all_problems: list[str] = []
     for document in DOCUMENTS:
         all_problems.extend(check_document(document))
+    all_problems.extend(check_experiment_catalog())
     if all_problems:
         print(f"docs check: {len(all_problems)} problem(s)")
         for problem in all_problems:
