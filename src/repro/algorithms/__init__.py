@@ -43,6 +43,12 @@ from repro.algorithms.local_static import (
     StaticLocalDecayProcess,
     make_static_local_broadcast,
 )
+from repro.algorithms.multi_message import (
+    BackoffMultiMessageProcess,
+    GklnMultiMessageProcess,
+    make_backoff_multi_message,
+    make_gkln_multi_message,
+)
 from repro.algorithms.permuted_decay import PermutedDecaySchedule
 from repro.algorithms.round_robin import (
     RoundRobinGlobalProcess,
@@ -83,4 +89,8 @@ __all__ = [
     "make_uniform_local_broadcast",
     "UniformGlobalProcess",
     "make_uniform_global_broadcast",
+    "GklnMultiMessageProcess",
+    "BackoffMultiMessageProcess",
+    "make_gkln_multi_message",
+    "make_backoff_multi_message",
 ]

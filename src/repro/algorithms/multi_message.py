@@ -1,0 +1,398 @@
+"""MAC-level multi-message protocols: GKLN queueing and simple back-off.
+
+Two dissemination strategies for the multi-message broadcast problem,
+both executed as ordinary :class:`~repro.core.process.Process` state
+machines on the radio engines (the *simulated* MAC realization — see
+:mod:`repro.mac.simulated`):
+
+* :class:`GklnMultiMessageProcess` (``"gkln-multi-message"``) — the
+  GKLN Basic Multi-Message Broadcast discipline: relay every newly
+  learned message exactly once, FIFO, one ``bcast`` at a time; a
+  bcast occupies one MAC **ack window** (``f_ack`` rounds of decay
+  ladder contention resolution), and the next queued message starts
+  when the previous window's local acknowledgment fires. Its oracle
+  counterpart serializes service slots the same way
+  (``mac_discipline: "queued"``).
+* :class:`BackoffMultiMessageProcess` (``"backoff-multi-message"``) —
+  the Gilbert–Lynch–Newport–Pajak style *simple back-off*: no ack
+  pacing at all; every node holding messages transmits each round with
+  a back-off probability (fixed, or halving per quiet epoch) and
+  rotates deterministically through its whole knowledge set. All
+  messages share the channel concurrently
+  (``mac_discipline: "concurrent"``).
+
+Both processes keep their transition rule a pure function of
+``(feedback history, round index)``: time-driven transitions (window
+expiry, back-off epochs) are *derived* lazily by an idempotent
+``_advance(r)`` normalization instead of being pushed by per-round
+feedback, which is what licenses ``idle_feedback_noop`` /
+``transmit_feedback_noop`` and keeps the bitset engine's incremental
+signature tracking exact (``tests/test_engine_equivalence.py`` holds
+both protocols to full-trace identity across engines).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.algorithms.base import AlgorithmSpec, clamp_probability, log2_ceil
+from repro.core.messages import Message, MessageKind
+from repro.core.process import SILENT_SIGNATURE, Process, ProcessContext, RoundPlan
+from repro.mac.base import MessageAssignment, spec_messages
+from repro.mac.simulated import SimulatedMACLayer
+from repro.registry import register_algorithm
+
+__all__ = [
+    "GklnMultiMessageProcess",
+    "BackoffMultiMessageProcess",
+    "make_gkln_multi_message",
+    "make_backoff_multi_message",
+]
+
+
+def _initial_messages(ctx: ProcessContext, assignment: MessageAssignment) -> list[Message]:
+    """The messages this node originates, as fresh DATA messages."""
+    return [
+        Message(
+            MessageKind.DATA,
+            origin=ctx.node_id,
+            payload=assignment.payload(index),
+            tag=index,
+        )
+        for index in assignment.indices_at(ctx.node_id)
+    ]
+
+
+class GklnMultiMessageProcess(Process):
+    """One node of the GKLN queued multi-message discipline.
+
+    State: the set of known message payloads, a FIFO of messages not
+    yet acknowledged, and the round the head's ack window opened.
+    Window expiry (the local MAC acknowledgment) is time-driven, so
+    :meth:`_advance` folds any number of elapsed windows into the
+    queue before every state read — idempotent, monotone in ``r``, and
+    therefore safe to call from ``plan``/``plan_signature`` on both
+    engines.
+
+    The abstract MAC contract acks a ``bcast`` only once every
+    ``G``-neighbor holds it; the simulated realization's time-based
+    ack is *optimistic* — a window can elapse without reaching a faded
+    neighbor, and a one-shot relay would then strand the message
+    forever. The realization therefore keeps acknowledged messages
+    available at a low background duty cycle
+    (``persist_probability``, default ``1/(2(Δ+1))``): once the queue
+    drains, the node rotates through everything it knows at that rate,
+    which restores the layer's eventual-delivery guarantee without
+    materially changing the ack-paced completion times the ``M*``
+    experiments measure.
+    """
+
+    idle_feedback_noop = True
+    transmit_feedback_noop = True
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        *,
+        assignment: MessageAssignment,
+        window: int,
+        rungs: int,
+        persist_probability: Optional[float] = None,
+    ) -> None:
+        super().__init__(ctx)
+        if window < 1 or rungs < 1:
+            raise ValueError(f"need window ≥ 1 and rungs ≥ 1, got {window}, {rungs}")
+        self.assignment = assignment
+        self.window = window
+        self.rungs = rungs
+        self.persist_probability = clamp_probability(
+            persist_probability
+            if persist_probability is not None
+            else 1.0 / (2.0 * (ctx.max_degree + 1))
+        )
+        self._queue: deque[Message] = deque(_initial_messages(ctx, assignment))
+        self._known = {message.payload for message in self._queue}
+        self._all_known: list[Message] = list(self._queue)
+        self._head_start: Optional[int] = 0 if self._queue else None
+
+    def _advance(self, round_index: int) -> None:
+        """Fold elapsed ack windows: every full window pops its head."""
+        start = self._head_start
+        if start is None:
+            return
+        while self._queue and start + self.window <= round_index:
+            self._queue.popleft()
+            start += self.window
+        self._head_start = start if self._queue else None
+
+    def _background(self, round_index: int) -> Optional[Message]:
+        """The persistence rotation's message for this round, if any."""
+        if not self._all_known or self.persist_probability <= 0.0:
+            return None
+        return self._all_known[(round_index + self.node_id) % len(self._all_known)]
+
+    def plan(self, round_index: int) -> RoundPlan:
+        self._advance(round_index)
+        start = self._head_start
+        if start is None:
+            message = self._background(round_index)
+            if message is None:
+                return RoundPlan.silence()
+            return RoundPlan(probability=self.persist_probability, message=message)
+        slot = round_index - start
+        probability = 2.0 ** (-(slot % self.rungs) - 1)
+        return RoundPlan(probability=probability, message=self._queue[0])
+
+    def plan_signature(self, round_index: int):
+        self._advance(round_index)
+        start = self._head_start
+        if start is None:
+            message = self._background(round_index)
+            if message is None:
+                return SILENT_SIGNATURE
+            return ("bg", id(message))
+        slot = round_index - start
+        return (id(self._queue[0]), slot % self.rungs)
+
+    def plan_signature_expiry(self, round_index: int) -> Optional[int]:
+        # Serving nodes climb the ladder and persisting nodes rotate
+        # their knowledge every round; only truly silent (uninformed)
+        # nodes change state exclusively through reception.
+        self._advance(round_index)
+        if self._head_start is not None or self._all_known:
+            return round_index + 1
+        return None
+
+    def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:
+        self._advance(round_index)
+        if received is None or not received.is_data():
+            return
+        if self.assignment.index_of(received.payload) is None:
+            return
+        if received.payload in self._known:
+            return
+        self._known.add(received.payload)
+        self._queue.append(received)
+        self._all_known.append(received)
+        if self._head_start is None:
+            # The queue was idle: the new message's window opens next round.
+            self._head_start = round_index + 1
+
+    def describe_state(self) -> str:
+        return (
+            f"gkln(node={self.node_id}, known={len(self._known)}, "
+            f"pending={len(self._queue)})"
+        )
+
+
+class BackoffMultiMessageProcess(Process):
+    """One node of the simple back-off multi-message protocol.
+
+    Every node holding at least one message transmits each round with
+    the regime's probability, rotating deterministically through its
+    knowledge list (offset by its node id so neighbors holding the
+    same set do not always push the same message). ``"fixed"`` uses a
+    constant rate; ``"exponential"`` halves the rate every
+    ``backoff_window`` rounds without new knowledge — GLNP's back-off
+    shape — and resets on every fresh reception.
+    """
+
+    idle_feedback_noop = True
+    transmit_feedback_noop = True
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        *,
+        assignment: MessageAssignment,
+        probability: Optional[float],
+        regime: str,
+        backoff_window: int,
+    ) -> None:
+        super().__init__(ctx)
+        if regime not in ("fixed", "exponential"):
+            raise ValueError(f"unknown back-off regime {regime!r}")
+        if backoff_window < 1:
+            raise ValueError(f"backoff_window must be ≥ 1, got {backoff_window}")
+        self.assignment = assignment
+        self.regime = regime
+        self.backoff_window = backoff_window
+        if probability is not None:
+            self.base_probability = clamp_probability(float(probability))
+        elif regime == "fixed":
+            self.base_probability = 1.0 / (ctx.max_degree + 1)
+        else:
+            self.base_probability = 0.5
+        self.min_probability = 1.0 / (2.0 * ctx.n)
+        self._known: list[Message] = _initial_messages(ctx, assignment)
+        self._known_payloads = {message.payload for message in self._known}
+        self._last_new = 0  # round of the most recent knowledge gain
+
+    def _probability(self, round_index: int) -> float:
+        if self.regime == "fixed":
+            return self.base_probability
+        epoch = max(0, round_index - self._last_new) // self.backoff_window
+        return max(self.min_probability, self.base_probability * 2.0 ** (-epoch))
+
+    def _current(self, round_index: int) -> Message:
+        return self._known[(round_index + self.node_id) % len(self._known)]
+
+    def plan(self, round_index: int) -> RoundPlan:
+        if not self._known:
+            return RoundPlan.silence()
+        return RoundPlan(
+            probability=self._probability(round_index),
+            message=self._current(round_index),
+        )
+
+    def plan_signature(self, round_index: int):
+        if not self._known:
+            return SILENT_SIGNATURE
+        return (id(self._current(round_index)), self._probability(round_index))
+
+    def plan_signature_expiry(self, round_index: int) -> Optional[int]:
+        # The rotation moves every round while holding messages; empty
+        # nodes change only on reception.
+        return round_index + 1 if self._known else None
+
+    def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:
+        if received is None or not received.is_data():
+            return
+        if self.assignment.index_of(received.payload) is None:
+            return
+        if received.payload in self._known_payloads:
+            return
+        self._known_payloads.add(received.payload)
+        self._known.append(received)
+        # New knowledge resets the back-off clock from the next round.
+        self._last_new = round_index + 1
+
+    def describe_state(self) -> str:
+        return f"backoff(node={self.node_id}, known={len(self._known)})"
+
+
+# ----------------------------------------------------------------------
+# Spec builders
+# ----------------------------------------------------------------------
+def make_gkln_multi_message(
+    n: int,
+    max_degree: int,
+    assignment: MessageAssignment,
+    mac: SimulatedMACLayer,
+    *,
+    window: Optional[int] = None,
+    persist_probability: Optional[float] = None,
+) -> AlgorithmSpec:
+    """Spec for the GKLN queued protocol over a simulated MAC layer."""
+    rungs = (
+        mac.ladder_rungs(max_degree)
+        if hasattr(mac, "ladder_rungs")
+        else log2_ceil(max_degree + 1)
+    )
+    resolved_window = window if window is not None else mac.f_ack(n, max_degree)
+
+    def factory(ctx: ProcessContext) -> GklnMultiMessageProcess:
+        return GklnMultiMessageProcess(
+            ctx,
+            assignment=assignment,
+            window=resolved_window,
+            rungs=rungs,
+            persist_probability=persist_probability,
+        )
+
+    return AlgorithmSpec(
+        name=f"gkln-multi-message(k={assignment.k}, W={resolved_window})",
+        factory=factory,
+        metadata={
+            "family": "mac-multi-message",
+            "problem": "multi-message",
+            "mac_discipline": "queued",
+            "k": assignment.k,
+            "sources": sorted(assignment.sources),
+            "ack_window": resolved_window,
+            "rungs": rungs,
+        },
+    )
+
+
+def make_backoff_multi_message(
+    n: int,
+    assignment: MessageAssignment,
+    *,
+    probability: Optional[float] = None,
+    regime: str = "fixed",
+    backoff_window: Optional[int] = None,
+) -> AlgorithmSpec:
+    """Spec for the simple back-off protocol (no ack pacing)."""
+    resolved_window = backoff_window if backoff_window is not None else log2_ceil(n)
+
+    def factory(ctx: ProcessContext) -> BackoffMultiMessageProcess:
+        return BackoffMultiMessageProcess(
+            ctx,
+            assignment=assignment,
+            probability=probability,
+            regime=regime,
+            backoff_window=resolved_window,
+        )
+
+    label = regime if probability is None else f"{regime}, p={probability:g}"
+    return AlgorithmSpec(
+        name=f"backoff-multi-message(k={assignment.k}, {label})",
+        factory=factory,
+        metadata={
+            "family": "mac-multi-message",
+            "problem": "multi-message",
+            "mac_discipline": "concurrent",
+            "k": assignment.k,
+            "sources": sorted(assignment.sources),
+            "regime": regime,
+            "backoff_window": resolved_window,
+        },
+    )
+
+
+def _context_mac(ctx) -> SimulatedMACLayer:
+    """The spec's MAC layer, defaulting to the simulated realization.
+
+    Oracle-mode MACs are accepted too: their guarantee functions size
+    the ack window identically, and when the trial actually runs in
+    oracle mode the per-node processes built here are never invoked.
+    """
+    return ctx.mac if ctx.mac is not None else SimulatedMACLayer()
+
+
+@register_algorithm("gkln-multi-message")
+def _spec_gkln_multi_message(
+    ctx,
+    *,
+    ack_window: Optional[int] = None,
+    persist_probability: Optional[float] = None,
+) -> AlgorithmSpec:
+    return make_gkln_multi_message(
+        ctx.graph.n,
+        ctx.graph.max_degree,
+        spec_messages(ctx),
+        _context_mac(ctx),
+        window=None if ack_window is None else int(ack_window),
+        persist_probability=(
+            None if persist_probability is None else float(persist_probability)
+        ),
+    )
+
+
+@register_algorithm("backoff-multi-message")
+def _spec_backoff_multi_message(
+    ctx,
+    *,
+    probability: Optional[float] = None,
+    regime: str = "fixed",
+    backoff_window: Optional[int] = None,
+) -> AlgorithmSpec:
+    return make_backoff_multi_message(
+        ctx.graph.n,
+        spec_messages(ctx),
+        probability=None if probability is None else float(probability),
+        regime=str(regime),
+        backoff_window=None if backoff_window is None else int(backoff_window),
+    )

@@ -48,6 +48,13 @@ class PreparedTrial:
     ``engine`` selects the round-loop implementation
     (:data:`repro.core.engine.ENGINE_NAMES`): ``"reference"`` or the
     seed-for-seed identical ``"bitset"`` fast path.
+
+    ``mac`` (optional) is the trial's abstract MAC layer
+    (:class:`repro.mac.base.AbstractMACLayer`). Engine-mode layers are
+    already compiled into the algorithm's processes and change nothing
+    here; an *oracle*-mode layer replaces the round loop entirely —
+    :func:`run_prepared_trial` routes such trials to the event-driven
+    simulation in :mod:`repro.mac.oracle`.
     """
 
     network: DualGraph
@@ -57,6 +64,7 @@ class PreparedTrial:
     max_rounds: int
     validate_topologies: bool = False
     engine: str = "reference"
+    mac: object = None
 
 
 #: A scenario builds a fresh :class:`PreparedTrial` from a trial seed.
@@ -153,13 +161,31 @@ class TrialStats:
         }
 
 
-def run_prepared_trial(trial: PreparedTrial, seed: int) -> TrialResult:
-    """Execute one prepared trial to completion or its round cap."""
+def run_prepared_trial(
+    trial: PreparedTrial, seed: int, *, observer=None
+) -> TrialResult:
+    """Execute one prepared trial to completion or its round cap.
+
+    ``observer`` (optional) substitutes a caller-held problem observer
+    for the freshly made one, so callers that need per-problem detail
+    beyond the :class:`TrialResult` (e.g. per-message completion
+    rounds) can read it off after the run instead of duplicating the
+    engine-invocation sequence. Ignored on the oracle path, which has
+    no engine rounds to observe.
+    """
+    mac = trial.mac
+    if mac is not None and getattr(mac, "mode", "engine") == "oracle":
+        # Oracle-mode MAC layers skip the radio engine: delays are
+        # sampled straight from the guarantee envelopes.
+        from repro.mac.oracle import run_oracle_trial
+
+        return run_oracle_trial(trial, seed)
     network = trial.network
     processes = trial.algorithm.build_processes(
         network.n, network.max_degree, seed=seed
     )
-    observer = trial.problem.make_observer()
+    if observer is None:
+        observer = trial.problem.make_observer()
     engine = create_engine(
         network,
         processes,

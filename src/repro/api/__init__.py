@@ -13,7 +13,10 @@ cross-products lives here:
   entry points;
 * :class:`CampaignSpec` / :class:`CampaignRunner` / :class:`ResultStore`
   — the campaign layer (re-exported from :mod:`repro.campaign`): whole
-  experiment grids as sharded, checkpointed, resumable runs.
+  experiment grids as sharded, checkpointed, resumable runs;
+* :class:`SimulatedMACLayer` / :class:`OracleMACLayer` — the abstract
+  MAC layers (re-exported from :mod:`repro.mac`) behind a spec's
+  ``mac=`` / ``messages=`` sections and the multi-message workloads.
 
 See README.md for a quickstart and a JSON spec example.
 """
@@ -28,16 +31,25 @@ from repro.campaign import (
 )
 from repro.api.facade import Simulation, load_spec, run_spec, sweep
 from repro.api.spec import ComponentRef, ScenarioSpec, build_prepared_trial
+from repro.mac import (
+    AbstractMACLayer,
+    MessageAssignment,
+    OracleMACLayer,
+    SimulatedMACLayer,
+    multi_message_detail,
+)
 from repro.registry import (
     ADVERSARIES,
     ALGORITHMS,
     GRAPHS,
+    MACS,
     PROBLEMS,
     Registry,
     ScenarioContext,
     register_adversary,
     register_algorithm,
     register_graph,
+    register_mac,
     register_problem,
 )
 
@@ -58,10 +70,17 @@ __all__ = [
     "ALGORITHMS",
     "ADVERSARIES",
     "PROBLEMS",
+    "MACS",
     "register_graph",
     "register_algorithm",
     "register_adversary",
     "register_problem",
+    "register_mac",
+    "AbstractMACLayer",
+    "SimulatedMACLayer",
+    "OracleMACLayer",
+    "MessageAssignment",
+    "multi_message_detail",
     "CampaignSpec",
     "CampaignRunner",
     "ResultStore",

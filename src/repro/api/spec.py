@@ -31,7 +31,14 @@ from typing import Any, Mapping, Optional
 from repro.analysis.runner import PreparedTrial, default_round_cap
 from repro.core.engine import ENGINE_NAMES
 from repro.core.errors import SpecError
-from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS, ScenarioContext
+from repro.registry import (
+    ADVERSARIES,
+    ALGORITHMS,
+    GRAPHS,
+    MACS,
+    PROBLEMS,
+    ScenarioContext,
+)
 
 __all__ = ["ComponentRef", "ScenarioSpec", "build_prepared_trial"]
 
@@ -133,6 +140,16 @@ class ScenarioSpec:
     validate_topologies: bool = False
     name: Optional[str] = None
     engine: str = "reference"
+    #: Optional abstract MAC layer (``repro.mac``): a registry ref such
+    #: as ``("simulated", {})`` or ``("oracle", {"f_ack_factor": 2})``.
+    #: ``None`` means "no MAC indirection" — multi-message algorithms
+    #: then default to a plain simulated layer.
+    mac: Optional[ComponentRef] = None
+    #: Optional multi-message workload, e.g. ``{"k": 4, "sources":
+    #: "random"}`` — resolved per trial seed into a
+    #: :class:`~repro.mac.base.MessageAssignment` and consumed by the
+    #: ``multi-message`` problem and the MAC-level algorithms.
+    messages: Optional[dict] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "graph", ComponentRef.of(self.graph, kind="graph"))
@@ -143,6 +160,21 @@ class ScenarioSpec:
         object.__setattr__(
             self, "adversary", ComponentRef.of(self.adversary, kind="adversary")
         )
+        if self.mac is not None:
+            object.__setattr__(self, "mac", ComponentRef.of(self.mac, kind="mac"))
+        if self.messages is not None:
+            if not isinstance(self.messages, Mapping):
+                raise SpecError(
+                    f"messages must be a mapping, got {type(self.messages).__name__}"
+                )
+            object.__setattr__(
+                self,
+                "messages",
+                {
+                    str(k): _check_json_value(v, "messages")
+                    for k, v in self.messages.items()
+                },
+            )
         if self.max_rounds is not None:
             # Coerce: a float cap (e.g. 96.0 * n from a scale formula)
             # must serialize and compare identically after a JSON trip.
@@ -178,6 +210,10 @@ class ScenarioSpec:
             "validate_topologies": self.validate_topologies,
             "engine": self.engine,
         }
+        if self.mac is not None:
+            data["mac"] = self.mac.to_dict()
+        if self.messages is not None:
+            data["messages"] = dict(self.messages)
         if self.name is not None:
             data["name"] = self.name
         return data
@@ -195,6 +231,8 @@ class ScenarioSpec:
             "validate_topologies",
             "name",
             "engine",
+            "mac",
+            "messages",
         }
         unknown = set(data) - known
         if unknown:
@@ -212,6 +250,12 @@ class ScenarioSpec:
             validate_topologies=bool(data.get("validate_topologies", False)),
             name=data.get("name"),
             engine=str(data.get("engine", "reference")),
+            mac=(
+                None
+                if data.get("mac") is None
+                else ComponentRef.of(data["mac"], kind="mac")
+            ),
+            messages=data.get("messages"),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -228,26 +272,39 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     # Derivation (sweeps)
     # ------------------------------------------------------------------
-    _SECTIONS = ("graph", "problem", "algorithm", "adversary")
+    _SECTIONS = ("graph", "problem", "algorithm", "adversary", "mac")
 
     def with_param(self, path: str, value: object) -> "ScenarioSpec":
         """A copy with one dotted-path parameter replaced.
 
-        ``"graph.n"`` sets the graph's ``n`` parameter; the bare field
-        names ``"max_rounds"`` / ``"validate_topologies"`` / ``"name"``
-        / ``"engine"`` set the spec's own fields. This is how
-        :func:`repro.api.sweep` derives one spec per swept value and
-        how ``--engine`` overrides ride along an experiment.
+        ``"graph.n"`` sets the graph's ``n`` parameter; ``"mac.<p>"``
+        sets a MAC-layer parameter (the spec must already carry a
+        ``mac``); ``"messages.<key>"`` edits the message workload (so
+        ``sweep(spec, "messages.k", …)`` sweeps the message load); the
+        bare field names ``"max_rounds"`` / ``"validate_topologies"``
+        / ``"name"`` / ``"engine"`` set the spec's own fields. This is
+        how :func:`repro.api.sweep` derives one spec per swept value
+        and how ``--engine`` overrides ride along an experiment.
         """
         if path in ("max_rounds", "validate_topologies", "name", "engine"):
             return dataclasses.replace(self, **{path: value})
         section, dot, key = path.partition(".")
+        if section == "messages" and dot and key:
+            messages = dict(self.messages or {})
+            messages[key] = value
+            return dataclasses.replace(self, messages=messages)
         if not dot or section not in self._SECTIONS or not key:
             raise SpecError(
                 f"bad parameter path {path!r}; use '<section>.<param>' with "
-                f"section in {self._SECTIONS} or a top-level field name"
+                f"section in {self._SECTIONS + ('messages',)} or a top-level "
+                "field name"
             )
-        ref: ComponentRef = getattr(self, section)
+        ref: Optional[ComponentRef] = getattr(self, section)
+        if ref is None:
+            raise SpecError(
+                f"cannot set {path!r}: the spec has no {section} section "
+                "(set one before deriving its parameters)"
+            )
         return dataclasses.replace(self, **{section: ref.with_param(key, value)})
 
     def describe(self) -> str:
@@ -284,11 +341,23 @@ def _build_network(spec: "ScenarioSpec", ctx: ScenarioContext):
 
 
 def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
-    """Resolve a spec's components through the registries for one seed."""
+    """Resolve a spec's components through the registries for one seed.
+
+    Build order: graph → messages → MAC → problem → algorithm →
+    adversary — the message workload and MAC layer come right after
+    the graph because the multi-message problem and the MAC-level
+    algorithms both read them from the context.
+    """
     ctx = ScenarioContext(seed=seed)
     network = _build_network(spec, ctx)
     ctx.network = network
     ctx.graph = getattr(network, "graph", network)
+    if spec.messages is not None:
+        from repro.mac.base import resolve_messages
+
+        ctx.messages = resolve_messages(ctx, spec.messages)
+    if spec.mac is not None:
+        ctx.mac = MACS.build(spec.mac.name, ctx, spec.mac.params)
     ctx.problem = PROBLEMS.build(spec.problem.name, ctx, spec.problem.params)
     ctx.algorithm = ALGORITHMS.build(spec.algorithm.name, ctx, spec.algorithm.params)
     adversary = ADVERSARIES.build(spec.adversary.name, ctx, spec.adversary.params)
@@ -305,4 +374,5 @@ def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
         max_rounds=cap,
         validate_topologies=spec.validate_topologies,
         engine=spec.engine,
+        mac=ctx.mac,
     )

@@ -34,7 +34,12 @@ from repro.campaign.runner import (
     shard_record,
 )
 from repro.campaign.spec import CampaignSpec, Shard, load_campaign
-from repro.campaign.store import SCHEMA_VERSION, ResultStore, StoreError
+from repro.campaign.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreCompatWarning,
+    StoreError,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -42,6 +47,7 @@ __all__ = [
     "load_campaign",
     "ResultStore",
     "StoreError",
+    "StoreCompatWarning",
     "SCHEMA_VERSION",
     "CampaignRunner",
     "CampaignStatus",

@@ -24,13 +24,14 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
 from repro.campaign.spec import Shard
 from repro.core.errors import ReproError
 
-__all__ = ["ResultStore", "StoreError", "SCHEMA_VERSION"]
+__all__ = ["ResultStore", "StoreError", "StoreCompatWarning", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -51,6 +52,18 @@ _REQUIRED_SHARD_KEYS = (
 
 class StoreError(ReproError):
     """A result store directory or record is unusable."""
+
+
+class StoreCompatWarning(RuntimeWarning):
+    """The store skipped records it does not understand.
+
+    Emitted (once per merge) when a checkpoint file contains records
+    with an unknown ``schema`` version or ``kind`` — e.g. a store
+    written by a newer release introducing a new record kind. Skipping
+    keeps the merge usable for every record this release *does*
+    understand instead of failing the whole read; the skipped shards
+    simply count as not-yet-measured (and re-run on resume).
+    """
 
 
 class ResultStore:
@@ -145,15 +158,35 @@ class ResultStore:
 
         If a shard id was recorded twice (e.g. ``--fresh`` semantics
         implemented by re-running), the *last* record wins.
+
+        Forward compatibility: records with an unknown ``schema``
+        version or ``kind``, or missing required shard keys, are
+        skipped — with a single :class:`StoreCompatWarning` per merge —
+        so a store touched by a newer release stays readable for
+        everything this release understands.
         """
         names = [campaign] if campaign is not None else self.campaigns()
         merged: dict[tuple[str, str], dict] = {}
+        skipped = 0
         for name in names:
             for record in self._iter_lines(self.shard_path(name)):
-                if record.get("kind") != "shard":
+                if (
+                    record.get("kind") != "shard"
+                    or record.get("schema") != SCHEMA_VERSION
+                    or any(key not in record for key in _REQUIRED_SHARD_KEYS)
+                ):
+                    skipped += 1
                     continue
                 key = (str(record.get("campaign")), str(record.get("shard_id")))
                 merged[key] = record
+        if skipped:
+            warnings.warn(
+                f"result store {self.root} skipped {skipped} record(s) with an "
+                f"unknown schema/kind (this release reads schema "
+                f"{SCHEMA_VERSION} 'shard' records)",
+                StoreCompatWarning,
+                stacklevel=2,
+            )
         return list(merged.values())
 
     def completed_ids(self, campaign: str) -> set[str]:
@@ -176,6 +209,7 @@ class ResultStore:
         if self.bench_dir is None or not self.bench_dir.is_dir():
             return []
         records = []
+        skipped = 0
         for path in sorted(self.bench_dir.glob("BENCH_*.json")):
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
@@ -185,8 +219,18 @@ class ResultStore:
                 continue
             payload.setdefault("schema", SCHEMA_VERSION)
             payload.setdefault("kind", "bench")
+            if payload["kind"] != "bench" or payload["schema"] != SCHEMA_VERSION:
+                skipped += 1
+                continue
             payload["artifact"] = path.name
             records.append(payload)
+        if skipped:
+            warnings.warn(
+                f"bench directory {self.bench_dir} skipped {skipped} artifact(s) "
+                f"with an unknown schema/kind",
+                StoreCompatWarning,
+                stacklevel=2,
+            )
         return records
 
     # ------------------------------------------------------------------

@@ -11,8 +11,10 @@ Entry points (also available as ``python -m repro``):
   numbers are produced);
 * ``run-spec SPEC.json [--trials N] [--parallel [W]]`` — execute a
   declarative :class:`~repro.api.spec.ScenarioSpec` from a JSON file;
-* ``components`` — list every registered graph family, algorithm,
-  adversary, problem, engine, and experiment id a spec may name;
+* ``components [--json]`` — list every registered graph family,
+  algorithm, adversary, problem, MAC layer, engine, and experiment id
+  a spec may name (``--json`` emits the machine-readable payload that
+  ``tools/check_docs.py`` consumes);
 * ``campaign run|status|report`` — sharded, resumable grid runs
   (experiments × scales × engines × seeds) with per-shard checkpoints
   in a persistent result store, and the ``docs/results.md`` generator
@@ -34,7 +36,7 @@ from typing import Optional, Sequence
 
 from repro.analysis.tables import render_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "components_payload"]
 
 
 #: nargs='?' const for a bare ``--parallel``. A non-string sentinel:
@@ -162,6 +164,36 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return status
 
 
+def _print_multi_message_detail(spec, master_seed: int) -> None:
+    """Per-message completion rounds for the batch's first trial seed.
+
+    Re-runs trial 0 (executors cannot ship problem observers back from
+    worker processes, and one extra deterministic trial is cheaper than
+    threading observer state through the pool protocol). A spec whose
+    problem is not multi-message has nothing to report — its unused
+    ``messages`` section is noted rather than crashing the verb.
+    """
+    from repro.core.errors import ReproError
+    from repro.core.rng import derive_seed
+    from repro.mac import multi_message_detail
+
+    try:
+        detail = multi_message_detail(spec, derive_seed(master_seed, "trial", 0))
+    except ReproError as exc:
+        print(f"(no per-message detail: {exc})", file=sys.stderr)
+        return
+    print(
+        render_table(
+            ["message", "source", "completed round"],
+            detail.rows(),
+            title=(
+                f"per-message completion (trial 0, seed {detail.seed}, "
+                f"total {'—' if not detail.solved else detail.rounds} rounds):"
+            ),
+        )
+    )
+
+
 def _cmd_run_spec(args: argparse.Namespace) -> int:
     from repro.api import Simulation, load_spec
     from repro.core.errors import ReproError
@@ -199,6 +231,10 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
             list(row), [list(row.values())], title="aggregated trials:"
         )
     )
+    if simulation.spec.messages is not None:
+        # Multi-message workloads report per message too: the problem's
+        # acceptance question is when *each* message finished.
+        _print_multi_message_detail(simulation.spec, args.seed)
     if args.verbose:
         for result in stats.results:
             status = "solved" if result.solved else "cap hit"
@@ -207,24 +243,42 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     return 0 if stats.successes == stats.trials else 1
 
 
-def _cmd_components(args: argparse.Namespace) -> int:
+def components_payload() -> dict:
+    """Machine-readable registry contents: section name → sorted names.
+
+    The single source of truth for "what exists": the ``repro
+    components`` verb renders it (``--json`` emits it verbatim) and
+    ``tools/check_docs.py`` consumes it to hold the documentation to
+    the live registries — tooling reads this payload instead of
+    importing registry modules ad hoc.
+    """
     from repro.core.engine import ENGINE_NAMES
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, PROBLEMS
+    from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, MACS, PROBLEMS
 
-    for registry in (GRAPHS, ALGORITHMS, ADVERSARIES, PROBLEMS):
-        print(f"{registry.plural}:")
-        for name in registry.names():
-            print(f"  {name}")
+    payload = {
+        registry.plural: registry.names()
+        for registry in (GRAPHS, ALGORITHMS, ADVERSARIES, PROBLEMS, MACS)
+    }
     # Engines and experiment ids are registries too — the docs catalog
     # (docs/experiments.md) and campaign specs name them, so the CLI
     # must list them for the two to stay checkable against each other.
-    print("engines:")
-    for name in ENGINE_NAMES:
-        print(f"  {name}")
-    print("experiments:")
-    for exp_id in sorted(ALL_EXPERIMENTS):
-        print(f"  {exp_id}")
+    payload["engines"] = list(ENGINE_NAMES)
+    payload["experiments"] = sorted(ALL_EXPERIMENTS)
+    return payload
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    import json
+
+    payload = components_payload()
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for section, names in payload.items():
+        print(f"{section}:")
+        for name in names:
+            print(f"  {name}")
     return 0
 
 
@@ -533,12 +587,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("paper", help="print the reproduced Figure-1 table").set_defaults(
         func=_cmd_paper
     )
-    sub.add_parser(
+    components = sub.add_parser(
         "components", help="list registered ScenarioSpec components"
-    ).set_defaults(func=_cmd_components)
+    )
+    components.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry contents as JSON for tooling",
+    )
+    components.set_defaults(func=_cmd_components)
 
     run = sub.add_parser("run", help="run one experiment and print its report")
-    run.add_argument("experiment", help="experiment id, e.g. E5 or A1")
+    run.add_argument("experiment", help="experiment id, e.g. E5, A1, or M1")
     run.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
     run.add_argument("--seed", type=int, default=2013)
     run.add_argument("--verbose", action="store_true")

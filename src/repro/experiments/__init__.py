@@ -1,9 +1,11 @@
-"""Experiment registry: every Figure-1 cell and ablation, runnable.
+"""Experiment registry: every Figure-1 cell, ablation, and MAC workload.
 
 ``ALL_EXPERIMENTS`` maps experiment ids (``"E1a" … "E9"``, ``"A1" …
-"A3"``) to :class:`~repro.experiments.registry.Experiment` bundles;
-benches run them at ``small``/``full`` scale, integration tests at
-``tiny``.
+"A3"``, ``"M1" … "M3"``) to
+:class:`~repro.experiments.registry.Experiment` bundles; benches run
+them at ``small``/``full`` scale, integration tests at ``tiny``. The
+``M*`` family measures multi-message broadcast over the abstract MAC
+layers of :mod:`repro.mac`.
 """
 
 from repro.experiments.ablations import (
@@ -27,6 +29,12 @@ from repro.experiments.fig1 import (
     E9_OBLIVIOUS_LOCAL_GEO,
     FIG1_EXPERIMENTS,
 )
+from repro.experiments.multi_message import (
+    M1_MESSAGE_LOAD,
+    M2_LINK_MODELS,
+    M3_MAC_CONSTANTS,
+    MULTI_MESSAGE_EXPERIMENTS,
+)
 from repro.experiments.registry import (
     Experiment,
     ExperimentResult,
@@ -35,7 +43,11 @@ from repro.experiments.registry import (
     SeriesResult,
 )
 
-ALL_EXPERIMENTS: dict[str, Experiment] = {**FIG1_EXPERIMENTS, **ABLATION_EXPERIMENTS}
+ALL_EXPERIMENTS: dict[str, Experiment] = {
+    **FIG1_EXPERIMENTS,
+    **ABLATION_EXPERIMENTS,
+    **MULTI_MESSAGE_EXPERIMENTS,
+}
 
 __all__ = [
     "Experiment",
@@ -45,6 +57,7 @@ __all__ = [
     "SeriesResult",
     "FIG1_EXPERIMENTS",
     "ABLATION_EXPERIMENTS",
+    "MULTI_MESSAGE_EXPERIMENTS",
     "ALL_EXPERIMENTS",
     "E1A_STATIC_GLOBAL_DIAMETER",
     "E1B_STATIC_GLOBAL_CONTENTION",
@@ -61,4 +74,7 @@ __all__ = [
     "A1_PERMUTATION",
     "A2_COORDINATION",
     "A3_SEED_SHARING",
+    "M1_MESSAGE_LOAD",
+    "M2_LINK_MODELS",
+    "M3_MAC_CONSTANTS",
 ]

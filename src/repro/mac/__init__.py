@@ -1,0 +1,56 @@
+"""Abstract MAC layers and the multi-message broadcast machinery.
+
+The package implements the Ghaffari–Kantor–Lynch–Newport abstract MAC
+abstraction on top of the dual-graph model:
+
+* :class:`~repro.mac.base.AbstractMACLayer` — ack/progress guarantees
+  (``f_ack``, ``f_prog``) plus a realization mode;
+* :class:`~repro.mac.simulated.SimulatedMACLayer` (``"simulated"``) —
+  decay-window contention resolution executed by the real radio
+  engines under any registered adversary;
+* :class:`~repro.mac.oracle.OracleMACLayer` (``"oracle"``) — the
+  idealized layer: delays sampled from the guarantee envelopes in an
+  event-driven simulation, for fast large-``n`` sweeps;
+* :class:`~repro.mac.base.MessageAssignment` — the resolved
+  ``messages=`` workload of a spec (``k`` messages at sources);
+* :func:`~repro.mac.report.multi_message_detail` — per-message
+  completion rounds for one trial, on either execution path.
+
+Select a layer declaratively: ``ScenarioSpec(..., mac=("simulated",
+{}), messages={"k": 4, "sources": "random"})``; the ``"multi-message"``
+problem and the ``gkln-multi-message`` / ``backoff-multi-message``
+algorithms consume the resolved workload through the build context.
+"""
+
+from repro.mac.base import (
+    AbstractMACLayer,
+    MessageAssignment,
+    default_f_ack,
+    default_f_prog,
+    resolve_messages,
+    spec_messages,
+)
+from repro.mac.simulated import SimulatedMACLayer
+from repro.mac.oracle import (
+    OracleMACLayer,
+    OracleOutcome,
+    run_oracle_trial,
+    simulate_oracle,
+)
+from repro.mac.report import MultiMessageDetail, multi_message_detail
+
+__all__ = [
+    "AbstractMACLayer",
+    "SimulatedMACLayer",
+    "OracleMACLayer",
+    "OracleOutcome",
+    "MessageAssignment",
+    "MultiMessageDetail",
+    "default_f_ack",
+    "default_f_prog",
+    "multi_message_detail",
+    "resolve_messages",
+    "run_oracle_trial",
+    "simulate_oracle",
+    "spec_messages",
+]

@@ -1,4 +1,9 @@
-"""Problem specifications (Section 2): global and local broadcast."""
+"""Problem specifications: global, local, and multi-message broadcast.
+
+Global and local broadcast are the paper's Section-2 problems; the
+multi-message problem is the GKLN extension layered on the abstract
+MAC machinery of :mod:`repro.mac`.
+"""
 
 from repro.problems.base import Problem, ProblemObserver
 from repro.problems.global_broadcast import GlobalBroadcastObserver, GlobalBroadcastProblem
@@ -7,6 +12,7 @@ from repro.problems.local_broadcast import (
     LocalBroadcastProblem,
     receiver_set,
 )
+from repro.problems.multi_message import MultiMessageObserver, MultiMessageProblem
 
 __all__ = [
     "Problem",
@@ -15,5 +21,7 @@ __all__ = [
     "GlobalBroadcastObserver",
     "LocalBroadcastProblem",
     "LocalBroadcastObserver",
+    "MultiMessageProblem",
+    "MultiMessageObserver",
     "receiver_set",
 ]

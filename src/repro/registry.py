@@ -43,10 +43,12 @@ __all__ = [
     "ALGORITHMS",
     "ADVERSARIES",
     "PROBLEMS",
+    "MACS",
     "register_graph",
     "register_algorithm",
     "register_adversary",
     "register_problem",
+    "register_mac",
     "ensure_builtins_loaded",
     "cut_mask_for",
 ]
@@ -71,6 +73,12 @@ class ScenarioContext:
     graph: Any = None
     problem: Any = None
     algorithm: Any = None
+    #: The spec's abstract MAC layer (``repro.mac``), built right after
+    #: the graph so problems and algorithms can read its guarantees.
+    mac: Any = None
+    #: The spec's resolved multi-message workload
+    #: (:class:`repro.mac.base.MessageAssignment`), or ``None``.
+    messages: Any = None
 
     def derive(self, *labels: object) -> int:
         """Child seed for a named per-trial random consumer."""
@@ -178,6 +186,7 @@ GRAPHS = Registry("graph")
 ALGORITHMS = Registry("algorithm")
 ADVERSARIES = Registry("adversary", plural="adversaries")
 PROBLEMS = Registry("problem")
+MACS = Registry("mac", plural="macs")
 
 
 def register_graph(name: str, *, deterministic: bool = False):
@@ -210,6 +219,11 @@ def register_problem(name: str):
     return PROBLEMS.register(name)
 
 
+def register_mac(name: str):
+    """Register a MAC-layer factory ``(ctx, **params) -> AbstractMACLayer``."""
+    return MACS.register(name)
+
+
 _BUILTINS_STATE = "unloaded"  # "unloaded" | "loading" | "loaded"
 
 
@@ -230,6 +244,7 @@ def ensure_builtins_loaded() -> None:
         import repro.adversaries  # noqa: F401
         import repro.algorithms  # noqa: F401
         import repro.graphs  # noqa: F401
+        import repro.mac  # noqa: F401
         import repro.problems  # noqa: F401
 
         # Not exported from repro.adversaries (it depends on repro.games,

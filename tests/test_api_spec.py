@@ -53,6 +53,8 @@ ALGORITHM_PARAMS = {
     "geo-local": ({}, "local"),
     "round-robin-local": ({}, "local"),
     "uniform-local": ({}, "local"),
+    "gkln-multi-message": ({}, "multi"),
+    "backoff-multi-message": ({}, "multi"),
 }
 
 #: Canonical adversary parameters and the graph each one needs.
@@ -81,8 +83,14 @@ def spec_for(
     adversary: str = "none",
     problem_kind: str = "global",
 ) -> ScenarioSpec:
+    mac = None
+    messages = None
     if problem_kind == "global":
         problem = ("global-broadcast", {"source": 0})
+    elif problem_kind == "multi":
+        problem = ("multi-message", {})
+        mac = ("simulated", {})
+        messages = {"k": 2, "sources": "spread"}
     else:
         problem = ("local-broadcast", {"fraction": 0.25})
     return ScenarioSpec(
@@ -91,6 +99,8 @@ def spec_for(
         algorithm=(algorithm, ALGORITHM_PARAMS[algorithm][0]),
         adversary=(adversary, ADVERSARY_PARAMS[adversary][0]),
         max_rounds=256,
+        mac=mac,
+        messages=messages,
     )
 
 
@@ -107,7 +117,16 @@ class TestRegistryCoverage:
         assert sorted(ADVERSARY_PARAMS) == ADVERSARIES.names()
 
     def test_problems_registered(self):
-        assert PROBLEMS.names() == ["global-broadcast", "local-broadcast"]
+        assert PROBLEMS.names() == [
+            "global-broadcast",
+            "local-broadcast",
+            "multi-message",
+        ]
+
+    def test_macs_registered(self):
+        from repro.registry import MACS
+
+        assert MACS.names() == ["oracle", "simulated"]
 
 
 class TestRoundTrips:
@@ -158,7 +177,8 @@ class TestBuilds:
         assert isinstance(trial.problem, Problem)
         # Role agreement: algorithm metadata matches the resolved problem.
         kind = ALGORITHM_PARAMS[algorithm][1]
-        assert trial.algorithm.metadata["problem"] == f"{kind}-broadcast"
+        expected = "multi-message" if kind == "multi" else f"{kind}-broadcast"
+        assert trial.algorithm.metadata["problem"] == expected
 
     @pytest.mark.parametrize("adversary", sorted(ADVERSARY_PARAMS))
     def test_adversary_builds(self, adversary):

@@ -9,9 +9,10 @@ licensed by a documented contract, so the observable execution must be
 delivery tuples, expected transmitter counts), for every seed.
 
 The matrix below covers **every registered component at least once**:
-all 14 graph families, all 9 algorithms, and all 13 oblivious
-adversaries exercise the fast path directly; the 2 adaptive adversaries
-exercise the automatic fallback (and its warning) instead.
+all 14 graph families, all 11 algorithms (including both multi-message
+MAC protocols), and all 13 oblivious adversaries exercise the fast
+path directly; the 2 adaptive adversaries exercise the automatic
+fallback (and its warning) instead.
 """
 
 from __future__ import annotations
@@ -117,6 +118,20 @@ EQUIVALENCE_MATRIX = [
         ("static-local-decay", {}),
         ("bracelet-attacker", {"threshold_factor": 1.0}),
     ),
+    # Multi-message MAC protocols: the spec helper below attaches the
+    # simulated MAC layer and a 3-message workload for these rows.
+    (
+        ("grid", {"rows": 4, "cols": 4, "flaky_diagonals": True}),
+        ("multi-message", {}),
+        ("gkln-multi-message", {}),
+        ("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+    ),
+    (
+        ("ring", {"n": 16}),
+        ("multi-message", {}),
+        ("backoff-multi-message", {"regime": "exponential"}),
+        ("alternating", {"phase_lengths": [2, 3]}),
+    ),
 ]
 
 #: Adaptive adversaries: the fast path must *refuse* them (fallback).
@@ -144,6 +159,15 @@ MAX_ROUNDS = 1500
 
 def _spec(row) -> ScenarioSpec:
     graph, problem, algorithm, adversary = row
+    if problem[0] == "multi-message":
+        return ScenarioSpec(
+            graph=graph,
+            problem=problem,
+            algorithm=algorithm,
+            adversary=adversary,
+            mac=("simulated", {}),
+            messages={"k": 3, "sources": "spread"},
+        )
     return ScenarioSpec(
         graph=graph, problem=problem, algorithm=algorithm, adversary=adversary
     )

@@ -1,0 +1,256 @@
+"""The abstract MAC layer: guarantees, registry, spec plumbing, oracle.
+
+Covers the `repro.mac` package's contract surface: the
+``f_ack``/``f_prog`` envelope formulas, the two registered layers and
+their parameter validation, the ``mac=`` / ``messages=`` spec sections
+(JSON round trips, dotted-path derivation, resolution errors), and the
+oracle execution path (determinism, censoring, engine-independence).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ScenarioSpec, Simulation
+from repro.core.errors import RegistryError, SpecError
+from repro.mac import (
+    MessageAssignment,
+    OracleMACLayer,
+    SimulatedMACLayer,
+    default_f_ack,
+    default_f_prog,
+    multi_message_detail,
+    simulate_oracle,
+)
+from repro.mac.base import resolve_messages
+from repro.registry import MACS, ScenarioContext
+
+
+def mm_spec(*, mac=("simulated", {}), messages=None, **overrides) -> ScenarioSpec:
+    base = dict(
+        graph=("geographic", {"n": 32, "grey_ratio": 2.0}),
+        problem=("multi-message", {}),
+        algorithm=("gkln-multi-message", {}),
+        adversary=("none", {}),
+        mac=mac,
+        messages=messages or {"k": 3, "sources": "random"},
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestGuarantees:
+    def test_f_prog_never_exceeds_f_ack(self):
+        for n in (2, 16, 64, 1024):
+            for delta in (1, 7, 63):
+                assert default_f_prog(n, delta) <= default_f_ack(n, delta)
+                assert default_f_ack(n, delta) >= 1
+
+    def test_f_ack_grows_with_n_and_degree(self):
+        assert default_f_ack(1024, 15) > default_f_ack(16, 15)
+        assert default_f_ack(64, 63) > default_f_ack(64, 3)
+
+    def test_simulated_layer_matches_defaults(self):
+        layer = SimulatedMACLayer()
+        assert layer.f_ack(64, 15) == default_f_ack(64, 15)
+        assert layer.mode == "engine"
+
+    def test_simulated_explicit_window_overrides(self):
+        layer = SimulatedMACLayer(ack_window=40)
+        assert layer.f_ack(64, 15) == 40
+        assert layer.f_prog(64, 15) == 20
+
+    def test_simulated_ladder_cycles(self):
+        layer = SimulatedMACLayer()
+        rungs = layer.ladder_rungs(15)
+        assert layer.contention_probability(0, 15) == 0.5
+        assert layer.contention_probability(rungs, 15) == 0.5  # cycle restarts
+        assert layer.contention_probability(rungs - 1, 15) == 2.0 ** (-rungs)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SpecError):
+            SimulatedMACLayer(ack_window_factor=0)
+        with pytest.raises(SpecError):
+            SimulatedMACLayer(ack_window=0)
+        with pytest.raises(SpecError):
+            OracleMACLayer(f_ack_factor=-1)
+        with pytest.raises(SpecError):
+            OracleMACLayer(ack_bound=0)
+
+    def test_oracle_layer_mode_and_describe(self):
+        layer = OracleMACLayer()
+        assert layer.mode == "oracle"
+        assert "oracle" in layer.describe()
+
+
+class TestRegistry:
+    def test_registered_macs(self):
+        assert MACS.names() == ["oracle", "simulated"]
+
+    def test_unknown_mac_is_a_registry_error(self):
+        spec = mm_spec(mac=("warp-mac", {}))
+        with pytest.raises(RegistryError, match="unknown mac"):
+            spec.build(1)
+
+    def test_factories_build_through_registry(self):
+        ctx = ScenarioContext(seed=1)
+        layer = MACS.build("simulated", ctx, {"ack_window_factor": 2.0})
+        assert isinstance(layer, SimulatedMACLayer)
+        assert layer.ack_window_factor == 2.0
+
+
+class TestMessageResolution:
+    def _ctx(self, n: int = 16) -> ScenarioContext:
+        from repro.graphs.builders import ring_dual
+
+        ctx = ScenarioContext(seed=7)
+        ctx.network = ctx.graph = ring_dual(n)
+        return ctx
+
+    def test_spread_is_deterministic(self):
+        assignment = resolve_messages(self._ctx(), {"k": 4, "sources": "spread"})
+        assert assignment.sources == (0, 4, 8, 12)
+
+    def test_random_is_seed_determined_and_distinct(self):
+        a = resolve_messages(self._ctx(), {"k": 5})
+        b = resolve_messages(self._ctx(), {"k": 5, "sources": "random"})
+        assert a.sources == b.sources
+        assert len(set(a.sources)) == 5
+
+    def test_explicit_sources_infer_k(self):
+        assignment = resolve_messages(self._ctx(), {"sources": [3, 3, 9]})
+        assert assignment.k == 3
+        assert assignment.indices_at(3) == (0, 1)
+
+    def test_errors(self):
+        ctx = self._ctx(4)
+        with pytest.raises(SpecError, match="exceed"):
+            resolve_messages(ctx, {"k": 5})
+        with pytest.raises(SpecError, match="disagrees"):
+            resolve_messages(ctx, {"k": 2, "sources": [0, 1, 2]})
+        with pytest.raises(SpecError, match="selector"):
+            resolve_messages(ctx, {"k": 2, "sources": "everywhere"})
+        with pytest.raises(SpecError, match="outside"):
+            resolve_messages(ctx, {"sources": [99]})
+        with pytest.raises(SpecError, match="'k' is required"):
+            resolve_messages(ctx, {})
+
+    def test_payload_identity(self):
+        assignment = MessageAssignment(k=2, sources=(1, 5))
+        assert assignment.index_of(assignment.payload(1)) == 1
+        assert assignment.index_of(("mm", 7)) is None
+        assert assignment.index_of("unrelated") is None
+
+
+class TestSpecSections:
+    def test_json_round_trip_with_mac_and_messages(self):
+        spec = mm_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_sections_absent_by_default(self):
+        spec = ScenarioSpec(
+            graph=("line", {"n": 8}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=("plain-decay", {}),
+            adversary=("none", {}),
+        )
+        data = spec.to_dict()
+        assert "mac" not in data and "messages" not in data
+
+    def test_with_param_messages_path(self):
+        derived = mm_spec().with_param("messages.k", 5)
+        assert derived.messages["k"] == 5
+        assert derived.build(3).problem.assignment.k == 5
+
+    def test_with_param_mac_path(self):
+        derived = mm_spec().with_param("mac.ack_window_factor", 2.0)
+        assert derived.mac.params["ack_window_factor"] == 2.0
+
+    def test_with_param_mac_requires_section(self):
+        spec = mm_spec(mac=None)
+        with pytest.raises(SpecError, match="no mac section"):
+            spec.with_param("mac.ack_window_factor", 2.0)
+
+    def test_multi_message_without_messages_fails_clearly(self):
+        spec = mm_spec(messages={"k": 3})  # fine
+        spec = ScenarioSpec.from_dict(
+            {k: v for k, v in spec.to_dict().items() if k != "messages"}
+        )
+        with pytest.raises(SpecError, match="message workload"):
+            spec.build(1)
+
+
+class TestOracleExecution:
+    def test_same_seed_same_outcome(self):
+        spec = mm_spec(mac=("oracle", {}))
+        trial_a, trial_b = spec.build(11), spec.build(11)
+        a, b = simulate_oracle(trial_a, 11), simulate_oracle(trial_b, 11)
+        assert a == b
+        assert a.solved
+        assert max(r for r in a.message_rounds) <= a.rounds
+
+    def test_different_seeds_differ(self):
+        spec = mm_spec(mac=("oracle", {}))
+        a = simulate_oracle(spec.build(11), 11)
+        b = simulate_oracle(spec.build(12), 12)
+        assert a.learn_rounds != b.learn_rounds
+
+    def test_censoring_at_the_cap(self):
+        spec = mm_spec(mac=("oracle", {}), max_rounds=1)
+        result = Simulation.from_spec(spec).run_trial(5)
+        assert not result.solved
+        assert result.rounds == 1
+
+    def test_oracle_requires_multi_message_problem(self):
+        spec = ScenarioSpec(
+            graph=("line", {"n": 8}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=("plain-decay", {}),
+            adversary=("none", {}),
+            mac=("oracle", {}),
+        )
+        trial = spec.build(1)
+        with pytest.raises(SpecError, match="multi-message"):
+            simulate_oracle(trial, 1)
+
+    def test_engine_field_is_irrelevant_under_the_oracle(self):
+        reference = Simulation.from_spec(mm_spec(mac=("oracle", {}))).run_trial(9)
+        bitset = Simulation.from_spec(
+            mm_spec(mac=("oracle", {}), engine="bitset")
+        ).run_trial(9)
+        assert reference == bitset
+
+    def test_explicit_bounds_shift_completion(self):
+        fast = mm_spec(mac=("oracle", {"ack_bound": 2, "prog_bound": 1}))
+        slow = mm_spec(mac=("oracle", {"ack_bound": 64, "prog_bound": 32}))
+        fast_rounds = Simulation.from_spec(fast).run_trial(3).rounds
+        slow_rounds = Simulation.from_spec(slow).run_trial(3).rounds
+        assert fast_rounds < slow_rounds
+
+    def test_detail_matches_simulation(self):
+        spec = mm_spec(mac=("oracle", {}))
+        detail = multi_message_detail(spec, 11)
+        outcome = simulate_oracle(spec.build(11), 11)
+        assert detail.message_rounds == outcome.message_rounds
+        assert detail.k == 3
+        assert len(detail.rows()) == 3
+
+    def test_detail_censors_per_message_rounds_at_the_cap(self):
+        spec = mm_spec(mac=("oracle", {}), max_rounds=5)
+        detail = multi_message_detail(spec, 11)
+        assert not detail.solved
+        assert detail.rounds == 5
+        # No message may report a completion round beyond the cap —
+        # matching the engine path, where the run simply stops there.
+        assert all(r is None or r <= 5 for r in detail.message_rounds)
+
+    def test_detail_rejects_non_multi_message_specs(self):
+        spec = ScenarioSpec(
+            graph=("line", {"n": 8}),
+            problem=("global-broadcast", {"source": 0}),
+            algorithm=("plain-decay", {}),
+            adversary=("none", {}),
+        )
+        with pytest.raises(SpecError, match="multi-message"):
+            multi_message_detail(spec, 1)

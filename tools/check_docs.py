@@ -14,9 +14,13 @@ the test suite (tests/test_docs.py):
   must exist — this is what keeps docs/paper_map.md honest as modules
   move;
 * the experiment catalog (``docs/experiments.md``) must name every
-  experiment id registered in ``repro.experiments.ALL_EXPERIMENTS``
-  (and must not name ids that no longer exist) — this is what keeps
-  the catalog honest as the registry grows.
+  registered experiment id (and must not name ids that no longer
+  exist) — this is what keeps the catalog honest as the registry
+  grows. Registry contents come from the CLI's machine-readable
+  ``repro components --json`` payload
+  (:func:`repro.cli.components_payload`) rather than ad-hoc registry
+  imports, so the checker and the CLI can never disagree about what
+  exists.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 """
@@ -122,8 +126,8 @@ def check_document(relative: str) -> list[str]:
     return problems
 
 
-#: Experiment ids as they appear in prose: `E1a`, `E7b`, `A2`, …
-_EXP_ID_RE = re.compile(r"`([EA]\d+[a-z]?)`")
+#: Experiment ids as they appear in prose: `E1a`, `E7b`, `A2`, `M1`, …
+_EXP_ID_RE = re.compile(r"`([EAM]\d+[a-z]?)`")
 
 CATALOG = "docs/experiments.md"
 
@@ -133,10 +137,12 @@ def check_experiment_catalog() -> list[str]:
 
     Missing ids fail (a new experiment landed without documentation);
     unknown ids fail too (the catalog drifted ahead of — or kept a
-    removed entry from — the registry).
+    removed entry from — the registry). The id list comes from the
+    CLI's ``repro components --json`` payload.
     """
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.cli import components_payload
 
+    registered = set(components_payload()["experiments"])
     path = REPO_ROOT / CATALOG
     if not path.exists():
         return [f"{CATALOG}: missing (the experiment catalog is mandatory)"]
@@ -144,12 +150,12 @@ def check_experiment_catalog() -> list[str]:
     mentioned = set(_EXP_ID_RE.findall(text))
     problems = [
         f"{CATALOG}: registered experiment `{exp_id}` is not in the catalog"
-        for exp_id in sorted(ALL_EXPERIMENTS)
+        for exp_id in sorted(registered)
         if exp_id not in mentioned
     ]
     problems.extend(
         f"{CATALOG}: `{exp_id}` is not a registered experiment id"
-        for exp_id in sorted(mentioned - set(ALL_EXPERIMENTS))
+        for exp_id in sorted(mentioned - registered)
     )
     return problems
 
