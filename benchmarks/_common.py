@@ -96,6 +96,8 @@ def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
     directory = _results_dir()
     if directory is None:
         return None
+    from repro.campaign.spec import Shard
+
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
         # schema/kind let the campaign ResultStore merge bench artifacts
@@ -106,6 +108,16 @@ def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
         "scale": BENCH_SCALE,
         "engine": BENCH_ENGINE,
         "master_seed": MASTER_SEED,
+        # The same dedup key campaign shard records carry: a bench and
+        # a shard of the same (experiment, scale, engine) cell share a
+        # spec_hash, so store queries can join timing to verdicts.
+        "spec_hash": Shard(
+            campaign="bench",
+            experiment=exp_id,
+            scale=BENCH_SCALE,
+            engine=BENCH_ENGINE,
+            master_seed=MASTER_SEED,
+        ).spec_hash(),
         "repeats": len(seconds),
         "seconds": _summarize(seconds),
         "python": platform.python_version(),

@@ -160,6 +160,30 @@ class TrialStats:
             "p90": round(self.percentile_rounds(90.0), 1),
         }
 
+    def to_record(self) -> dict:
+        """JSON-safe, seed-determined aggregate of the whole batch.
+
+        The spec-run analogue of
+        :meth:`~repro.experiments.registry.ExperimentResult.to_record`:
+        a pure function of ``(scenario, master_seed, trials)`` with no
+        timings or host details, so the serve layer can checkpoint it
+        and assert byte-identity between a service run and a direct
+        :class:`~repro.api.executor.TrialExecutor` run. Per-trial
+        outcomes are included — they are the ground truth the summary
+        statistics derive from.
+        """
+        return {
+            "trials": self.trials,
+            "successes": self.successes,
+            "median_rounds": self.median_rounds,
+            "mean_rounds": self.mean_rounds,
+            "p90_rounds": self.percentile_rounds(90.0),
+            "results": [
+                {"seed": r.seed, "rounds": r.rounds, "solved": r.solved}
+                for r in self.results
+            ],
+        }
+
 
 def run_prepared_trial(
     trial: PreparedTrial, seed: int, *, observer=None

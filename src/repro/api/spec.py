@@ -261,6 +261,39 @@ class ScenarioSpec:
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> dict:
+        """The result-determining fields only.
+
+        ``name`` is a display label — two specs differing only in name
+        produce identical trials — so it is excluded from the identity
+        surface. Everything else (including ``engine``: it is a grid
+        axis for campaigns and shard keys, even though results are
+        engine-independent) participates.
+        """
+        data = self.to_dict()
+        data.pop("name", None)
+        return data
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the spec: the serve-layer cache key.
+
+        Canonical-JSON SHA-256 (:func:`repro.core.canonical.stable_hash`)
+        of :meth:`canonical_dict`, domain-separated from campaign and
+        shard hashes. Stable across dict insertion order, JSON
+        round-trips, processes, and Python versions — so it doubles as
+        a durable artifact name for benches and store records. A spec
+        hash plus a master seed fully determines a trial batch, which
+        is why ``(spec_hash, seed)`` is the dedup key of
+        :meth:`repro.campaign.store.ResultStore.find` and of
+        ``POST /v1/runs``.
+        """
+        from repro.core.canonical import stable_hash
+
+        return stable_hash({"kind": "scenario", "spec": self.canonical_dict()})
+
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         try:

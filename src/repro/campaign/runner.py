@@ -36,6 +36,12 @@ def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
     :meth:`~repro.experiments.registry.ExperimentResult.to_record`) is
     the seed-determined payload; everything volatile lives under
     ``meta`` and is excluded from the byte-identity surface.
+
+    ``spec_hash`` (:meth:`Shard.spec_hash`, deterministic, so it stays
+    inside the byte-identity surface) is what lets
+    :meth:`~repro.campaign.store.ResultStore.find` dedup this cell for
+    later submissions — including ones arriving through the serve API
+    under a different campaign name.
     """
     return {
         "schema": SCHEMA_VERSION,
@@ -46,6 +52,7 @@ def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
         "scale": shard.scale,
         "engine": shard.engine,
         "master_seed": shard.master_seed,
+        "spec_hash": shard.spec_hash(),
         "aggregate": aggregate,
         "meta": {
             "seconds": round(seconds, 6),
@@ -88,6 +95,34 @@ class CampaignStatus:
             f"{self.spec.name}: {len(self.completed)}/{self.total} shards "
             f"complete" + ("" if self.pending else " — campaign finished")
         )
+
+    def to_payload(self) -> dict:
+        """Machine-readable status: the ``campaign status --json`` shape.
+
+        The contract mirrors ``repro components --json``: one stable
+        JSON document tooling can consume instead of scraping tables.
+        ``repro jobs`` renders the serve API's per-job shard summaries,
+        which use the same ``total``/``completed``/``pending`` counters
+        this payload carries; per-shard rows include the
+        :meth:`~repro.campaign.spec.Shard.spec_hash` dedup key.
+        """
+        done_ids = {shard.shard_id for shard in self.completed}
+        return {
+            "campaign": self.spec.name,
+            "total": self.total,
+            "completed": len(self.completed),
+            "pending": len(self.pending),
+            "finished": self.finished,
+            "shards": [
+                {
+                    **shard.to_dict(),
+                    "shard_id": shard.shard_id,
+                    "spec_hash": shard.spec_hash(),
+                    "state": "done" if shard.shard_id in done_ids else "pending",
+                }
+                for shard in self.spec.shards()
+            ],
+        }
 
 
 class CampaignRunner:

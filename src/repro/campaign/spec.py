@@ -54,6 +54,29 @@ class Shard:
             f"{self.experiment}@{self.scale}/{self.engine}/seed{self.master_seed}"
         )
 
+    def spec_hash(self) -> str:
+        """Stable content hash of the shard's *work*, seed excluded.
+
+        A shard's aggregate is a pure function of ``(experiment, scale,
+        engine, master_seed)``; the hash covers the first three and the
+        seed travels alongside it, so
+        :meth:`~repro.campaign.store.ResultStore.find(spec_hash, seed)
+        <repro.campaign.store.ResultStore.find>` can dedup one cell
+        across campaigns, stores, and submission routes. The campaign
+        *name* is deliberately excluded — the same grid submitted under
+        a different name is the same work.
+        """
+        from repro.core.canonical import stable_hash
+
+        return stable_hash(
+            {
+                "kind": "shard",
+                "experiment": self.experiment,
+                "scale": self.scale,
+                "engine": self.engine,
+            }
+        )
+
     def to_dict(self) -> dict:
         return {
             "campaign": self.campaign,
@@ -215,6 +238,28 @@ class CampaignSpec:
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the campaign's *grid*.
+
+        Canonical-JSON SHA-256 over the result-determining axes only:
+        ``name`` (a checkpoint-file label) and ``description`` (a
+        free-form note) are excluded, so resubmitting the same grid
+        under a different name dedupes against the in-flight job and
+        the store history. Used by the serve layer as the in-flight
+        dedup key for ``POST /v1/runs`` campaign submissions.
+        """
+        from repro.core.canonical import stable_hash
+
+        return stable_hash(
+            {
+                "kind": "campaign",
+                "experiments": list(self.experiments),
+                "scales": list(self.scales),
+                "engines": list(self.engines),
+                "seeds": list(self.seeds),
+            }
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignSpec":

@@ -87,6 +87,10 @@ class ResultStore:
         bench_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         self.root = Path(root)
+        #: Lazy ``spec_hash -> [records]`` index behind :meth:`find`;
+        #: built on first lookup, dropped by :meth:`append` (and by
+        #: :meth:`~ResultStore.invalidate` for out-of-process writers).
+        self._spec_index: Optional[dict[str, list[dict]]] = None
         if bench_dir is None:
             default = Path("benchmarks") / "results"
             self.bench_dir: Optional[Path] = default if default.is_dir() else None
@@ -128,6 +132,7 @@ class ResultStore:
             fh.write(line)
             fh.flush()
             os.fsync(fh.fileno())
+        self._spec_index = None
 
     def _iter_lines(self, path: Path) -> Iterator[dict]:
         try:
@@ -259,6 +264,60 @@ class ResultStore:
                 continue
             out.append(record)
         return out
+
+    def invalidate(self) -> None:
+        """Drop the lookup index (call after another process appended).
+
+        :meth:`append` invalidates automatically; a long-lived reader
+        sharing the directory with out-of-process writers calls this to
+        see their lines.
+        """
+        self._spec_index = None
+
+    def _record_spec_hash(self, record: dict) -> Optional[str]:
+        """The record's dedup hash, derived for pre-stamp history.
+
+        New records carry ``spec_hash`` explicitly (stamped by
+        :func:`~repro.campaign.runner.shard_record` and the serve
+        layer). Records written before the stamp existed are campaign
+        shards, whose hash is a pure function of their grid fields — so
+        dedup works against the whole history, not just post-stamp
+        lines.
+        """
+        stamped = record.get("spec_hash")
+        if stamped is not None:
+            return str(stamped)
+        try:
+            return Shard.from_dict(record).spec_hash()
+        except ReproError:
+            return None
+
+    def find(self, spec_hash: str, seed: Optional[int] = None) -> list[dict]:
+        """Shard records matching a dedup key, oldest first.
+
+        ``(spec_hash, seed)`` is the serve layer's cache key: a match
+        means the exact aggregate for that submission already exists
+        and must not be recomputed. ``seed=None`` returns every seed's
+        records for the hash. Backed by a lazy index over
+        :meth:`shard_records`, rebuilt after every :meth:`append` (the
+        per-record hash derivation for pre-stamp history happens once
+        per build, not once per lookup).
+        """
+        if self._spec_index is None:
+            index: dict[str, list[dict]] = {}
+            for record in self.shard_records():
+                key = self._record_spec_hash(record)
+                if key is not None:
+                    index.setdefault(key, []).append(record)
+            self._spec_index = index
+        records = self._spec_index.get(str(spec_hash), [])
+        if seed is None:
+            return list(records)
+        return [
+            record
+            for record in records
+            if int(record.get("master_seed", 0)) == int(seed)
+        ]
 
     def measured_experiments(self) -> set[str]:
         """Experiment ids with at least one shard record."""

@@ -21,6 +21,13 @@ Entry points (also available as ``python -m repro``):
   (see :mod:`repro.campaign`);
 * ``trial`` — one ad-hoc broadcast trial: pick a network family, an
   algorithm, and an adversary by name, and watch the round count;
+* ``serve [--port P] [--workers W]`` — start the long-running
+  simulation service (:mod:`repro.serve`): an HTTP/JSON API with a
+  warm worker pool and spec-hash result caching;
+* ``submit DOC.json`` — send a ScenarioSpec/CampaignSpec document to a
+  running service, follow its shard events, print the result
+  (``--json`` emits the final job payload);
+* ``jobs`` — list a running service's jobs and their shard counters;
 * ``paper`` — print the reproduced Figure-1 table with experiment ids.
 
 ``--parallel`` fans trials out across worker processes (optionally
@@ -509,6 +516,11 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     except ReproError as exc:
         print(f"invalid campaign: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(status.to_payload(), indent=2, sort_keys=True))
+        return 0 if status.finished else 1
     done_ids = {shard.shard_id for shard in status.completed}
     rows = [
         [shard.experiment, shard.scale, shard.engine, shard.master_seed,
@@ -551,6 +563,140 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
         return 0
     print(text, end="")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+    from repro.serve import ReproServer
+
+    store = ResultStore(args.store, bench_dir=args.bench_dir)
+    server = ReproServer(
+        store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=not args.verbose,
+    )
+    print(f"repro-serve listening on {server.url}")
+    print(f"store    : {store.root}")
+    print(f"workers  : {args.workers} (spawn, warm)")
+    print("endpoints: POST /v1/runs · GET /v1/runs[/<id>[/events]] · "
+          "GET /v1/components · GET /v1/results · GET /v1/health")
+    server.serve_forever()
+    return 0
+
+
+def _load_submission(args: argparse.Namespace) -> object:
+    import json
+
+    if args.document == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.document, encoding="utf-8") as handle:
+            raw = handle.read()
+    document = json.loads(raw)
+    # --seed / --trials wrap a bare spec document the same way the
+    # explicit {"scenario": ...} envelope would.
+    if (args.seed is not None or args.trials is not None) and isinstance(
+        document, dict
+    ):
+        if "graph" in document:
+            document = {"scenario": document}
+        if "scenario" in document:
+            if args.seed is not None:
+                document["seed"] = args.seed
+            if args.trials is not None:
+                document["trials"] = args.trials
+        else:
+            raise SystemExit(
+                "--seed/--trials apply to ScenarioSpec submissions only "
+                "(campaign grids carry their own seed bank)"
+            )
+    return document
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import ReproError
+    from repro.serve import SimulationClient
+
+    client = SimulationClient(args.url)
+    try:
+        document = _load_submission(args)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load submission: {exc}", file=sys.stderr)
+        return 2
+    try:
+        submitted = client.submit(document)
+        job_id = submitted["id"]
+        if args.no_wait:
+            payload = submitted
+        else:
+            for event in client.events(job_id):
+                if args.verbose and event.get("event") == "shard":
+                    print(
+                        f"  {event['status']:<8} {event.get('shard', '')}",
+                        file=sys.stderr,
+                    )
+            payload = client.job(job_id)
+    except ReproError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        shards = payload["shards"]
+        print(f"job      : {payload['id']} [{payload['state']}]")
+        print(f"spec     : {payload['description']}")
+        print(
+            f"shards   : {shards['completed']}/{shards['total']} done "
+            f"({shards['executed']} executed, {shards['cached']} cached)"
+        )
+        if payload.get("result"):
+            result = payload["result"]
+            print(
+                f"result   : {result['successes']}/{result['trials']} solved, "
+                f"median {result['median_rounds']} rounds"
+            )
+    return 0 if payload["state"] in ("done", "queued", "running") else 1
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import ReproError
+    from repro.serve import SimulationClient
+
+    client = SimulationClient(args.url)
+    try:
+        jobs = client.jobs()
+    except ReproError as exc:
+        print(f"cannot list jobs: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({"jobs": jobs}, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            job["id"],
+            job["kind"],
+            job["state"],
+            f"{job['shards']['completed']}/{job['shards']['total']}",
+            job["shards"]["executed"],
+            job["shards"]["cached"],
+            job["spec_hash"][:12],
+        ]
+        for job in jobs
+    ]
+    print(
+        render_table(
+            ["job", "kind", "state", "shards", "executed", "cached", "spec hash"],
+            rows,
+            title=f"jobs at {args.url}:",
+        )
+    )
     return 0
 
 
@@ -686,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show done/pending shards (exit 1 while pending)"
     )
     _add_grid_args(campaign_status)
+    campaign_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable status (shards with spec hashes)",
+    )
     campaign_status.set_defaults(func=_cmd_campaign_status)
 
     campaign_report = campaign_sub.add_parser(
@@ -711,6 +862,63 @@ def build_parser() -> argparse.ArgumentParser:
         "(runtimes are ignored)",
     )
     campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    from repro.serve.server import DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve", help="start the long-running simulation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="warm worker processes (default: 2)"
+    )
+    serve.add_argument(
+        "--store",
+        default=_DEFAULT_STORE,
+        help=f"result store directory (default: {_DEFAULT_STORE})",
+    )
+    serve.add_argument(
+        "--bench-dir",
+        default=None,
+        help="BENCH_*.json directory to merge (default: benchmarks/results)",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log requests")
+    serve.set_defaults(func=_cmd_serve)
+
+    default_url = f"http://127.0.0.1:{DEFAULT_PORT}"
+    submit = sub.add_parser(
+        "submit", help="submit a spec document to a running service"
+    )
+    submit.add_argument(
+        "document", help="spec/campaign JSON document ('-' for stdin)"
+    )
+    submit.add_argument("--url", default=default_url)
+    submit.add_argument(
+        "--seed", type=int, default=None, help="master seed (ScenarioSpec runs)"
+    )
+    submit.add_argument(
+        "--trials", type=int, default=None, help="trial count (ScenarioSpec runs)"
+    )
+    submit.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the submission receipt instead of following events",
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="emit the job payload as JSON"
+    )
+    submit.add_argument(
+        "--verbose", action="store_true", help="print shard events while waiting"
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list a running service's jobs")
+    jobs.add_argument("--url", default=default_url)
+    jobs.add_argument(
+        "--json", action="store_true", help="emit the job list as JSON"
+    )
+    jobs.set_defaults(func=_cmd_jobs)
 
     trial = sub.add_parser("trial", help="one ad-hoc broadcast trial")
     trial.add_argument("--network", default="geographic", choices=sorted(_NETWORKS))

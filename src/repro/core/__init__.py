@@ -7,6 +7,7 @@ plumbing everything else builds on.
 """
 
 from repro.core.bits import BitCursor, BitStream, bits_for_uniform
+from repro.core.canonical import canonical_json, stable_hash
 from repro.core.engine import (
     ENGINE_NAMES,
     ExecutionResult,
@@ -22,6 +23,7 @@ from repro.core.errors import (
     GraphValidationError,
     PlanError,
     ReproError,
+    ServeError,
     TopologyViolationError,
 )
 from repro.core.fastpath import BitsetRadioNetworkEngine
@@ -70,4 +72,7 @@ __all__ = [
     "BitStreamError",
     "AdversaryUsageError",
     "ExperimentError",
+    "ServeError",
+    "canonical_json",
+    "stable_hash",
 ]

@@ -66,6 +66,15 @@ class SpecError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A simulation-service request or job failed.
+
+    Raised by :mod:`repro.serve` for malformed submission documents,
+    unknown job ids, jobs that finished in the ``failed`` state, and
+    client-side transport errors against a ``repro serve`` endpoint.
+    """
+
+
 class EngineError(ReproError):
     """An engine selection or configuration is invalid.
 

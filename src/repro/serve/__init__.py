@@ -1,0 +1,42 @@
+"""repro.serve — the long-running simulation service.
+
+The batch layers (:mod:`repro.api`, :mod:`repro.campaign`) pay their
+startup costs — imports, registry validation, deterministic graph
+construction — on every invocation, and their dedup story is
+per-campaign checkpoint files. This package keeps all of that warm
+behind a stdlib HTTP/JSON API:
+
+* :mod:`repro.serve.worker` — the warm worker process (pre-imported
+  registries, spec-hash-keyed prepared-trial cache);
+* :mod:`repro.serve.pool` — :class:`~repro.serve.pool.WorkerPool`,
+  N spawn workers with kill detection and front-of-backlog requeue;
+* :mod:`repro.serve.jobs` — :class:`~repro.serve.jobs.JobManager`,
+  spec-hash dedup (store-backed and in-flight) and the shard lifecycle
+  event log;
+* :mod:`repro.serve.server` — :class:`~repro.serve.server.ReproServer`,
+  the ``/v1`` endpoints;
+* :mod:`repro.serve.client` — :class:`~repro.serve.client.SimulationClient`,
+  the urllib client the ``repro submit`` / ``repro jobs`` verbs use.
+
+The invariant the whole package is built around: a result computed via
+the service is byte-identical to the same spec run through
+:class:`~repro.api.executor.TrialExecutor` or ``repro campaign run`` —
+the service only changes *where* and *how often* computation happens,
+never what it produces.
+"""
+
+from repro.serve.client import SimulationClient
+from repro.serve.jobs import Job, JobManager, parse_submission, stream_events
+from repro.serve.pool import WorkerPool
+from repro.serve.server import DEFAULT_PORT, ReproServer
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Job",
+    "JobManager",
+    "ReproServer",
+    "SimulationClient",
+    "WorkerPool",
+    "parse_submission",
+    "stream_events",
+]

@@ -1,0 +1,146 @@
+"""``SimulationClient``: the blessed urllib client for a serve instance.
+
+A thin, dependency-free wrapper over the JSON API — every method maps
+one-to-one onto an endpoint of :mod:`repro.serve.server`. The CLI
+verbs ``repro submit`` and ``repro jobs`` are built on it, and tests
+use it to drive a live server without hand-rolling sockets.
+
+The one convenience with behavior in it is :meth:`SimulationClient.run`:
+submit, follow the event stream to completion, return the finished job
+payload. On a cache hit the event stream is already terminal, so
+``run`` returns immediately with ``shards.executed == 0``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Optional
+
+from repro.core.errors import ServeError
+
+__all__ = ["SimulationClient"]
+
+
+class SimulationClient:
+    """Talk to a running serve instance at ``base_url``.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8013`` (trailing slash tolerated).
+    timeout:
+        Socket timeout for request/response endpoints, seconds. The
+        event stream ignores it (a shard may legitimately compute for
+        longer than any sane socket timeout).
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[object] = None
+    ) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", method=method
+        )
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("ascii")
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(
+                request, data=data, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServeError(
+                f"{method} {path} failed ({exc.code}): {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach serve instance at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # -- endpoints, one-to-one -----------------------------------------
+    def submit(self, document: object) -> dict:
+        """``POST /v1/runs`` — returns the job payload (see ``id``)."""
+        return self._request("POST", "/v1/runs", document)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/runs/<id>`` — full job payload with task detail."""
+        return self._request("GET", f"/v1/runs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """``GET /v1/runs`` — all jobs, oldest first."""
+        return self._request("GET", "/v1/runs")["jobs"]
+
+    def components(self) -> dict:
+        """``GET /v1/components`` — the registry payload."""
+        return self._request("GET", "/v1/components")
+
+    def health(self) -> dict:
+        """``GET /v1/health`` — pool and job counters."""
+        return self._request("GET", "/v1/health")
+
+    def results(
+        self, spec_hash: Optional[str] = None, seed: Optional[int] = None
+    ) -> dict:
+        """``GET /v1/results`` — store query (all aggregates, or one key)."""
+        if spec_hash is None:
+            return self._request("GET", "/v1/results")
+        path = f"/v1/results?spec_hash={spec_hash}"
+        if seed is not None:
+            path += f"&seed={seed}"
+        return self._request("GET", path)
+
+    def events(self, job_id: str, *, from_seq: int = 0) -> Iterator[dict]:
+        """``GET /v1/runs/<id>/events`` — yield NDJSON events until the
+        job finishes (blocks while the job runs)."""
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/runs/{job_id}/events?from={from_seq}"
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                for line in response:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                f"event stream for {job_id} failed ({exc.code})"
+            ) from exc
+
+    # -- convenience ---------------------------------------------------
+    def run(self, document: object, *, poll: float = 0.2) -> dict:
+        """Submit and wait: returns the terminal job payload.
+
+        Follows the event stream (not a polling loop) while the job
+        runs, then fetches the final payload — which carries the
+        aggregate rows and, for spec runs, the batch ``result``.
+        """
+        submitted = self.submit(document)
+        job_id = submitted["id"]
+        if submitted["state"] in ("done", "failed"):
+            return self.job(job_id)
+        for _event in self.events(job_id):
+            pass
+        # The stream closes when the job turns terminal; one re-fetch
+        # gets the payload with aggregates attached.
+        deadline = time.monotonic() + self.timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:  # pragma: no cover - safety net
+                raise ServeError(f"job {job_id} did not settle after its events ended")
+            time.sleep(poll)

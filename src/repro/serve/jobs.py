@@ -1,0 +1,608 @@
+"""Jobs: submissions, spec-hash dedup, shard lifecycle events.
+
+:class:`JobManager` is the brain of the serve layer. It turns a
+submitted document — a :class:`~repro.api.spec.ScenarioSpec`, a
+:class:`~repro.campaign.spec.CampaignSpec`, or the one-cell
+``{"experiment": ...}`` shorthand — into a :class:`Job` of tasks,
+dedupes before any work is queued, and checkpoints every completed
+task into the :class:`~repro.campaign.store.ResultStore` the campaign
+layer already owns:
+
+* **store dedup** — a task whose ``(spec_hash, seed)`` already has a
+  record (:meth:`~repro.campaign.store.ResultStore.find`) is marked
+  ``resumed`` (the campaign lifecycle's own word for "checkpoint says
+  done") and costs zero trials. A whole-grid resubmission therefore
+  returns the cached aggregates without touching the pool.
+* **in-flight dedup** — a submission identical to a job that is still
+  running returns *that* job (``deduped``), so two clients racing the
+  same spec share one computation.
+* **events** — each job carries an append-only event log mirroring the
+  campaign runner's shard lifecycle (``start`` / ``done`` /
+  ``resumed``, plus ``requeued`` when a killed worker's task is
+  reassigned); ``GET /v1/runs/<id>/events`` streams it as
+  line-delimited JSON via :func:`stream_events`.
+
+Determinism surface: the records a job appends are byte-identical to
+what the offline paths write — :func:`~repro.campaign.runner.shard_record`
+for campaign cells, :func:`scenario_record` for spec runs — so one
+store serves CLI campaigns and API jobs interchangeably.
+"""
+
+from __future__ import annotations
+
+import platform
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping, Optional, Union
+
+from repro.api.spec import ScenarioSpec
+from repro.campaign.runner import shard_record
+from repro.campaign.spec import CampaignSpec, Shard
+from repro.campaign.store import SCHEMA_VERSION, ResultStore
+from repro.core.canonical import stable_hash
+from repro.core.errors import ReproError, ServeError
+from repro.serve.pool import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobTask",
+    "JobManager",
+    "parse_submission",
+    "scenario_record",
+    "scenario_shard_id",
+    "stream_events",
+    "SERVE_CAMPAIGN",
+]
+
+#: Store "campaign" bucket for ad-hoc spec runs submitted over the API.
+SERVE_CAMPAIGN = "serve"
+
+#: Default master seed / trial count for bare spec submissions (matches
+#: the CLI's ``run-spec`` defaults).
+DEFAULT_SEED = 2013
+DEFAULT_TRIALS = 1
+
+
+def scenario_shard_id(spec_hash: str, master_seed: int, trials: int) -> str:
+    """Checkpoint key for one spec-run batch (mirrors ``Shard.shard_id``)."""
+    return f"spec-{spec_hash[:16]}@trials{trials}/seed{master_seed}"
+
+
+def scenario_record(
+    spec: ScenarioSpec, master_seed: int, trials: int, aggregate: dict, *, seconds: float
+) -> dict:
+    """Assemble the store record for one completed spec-run batch.
+
+    The spec-run twin of :func:`~repro.campaign.runner.shard_record`:
+    same schema/kind (so :class:`~repro.campaign.store.ResultStore`
+    merges it unchanged), ``aggregate`` from
+    :meth:`~repro.analysis.runner.TrialStats.to_record`, volatile bits
+    under ``meta``. ``spec_hash`` + ``trials`` are the dedup key;
+    the full canonical spec travels along for provenance.
+    """
+    spec_hash = spec.spec_hash()
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "shard",
+        "campaign": SERVE_CAMPAIGN,
+        "shard_id": scenario_shard_id(spec_hash, master_seed, trials),
+        "experiment": f"spec:{spec.algorithm.name}",
+        "scale": f"trials{trials}",
+        "engine": spec.engine,
+        "master_seed": master_seed,
+        "spec_hash": spec_hash,
+        "trials": trials,
+        "spec": spec.canonical_dict(),
+        "aggregate": aggregate,
+        "meta": {
+            "seconds": round(seconds, 6),
+            "python": platform.python_version(),
+        },
+    }
+
+
+@dataclass
+class JobTask:
+    """One unit of a job: a campaign shard or a spec-run batch."""
+
+    label: str  # shard_id — the event log's stable name for this unit
+    kind: str  # pool task kind: "campaign-shard" | "scenario"
+    payload: dict
+    #: (worker record, seconds) -> full store record for this task.
+    build_record: Callable[[dict, float], dict]
+    status: str = "pending"  # pending | running | done | resumed | failed
+    cached: bool = False
+    seconds: float = 0.0
+    requeues: int = 0
+    record: Optional[dict] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in ("done", "resumed", "failed")
+
+
+class Job:
+    """A submission and its progress, event log, and result."""
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        *,
+        spec_hash: str,
+        description: str,
+        master_seed: Optional[int] = None,
+        trials: Optional[int] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.kind = kind  # "scenario" | "campaign"
+        self.spec_hash = spec_hash
+        self.description = description
+        self.master_seed = master_seed
+        self.trials = trials
+        self.state = "queued"  # queued | running | done | failed
+        self.error: Optional[str] = None
+        self.tasks: list[JobTask] = []
+        self.events: list[dict] = []
+        self.cond = threading.Condition()
+        self.created = time.time()  # display only, never in records
+        self.deduped = False  # served from an identical in-flight job?
+
+    # -- counters ------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def _count(self, status: str) -> int:
+        return sum(1 for t in self.tasks if t.status == status)
+
+    def shard_summary(self) -> dict:
+        """Progress counters, shaped like ``campaign status --json``."""
+        executed = self._count("done")
+        cached = self._count("resumed")
+        return {
+            "total": len(self.tasks),
+            "executed": executed,
+            "cached": cached,
+            "completed": executed + cached,
+            "pending": self._count("pending"),
+            "running": self._count("running"),
+            "failed": self._count("failed"),
+            "requeues": sum(t.requeues for t in self.tasks),
+            "finished": all(t.terminal for t in self.tasks),
+        }
+
+    # -- result --------------------------------------------------------
+    def aggregate_rows(self) -> list[dict]:
+        """The job's results, row-shaped exactly like
+        :meth:`~repro.campaign.store.ResultStore.aggregates_json` — so
+        ``json.dumps(rows, sort_keys=True, indent=1)`` is byte-
+        comparable against a store populated by a direct run."""
+        rows = [
+            {
+                "campaign": t.record["campaign"],
+                "shard_id": t.record["shard_id"],
+                "aggregate": t.record["aggregate"],
+            }
+            for t in self.tasks
+            if t.record is not None
+        ]
+        return sorted(rows, key=lambda row: (row["campaign"], row["shard_id"]))
+
+    def to_payload(self, *, detail: bool = False) -> dict:
+        payload = {
+            "id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "spec_hash": self.spec_hash,
+            "description": self.description,
+            "deduped": self.deduped,
+            "shards": self.shard_summary(),
+            "created": self.created,
+        }
+        if self.master_seed is not None:
+            payload["master_seed"] = self.master_seed
+        if self.trials is not None:
+            payload["trials"] = self.trials
+        if self.error is not None:
+            payload["error"] = self.error
+        if detail:
+            payload["tasks"] = [
+                {
+                    "shard": t.label,
+                    "status": t.status,
+                    "cached": t.cached,
+                    "seconds": round(t.seconds, 6),
+                    "requeues": t.requeues,
+                }
+                for t in self.tasks
+            ]
+            if self.terminal:
+                rows = self.aggregate_rows()
+                payload["aggregates"] = rows
+                if self.kind == "scenario" and rows:
+                    # Convenience: the single batch's aggregate, directly.
+                    payload["result"] = rows[0]["aggregate"]
+        return payload
+
+
+def _validate_spec_refs(spec: ScenarioSpec) -> None:
+    """Resolve every registry ref now, not in the worker.
+
+    ``ScenarioSpec.from_dict`` only checks shapes; the registries are
+    consulted at build time. A submission naming a component that does
+    not exist must be a 400 at the front door, not a failed job minutes
+    later — so resolve each name eagerly (RegistryError → ReproError →
+    client error).
+    """
+    from repro.core.engine import ENGINE_NAMES
+    from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS, MACS, PROBLEMS
+
+    GRAPHS.get(spec.graph.name)
+    ALGORITHMS.get(spec.algorithm.name)
+    ADVERSARIES.get(spec.adversary.name)
+    PROBLEMS.get(spec.problem.name)
+    if spec.mac is not None:
+        MACS.get(spec.mac.name)
+    if spec.engine not in ENGINE_NAMES:
+        raise ServeError(
+            f"unknown engine {spec.engine!r}; registered: {sorted(ENGINE_NAMES)}"
+        )
+
+
+def parse_submission(
+    document: object,
+) -> tuple[str, Union[tuple[ScenarioSpec, int, int], CampaignSpec]]:
+    """Classify and validate one ``POST /v1/runs`` document.
+
+    Accepted shapes:
+
+    * ``{"scenario": {...spec...}, "seed": N, "trials": N}`` — explicit
+      spec-run wrapper (seed/trials optional);
+    * a bare :class:`~repro.api.spec.ScenarioSpec` dict (has
+      ``"graph"``) — defaults seed 2013, 1 trial;
+    * ``{"campaign": {...campaign spec...}}`` or a bare campaign dict
+      (has ``"experiments"``);
+    * ``{"experiment": "E1b", "scale": "tiny", "engine": "reference",
+      "seed": 2013}`` — one-cell shorthand, compiled to a single-shard
+      campaign named ``api-<id>`` (this is how "run any experiment id
+      via the API" reads in curl).
+    """
+    if not isinstance(document, Mapping):
+        raise ServeError(
+            f"submission must be a JSON object, got {type(document).__name__}"
+        )
+    if "scenario" in document or "graph" in document:
+        if "scenario" in document:
+            extra = set(document) - {"scenario", "seed", "trials"}
+            if extra:
+                raise ServeError(
+                    f"unknown scenario submission keys {sorted(extra)}"
+                )
+            spec_data = document["scenario"]
+            seed = int(document.get("seed", DEFAULT_SEED))
+            trials = int(document.get("trials", DEFAULT_TRIALS))
+        else:
+            spec_data, seed, trials = document, DEFAULT_SEED, DEFAULT_TRIALS
+        spec = ScenarioSpec.from_dict(spec_data)
+        if trials < 1:
+            raise ServeError(f"trials must be positive, got {trials}")
+        _validate_spec_refs(spec)
+        return "scenario", (spec, seed, trials)
+    if "campaign" in document:
+        return "campaign", CampaignSpec.from_dict(document["campaign"])
+    if "experiments" in document:
+        return "campaign", CampaignSpec.from_dict(document)
+    if "experiment" in document:
+        extra = set(document) - {"experiment", "scale", "engine", "seed"}
+        if extra:
+            raise ServeError(f"unknown experiment submission keys {sorted(extra)}")
+        exp_id = str(document["experiment"])
+        return "campaign", CampaignSpec(
+            name=f"api-{exp_id}",
+            experiments=(exp_id,),
+            scales=(str(document.get("scale", "tiny")),),
+            engines=(str(document.get("engine", "reference")),),
+            seeds=(int(document.get("seed", DEFAULT_SEED)),),
+        )
+    raise ServeError(
+        "cannot classify submission: expected a ScenarioSpec (a 'graph' "
+        "section or a 'scenario' wrapper), a CampaignSpec ('experiments' "
+        "or a 'campaign' wrapper), or an 'experiment' shorthand"
+    )
+
+
+class JobManager:
+    """Owns the job table, the dedup maps, and the store writes."""
+
+    def __init__(self, store: ResultStore, pool: WorkerPool) -> None:
+        self.store = store
+        self.pool = pool
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}  # insertion-ordered
+        self._inflight: dict[str, str] = {}  # dedup key -> job id
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, document: object) -> Job:
+        """Create (or dedup onto) a job for one submission document."""
+        kind, parsed = parse_submission(document)
+        if kind == "scenario":
+            spec, seed, trials = parsed
+            return self._submit_scenario(spec, seed, trials)
+        return self._submit_campaign(parsed)
+
+    def _new_job_locked(self, *args, **kwargs) -> Job:
+        self._counter += 1
+        job = Job(f"job-{self._counter:06d}", *args, **kwargs)
+        self._jobs[job.job_id] = job
+        return job
+
+    def _submit_scenario(self, spec: ScenarioSpec, seed: int, trials: int) -> Job:
+        spec_hash = spec.spec_hash()
+        key = stable_hash(
+            {"kind": "scenario-run", "spec": spec_hash, "seed": seed, "trials": trials}
+        )
+        pending: list[tuple[Job, JobTask, str]] = []
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                job = self._jobs[inflight]
+                job.deduped = True
+                return job
+            job = self._new_job_locked(
+                "scenario",
+                spec_hash=spec_hash,
+                description=spec.describe(),
+                master_seed=seed,
+                trials=trials,
+            )
+            task = JobTask(
+                label=scenario_shard_id(spec_hash, seed, trials),
+                kind="scenario",
+                payload={
+                    "spec": spec.canonical_dict(),
+                    "spec_hash": spec_hash,
+                    "master_seed": seed,
+                    "trials": trials,
+                },
+                build_record=lambda record, seconds: scenario_record(
+                    spec, seed, trials, record, seconds=seconds
+                ),
+            )
+            job.tasks.append(task)
+            cached = self._cached_scenario(spec_hash, seed, trials)
+            if cached is not None:
+                self._mark_cached(job, task, cached)
+            else:
+                self._inflight[key] = job.job_id
+                pending.append((job, task, key))
+        if not pending:
+            self._finish(job, key=None)
+        else:
+            self._launch(pending)
+        return job
+
+    def _submit_campaign(self, spec: CampaignSpec) -> Job:
+        spec.validate()
+        key = stable_hash({"kind": "campaign-run", "spec": spec.spec_hash()})
+        pending: list[tuple[Job, JobTask, str]] = []
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                job = self._jobs[inflight]
+                job.deduped = True
+                return job
+            job = self._new_job_locked(
+                "campaign",
+                spec_hash=spec.spec_hash(),
+                description=spec.describe(),
+            )
+            for shard in spec.shards():
+                task = JobTask(
+                    label=shard.shard_id,
+                    kind="campaign-shard",
+                    payload={
+                        "experiment": shard.experiment,
+                        "scale": shard.scale,
+                        "engine": shard.engine,
+                        "master_seed": shard.master_seed,
+                    },
+                    build_record=(
+                        lambda record, seconds, shard=shard: shard_record(
+                            shard, record, seconds=seconds
+                        )
+                    ),
+                )
+                job.tasks.append(task)
+                cached = self._cached_shard(shard)
+                if cached is not None:
+                    self._mark_cached(job, task, cached)
+                else:
+                    pending.append((job, task, key))
+            if pending:
+                self._inflight[key] = job.job_id
+        if not pending:
+            self._finish(job, key=None)
+        else:
+            self._launch(pending)
+        return job
+
+    def _launch(self, pending: list[tuple[Job, JobTask, str]]) -> None:
+        """Queue pending tasks on the pool (outside the manager lock)."""
+        for job, task, key in pending:
+            if job.state == "queued":
+                job.state = "running"
+                self._emit(job, {"event": "job", "job": job.job_id, "status": "running"})
+            self.pool.submit(
+                task.kind,
+                task.payload,
+                self._pool_callback(job, task, key),
+            )
+
+    # ------------------------------------------------------------------
+    # Cache lookups (caller holds the manager lock)
+    # ------------------------------------------------------------------
+    def _cached_scenario(
+        self, spec_hash: str, seed: int, trials: int
+    ) -> Optional[dict]:
+        matches = [
+            record
+            for record in self.store.find(spec_hash, seed)
+            if int(record.get("trials", -1)) == trials
+        ]
+        return matches[-1] if matches else None
+
+    def _cached_shard(self, shard: Shard) -> Optional[dict]:
+        matches = self.store.find(shard.spec_hash(), shard.master_seed)
+        return matches[-1] if matches else None
+
+    def _mark_cached(self, job: Job, task: JobTask, record: dict) -> None:
+        task.status = "resumed"
+        task.cached = True
+        task.record = record
+        self._emit(
+            job,
+            {
+                "event": "shard",
+                "job": job.job_id,
+                "shard": task.label,
+                "status": "resumed",
+                "cached": True,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Pool callbacks (monitor thread)
+    # ------------------------------------------------------------------
+    def _pool_callback(self, job: Job, task: JobTask, key: str):
+        def on_event(event: str, info: Optional[dict]) -> None:
+            if event == "started":
+                task.status = "running"
+                self._emit(
+                    job,
+                    {
+                        "event": "shard",
+                        "job": job.job_id,
+                        "shard": task.label,
+                        "status": "start",
+                    },
+                )
+            elif event == "requeued":
+                task.status = "pending"
+                task.requeues += 1
+                self._emit(
+                    job,
+                    {
+                        "event": "shard",
+                        "job": job.job_id,
+                        "shard": task.label,
+                        "status": "requeued",
+                        "requeues": task.requeues,
+                    },
+                )
+            elif event == "done":
+                record = task.build_record(info["record"], info["seconds"])
+                try:
+                    self.store.append(record)
+                except ReproError as exc:  # pragma: no cover - disk trouble
+                    task.status = "failed"
+                    job.error = f"store append failed: {exc}"
+                else:
+                    task.record = record
+                    task.seconds = float(info["seconds"])
+                    task.status = "done"
+                self._emit(
+                    job,
+                    {
+                        "event": "shard",
+                        "job": job.job_id,
+                        "shard": task.label,
+                        "status": "done" if task.status == "done" else "error",
+                        "seconds": round(float(info["seconds"]), 6),
+                    },
+                )
+                self._maybe_finish(job, key)
+            elif event == "error":
+                task.status = "failed"
+                job.error = info["message"] if info else "task failed"
+                self._emit(
+                    job,
+                    {
+                        "event": "shard",
+                        "job": job.job_id,
+                        "shard": task.label,
+                        "status": "error",
+                        "message": job.error,
+                    },
+                )
+                self._maybe_finish(job, key)
+
+        return on_event
+
+    def _maybe_finish(self, job: Job, key: Optional[str]) -> None:
+        if all(task.terminal for task in job.tasks):
+            self._finish(job, key=key)
+
+    def _finish(self, job: Job, *, key: Optional[str]) -> None:
+        job.state = (
+            "failed" if any(t.status == "failed" for t in job.tasks) else "done"
+        )
+        if key is not None:
+            with self._lock:
+                self._inflight.pop(key, None)
+        self._emit(
+            job,
+            {
+                "event": "job",
+                "job": job.job_id,
+                "status": job.state,
+                "shards": job.shard_summary(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _emit(self, job: Job, event: dict) -> None:
+        with job.cond:
+            event["seq"] = len(job.events)
+            job.events.append(event)
+            job.cond.notify_all()
+
+
+def stream_events(job: Job, *, from_seq: int = 0, poll: float = 0.5) -> Iterator[dict]:
+    """Yield a job's events in order, blocking until it finishes.
+
+    Replays history from ``from_seq``, then follows live appends; the
+    iterator ends once the job is terminal and fully drained. This is
+    the generator behind ``GET /v1/runs/<id>/events``.
+    """
+    while True:
+        with job.cond:
+            while len(job.events) <= from_seq and not job.terminal:
+                job.cond.wait(timeout=poll)
+            batch = list(job.events[from_seq:])
+            terminal = job.terminal
+        for event in batch:
+            yield event
+        from_seq += len(batch)
+        if terminal and not batch:
+            return

@@ -1,0 +1,250 @@
+"""The HTTP face of the serve layer: stdlib-only JSON over TCP.
+
+:class:`ReproServer` glues a :class:`http.server.ThreadingHTTPServer`
+to one :class:`~repro.serve.jobs.JobManager` (and, through it, one
+:class:`~repro.campaign.store.ResultStore` and one
+:class:`~repro.serve.pool.WorkerPool`). Endpoints:
+
+========================  ====================================================
+``POST /v1/runs``         submit a spec document → job payload (``id``, state,
+                          shard counters). Identical spec+seed dedupes against
+                          the store (cached aggregate, zero shards executed)
+                          and against in-flight jobs (``deduped: true``).
+``GET /v1/runs``          list jobs, newest last (``repro jobs`` reads this).
+``GET /v1/runs/<id>``     one job, with per-task detail and — once terminal —
+                          its aggregate rows (store-shaped, byte-comparable).
+``GET /v1/runs/<id>/events``  line-delimited JSON stream of the shard
+                          lifecycle (``start``/``done``/``resumed``/
+                          ``requeued``), replaying from ``?from=<seq>`` and
+                          following live until the job finishes.
+``GET /v1/components``    :func:`repro.cli.components_payload`, verbatim —
+                          the same truth ``repro components --json`` prints.
+``GET /v1/results``       ResultStore query: ``?spec_hash=&seed=`` runs
+                          :meth:`~repro.campaign.store.ResultStore.find`;
+                          bare, it returns the aggregate rows.
+``GET /v1/health``        pool liveness/warmth + job counts.
+========================  ====================================================
+
+Transport choices, deliberately boring: ``HTTP/1.0`` (close-delimited
+bodies, so the event stream needs no chunked encoding), one thread per
+connection (the threading server), all JSON. Anything that speaks
+``urllib`` or ``curl`` is a client; :mod:`repro.serve.client` is the
+blessed one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.campaign.store import ResultStore
+from repro.core.errors import ReproError, ServeError
+from repro.serve.jobs import JobManager, stream_events
+from repro.serve.pool import WorkerPool
+
+__all__ = ["ReproServer", "DEFAULT_PORT"]
+
+#: The paper year, as a port.
+DEFAULT_PORT = 8013
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # HTTP/1.0: every response is delimited by connection close, which
+    # lets the events endpoint stream NDJSON with no chunked framing.
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-serve/1"
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def manager(self) -> JobManager:
+        return self.server.repro_server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        self.server.repro_server._log(  # type: ignore[attr-defined]
+            "%s %s" % (self.address_string(), format % args)
+        )
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True, indent=1) + "\n").encode("ascii")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> object:
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServeError("empty request body (expected a JSON document)")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        try:
+            if parts == ["v1", "components"]:
+                from repro.cli import components_payload
+
+                self._send_json(components_payload())
+            elif parts == ["v1", "health"]:
+                self._send_json(self.server.repro_server.health())  # type: ignore[attr-defined]
+            elif parts == ["v1", "results"]:
+                self._send_json(self._results_payload(query))
+            elif parts == ["v1", "runs"]:
+                self._send_json(
+                    {"jobs": [job.to_payload() for job in self.manager.jobs()]}
+                )
+            elif len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+                self._send_json(self.manager.job(parts[2]).to_payload(detail=True))
+            elif len(parts) == 4 and parts[:2] == ["v1", "runs"] and parts[3] == "events":
+                self._stream_events(parts[2], query)
+            else:
+                self._send_error_json(404, f"no such endpoint: GET {url.path}")
+        except ServeError as exc:
+            self._send_error_json(404 if "unknown job id" in str(exc) else 400, str(exc))
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        url = urlsplit(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["v1", "runs"]:
+                document = self._read_body()
+                job = self.manager.submit(document)
+                self._send_json(job.to_payload(), status=202)
+            else:
+                self._send_error_json(404, f"no such endpoint: POST {url.path}")
+        except (ServeError, ReproError) as exc:
+            self._send_error_json(400, str(exc))
+        except (KeyError, TypeError, ValueError) as exc:
+            # Malformed spec documents (bad refs, wrong shapes) surface
+            # as client errors, never as a dead connection.
+            self._send_error_json(400, f"{type(exc).__name__}: {exc}")
+
+    # -- endpoint bodies ----------------------------------------------
+    def _results_payload(self, query: dict) -> dict:
+        store: ResultStore = self.manager.store
+        spec_hash = query.get("spec_hash", [None])[0]
+        if spec_hash is not None:
+            seed_raw = query.get("seed", [None])[0]
+            seed = int(seed_raw) if seed_raw is not None else None
+            return {"records": store.find(spec_hash, seed)}
+        return {"aggregates": json.loads(store.aggregates_json())}
+
+    def _stream_events(self, job_id: str, query: dict) -> None:
+        job = self.manager.job(job_id)
+        from_seq = int(query.get("from", ["0"])[0])
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for event in stream_events(job, from_seq=from_seq):
+                self.wfile.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("ascii")
+                )
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client hung up mid-stream; nothing to clean up
+
+
+class ReproServer:
+    """One serve instance: store + pool + job manager + HTTP listener.
+
+    Usable as a context manager (tests) or via :meth:`serve_forever`
+    (the ``repro serve`` CLI verb). ``port=0`` binds an ephemeral port;
+    read it back from :attr:`port`.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        quiet: bool = True,
+    ) -> None:
+        self.store = store
+        self.pool = WorkerPool(workers=workers)
+        self.manager = JobManager(store, self.pool)
+        self.quiet = quiet
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.repro_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def health(self) -> dict:
+        jobs = self.manager.jobs()
+        return {
+            "service": "repro-serve",
+            "store": str(self.store.root),
+            "pool": self.pool.describe(),
+            "jobs": {
+                "total": len(jobs),
+                "running": sum(1 for j in jobs if not j.terminal),
+            },
+        }
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[serve] {message}")
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ReproServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI use)."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.pool.shutdown()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

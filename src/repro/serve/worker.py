@@ -1,0 +1,133 @@
+"""The warm worker process: pre-imported registries, spec-keyed caches.
+
+Each pool worker is a long-lived ``spawn`` process running
+:func:`worker_main`. The whole point of the serve layer is that the
+per-process costs a CLI run pays on *every* invocation are paid here
+*once*:
+
+* **imports** — the registries (graphs/algorithms/adversaries/problems/
+  MACs/experiments) and numpy are imported during worker startup, not
+  per request;
+* **prepared-trial state** — submitted :class:`~repro.api.spec.ScenarioSpec`
+  documents are parsed and validated once per worker, keyed by their
+  :meth:`~repro.api.spec.ScenarioSpec.spec_hash`, and kept warm across
+  requests (the spec *is* the prepared-trial factory: ``spec(seed)``
+  builds the trial);
+* **deterministic graph families** — building a spec funnels through
+  :func:`repro.api.spec.build_prepared_trial`, whose process-wide
+  deterministic-network cache keeps large fixed topologies built across
+  trials *and across jobs* inside one worker.
+
+Workers communicate over two queues (both private to the worker — see
+:mod:`repro.serve.pool` for why sharing a result queue would be wrong):
+tasks arrive as ``(task_id, kind, payload)`` tuples, results leave as
+``(tag, worker_id, task_id, info)`` messages with ``tag`` one of
+``ready`` / ``started`` / ``done`` / ``error``. A ``None`` task is the
+shutdown sentinel.
+
+Task kinds:
+
+* ``"campaign-shard"`` — one campaign grid cell: payload names
+  ``experiment``/``scale``/``engine``/``master_seed``; the result is
+  :meth:`~repro.experiments.registry.ExperimentResult.to_record`,
+  byte-identical to what :class:`~repro.campaign.runner.CampaignRunner`
+  would checkpoint for the same cell.
+* ``"scenario"`` — a trial batch of one spec: payload carries the spec
+  document, its ``spec_hash``, ``master_seed``, and ``trials``; the
+  result is :meth:`~repro.analysis.runner.TrialStats.to_record`,
+  byte-identical to a direct
+  :class:`~repro.api.executor.TrialExecutor` run.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["worker_main", "execute_task", "warm_imports"]
+
+
+def warm_imports() -> None:
+    """Import everything a task could need, once, at worker startup."""
+    import repro.api  # noqa: F401  (registries + spec machinery)
+    import repro.experiments  # noqa: F401  (experiment registry)
+    import repro.mac  # noqa: F401  (MAC realizations)
+
+
+#: Parsed specs keyed by spec hash — warm prepared-trial state. Parsing
+#: and registry validation happen once per worker per distinct spec; the
+#: deterministic-network cache underneath keeps the built graphs.
+_PREPARED_SPECS: dict = {}
+
+
+def _scenario_for(spec_hash: str, spec_dict: dict):
+    from repro.api.spec import ScenarioSpec
+
+    spec = _PREPARED_SPECS.get(spec_hash)
+    if spec is None:
+        spec = ScenarioSpec.from_dict(spec_dict)
+        _PREPARED_SPECS[spec_hash] = spec
+    return spec
+
+
+def execute_task(kind: str, payload: dict) -> tuple[dict, float]:
+    """Run one task; returns ``(seed-determined record, wall seconds)``.
+
+    Pure in the sense that matters: the record depends only on
+    ``(kind, payload)``, never on which worker ran it or how often —
+    that is what makes kill-and-requeue (and dedup) sound.
+    """
+    started = time.perf_counter()
+    if kind == "campaign-shard":
+        from repro.experiments import ALL_EXPERIMENTS
+
+        result = ALL_EXPERIMENTS[payload["experiment"]].run(
+            scale=payload["scale"],
+            master_seed=int(payload["master_seed"]),
+            engine=payload["engine"],
+        )
+        record = result.to_record()
+    elif kind == "scenario":
+        from repro.analysis.runner import run_broadcast_trials
+
+        spec = _scenario_for(payload["spec_hash"], payload["spec"])
+        stats = run_broadcast_trials(
+            spec,
+            trials=int(payload["trials"]),
+            master_seed=int(payload["master_seed"]),
+        )
+        record = stats.to_record()
+    else:
+        raise ValueError(f"unknown task kind {kind!r}")
+    return record, time.perf_counter() - started
+
+
+def worker_main(worker_id: int, tasks, results) -> None:
+    """Worker process entry point (module-level for ``spawn`` pickling)."""
+    warm_imports()
+    results.put(("ready", worker_id, None, None))
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, kind, payload = item
+        results.put(("started", worker_id, task_id, None))
+        try:
+            record, seconds = execute_task(kind, payload)
+        except Exception as exc:  # surfaced as a job failure, not a crash
+            results.put(
+                (
+                    "error",
+                    worker_id,
+                    task_id,
+                    {"message": f"{type(exc).__name__}: {exc}"},
+                )
+            )
+        else:
+            results.put(
+                (
+                    "done",
+                    worker_id,
+                    task_id,
+                    {"record": record, "seconds": round(seconds, 6)},
+                )
+            )
