@@ -10,11 +10,11 @@ Knobs (environment variables):
 * ``REPRO_BENCH_SCALE=tiny|small|full`` (default ``small``) — sweep
   sizing. ``full`` reproduces the EXPERIMENTS.md numbers; ``small``
   keeps the suite in the minutes range.
-* ``REPRO_BENCH_ENGINE=reference|bitset`` (default ``reference``) —
-  the round-loop implementation
+* ``REPRO_BENCH_ENGINE=reference|bitset|bank`` (default ``reference``)
+  — the round-loop implementation
   (:data:`repro.core.engine.ENGINE_NAMES`). Results are seed-for-seed
   identical across engines, so switching only moves wall-clock time;
-  run a bench once per engine to measure the fast path's speedup.
+  run a bench once per engine to measure the fast engines' speedup.
 * ``REPRO_BENCH_REPEATS`` (default 1) — timing repeats per experiment;
   with ≥ 2 the JSON artifact gains a spread and a 95% CI.
 * ``REPRO_BENCH_RESULTS`` — directory for the machine-readable
@@ -53,6 +53,7 @@ __all__ = [
     "assert_success",
     "assert_contrasts",
     "assert_growth",
+    "assert_not_slower_than_reference",
 ]
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
@@ -174,6 +175,42 @@ def assert_contrasts(result: ExperimentResult) -> None:
             f"contrast {claim.slow_label!r} / {claim.fast_label!r}: measured "
             f"{ratio:.2f}x, claimed ≥ {claim.min_ratio:g}x"
         )
+
+
+def assert_not_slower_than_reference(exp_id: str) -> None:
+    """Fail loudly (nonzero pytest exit) when a fast engine loses.
+
+    Compares the artifact this run just wrote against the committed
+    ``reference``-engine artifact for the same (experiment, scale)
+    cell. This is the regression tripwire for the bitset MAC slowdown:
+    the fast path once shipped *losing* 2x on every M experiment while
+    the equivalence suite stayed green, because nothing asserted wall
+    time. Min-of-repeats is compared (the noise-robust statistic).
+
+    A no-op for the reference engine itself, and when either artifact
+    is missing (fresh checkout, artifacts disabled) — the guard bites
+    exactly when someone regenerates a fast-engine artifact. The 10%
+    allowance absorbs machine noise between the two runs (the original
+    regression was a 2x loss, not a rounding error); artifacts
+    committed together should still show the fast engine strictly
+    ahead.
+    """
+    if BENCH_ENGINE == "reference":
+        return
+    directory = _results_dir()
+    if directory is None:
+        return
+    baseline_path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_reference.json"
+    mine_path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{BENCH_ENGINE}.json"
+    if not baseline_path.exists() or not mine_path.exists():
+        return
+    baseline = json.loads(baseline_path.read_text())["seconds"]["min"]
+    mine = json.loads(mine_path.read_text())["seconds"]["min"]
+    assert mine <= baseline * 1.10, (
+        f"{exp_id}/{BENCH_SCALE}: engine {BENCH_ENGINE!r} took {mine:.3f}s "
+        f"vs reference {baseline:.3f}s — the fast engine is slower than "
+        "the loop it is supposed to beat"
+    )
 
 
 def assert_growth(result: ExperimentResult, label: str, expected: str) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from benchmarks._common import (
     assert_contrasts,
     assert_growth,
+    assert_not_slower_than_reference,
     assert_success,
     run_experiment,
 )
@@ -20,6 +21,7 @@ from benchmarks._common import (
 
 def test_m1_message_load(benchmark):
     result = run_experiment(benchmark, "M1")
+    assert_not_slower_than_reference("M1")
     assert_success(result)
     # Back-off's robustness claim: near-linear in k at every scale.
     assert_growth(result, "backoff-concurrent vs GE-fade", "near-linear")
@@ -37,6 +39,7 @@ def test_m1_message_load(benchmark):
 
 def test_m2_link_models(benchmark):
     result = run_experiment(benchmark, "M2")
+    assert_not_slower_than_reference("M2")
     assert_success(result)
     # The offline adaptive attacker is the regime that hurts.
     assert_contrasts(result)
@@ -44,6 +47,7 @@ def test_m2_link_models(benchmark):
 
 def test_m3_mac_constants(benchmark):
     result = run_experiment(benchmark, "M3")
+    assert_not_slower_than_reference("M3")
     assert_success(result)
     # The realized layer is never faster than its idealized envelope.
     assert_contrasts(result)

@@ -36,6 +36,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+import numpy as np
+
 from repro.core.errors import TopologyViolationError
 from repro.core.trace import iter_bits
 from repro.graphs.dual_graph import DualGraph, Edge, normalize_edge
@@ -140,8 +142,22 @@ class RoundTopology:
         """Node-level fading: a flaky edge is on iff *both* endpoints are active.
 
         ``active_mask`` marks unfaded nodes. This is the O(n) pattern
-        used by the node-level stochastic link processes.
+        used by the node-level stochastic link processes; it runs every
+        round for fading adversaries, so single-word graphs take a
+        vectorized route over the network's cached uint64 masks.
         """
+        words = network.word_masks()
+        if words is not None:
+            g_np, flaky_np = words
+            active = np.unpackbits(
+                np.frombuffer(active_mask.to_bytes(8, "little"), dtype=np.uint8),
+                bitorder="little",
+                count=network.n,
+            ).astype(bool)
+            rows = np.where(
+                active, g_np | (flaky_np & np.uint64(active_mask)), g_np
+            )
+            return cls(masks=tuple(rows.tolist()), label=label)
         masks = []
         for u in range(network.n):
             if (active_mask >> u) & 1:

@@ -176,18 +176,25 @@ class GilbertElliottNodeFade(LinkProcess):
                 self._clear_mask |= 1 << u
 
     def choose_topology(self, view: ObliviousView) -> RoundTopology:
+        # One draw per node in node order (the chain's contract with
+        # the RNG stream); build the next mask instead of patching the
+        # old one so no per-node complement/and-not bigint work runs.
+        random = self.rng.random
+        p_fail = self.p_fail
+        p_recover = self.p_recover
         mask = self._clear_mask
-        for u in range(self.network.n):
-            bit = 1 << u
+        new_mask = 0
+        bit = 1
+        for _ in range(self.network.n):
             if mask & bit:
-                if self.rng.random() < self.p_fail:
-                    mask &= ~bit
-            else:
-                if self.rng.random() < self.p_recover:
-                    mask |= bit
-        self._clear_mask = mask
+                if random() >= p_fail:
+                    new_mask |= bit
+            elif random() < p_recover:
+                new_mask |= bit
+            bit <<= 1
+        self._clear_mask = new_mask
         return RoundTopology.from_active_flaky_nodes(
-            self.network, mask, label="gilbert-elliott-node-fade"
+            self.network, new_mask, label="gilbert-elliott-node-fade"
         )
 
 

@@ -37,6 +37,7 @@ __all__ = [
     "TrialStats",
     "run_broadcast_trial",
     "run_prepared_trial",
+    "run_bank_trials",
     "run_broadcast_trials",
 ]
 
@@ -46,8 +47,10 @@ class PreparedTrial:
     """Everything one execution needs, freshly constructed.
 
     ``engine`` selects the round-loop implementation
-    (:data:`repro.core.engine.ENGINE_NAMES`): ``"reference"`` or the
-    seed-for-seed identical ``"bitset"`` fast path.
+    (:data:`repro.core.engine.ENGINE_NAMES`): ``"reference"``, the
+    seed-for-seed identical ``"bitset"`` fast path, or ``"bank"`` —
+    also seed-for-seed identical, and additionally batched *across
+    trials* when a whole seed bank reaches :func:`run_bank_trials`.
 
     ``mac`` (optional) is the trial's abstract MAC layer
     (:class:`repro.mac.base.AbstractMACLayer`). Engine-mode layers are
@@ -224,6 +227,92 @@ def run_prepared_trial(
         max_rounds=trial.max_rounds, stop=lambda: observer.solved
     )
     return TrialResult(solved=result.solved, rounds=result.rounds, seed=seed)
+
+
+def run_bank_trials(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    *,
+    first: Optional[PreparedTrial] = None,
+) -> list[TrialResult]:
+    """Run a whole seed bank of one scenario through the bank engine.
+
+    This is the cross-trial entry point ``engine="bank"`` exists for:
+    every seed's trial becomes one lane of a shared struct-of-arrays
+    kernel, and :func:`repro.core.bankpath.run_bank_batch` advances all
+    lanes in lockstep rounds with batched coins and (where topologies
+    coincide) batched reception. Results are identical to running each
+    seed through :func:`run_prepared_trial` — only the batching axis
+    changes.
+
+    ``first`` optionally passes a pre-built (and still unused) trial
+    for ``seeds[0]`` so executors that peeked at the scenario don't pay
+    the build twice. Trials the batch cannot serve — oracle-mode MAC
+    layers, adaptive adversaries (which fall back to the reference
+    engine per trial, with the usual warning), or heterogeneous banks —
+    take the per-trial path instead.
+    """
+    seeds = list(seeds)
+    if not seeds:
+        return []
+    trials = [
+        first if index == 0 and first is not None else scenario(seed)
+        for index, seed in enumerate(seeds)
+    ]
+
+    def _per_trial() -> list[TrialResult]:
+        return [run_prepared_trial(t, s) for t, s in zip(trials, seeds)]
+
+    lead = trials[0]
+    mac = lead.mac
+    if mac is not None and getattr(mac, "mode", "engine") == "oracle":
+        return _per_trial()
+    from repro.adversaries.base import AdversaryClass
+
+    if lead.link_process.adversary_class is not AdversaryClass.OBLIVIOUS:
+        return _per_trial()
+    if any(
+        t.network.n != lead.network.n or t.max_rounds != lead.max_rounds
+        for t in trials
+    ):
+        return _per_trial()
+
+    from repro.core.bankpath import (
+        BankLane,
+        BankRadioNetworkEngine,
+        build_bank_kernel,
+        run_bank_batch,
+    )
+
+    banks = [
+        trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=seed
+        )
+        for trial, seed in zip(trials, seeds)
+    ]
+    kernel = build_bank_kernel(banks)
+    lanes = []
+    for lane_index, (trial, seed) in enumerate(zip(trials, seeds)):
+        observer = trial.problem.make_observer()
+        engine = BankRadioNetworkEngine(
+            trial.network,
+            banks[lane_index],
+            trial.link_process,
+            seed=seed,
+            algorithm_info=trial.algorithm.info(),
+            validate_topologies=trial.validate_topologies,
+            observers=[observer],
+            kernel=kernel,
+            lane=lane_index,
+        )
+        lanes.append(
+            BankLane(engine=engine, stop=(lambda obs=observer: obs.solved))
+        )
+    results = run_bank_batch(lanes, max_rounds=lead.max_rounds)
+    return [
+        TrialResult(solved=res.solved, rounds=res.rounds, seed=seed)
+        for res, seed in zip(results, seeds)
+    ]
 
 
 def run_broadcast_trial(

@@ -47,16 +47,39 @@ class TrialExecutor(abc.ABC):
 
 
 class SerialExecutor(TrialExecutor):
-    """One process, one trial at a time — the reference backend."""
+    """One process, one trial at a time — the reference backend.
+
+    ``engine="bank"`` scenarios are the one structured deviation from
+    the literal loop: the whole seed batch is handed to
+    :func:`~repro.analysis.runner.run_bank_trials`, which runs it as
+    lockstep lanes of one struct-of-arrays kernel. Results are
+    seed-for-seed identical to the plain loop — the batch only changes
+    where the numpy work happens.
+    """
 
     def run_trials(self, scenario: Scenario, seeds: Sequence[int]) -> list[TrialResult]:
-        return [run_prepared_trial(scenario(seed), seed) for seed in seeds]
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        first = scenario(seeds[0])
+        if getattr(first, "engine", None) == "bank":
+            from repro.analysis.runner import run_bank_trials
+
+            return run_bank_trials(scenario, seeds, first=first)
+        results = [run_prepared_trial(first, seeds[0])]
+        results.extend(run_prepared_trial(scenario(seed), seed) for seed in seeds[1:])
+        return results
 
 
-def _run_one(item: tuple[Scenario, int]) -> TrialResult:
-    """Worker entry point: build and run one trial (module-level for pickle)."""
-    scenario, seed = item
-    return run_prepared_trial(scenario(seed), seed)
+def _run_chunk(item: tuple[Scenario, Sequence[int]]) -> list[TrialResult]:
+    """Worker entry point: run one seed chunk (module-level for pickle).
+
+    Chunks delegate to :class:`SerialExecutor`, so workers bank-batch
+    their chunk when the scenario selects ``engine="bank"`` and results
+    stay identical to a fully serial run by construction.
+    """
+    scenario, chunk = item
+    return SerialExecutor().run_trials(scenario, chunk)
 
 
 class ParallelExecutor(TrialExecutor):
@@ -76,7 +99,9 @@ class ParallelExecutor(TrialExecutor):
     chunksize:
         Trials per task handed to a worker; defaults to spreading the
         batch ~4 tasks per worker (amortizes IPC without starving the
-        pool on heavy-tailed trial times).
+        pool on heavy-tailed trial times). Each chunk runs through a
+        worker-side :class:`SerialExecutor`, so ``engine="bank"``
+        scenarios bank-batch per chunk.
     """
 
     def __init__(self, max_workers: Optional[int] = None, *, chunksize: Optional[int] = None) -> None:
@@ -108,14 +133,16 @@ class ParallelExecutor(TrialExecutor):
             ) from exc
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        size = self._resolve_chunksize(len(seeds))
+        chunks = [seeds[start : start + size] for start in range(0, len(seeds), size)]
         try:
-            return list(
-                self._pool.map(
-                    _run_one,
-                    [(scenario, seed) for seed in seeds],
-                    chunksize=self._resolve_chunksize(len(seeds)),
+            return [
+                result
+                for chunk_results in self._pool.map(
+                    _run_chunk, [(scenario, chunk) for chunk in chunks]
                 )
-            )
+                for result in chunk_results
+            ]
         except Exception:
             # A broken pool (crashed worker) cannot be reused; drop it
             # so the next call starts fresh, and surface the error.

@@ -124,9 +124,11 @@ class ScenarioSpec:
 
     ``engine`` picks the round-loop implementation
     (:data:`~repro.core.engine.ENGINE_NAMES`): ``"reference"``
-    (default) or ``"bitset"``, the vectorized fast path that is
-    seed-for-seed identical and auto-falls-back (with a warning) for
-    adaptive adversaries. Because it cannot change results, the engine
+    (default), ``"bitset"`` (the vectorized fast path), or ``"bank"``
+    (the trial-batched engine — executors run a ``"bank"`` scenario's
+    whole seed list as one lockstep bank). Both fast engines are
+    seed-for-seed identical to the reference loop and auto-fall-back
+    (with a warning) for adaptive adversaries. Because it cannot change results, the engine
     is a *performance* knob: it serializes with the spec so a saved
     scenario reruns the way it was tuned, but editing it never alters
     the measured rounds.

@@ -1,0 +1,581 @@
+"""The bank engine: a trial-batched numpy struct-of-arrays kernel.
+
+:class:`BankRadioNetworkEngine` is the third registered engine
+(``engine="bank"``). Where the bitset fast path batches *across nodes*
+within one trial, the bank batches *across trials*: an entire seed bank
+of independent executions advances in lockstep rounds, and the per-round
+numpy work — Bernoulli comparisons, transmit-mask packing, and the
+dense reception matvec — runs once for the whole bank instead of once
+per trial.
+
+Three layers cooperate:
+
+1. **Per-trial lanes.** Each trial still owns a
+   :class:`BankRadioNetworkEngine` — a
+   :class:`~repro.core.fastpath.BitsetRadioNetworkEngine` subclass, so
+   every stage it does not override (topology, reception, feedback
+   skipping, records) keeps the proven bitset semantics. A standalone
+   ``engine.run()`` therefore works exactly like bitset (that is what
+   :func:`~repro.core.engine.create_engine` returns for a single
+   trial); the cross-trial wins need the batch entry points below.
+2. **Vectorized protocol kernels.** For the time-driven MAC protocols
+   (:class:`~repro.algorithms.multi_message.GklnMultiMessageProcess`,
+   :class:`~repro.algorithms.multi_message.BackoffMultiMessageProcess`)
+   the per-node Python state machines are *replaced* by
+   struct-of-arrays state: knowledge as a (trials × nodes × bits)
+   bitmap packed into int64 lanes, append-order message logs, ack
+   windows and back-off epochs folded by vectorized index arithmetic.
+   One batch of numpy ops per round plans every node of every trial;
+   reception feedback degrades to sparse per-delivery updates. The
+   kernels reproduce the reference engine's plans bit-for-bit
+   (probabilities are exact powers of two via ``ldexp``; message
+   identity is positional), which ``tests/test_engine_equivalence.py``
+   holds to full-trace identity. Algorithms without a kernel simply run
+   the lanes' inherited bitset plan stage — still batched at the
+   coins/reception layer, never falling back to a slower path.
+3. **The lockstep scheduler.** :func:`run_bank_batch` drives all lanes
+   round by round: transmission coins are drawn as a (trials × nodes)
+   batch — one ``Generator.random(out=row)`` per lane against the same
+   per-trial ``("engine", "coins")`` stream the other engines consume,
+   so per-trial draw order is untouched — then compared and bit-packed
+   in one shot. Lanes whose stop condition fires retire from the bank
+   (their RNGs stop drawing, exactly like a serial run ending).
+
+Scope mirrors the bitset engine: oblivious link processes only.
+:func:`~repro.core.engine.create_engine` falls back to the reference
+engine (with :class:`~repro.core.errors.EngineFallbackWarning`) for
+adaptive adversaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import ExecutionResult, StopCondition
+from repro.core.fastpath import BitsetRadioNetworkEngine
+from repro.core.messages import Message
+from repro.core.trace import Delivery
+
+__all__ = [
+    "BankRadioNetworkEngine",
+    "BankLane",
+    "build_bank_kernel",
+    "run_bank_batch",
+]
+
+#: Knowledge bitmaps live in int64 lanes; workloads with more messages
+#: than bits fall back to the generic (bitset-plan) lane path.
+_KERNEL_MAX_BITS = 63
+
+#: Sentinel: "build a single-lane kernel from my own processes".
+_AUTO_KERNEL = object()
+
+#: Ceiling for the scheduler's per-round dense reception batch: when a
+#: lane's round topology misses the bitset matrix cache (fading
+#: adversaries mint fresh mask tuples every round, so the id-keyed
+#: cache fills and stays cold), the scheduler builds the dense neighbor
+#: matrices for all such lanes in one ``unpackbits`` and resolves them
+#: with one batched matvec. The build is Θ(lanes · n²); past this size
+#: the bigint candidate scan (Θ(transmitters + listeners) words) wins.
+_DENSE_BATCH_MAX_N = 512
+
+
+# ----------------------------------------------------------------------
+# Vectorized protocol kernels
+# ----------------------------------------------------------------------
+class _MultiMessageKernelBase:
+    """Shared struct-of-arrays state for the multi-message kernels.
+
+    Layout (``T`` trials × ``n`` nodes × ``k`` messages):
+
+    * ``known``  — (T, n) int64 bitmap: bit ``i`` set iff the node holds
+      message ``i`` (the ISSUE's trials × nodes × bits knowledge map,
+      bit-packed).
+    * ``order``  — (T, n, k) int64 append-order log of message indices;
+      both protocols rotate/queue over their knowledge in append order.
+    * ``klen``   — (T, n) int64 length of that log.
+    * ``messages[t][i]`` — the canonical :class:`Message` object for
+      message ``i`` of trial ``t`` (minted by its source process, so
+      deliveries compare equal to the reference engine's).
+    """
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        first = banks[0][0]
+        self.trials = len(banks)
+        self.n = len(banks[0])
+        self.k = first.assignment.k
+        self.assignments = [bank[0].assignment for bank in banks]
+        shape = (self.trials, self.n)
+        self.known = np.zeros(shape, dtype=np.int64)
+        self.order = np.zeros((*shape, self.k), dtype=np.int64)
+        self.klen = np.zeros(shape, dtype=np.int64)
+        self.messages: list[list[Optional[Message]]] = [
+            [None] * self.k for _ in range(self.trials)
+        ]
+        # Canonical objects let feedback resolve a delivery's message
+        # index by identity instead of payload inspection; the
+        # ``messages`` lists pin the objects, so ids stay unique.
+        self._index_by_id: dict[int, int] = {}
+        self._r = -1
+        self._probs: Optional[np.ndarray] = None
+
+    def _ingest_knowledge(self, t: int, u: int, messages: Sequence[Message]) -> None:
+        """Seed node (t, u)'s knowledge log from its initial messages."""
+        assignment = self.assignments[t]
+        for position, message in enumerate(messages):
+            index = assignment.index_of(message.payload)
+            self.order[t, u, position] = index
+            self.known[t, u] |= 1 << index
+            # Initial messages exist only at their sources, so this is
+            # the canonical (source-minted) object for the index.
+            self.messages[t][index] = message
+            self._index_by_id[id(message)] = index
+        self.klen[t, u] = len(messages)
+
+    def _learn(self, t: int, u: int, index: int) -> bool:
+        """Append message ``index`` to (t, u)'s log; False if known."""
+        bit = 1 << index
+        if self.known[t, u] & bit:
+            return False
+        self.known[t, u] |= bit
+        length = int(self.klen[t, u])
+        self.order[t, u, length] = index
+        self.klen[t, u] = length + 1
+        return True
+
+    def _delivery_index(self, t: int, delivery: Delivery) -> Optional[int]:
+        """The message index a delivery carries, or None for foreign ones.
+
+        Fast path: kernel lanes mint every transmitted message through
+        :meth:`message_for`, so deliveries carry the canonical objects
+        and resolve by identity. The payload-inspection fallback keeps
+        parity for any non-canonical (but valid) message object.
+        """
+        message = delivery.message
+        index = self._index_by_id.get(id(message))
+        if index is not None:
+            return index
+        if not message.is_data():
+            return None
+        return self.assignments[t].index_of(message.payload)
+
+
+class _GklnBankKernel(_MultiMessageKernelBase):
+    """All trials of a GKLN queued-discipline bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.multi_message.GklnMultiMessageProcess`
+    exactly: the pending FIFO is the suffix ``order[qhead:klen]`` of the
+    append-order log (relay-once means every learned message is queued
+    exactly once, in learn order), ``head_start`` is the round the
+    head's ack window opened (−1 = idle), and elapsed windows are folded
+    by one vectorized division instead of a per-node ``while`` loop.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.multi_message import GklnMultiMessageProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not GklnMultiMessageProcess:
+                return False
+            if first.assignment.k > _KERNEL_MAX_BITS:
+                return False
+            for process in bank:
+                if type(process) is not GklnMultiMessageProcess:
+                    return False
+                if (
+                    process.assignment is not first.assignment
+                    or process.window != first.window
+                    or process.rungs != first.rungs
+                    or process.persist_probability != first.persist_probability
+                ):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        lane_col = lambda attr: np.array(  # noqa: E731 - tiny local helper
+            [[getattr(bank[0], attr)] for bank in banks]
+        )
+        self.window = lane_col("window").astype(np.int64)
+        self.rungs = lane_col("rungs").astype(np.int64)
+        self.persist = lane_col("persist_probability").astype(np.float64)
+        self.qhead = np.zeros((self.trials, self.n), dtype=np.int64)
+        self.head_start = np.full((self.trials, self.n), -1, dtype=np.int64)
+        for t, bank in enumerate(banks):
+            for u, process in enumerate(bank):
+                self._ingest_knowledge(t, u, list(process._all_known))
+                self.qhead[t, u] = self.klen[t, u] - len(process._queue)
+                if process._head_start is not None:
+                    self.head_start[t, u] = process._head_start
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        head_start, qhead, klen = self.head_start, self.qhead, self.klen
+        # Fold elapsed ack windows: every full window pops one head.
+        started = head_start >= 0
+        pops = np.where(
+            started,
+            np.minimum((r - head_start) // self.window, klen - qhead),
+            0,
+        )
+        np.maximum(pops, 0, out=pops)
+        qhead += pops
+        head_start += pops * self.window
+        head_start[started & (qhead >= klen)] = -1
+        serving = head_start >= 0
+        # Serving nodes climb the decay ladder (exact powers of two, so
+        # ldexp matches the process's ``2.0 ** (-slot % rungs - 1)``
+        # bit-for-bit); idle nodes with knowledge persist at the
+        # background duty cycle; everyone else is silent.
+        slot = r - head_start
+        ladder = np.ldexp(1.0, -(slot % self.rungs) - 1)
+        background = np.where((klen > 0) & (self.persist > 0.0), self.persist, 0.0)
+        self._probs = np.where(serving, ladder, background)
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """The message lane ``t``'s node ``u`` transmitted this round."""
+        if self.head_start[t, u] >= 0:
+            index = self.order[t, u, self.qhead[t, u]]
+        else:
+            index = self.order[t, u, (self._r + u) % int(self.klen[t, u])]
+        return self.messages[t][int(index)]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """Sparse reception feedback (idle/transmit feedback are no-ops)."""
+        for delivery in deliveries:
+            index = self._delivery_index(t, delivery)
+            if index is None:
+                continue
+            u = delivery.receiver
+            if self._learn(t, u, index) and self.head_start[t, u] < 0:
+                # The queue was idle: the window opens next round.
+                self.head_start[t, u] = r + 1
+
+
+class _BackoffBankKernel(_MultiMessageKernelBase):
+    """All trials of a simple back-off bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.multi_message.BackoffMultiMessageProcess`:
+    nodes holding messages transmit at the regime's rate (fixed, or
+    halving per quiet ``backoff_window`` — again exact powers of two via
+    ``ldexp``) and rotate through their knowledge log offset by node id.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.multi_message import BackoffMultiMessageProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not BackoffMultiMessageProcess:
+                return False
+            if first.assignment.k > _KERNEL_MAX_BITS:
+                return False
+            for process in bank:
+                if type(process) is not BackoffMultiMessageProcess:
+                    return False
+                if (
+                    process.assignment is not first.assignment
+                    or process.regime != first.regime
+                    or process.backoff_window != first.backoff_window
+                    or process.base_probability != first.base_probability
+                    or process.min_probability != first.min_probability
+                ):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.exponential = np.array(
+            [[bank[0].regime == "exponential"] for bank in banks]
+        )
+        self.backoff_window = np.array(
+            [[bank[0].backoff_window] for bank in banks], dtype=np.int64
+        )
+        self.base = np.array(
+            [[bank[0].base_probability] for bank in banks], dtype=np.float64
+        )
+        self.floor = np.array(
+            [[bank[0].min_probability] for bank in banks], dtype=np.float64
+        )
+        self.last_new = np.zeros((self.trials, self.n), dtype=np.int64)
+        for t, bank in enumerate(banks):
+            for u, process in enumerate(bank):
+                self._ingest_knowledge(t, u, list(process._known))
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        epoch = np.maximum(0, r - self.last_new) // self.backoff_window
+        backed = np.maximum(self.floor, self.base * np.ldexp(1.0, -epoch))
+        rate = np.where(self.exponential, backed, self.base)
+        self._probs = np.where(self.klen > 0, rate, 0.0)
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """The message lane ``t``'s node ``u`` transmitted this round."""
+        index = self.order[t, u, (self._r + u) % int(self.klen[t, u])]
+        return self.messages[t][int(index)]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """Sparse reception feedback (idle/transmit feedback are no-ops)."""
+        for delivery in deliveries:
+            index = self._delivery_index(t, delivery)
+            if index is None:
+                continue
+            if self._learn(t, delivery.receiver, index):
+                # New knowledge resets the back-off clock from next round.
+                self.last_new[t, delivery.receiver] = r + 1
+
+
+_KERNELS = (_GklnBankKernel, _BackoffBankKernel)
+
+
+def build_bank_kernel(banks: Sequence[Sequence]):
+    """A vectorized protocol kernel for these process banks, or ``None``.
+
+    ``banks[t]`` is trial ``t``'s per-node process list. A kernel is
+    built only when *every* process of every lane belongs to the same
+    supported protocol family with compatible parameters; anything else
+    returns ``None`` and the lanes run their inherited bitset plan
+    stage (still coin/reception-batched by the scheduler — this is a
+    capability probe, not a fallback to a slower engine).
+    """
+    if not banks or not banks[0]:
+        return None
+    for kernel_cls in _KERNELS:
+        if kernel_cls.eligible(banks):
+            return kernel_cls(banks)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-trial lane engine
+# ----------------------------------------------------------------------
+class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
+    """One lane of a trial bank (also a standalone single-trial engine).
+
+    Construction signature matches the other engines, plus the private
+    ``kernel``/``lane`` pair the batch runner uses to share one
+    struct-of-arrays kernel across lanes. Built standalone (via
+    :func:`~repro.core.engine.create_engine`), the engine probes its
+    own processes for a kernel (a bank of one); without a kernel it
+    behaves exactly like the bitset engine.
+    """
+
+    def __init__(
+        self,
+        network,
+        processes,
+        link_process,
+        *,
+        seed: int,
+        algorithm_info=None,
+        validate_topologies: bool = True,
+        observers: Sequence = (),
+        kernel=_AUTO_KERNEL,
+        lane: int = 0,
+    ) -> None:
+        super().__init__(
+            network,
+            processes,
+            link_process,
+            seed=seed,
+            algorithm_info=algorithm_info,
+            validate_topologies=validate_topologies,
+            observers=observers,
+        )
+        if kernel is _AUTO_KERNEL:
+            kernel = build_bank_kernel([self.processes])
+            lane = 0
+        self._kernel = kernel
+        self._lane = lane
+
+    # Stage overrides: with a kernel, plans and feedback come from the
+    # struct-of-arrays state; everything else (coins, topology,
+    # reception, records) is inherited unchanged.
+    def _plan_probs(self, r: int) -> np.ndarray:
+        if self._kernel is None:
+            return super()._plan_probs(r)
+        return self._kernel.probabilities(r)[self._lane]
+
+    def _message_for(self, u: int) -> Message:
+        if self._kernel is None:
+            return super()._message_for(u)
+        return self._kernel.message_for(self._lane, u)
+
+    def _apply_feedback(self, r: int, transmitter_mask: int, deliveries) -> None:
+        if self._kernel is None:
+            super()._apply_feedback(r, transmitter_mask, deliveries)
+        elif deliveries:
+            # Kernel families promise idle/transmit feedback no-ops
+            # (checked by eligibility: exact process types only), so
+            # only receivers carry state changes.
+            self._kernel.apply_feedback(self._lane, r, deliveries)
+
+
+# ----------------------------------------------------------------------
+# The lockstep bank scheduler
+# ----------------------------------------------------------------------
+@dataclass
+class BankLane:
+    """One trial riding the bank: its engine plus its stop condition."""
+
+    engine: BankRadioNetworkEngine
+    stop: Optional[StopCondition] = None
+
+
+def run_bank_batch(
+    lanes: Sequence[BankLane], *, max_rounds: int
+) -> list[ExecutionResult]:
+    """Run a bank of single-trial lanes in lockstep rounds.
+
+    Per-lane results are identical to running each engine's ``run()``
+    separately — the batch changes *where* the numpy work happens, not
+    what any trial observes:
+
+    * coins: one ``Generator.random(out=row)`` per lane per round (the
+      lane's own per-trial stream, same draw count as a serial run),
+      then one (active × n) comparison + ``packbits`` for the bank;
+    * plans: kernel-backed lanes share one (T, n) probability batch;
+    * reception: lanes whose topology hits the bitset matrix cache
+      resolve by cached matvec; cache misses (per-round fading masks)
+      are folded into one dense batched matvec for the whole bank; only
+      networks past ``_DENSE_BATCH_MAX_N`` fall back to the per-lane
+      bigint scan.
+
+    Lanes whose stop condition fires retire immediately: they stop
+    drawing coins and stop observing rounds, exactly like a serial
+    execution that ended.
+    """
+    if max_rounds < 0:
+        raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+    results: list[Optional[ExecutionResult]] = [None] * len(lanes)
+    active: list[int] = []
+    for i, lane in enumerate(lanes):
+        lane.engine._ensure_started()
+        if lane.stop is not None and lane.stop():
+            results[i] = ExecutionResult(rounds=0, solved=True, solve_round=-1)
+        else:
+            active.append(i)
+    if not lanes:
+        return []
+    n = lanes[0].engine.network.n
+    nbytes = (n + 7) // 8
+    modulus = n + 1
+    coin_buffer = np.empty((len(lanes), n), dtype=np.float64)
+    prob_buffer = np.empty((len(lanes), n), dtype=np.float64)
+    executed = 0
+    while active and executed < max_rounds:
+        r = executed
+        m = len(active)
+        coins = coin_buffer[:m]
+        probs = prob_buffer[:m]
+
+        # Stages 1–2, batched: per-lane plans and per-trial coin rows,
+        # one comparison + packbits for the whole bank.
+        for j, i in enumerate(active):
+            engine = lanes[i].engine
+            np.copyto(probs[j], engine._plan_probs(r))
+            engine._coin_rng.random(out=coins[j])
+        transmit = coins < probs
+        packed = np.packbits(transmit, axis=1, bitorder="little").tobytes()
+        masks = [
+            int.from_bytes(packed[j * nbytes : (j + 1) * nbytes], "little")
+            for j in range(m)
+        ]
+
+        # Stage 3 per lane; stage 4 batched. Lanes whose topology hits
+        # the bitset matrix cache (static adversaries, shared graphs)
+        # resolve by cached matvec; lanes that miss it (fading
+        # adversaries mint fresh mask tuples every round, so the
+        # id-keyed cache fills and stays cold) are folded into ONE
+        # dense (lanes × n × n) neighbor batch built straight from the
+        # masks — one ``unpackbits`` plus one batched matvec for the
+        # whole bank instead of per-lane bigint candidate scans.
+        topologies = [lanes[i].engine._choose_topology(r) for i in active]
+        shared_deliveries: dict[int, list[Delivery]] = {}
+        fresh: list[int] = []
+        for j, topology in enumerate(topologies):
+            if masks[j] == 0:
+                shared_deliveries[j] = []  # silent round: nothing to hear
+                continue
+            engine = lanes[active[j]].engine
+            matrix = engine._matrix_for(topology.masks)
+            if matrix is not None:
+                shared_deliveries[j] = engine._resolve_with_matrix(
+                    transmit[j], matrix
+                )
+            elif n <= _DENSE_BATCH_MAX_N:
+                fresh.append(j)
+        if fresh:
+            if n <= 64:
+                # Single-word masks: one C-loop conversion + byte view.
+                packed_masks = np.array(
+                    [topologies[j].masks for j in fresh], dtype="<u8"
+                ).view(np.uint8).reshape(len(fresh), n, 8)
+            else:
+                packed_masks = np.frombuffer(
+                    b"".join(
+                        mask.to_bytes(nbytes, "little")
+                        for j in fresh
+                        for mask in topologies[j].masks
+                    ),
+                    dtype=np.uint8,
+                ).reshape(len(fresh), n, nbytes)
+            neighbors = np.unpackbits(
+                packed_masks, axis=2, bitorder="little", count=n
+            ).astype(np.float64)
+            rows = transmit[fresh]
+            weighted = rows * lanes[active[fresh[0]]].engine._sender_encoding
+            totals = (neighbors @ weighted[:, :, None])[..., 0].astype(np.int64)
+            solo = (totals % modulus == 1) & ~rows
+            for position, j in enumerate(fresh):
+                deliveries: list[Delivery] = []
+                receivers = np.nonzero(solo[position])[0]
+                if receivers.size:
+                    senders = totals[position, receivers] // modulus - 1
+                    message_for = lanes[active[j]].engine._message_for
+                    for u, sender in zip(receivers.tolist(), senders.tolist()):
+                        deliveries.append(
+                            Delivery(
+                                receiver=u, sender=sender, message=message_for(sender)
+                            )
+                        )
+                shared_deliveries[j] = deliveries
+
+        # Stages 3–6 per lane (topology/deliveries reused when batched).
+        still_active: list[int] = []
+        for j, i in enumerate(active):
+            lane = lanes[i]
+            record = lane.engine._finish_round(
+                r,
+                transmit[j],
+                masks[j],
+                math.fsum(probs[j].tolist()),
+                topology=topologies[j],
+                deliveries=shared_deliveries.get(j),
+            )
+            if lane.stop is not None and lane.stop():
+                results[i] = ExecutionResult(
+                    rounds=r + 1, solved=True, solve_round=record.round_index
+                )
+            else:
+                still_active.append(i)
+        active = still_active
+        executed += 1
+    for i in active:
+        results[i] = ExecutionResult(rounds=executed, solved=False, solve_round=None)
+    return results

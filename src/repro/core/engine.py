@@ -68,7 +68,7 @@ __all__ = [
 
 #: Engine implementations selectable via ``create_engine`` /
 #: ``ScenarioSpec(engine=...)`` / ``repro ... --engine``.
-ENGINE_NAMES = ("reference", "bitset")
+ENGINE_NAMES = ("reference", "bitset", "bank")
 
 #: Predicate deciding, after each round, whether the execution is done.
 StopCondition = Callable[[], bool]
@@ -400,20 +400,37 @@ def create_engine(
 
     ``engine="reference"`` is the straight-line round loop above;
     ``engine="bitset"`` is the vectorized fast path of
-    :mod:`repro.core.fastpath`, which is seed-for-seed identical to the
-    reference engine (same coin stream, same records, same results) but
-    only serves *oblivious* link processes. Requesting the fast path
-    against an online/offline adaptive adversary falls back to the
-    reference engine with an :class:`EngineFallbackWarning` — adaptive
-    views are entitled to per-node plan introspection every round,
-    which is precisely the per-node work the fast path elides.
+    :mod:`repro.core.fastpath`; ``engine="bank"`` is the trial-batched
+    struct-of-arrays kernel of :mod:`repro.core.bankpath` (a bitset
+    subclass — for the single execution built here it acts as one lane
+    of a bank of one; the cross-trial batching engages when an executor
+    hands a whole seed bank to :func:`repro.core.bankpath.run_bank_batch`).
+    Both fast engines are seed-for-seed identical to the reference
+    engine (same coin stream, same records, same results) but only
+    serve *oblivious* link processes. Requesting either against an
+    online/offline adaptive adversary falls back to the reference
+    engine with an :class:`EngineFallbackWarning` — adaptive views are
+    entitled to per-node plan introspection every round, which is
+    precisely the per-node work the fast paths elide.
     """
     if engine not in ENGINE_NAMES:
         raise EngineError(
             f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
         )
-    if engine == "bitset":
+    if engine in ("bitset", "bank"):
         if link_process.adversary_class is AdversaryClass.OBLIVIOUS:
+            if engine == "bank":
+                from repro.core.bankpath import BankRadioNetworkEngine
+
+                return BankRadioNetworkEngine(
+                    network,
+                    processes,
+                    link_process,
+                    seed=seed,
+                    algorithm_info=algorithm_info,
+                    validate_topologies=validate_topologies,
+                    observers=observers,
+                )
             from repro.core.fastpath import BitsetRadioNetworkEngine
 
             return BitsetRadioNetworkEngine(
@@ -426,7 +443,7 @@ def create_engine(
                 observers=observers,
             )
         warnings.warn(
-            f"bitset engine requested but {link_process.describe()} is "
+            f"{engine} engine requested but {link_process.describe()} is "
             f"{link_process.adversary_class.value}: adaptive link processes "
             "need per-node plan introspection, using the reference engine",
             EngineFallbackWarning,

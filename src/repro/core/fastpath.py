@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +59,7 @@ from repro.adversaries.base import (
 from repro.core import rng as rng_mod
 from repro.core.engine import RadioNetworkEngine
 from repro.core.errors import EngineError, PlanError
+from repro.core.messages import Message
 from repro.core.process import SILENT_SIGNATURE, Process, RoundPlan
 from repro.core.trace import Delivery, Observer, RoundRecord
 from repro.graphs.dual_graph import masks_to_neighbor_matrix
@@ -80,10 +81,31 @@ _MATRIX_CACHE_SIZE = 8
 _SILENCE_PLAN = RoundPlan.silence()
 
 #: Membership sentinels for the per-node class table: a node is either
-#: silent, planned directly per round, or a member of a shared
-#: ``(type, signature)`` class.
+#: silent, planned directly per round, a member of a shared
+#: ``(type, signature)`` class, or *hot* — a chronic churner served by
+#: a direct per-round :meth:`~repro.core.process.Process.plan` call
+#: with no signature bookkeeping at all.
 _SILENT_KEY = object()
 _DIRECT_KEY = object()
+_HOT_KEY = object()
+
+#: Consecutive every-round reclassifications that landed the node in a
+#: singleton class (or direct mode) before it is promoted to the hot
+#: path. Time-driven ``_advance(r)``-style protocols (MAC queueing,
+#: back-off rotation) expire every node's signature every round with a
+#: distinct signature per node — for them the class machinery is pure
+#: overhead, and a direct ``plan()`` call is exactly the reference
+#: engine's cost with the batched coins/reception/feedback wins kept.
+_CHURN_PROMOTE = 8
+
+#: Consecutive all-silent plans after which a hot node is demoted back
+#: to signature classification (it may have gone quiet for good, and
+#: the silent class costs nothing per round).
+_COLD_DEMOTE = 8
+
+#: Class masks at most this populous assign their probability by
+#: per-bit indexing; larger ones go through the C-speed bit unpack.
+_SMALL_CLASS = 4
 
 
 class BitsetRadioNetworkEngine(RadioNetworkEngine):
@@ -162,6 +184,26 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         self._silent_mask = 0
         self._direct_mask = 0
         self._expiry_heap: list[tuple[int, int]] = []
+        # Every-round expiries skip the heap: a bit here means "re-poll
+        # next round", merged into the dirty set at O(1) per round.
+        self._renew_mask = 0
+        # Churn promotion state: hot nodes bypass signatures entirely.
+        self._hot_mask = 0
+        self._churn = [0] * n
+        self._cold = [0] * n
+        # Cached unpack of _hot_mask (ids list, numpy index array, and
+        # node → list-position map), rebuilt only when membership
+        # changes — the hot loop itself runs every round.
+        self._hot_ids: list[int] = []
+        self._hot_index: Optional[np.ndarray] = None
+        self._hot_pos: dict[int, int] = {}
+        self._hot_plans: list[RoundPlan] = []
+        self._hot_stale = False
+        # Per-node plan scratch shared across rounds. Stale entries are
+        # harmless: plan_for only reads nodes planned this round.
+        self._node_plans: list[Optional[RoundPlan]] = [None] * n
+        # Per-round shared class plans, refreshed by _plan_probs.
+        self._round_plans: dict = {}
         # Round-scratch and reception state. Transmitter j is encoded
         # as 1 + (j+1)(n+1), so one matvec yields, per listener, both
         # the transmitting-neighbor count (mod n+1) and — when that
@@ -178,19 +220,49 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
     # ------------------------------------------------------------------
     # Round execution (same pipeline as the reference engine, batched)
     # ------------------------------------------------------------------
+    # ``step`` is decomposed into overridable stages so the bank engine
+    # (:mod:`repro.core.bankpath`) can drive many lanes in lockstep:
+    # ``_plan_probs`` (stage 1), the shared coin draw (stage 2, batched
+    # across lanes by the bank scheduler), and ``_finish_round``
+    # (stages 3–6). Each stage preserves the reference semantics
+    # exactly; only *where* the work happens moves.
     def step(self) -> RoundRecord:
         """Execute exactly one round and return its record."""
         self._ensure_started()
         r = self._round
+
+        # 1. Plans, as a per-node probability vector.
+        probs = self._plan_probs(r)
+
+        # fsum is exactly rounded (order-independent), matching the
+        # reference engine's fsum over the same probability multiset
+        # (extra exact zeros cannot change an exactly-rounded sum).
+        expected = math.fsum(probs.tolist())
+
+        # 2. Vectorized Bernoulli coins — the shared coin stream.
+        transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+
+        return self._finish_round(r, transmit, transmitter_mask, expected)
+
+    def _plan_probs(self, r: int) -> np.ndarray:
+        """Stage 1: the round's per-node transmission probabilities.
+
+        Also refreshes the per-round plan lookup state consumed by
+        :meth:`_message_for` (signature classes, direct/poll/hot plans).
+        """
         processes = self.processes
 
         # 1a. Re-classify nodes whose signature may have changed:
         # expired promises plus everything feedback touched last round.
+        # Hot nodes are excluded — they are planned directly below, and
+        # a stale heap entry must not drag them back into the class
+        # machinery.
         heap = self._expiry_heap
         while heap and heap[0][0] <= r:
             self._dirty_mask |= 1 << heapq.heappop(heap)[1]
-        dirty = self._dirty_mask
+        dirty = (self._dirty_mask | self._renew_mask) & ~self._hot_mask
         self._dirty_mask = 0
+        self._renew_mask = 0
         while dirty:
             low = dirty & -dirty
             dirty ^= low
@@ -201,13 +273,21 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         probs = self._prob_buffer
         probs.fill(0.0)
         round_plans: dict = {}
-        node_plans: dict[int, RoundPlan] = {}
+        self._round_plans = round_plans
+        node_plans = self._node_plans
         for key, mask in self._class_masks.items():
             rep = (mask & -mask).bit_length() - 1
             plan = processes[rep].plan(r)
             round_plans[key] = plan
             if plan.probability:
-                probs[self._mask_to_bool(mask)] = plan.probability
+                if mask.bit_count() <= _SMALL_CLASS:
+                    m = mask
+                    while m:
+                        low = m & -m
+                        probs[low.bit_length() - 1] = plan.probability
+                        m ^= low
+                else:
+                    probs[self._mask_to_bool(mask)] = plan.probability
         direct = self._direct_mask
         while direct:
             low = direct & -direct
@@ -217,6 +297,17 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             node_plans[u] = plan
             if plan.probability:
                 probs[u] = plan.probability
+        if self._hot_stale:
+            self._rebuild_hot_cache()
+        if self._hot_ids:
+            # Two C-speed comprehensions — the same shape (and cost) as
+            # the reference engine's plan stage, but over hot nodes only.
+            hot_plans = [processes[u].plan(r) for u in self._hot_ids]
+            hot_probs = [plan.probability for plan in hot_plans]
+            self._hot_plans = hot_plans
+            probs[self._hot_index] = hot_probs
+            if 0.0 in hot_probs:
+                self._cool_hot_nodes(hot_probs)
         poll = self._poll_mask
         while poll:
             low = poll & -poll
@@ -237,16 +328,28 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             node_plans[u] = plan
             if plan.probability:
                 probs[u] = plan.probability
+        return probs
 
-        # fsum is exactly rounded (order-independent), matching the
-        # reference engine's fsum over the same probability multiset
-        # (extra exact zeros cannot change an exactly-rounded sum).
-        expected = math.fsum(probs.tolist())
+    def _plan_for(self, u: int) -> RoundPlan:
+        """The plan node ``u`` followed this round (senders only)."""
+        key = self._node_key[u]
+        if key is _HOT_KEY:
+            return self._hot_plans[self._hot_pos[u]]
+        if key is None or key is _DIRECT_KEY:
+            return self._node_plans[u]
+        if key is _SILENT_KEY:  # pragma: no cover - silent nodes never send
+            return _SILENCE_PLAN
+        return self._round_plans[key]
 
-        # 2. Vectorized Bernoulli coins — the shared coin stream.
-        transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+    def _message_for(self, u: int) -> Message:
+        """The message transmitter ``u`` put on the air this round."""
+        message = self._plan_for(u).message
+        if message is None:  # pragma: no cover - PlanError guards this
+            raise PlanError(f"transmitter {u} has no message")
+        return message
 
-        # 3. Oblivious adversaries see the clock only.
+    def _choose_topology(self, r: int):
+        """Stage 3: oblivious adversaries see the clock only."""
         topology = self.link_process.choose_topology(ObliviousView(round_index=r))
         if self.validate_topologies:
             key = id(topology.masks)
@@ -260,34 +363,31 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 # tuple per round for the whole execution.
                 if len(self._validated_topologies) < _MATRIX_CACHE_SIZE:
                     self._validated_topologies[key] = topology.masks
+        return topology
 
-        # 4. Radio reception: exactly-one-transmitting-neighbor rule.
-        node_key = self._node_key
-
-        def plan_for(u: int) -> RoundPlan:
-            key = node_key[u]
-            if key is None or key is _DIRECT_KEY:
-                return node_plans[u]
-            if key is _SILENT_KEY:  # pragma: no cover - silent nodes never send
-                return _SILENCE_PLAN
-            return round_plans[key]
-
+    def _resolve(
+        self, transmit: np.ndarray, transmitter_mask: int, topology
+    ) -> list[Delivery]:
+        """Stage 4: exactly-one-transmitting-neighbor reception."""
         if not transmitter_mask:
-            deliveries: list[Delivery] = []
-        else:
-            matrix = self._matrix_for(topology.masks)
-            if matrix is not None:
-                deliveries = self._resolve_with_matrix(plan_for, transmit, matrix)
-            else:
-                deliveries = self._resolve_candidates(
-                    plan_for, transmitter_mask, topology.masks
-                )
+            return []
+        matrix = self._matrix_for(topology.masks)
+        if matrix is not None:
+            return self._resolve_with_matrix(transmit, matrix)
+        return self._resolve_candidates(transmitter_mask, topology.masks)
 
-        # 5. Feedback, restricted to nodes that can react; every node
-        # actually called is marked dirty for re-classification.
-        # Transmitters whose class promised transmit_feedback_noop are
-        # skipped outright — in dense rounds they are the bulk of the
-        # calls, and their state provably cannot have changed.
+    def _apply_feedback(
+        self, r: int, transmitter_mask: int, deliveries: Sequence[Delivery]
+    ) -> None:
+        """Stage 5: feedback, restricted to nodes that can react.
+
+        Every node actually called is marked dirty for
+        re-classification. Transmitters whose class promised
+        transmit_feedback_noop are skipped outright — in dense rounds
+        they are the bulk of the calls, and their state provably cannot
+        have changed.
+        """
+        processes = self.processes
         pending = (
             transmitter_mask & ~self._send_feedback_skip_mask
         ) | self._always_feedback_mask
@@ -295,7 +395,10 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         for delivery in deliveries:
             received_by[delivery.receiver] = delivery
             pending |= 1 << delivery.receiver
-        self._dirty_mask |= pending & ~self._poll_mask
+        # Hot nodes stay hot across feedback: their plan is computed
+        # directly every round, so reclassification would only reset
+        # the churn counter and re-run the machinery they escaped.
+        self._dirty_mask |= pending & ~(self._poll_mask | self._hot_mask)
         while pending:
             low = pending & -pending
             u = low.bit_length() - 1
@@ -306,6 +409,28 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 bool((transmitter_mask >> u) & 1),
                 delivery.message if delivery is not None else None,
             )
+
+    def _finish_round(
+        self,
+        r: int,
+        transmit: np.ndarray,
+        transmitter_mask: int,
+        expected: float,
+        topology=None,
+        deliveries: Optional[list[Delivery]] = None,
+    ) -> RoundRecord:
+        """Stages 3–6: topology, reception, feedback, record keeping.
+
+        The bank scheduler passes ``topology``/``deliveries`` when it
+        already resolved them (batched matvec reception across lanes
+        that share a round topology); left as ``None``, the stages run
+        per engine exactly as in a standalone ``step``.
+        """
+        if topology is None:
+            topology = self._choose_topology(r)
+        if deliveries is None:
+            deliveries = self._resolve(transmit, transmitter_mask, topology)
+        self._apply_feedback(r, transmitter_mask, deliveries)
 
         # 6. Record keeping — identical to the reference engine.
         record = RoundRecord(
@@ -320,6 +445,47 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         self._round += 1
         self._stats.rounds_run += 1
         return record
+
+    # ------------------------------------------------------------------
+    # Hot-path bookkeeping
+    # ------------------------------------------------------------------
+    def _rebuild_hot_cache(self) -> None:
+        """Unpack ``_hot_mask`` into the ids list + index structures once."""
+        mask = self._hot_mask
+        ids: list[int] = []
+        while mask:
+            low = mask & -mask
+            ids.append(low.bit_length() - 1)
+            mask ^= low
+        self._hot_ids = ids
+        self._hot_index = np.asarray(ids, dtype=np.intp) if ids else None
+        self._hot_pos = {u: i for i, u in enumerate(ids)}
+        self._hot_stale = False
+
+    def _cool_hot_nodes(self, hot_probs: Sequence[float]) -> None:
+        """Track consecutive all-silent plans; demote chronic sleepers.
+
+        Called only on rounds where some hot node planned silence, so
+        the per-node counter work stays off the common path.
+        """
+        cold = self._cold
+        for u, probability in zip(self._hot_ids, hot_probs):
+            if probability:
+                cold[u] = 0
+                continue
+            count = cold[u] + 1
+            if count < _COLD_DEMOTE:
+                cold[u] = count
+                continue
+            # Gone quiet: hand the node back to classification (a truly
+            # silent node then costs nothing per round).
+            bit = 1 << u
+            self._hot_mask &= ~bit
+            self._hot_stale = True
+            self._node_key[u] = None
+            self._churn[u] = 0
+            cold[u] = 0
+            self._dirty_mask |= bit
 
     # ------------------------------------------------------------------
     # Signature-class bookkeeping
@@ -355,10 +521,47 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             else:
                 self._class_masks[new_key] = self._class_masks.get(new_key, 0) | bit
             self._node_key[u] = new_key
-        if expiry is not None:
+        if expiry is None:
+            self._churn[u] = 0
+            return
+        if expiry > r + 1:
+            self._churn[u] = 0
             # A stale (superseded) heap entry only causes a harmless
             # extra re-poll, so entries are never invalidated.
-            heapq.heappush(self._expiry_heap, (max(expiry, r + 1), u))
+            heapq.heappush(self._expiry_heap, (expiry, u))
+            return
+        # The signature expires immediately — the node will be re-polled
+        # next round via the renew mask (no heap traffic). A node that
+        # keeps expiring every round (the time-driven `_advance(r)`
+        # shape: fresh signature every round, usually per-node) pays
+        # the full signature machinery on top of the plan call it
+        # rarely manages to share, and :meth:`plan_signature` costs
+        # about as much as :meth:`plan` for exactly those protocols —
+        # promote such chronic churners to the hot path. Every-round
+        # expiry never describes the lockstep ladder algorithms (their
+        # promises span phases or say "feedback only"), so the E1-style
+        # signature wins are untouched.
+        if new_key is not _SILENT_KEY:
+            churn = self._churn[u] + 1
+            if churn >= _CHURN_PROMOTE:
+                if new_key is _DIRECT_KEY:
+                    self._direct_mask &= ~bit
+                else:
+                    remaining = self._class_masks[new_key] & ~bit
+                    if remaining:
+                        self._class_masks[new_key] = remaining
+                    else:
+                        del self._class_masks[new_key]
+                self._node_key[u] = _HOT_KEY
+                self._hot_mask |= bit
+                self._hot_stale = True
+                self._churn[u] = 0
+                self._cold[u] = 0
+                return
+            self._churn[u] = churn
+        else:
+            self._churn[u] = 0
+        self._renew_mask |= bit
 
     def _mask_to_bool(self, mask: int) -> np.ndarray:
         """A member bitmask as a boolean index vector (C-speed unpack)."""
@@ -392,10 +595,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         return matrix
 
     def _resolve_with_matrix(
-        self,
-        plan_for: Callable[[int], RoundPlan],
-        transmit: np.ndarray,
-        matrix: np.ndarray,
+        self, transmit: np.ndarray, matrix: np.ndarray
     ) -> list[Delivery]:
         """Reception via one matvec over the count/sender encoding."""
         x = self._x_buffer
@@ -408,18 +608,15 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             return []
         senders = totals[receivers] // modulus - 1
         deliveries: list[Delivery] = []
+        message_for = self._message_for
         for u, sender in zip(receivers.tolist(), senders.tolist()):
-            message = plan_for(sender).message
-            if message is None:  # pragma: no cover - PlanError guards this
-                raise PlanError(f"transmitter {sender} has no message")
-            deliveries.append(Delivery(receiver=u, sender=sender, message=message))
+            deliveries.append(
+                Delivery(receiver=u, sender=sender, message=message_for(sender))
+            )
         return deliveries
 
     def _resolve_candidates(
-        self,
-        plan_for: Callable[[int], RoundPlan],
-        transmitter_mask: int,
-        masks: Sequence[int],
+        self, transmitter_mask: int, masks: Sequence[int]
     ) -> list[Delivery]:
         """The paper's bitset rule over candidate listeners only.
 
@@ -437,6 +634,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             t ^= low
         candidates = reach & ~transmitter_mask
         deliveries: list[Delivery] = []
+        message_for = self._message_for
         while candidates:
             low = candidates & -candidates
             u = low.bit_length() - 1
@@ -446,8 +644,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 neighbors_transmitting & (neighbors_transmitting - 1)
             ):
                 sender = neighbors_transmitting.bit_length() - 1
-                message = plan_for(sender).message
-                if message is None:  # pragma: no cover - PlanError guards this
-                    raise PlanError(f"transmitter {sender} has no message")
-                deliveries.append(Delivery(receiver=u, sender=sender, message=message))
+                deliveries.append(
+                    Delivery(receiver=u, sender=sender, message=message_for(sender))
+                )
         return deliveries

@@ -308,8 +308,9 @@ class Experiment:
         because trials are pure functions of their derived seeds.
 
         ``engine`` (optional) overrides every series spec's round-loop
-        implementation (``"reference"`` / ``"bitset"``); round counts
-        are engine-independent, so this only changes wall-clock time.
+        implementation (``"reference"`` / ``"bitset"`` / ``"bank"``);
+        round counts are engine-independent, so this only changes
+        wall-clock time.
         Requires spec-based series (all registry experiments are).
         """
         plan = self.plan(scale)

@@ -269,6 +269,25 @@ class DualGraph:
             cache[key] = matrix
         return matrix
 
+    def word_masks(self) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """``(g_masks, flaky_masks)`` as uint64 arrays, or ``None``.
+
+        Only graphs whose masks fit one machine word (``n <= 64``) have
+        a word form; callers fall back to the Python bigint loops
+        otherwise. Built lazily and cached on the instance, like
+        :meth:`neighbor_matrix`. Treat the arrays as read-only.
+        """
+        if self.n > 64:
+            return None
+        arrays = getattr(self, "_word_mask_cache", None)
+        if arrays is None:
+            arrays = (
+                np.array(self.g_masks, dtype=np.uint64),
+                np.array(self.flaky_masks, dtype=np.uint64),
+            )
+            object.__setattr__(self, "_word_mask_cache", arrays)
+        return arrays
+
     def g_neighbors(self, u: int) -> list[int]:
         """Neighbors of ``u`` in the reliable graph ``G``."""
         return list(iter_bits(self.g_masks[u]))

@@ -55,15 +55,20 @@ class MultiMessageObserver(ProblemObserver):
     def on_round(self, record: RoundRecord) -> None:
         if self.knowledge.complete:
             return
+        # Hot loop: runs once per delivery for every engine, so bind
+        # the per-delivery callees once per round.
+        add = self.knowledge.add
+        index_of = self.assignment.index_of
+        message_complete = self.knowledge.message_complete
         for delivery in record.deliveries:
-            if not delivery.message.is_data():
+            message = delivery.message
+            if not message.is_data():
                 continue
-            index = self.assignment.index_of(delivery.message.payload)
+            index = index_of(message.payload)
             if index is None:
                 continue
-            if self.knowledge.add(delivery.receiver, index):
-                if self.knowledge.message_complete(index):
-                    self.message_complete_round[index] = record.round_index
+            if add(delivery.receiver, index) and message_complete(index):
+                self.message_complete_round[index] = record.round_index
         if self.knowledge.complete and self.complete_round is None:
             self.complete_round = record.round_index
 

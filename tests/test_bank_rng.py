@@ -1,0 +1,248 @@
+"""RNG stream discipline of the bank engine.
+
+The bank scheduler's whole correctness story rests on one claim: the
+(trials × nodes) coin batch is *assembled from* the per-trial
+``("engine", "coins")`` streams, never drawn from a shared or merged
+stream — each lane calls ``Generator.random(out=row)`` on its own
+generator, one row per round, which consumes the stream exactly like
+the serial engines' ``rng.random(n)``. These tests pin that claim
+directly (post-run stream positions, not just trace equality), pin the
+absence of cross-trial leakage (a trial's trace cannot depend on which
+other trials share its bank, including lanes that retire early), and
+cover the ``LazyRng`` deferred-seeding path for per-node streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import run_bank_trials, run_prepared_trial
+from repro.api.spec import ScenarioSpec
+from repro.core import rng as rng_mod
+from repro.core.bankpath import BankLane, BankRadioNetworkEngine, build_bank_kernel
+from repro.core.bankpath import run_bank_batch
+from repro.core.engine import create_engine
+from repro.core.rng import LazyRng, derive_seed
+from repro.core.trace import TraceCollector
+
+MASTER_SEED = 414213562
+
+#: A kernel workload (gkln), a generic-lane workload (plain-decay), and
+#: a per-node-RNG workload (uncoordinated decay draws from LazyRng).
+SPECS = {
+    "gkln-kernel": ScenarioSpec(
+        graph=("ring", {"n": 12}),
+        problem=("multi-message", {}),
+        algorithm=("gkln-multi-message", {}),
+        adversary=("ge-fade", {"p_fail": 0.3, "p_recover": 0.3}),
+        mac=("simulated", {}),
+        messages={"k": 3, "sources": "spread"},
+        engine="bank",
+    ),
+    "generic-lane": ScenarioSpec(
+        graph=("line", {"n": 12, "extra_flaky_skips": 2}),
+        problem=("global-broadcast", {"source": 0}),
+        algorithm=("plain-decay", {}),
+        adversary=("alternating", {"phase_lengths": [2, 3]}),
+        engine="bank",
+    ),
+    "lazy-node-rng": ScenarioSpec(
+        graph=("grid", {"rows": 3, "cols": 4}),
+        problem=("global-broadcast", {"source": 0}),
+        algorithm=("uncoordinated-decay", {}),
+        adversary=("bernoulli-edge", {"p_up": 0.6}),
+        engine="bank",
+    ),
+}
+
+MAX_ROUNDS = 600
+
+
+def _seeds(count: int) -> list[int]:
+    return [derive_seed(MASTER_SEED, "trial", index) for index in range(count)]
+
+
+def _bank_lanes(spec: ScenarioSpec, seeds):
+    """Build the bank exactly the way :func:`run_bank_trials` does,
+    keeping the engines accessible for stream inspection."""
+    trials = [spec.build(seed) for seed in seeds]
+    banks = [
+        trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=seed
+        )
+        for trial, seed in zip(trials, seeds)
+    ]
+    kernel = build_bank_kernel(banks)
+    lanes = []
+    for lane_index, (trial, seed) in enumerate(zip(trials, seeds)):
+        observer = trial.problem.make_observer()
+        collector = TraceCollector()
+        engine = BankRadioNetworkEngine(
+            trial.network,
+            banks[lane_index],
+            trial.link_process,
+            seed=seed,
+            algorithm_info=trial.algorithm.info(),
+            validate_topologies=True,
+            observers=[observer, collector],
+            kernel=kernel,
+            lane=lane_index,
+        )
+        lanes.append(
+            (BankLane(engine=engine, stop=(lambda obs=observer: obs.solved)), collector)
+        )
+    return trials, lanes
+
+
+def _serial_engine(spec: ScenarioSpec, seed: int, engine_name: str):
+    trial = spec.build(seed)
+    processes = trial.algorithm.build_processes(
+        trial.network.n, trial.network.max_degree, seed=seed
+    )
+    observer = trial.problem.make_observer()
+    collector = TraceCollector()
+    engine = create_engine(
+        trial.network,
+        processes,
+        trial.link_process,
+        engine=engine_name,
+        seed=seed,
+        algorithm_info=trial.algorithm.info(),
+        validate_topologies=True,
+        observers=[observer, collector],
+    )
+    result = engine.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
+    return engine, result, collector
+
+
+class TestPerTrialStreamIdentity:
+    """The batch consumes each trial's coin stream exactly like serial."""
+
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_stream_positions_match_serial(self, name):
+        """After the run, each lane's coin generator must sit at the
+        *same stream position* as its serial counterpart: the next 8
+        uniforms agree. Trace equality alone wouldn't catch a lane that
+        drew extra coins after its trial solved."""
+        spec = SPECS[name]
+        seeds = _seeds(5)
+        _, lanes = _bank_lanes(spec, seeds)
+        results = run_bank_batch(
+            [lane for lane, _ in lanes], max_rounds=MAX_ROUNDS
+        )
+        for (lane, collector), seed, result in zip(lanes, seeds, results):
+            serial_engine, serial_result, serial_collector = _serial_engine(
+                spec, seed, "reference"
+            )
+            assert result == serial_result
+            assert collector.records == serial_collector.records
+            lane_next = lane.engine._coin_rng.random(8)
+            serial_next = serial_engine._coin_rng.random(8)
+            assert np.array_equal(lane_next, serial_next)
+
+    def test_coin_rows_equal_fresh_stream(self):
+        """The per-lane ``random(out=row)`` draws are bit-identical to
+        ``rng.random(n)`` on a fresh generator with the same labels —
+        the exact identity the scheduler's batching relies on."""
+        seed = _seeds(1)[0]
+        n = 12
+        engine_stream = rng_mod.spawn_numpy_rng(seed, "engine", "coins")
+        fresh_stream = rng_mod.spawn_numpy_rng(seed, "engine", "coins")
+        row = np.empty(n, dtype=np.float64)
+        for _ in range(50):
+            engine_stream.random(out=row)
+            assert np.array_equal(row, fresh_stream.random(n))
+
+
+class TestNoCrossTrialLeakage:
+    """A trial's execution is independent of its bank-mates."""
+
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_bank_composition_is_invisible(self, name):
+        """Trial X must produce the same trace alone, in a small bank,
+        and in a larger bank — even though bank-mates retire at
+        different rounds (retired lanes stop drawing; live lanes must
+        not absorb their draws)."""
+        spec = SPECS[name]
+        seeds = _seeds(6)
+        target = seeds[2]
+        alone = run_bank_trials(spec.build, [target])
+        small = run_bank_trials(spec.build, seeds[1:4])
+        full = run_bank_trials(spec.build, seeds)
+        assert alone[0] == small[1] == full[2]
+        serial = run_prepared_trial(spec.build(target), target)
+        assert alone[0] == serial
+
+    def test_reordering_seeds_reorders_nothing_else(self):
+        """Permuting the seed bank permutes the results and nothing
+        else — draw order within each trial is unaffected."""
+        spec = SPECS["gkln-kernel"]
+        seeds = _seeds(4)
+        forward = run_bank_trials(spec.build, seeds)
+        backward = run_bank_trials(spec.build, list(reversed(seeds)))
+        assert forward == list(reversed(backward))
+
+
+class TestLazyRngPath:
+    """Per-node LazyRng streams under the bank scheduler."""
+
+    def test_lazy_rng_seeds_on_first_draw_only(self):
+        lazy = LazyRng(MASTER_SEED, ("node", 7))
+        assert lazy._rng is None
+        first = lazy.random()
+        assert lazy._rng is not None
+        import random as _random
+
+        eager = _random.Random(derive_seed(MASTER_SEED, "node", 7))
+        assert first == eager.random()
+
+    def test_kernel_lanes_never_touch_node_streams(self):
+        """The MAC kernels replace the per-node state machines, so the
+        per-node LazyRngs must stay unseeded — seeding them would mean
+        the kernel consumed streams the serial run leaves untouched."""
+        spec = SPECS["gkln-kernel"]
+        seeds = _seeds(3)
+        _, lanes = _bank_lanes(spec, seeds)
+        assert all(lane.engine._kernel is not None for lane, _ in lanes)
+        run_bank_batch([lane for lane, _ in lanes], max_rounds=MAX_ROUNDS)
+        for lane, _ in lanes:
+            for process in lane.engine.processes:
+                rng = process.ctx.rng
+                assert isinstance(rng, LazyRng)
+                assert rng._rng is None
+
+    def test_lazy_node_streams_match_serial(self):
+        """Generic lanes do run the per-node plan stage; processes that
+        draw from their LazyRng (uncoordinated decay) must land on the
+        same stream position as a serial run."""
+        spec = SPECS["lazy-node-rng"]
+        seeds = _seeds(4)
+        _, lanes = _bank_lanes(spec, seeds)
+        results = run_bank_batch(
+            [lane for lane, _ in lanes], max_rounds=MAX_ROUNDS
+        )
+        for (lane, collector), seed, result in zip(lanes, seeds, results):
+            serial_engine, serial_result, serial_collector = _serial_engine(
+                spec, seed, "reference"
+            )
+            assert result == serial_result
+            assert collector.records == serial_collector.records
+            seeded_count = 0
+            for bank_process, serial_process in zip(
+                lane.engine.processes, serial_engine.processes
+            ):
+                bank_rng = bank_process.ctx.rng
+                serial_rng = serial_process.ctx.rng
+                assert isinstance(bank_rng, LazyRng)
+                assert isinstance(serial_rng, LazyRng)
+                seeded = bank_rng._rng is not None
+                assert seeded == (serial_rng._rng is not None)
+                if seeded:
+                    seeded_count += 1
+                    assert [bank_rng.random() for _ in range(4)] == [
+                        serial_rng.random() for _ in range(4)
+                    ]
+            # The workload was chosen because it *does* draw from the
+            # node streams — a zero count would make this test vacuous.
+            assert seeded_count > 0

@@ -113,5 +113,5 @@ def test_committed_smoke_spec_is_loadable_and_valid():
     spec.validate()
     assert spec.name == "smoke"
     assert len(spec.experiments) >= 2
-    assert set(spec.engines) == {"reference", "bitset"}
+    assert set(spec.engines) == {"reference", "bitset", "bank"}
     assert spec.scales == ("tiny",)

@@ -1,0 +1,324 @@
+"""Randomized differential testing across the three engines.
+
+The equivalence matrix (`test_engine_equivalence.py`) pins every
+registered component at hand-picked parameters; this fuzzer samples the
+*parameter space* instead: random `ScenarioSpec`s are generated from
+registry-keyed generators (bounded n and round caps so a case stays
+cheap), JSON round-tripped through ``to_dict``/``from_dict`` before
+running (so what we test is exactly what a campaign file or the serve
+layer would replay), and held to full-trace identity across
+reference ≡ bitset ≡ bank plus serial ≡ parallel executor identity.
+
+The master seed is fixed, so the sampled case list is deterministic —
+a green run stays green, and any future failure names a reproducible
+spec. ``REPRO_FUZZ_CASES`` (default 25) budgets the number of cases so
+CI can run a short sweep while local debugging can crank it up.
+
+``REGRESSION_CORPUS`` pins the shapes that actually failed (or
+exercised fresh guard rails) while the bank engine was built — cheapest
+possible reproduction of each, committed so they cannot return.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import warnings
+
+import pytest
+
+from repro.analysis.runner import run_prepared_trial
+from repro.api.executor import ParallelExecutor, SerialExecutor
+from repro.api.spec import ScenarioSpec
+from repro.core.engine import create_engine
+from repro.core.errors import EngineFallbackWarning
+from repro.core.rng import derive_seed
+from repro.core.trace import TraceCollector
+
+#: Deterministic fuzz: the whole case list is a pure function of this.
+MASTER_SEED = 20130731
+
+#: How many random specs to run (CI sets 25; bump locally to dig).
+FUZZ_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "25"))
+
+#: Bounded rounds: identity under the cap is asserted whether or not a
+#: case solves, so the cap only bounds cost, never weakens the oracle.
+MAX_ROUNDS = 400
+
+#: Every N-th case also checks serial ≡ parallel executor identity
+#: (process pools are expensive; trace identity runs on every case).
+PARALLEL_EVERY = 5
+
+
+# ----------------------------------------------------------------------
+# Registry-keyed generators (bounded parameters)
+# ----------------------------------------------------------------------
+def _graph(rng: random.Random) -> tuple[str, dict]:
+    return rng.choice(
+        [
+            lambda: ("line", {"n": rng.randint(4, 18), "extra_flaky_skips": rng.randint(0, 3)}),
+            lambda: ("ring", {"n": rng.randint(4, 18)}),
+            lambda: (
+                "grid",
+                {
+                    "rows": rng.randint(2, 4),
+                    "cols": rng.randint(2, 5),
+                    "flaky_diagonals": rng.random() < 0.5,
+                },
+            ),
+            lambda: ("binary-tree", {"depth": rng.randint(2, 4)}),
+            lambda: ("star", {"n": rng.randint(5, 16), "flaky_rim": rng.random() < 0.5}),
+            lambda: ("clique", {"n": rng.randint(4, 14)}),
+            lambda: ("funnel", {"n": rng.randint(8, 24)}),
+            lambda: (
+                "line-of-cliques",
+                {"num_cliques": rng.randint(2, 4), "clique_size": rng.randint(2, 4)},
+            ),
+            lambda: (
+                "er",
+                {
+                    "n": rng.randint(8, 20),
+                    "g_edge_probability": round(rng.uniform(0.2, 0.5), 2),
+                    "flaky_edge_probability": round(rng.uniform(0.0, 0.3), 2),
+                },
+            ),
+            lambda: ("dual-clique", {"half": rng.randint(3, 8)}),
+            lambda: ("geographic", {"n": rng.randint(12, 28)}),
+            lambda: (
+                "cluster-chain",
+                {"num_clusters": rng.randint(2, 3), "cluster_size": rng.randint(3, 5)},
+            ),
+        ]
+    )()
+
+
+def _adversary(rng: random.Random) -> tuple[str, dict]:
+    return rng.choice(
+        [
+            lambda: ("none", {}),
+            lambda: ("all", {}),
+            lambda: (
+                "alternating",
+                {"phase_lengths": [rng.randint(1, 3), rng.randint(1, 3)]},
+            ),
+            lambda: ("bernoulli-edge", {"p_up": round(rng.uniform(0.3, 0.9), 2)}),
+            lambda: (
+                "bernoulli-node-fade",
+                {"p_clear": round(rng.uniform(0.3, 0.9), 2)},
+            ),
+            lambda: ("fixed-flaky", {"edges": []}),
+            lambda: (
+                "ge-fade",
+                {
+                    "p_fail": round(rng.uniform(0.1, 0.5), 2),
+                    "p_recover": round(rng.uniform(0.2, 0.6), 2),
+                },
+            ),
+            lambda: (
+                "ge-edge",
+                {
+                    "p_fail": round(rng.uniform(0.1, 0.5), 2),
+                    "p_recover": round(rng.uniform(0.2, 0.6), 2),
+                },
+            ),
+            lambda: (
+                "cut-jammer",
+                {
+                    "period": rng.randint(2, 5),
+                    "dense_rounds": rng.randint(1, 2),
+                    "side": "first-half",
+                },
+            ),
+            lambda: ("predicted-dense-sparse", {"side": "first-half"}),
+            # Adaptive: exercises the per-trial fallback path under fuzz
+            # (the warning is expected and filtered by the harness).
+            lambda: ("online-dense-sparse", {"side": "first-half"}),
+            lambda: ("offline-solo-blocker", {"side": "first-half"}),
+        ]
+    )()
+
+
+def _workload(rng: random.Random) -> dict:
+    """Problem + algorithm (+ MAC/messages) drawn as a consistent set."""
+    kind = rng.choice(("global", "local", "multi-message"))
+    if kind == "global":
+        algorithm = rng.choice(
+            [
+                ("plain-decay", {}),
+                ("uncoordinated-decay", {}),
+                ("permuted-decay", {}),
+                ("round-robin-global", {"random_slots": rng.random() < 0.5}),
+                ("uniform-global", {"probability": round(rng.uniform(0.05, 0.3), 2)}),
+            ]
+        )
+        return {
+            "problem": ("global-broadcast", {"source": 0}),
+            "algorithm": algorithm,
+        }
+    if kind == "local":
+        algorithm = rng.choice(
+            [
+                ("round-robin-local", {"random_slots": rng.random() < 0.5}),
+                ("uniform-local", {}),
+                ("static-local-decay", {}),
+            ]
+        )
+        return {
+            "problem": ("local-broadcast", {"fraction": rng.choice((0.25, 0.5))}),
+            "algorithm": algorithm,
+        }
+    algorithm = rng.choice(
+        [
+            ("gkln-multi-message", {}),
+            ("backoff-multi-message", {"regime": rng.choice(("fixed", "exponential"))}),
+        ]
+    )
+    return {
+        "problem": ("multi-message", {}),
+        "algorithm": algorithm,
+        "mac": ("simulated", {}),
+        "messages": {
+            "k": rng.randint(1, 5),
+            "sources": rng.choice(("spread", "random")),
+        },
+    }
+
+
+def generate_spec(case_index: int) -> ScenarioSpec:
+    """The deterministic random spec for one fuzz case."""
+    rng = random.Random(derive_seed(MASTER_SEED, "fuzz-case", case_index))
+    return ScenarioSpec(
+        graph=_graph(rng), adversary=_adversary(rng), **_workload(rng)
+    )
+
+
+# ----------------------------------------------------------------------
+# Regression corpus: failures found while building the bank engine
+# ----------------------------------------------------------------------
+#: Spec payloads (``ScenarioSpec.to_dict`` shape) pinning real breakage:
+#: * ``bank-non-mac-algorithm`` — kernel eligibility probing crashed
+#:   with ``AttributeError`` on processes without an ``assignment``
+#:   (any non-MAC algorithm through ``engine="bank"``).
+#: * ``bank-k-over-bitmap`` — workloads with more messages than the
+#:   64-bit knowledge bitmap must take the generic lane path, not
+#:   overflow the kernel.
+#: * ``bank-single-message-backoff`` — k = 1 degenerate rotation
+#:   (``(r + id) % 1``) through the vectorized back-off kernel.
+REGRESSION_CORPUS = {
+    "bank-non-mac-algorithm": {
+        "graph": {"name": "star", "params": {"n": 9, "flaky_rim": True}},
+        "problem": {"name": "global-broadcast", "params": {"source": 0}},
+        "algorithm": {"name": "plain-decay", "params": {}},
+        "adversary": {"name": "none", "params": {}},
+    },
+    "bank-k-over-bitmap": {
+        "graph": {"name": "clique", "params": {"n": 8}},
+        "problem": {"name": "multi-message", "params": {}},
+        "algorithm": {"name": "gkln-multi-message", "params": {}},
+        "adversary": {"name": "bernoulli-edge", "params": {"p_up": 0.8}},
+        "mac": {"name": "simulated", "params": {}},
+        # 65 messages (> the 64-bit kernel bitmap) on 8 nodes via an
+        # explicit source list — sources repeat, which is allowed.
+        "messages": {"sources": [i % 8 for i in range(65)]},
+    },
+    "bank-single-message-backoff": {
+        "graph": {"name": "line", "params": {"n": 7, "extra_flaky_skips": 1}},
+        "problem": {"name": "multi-message", "params": {}},
+        "algorithm": {"name": "backoff-multi-message", "params": {"regime": "fixed"}},
+        "adversary": {"name": "ge-fade", "params": {"p_fail": 0.3, "p_recover": 0.4}},
+        "mac": {"name": "simulated", "params": {}},
+        "messages": {"k": 1, "sources": "spread"},
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# The differential oracle
+# ----------------------------------------------------------------------
+def _round_trip(spec: ScenarioSpec) -> ScenarioSpec:
+    """JSON round-trip the spec and assert the trip is lossless."""
+    payload = spec.to_dict()
+    replayed = ScenarioSpec.from_dict(payload)
+    assert replayed.to_dict() == payload
+    return replayed
+
+
+def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
+    trial = spec.build(seed)
+    processes = trial.algorithm.build_processes(
+        trial.network.n, trial.network.max_degree, seed=seed
+    )
+    observer = trial.problem.make_observer()
+    collector = TraceCollector()
+    with warnings.catch_warnings():
+        # Adaptive cases legitimately warn-and-fall-back; the fuzz
+        # oracle is trace identity, which must hold either way.
+        warnings.simplefilter("ignore", EngineFallbackWarning)
+        eng = create_engine(
+            trial.network,
+            processes,
+            trial.link_process,
+            engine=engine,
+            seed=seed,
+            algorithm_info=trial.algorithm.info(),
+            validate_topologies=True,
+            observers=[observer, collector],
+        )
+        result = eng.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
+    return result, collector.records
+
+
+def _assert_three_way_identical(spec: ScenarioSpec, seed: int) -> None:
+    ref_result, ref_records = _run_traced(spec, seed, "reference")
+    for engine in ("bitset", "bank"):
+        result, records = _run_traced(spec, seed, engine)
+        assert result == ref_result, f"{engine} result diverged"
+        assert len(records) == len(ref_records), f"{engine} round count diverged"
+        for ref_record, record in zip(ref_records, records):
+            assert record == ref_record, (
+                f"{engine} trace diverged at round {ref_record.round_index}"
+            )
+
+
+def _assert_executors_identical(spec: ScenarioSpec, pool: ParallelExecutor) -> None:
+    seeds = [derive_seed(MASTER_SEED, "fuzz-trial", index) for index in range(4)]
+    for engine in ("reference", "bank"):
+        engine_spec = spec.with_param("engine", engine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", EngineFallbackWarning)
+            serial = SerialExecutor().run_trials(engine_spec.build, seeds)
+            loop = [run_prepared_trial(engine_spec.build(s), s) for s in seeds]
+            parallel = pool.run_trials(engine_spec.build, seeds)
+        assert serial == loop, f"{engine}: serial batch diverged from plain loop"
+        assert parallel == serial, f"{engine}: parallel diverged from serial"
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    with ParallelExecutor(max_workers=2, chunksize=2) as pool:
+        yield pool
+
+
+@pytest.mark.parametrize("case_index", range(FUZZ_CASES))
+def test_fuzzed_spec_cross_engine_identity(case_index, shared_pool):
+    spec = _round_trip(generate_spec(case_index))
+    seed = derive_seed(MASTER_SEED, "fuzz-run", case_index)
+    _assert_three_way_identical(spec, seed)
+    if case_index % PARALLEL_EVERY == 0:
+        _assert_executors_identical(spec, shared_pool)
+
+
+@pytest.mark.parametrize("name", sorted(REGRESSION_CORPUS))
+def test_regression_corpus(name, shared_pool):
+    spec = _round_trip(ScenarioSpec.from_dict(REGRESSION_CORPUS[name]))
+    _assert_three_way_identical(spec, derive_seed(MASTER_SEED, "corpus", name))
+    _assert_executors_identical(spec, shared_pool)
+
+
+def test_generation_is_deterministic():
+    """Same master seed ⇒ same case list (reproducible failures)."""
+    for case_index in range(min(FUZZ_CASES, 10)):
+        assert (
+            generate_spec(case_index).to_dict()
+            == generate_spec(case_index).to_dict()
+        )

@@ -1,18 +1,25 @@
-"""Seed-for-seed equivalence of the bitset fast path and the reference engine.
+"""Seed-for-seed equivalence of all three engines: a full-trace
+three-way differential harness.
 
 The bitset engine (:mod:`repro.core.fastpath`) restructures the round
 pipeline — plan deduplication by signature class, batched coins,
-matvec/bitset reception, feedback skipping — but every restructuring is
-licensed by a documented contract, so the observable execution must be
-*identical*: same :class:`~repro.core.engine.ExecutionResult`, same
+matvec/bitset reception, feedback skipping — and the bank engine
+(:mod:`repro.core.bankpath`) goes further, replacing the MAC-protocol
+state machines with trial-batched struct-of-arrays kernels. Every
+restructuring is licensed by a documented contract, so the observable
+execution must be *identical*: same
+:class:`~repro.core.engine.ExecutionResult`, same
 :class:`~repro.core.trace.RoundRecord` stream (transmitter masks,
-delivery tuples, expected transmitter counts), for every seed.
+delivery tuples, expected transmitter counts), for every seed, for
+every fast engine, against the reference engine.
 
 The matrix below covers **every registered component at least once**:
 all 14 graph families, all 11 algorithms (including both multi-message
 MAC protocols), and all 13 oblivious adversaries exercise the fast
-path directly; the 2 adaptive adversaries exercise the automatic
-fallback (and its warning) instead.
+engines directly; the 2 adaptive adversaries exercise the automatic
+fallback (and its warning) instead. The M-experiment cells (M1–M3) are
+checked against the *actual registered experiment specs* on top of the
+synthetic matrix.
 """
 
 from __future__ import annotations
@@ -22,11 +29,19 @@ import warnings
 import pytest
 
 from repro.api.spec import ScenarioSpec
+from repro.core.bankpath import BankRadioNetworkEngine
 from repro.core.engine import ENGINE_NAMES, create_engine
 from repro.core.errors import EngineError, EngineFallbackWarning
 from repro.core.fastpath import BitsetRadioNetworkEngine
 from repro.core.trace import TraceCollector
 from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS
+
+#: The engines that must reproduce the reference engine's traces.
+FAST_ENGINES = ("bitset", "bank")
+
+#: create_engine result type for each fast engine (bank *is* a bitset
+#: subclass, so the check is exact-type, not isinstance).
+_ENGINE_TYPES = {"bitset": BitsetRadioNetworkEngine, "bank": BankRadioNetworkEngine}
 
 #: (graph, problem, algorithm, adversary) — one spec per row; together
 #: the rows cover the full registered component sets (asserted below).
@@ -216,45 +231,90 @@ class TestComponentCoverage:
         assert covered == set(ADVERSARIES.names())
 
 
-class TestBitsetEquivalence:
+class TestFastEngineEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX, ids=_row_id)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_traces_identical(self, row, seed):
+    def test_traces_identical(self, row, seed, engine):
         spec = _spec(row)
         ref_engine, ref_result, ref_records = _run_traced(spec, seed, "reference")
-        fast_engine, fast_result, fast_records = _run_traced(spec, seed, "bitset")
-        assert isinstance(fast_engine, BitsetRadioNetworkEngine)
-        assert type(ref_engine) is not BitsetRadioNetworkEngine
+        fast_engine, fast_result, fast_records = _run_traced(spec, seed, engine)
+        assert type(fast_engine) is _ENGINE_TYPES[engine]
+        assert type(ref_engine) is not _ENGINE_TYPES[engine]
         assert fast_result == ref_result
         assert len(fast_records) == len(ref_records)
         for ref_record, fast_record in zip(ref_records, fast_records):
             assert fast_record == ref_record
 
+    @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX[-2:], ids=_row_id)
+    def test_bank_kernel_engages_on_mac_rows(self, row):
+        """The MAC rows must exercise the vectorized kernels, not the
+        generic (inherited bitset) lane path — otherwise the matrix
+        would silently stop covering the struct-of-arrays code."""
+        engine, _, _ = _run_traced(_spec(row), SEEDS[0], "bank")
+        assert engine._kernel is not None
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX[:2], ids=_row_id)
-    def test_run_trial_results_identical(self, row):
+    def test_run_trial_results_identical(self, row, engine):
         """The spec-level entry point agrees too (engine rides the spec)."""
         from repro.api import Simulation
 
         spec = _spec(row)
         reference = Simulation.from_spec(spec).run_trial(SEEDS[0])
-        bitset = Simulation.from_spec(spec, engine="bitset").run_trial(SEEDS[0])
-        assert bitset == reference
+        fast = Simulation.from_spec(spec, engine=engine).run_trial(SEEDS[0])
+        assert fast == reference
 
 
-class TestAdaptiveFallback:
-    @pytest.mark.parametrize("row", FALLBACK_MATRIX, ids=_row_id)
-    def test_fallback_warns_and_matches(self, row):
-        spec = _spec(row)
-        _, ref_result, ref_records = _run_traced(spec, SEEDS[0], "reference")
-        with pytest.warns(EngineFallbackWarning, match="reference engine"):
-            engine, fast_result, fast_records = _run_traced(spec, SEEDS[0], "bitset")
-        # The fallback *is* the reference engine, so equality is exact.
-        assert type(engine) is not BitsetRadioNetworkEngine
+#: (experiment id, series label, smallest tiny-scale parameter) — the
+#: registered M-experiment cells the three-way harness replays. The
+#: oracle-MAC and adaptive-adversary series are exercised elsewhere
+#: (they bypass or refuse the fast engines by design).
+M_EXPERIMENT_CELLS = [
+    ("M1", "gkln-queued vs GE-fade", 4),
+    ("M1", "backoff-concurrent vs GE-fade", 4),
+    ("M2", "gkln-queued vs G-only", 32),
+    ("M2", "gkln-queued vs GE-fade", 32),
+    ("M3", "gkln on simulated MAC", 32),
+]
+
+
+class TestMExperimentCells:
+    """Three-way equivalence on the actual registered M1–M3 specs."""
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize(
+        "cell", M_EXPERIMENT_CELLS, ids=lambda c: f"{c[0]}/{c[1]}/{c[2]}"
+    )
+    def test_experiment_cell_traces_identical(self, cell, engine):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        exp_id, series_label, parameter = cell
+        experiment = ALL_EXPERIMENTS[exp_id]
+        series = next(s for s in experiment.series if s.label == series_label)
+        spec = series.scenario_for(parameter)
+        _, ref_result, ref_records = _run_traced(spec, SEEDS[1], "reference")
+        _, fast_result, fast_records = _run_traced(spec, SEEDS[1], engine)
         assert fast_result == ref_result
         assert fast_records == ref_records
 
+
+class TestAdaptiveFallback:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    @pytest.mark.parametrize("row", FALLBACK_MATRIX, ids=_row_id)
+    def test_fallback_warns_and_matches(self, row, engine):
+        spec = _spec(row)
+        _, ref_result, ref_records = _run_traced(spec, SEEDS[0], "reference")
+        with pytest.warns(EngineFallbackWarning, match="reference engine"):
+            fallback, fast_result, fast_records = _run_traced(spec, SEEDS[0], engine)
+        # The fallback *is* the reference engine, so equality is exact.
+        assert type(fallback) is not _ENGINE_TYPES[engine]
+        assert fast_result == ref_result
+        assert fast_records == ref_records
+
+    @pytest.mark.parametrize("engine_type", [BitsetRadioNetworkEngine, BankRadioNetworkEngine])
     @pytest.mark.parametrize("row", FALLBACK_MATRIX[:1], ids=_row_id)
-    def test_direct_construction_rejected(self, row):
+    def test_direct_construction_rejected(self, row, engine_type):
         """Bypassing create_engine must fail loudly, not silently degrade."""
         spec = _spec(row)
         trial = spec.build(SEEDS[0])
@@ -262,7 +322,7 @@ class TestAdaptiveFallback:
             trial.network.n, trial.network.max_degree, seed=SEEDS[0]
         )
         with pytest.raises(EngineError, match="oblivious"):
-            BitsetRadioNetworkEngine(
+            engine_type(
                 trial.network, processes, trial.link_process, seed=SEEDS[0]
             )
 
