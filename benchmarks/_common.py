@@ -15,6 +15,14 @@ Knobs (environment variables):
   (:data:`repro.core.engine.ENGINE_NAMES`). Results are seed-for-seed
   identical across engines, so switching only moves wall-clock time;
   run a bench once per engine to measure the fast engines' speedup.
+* ``REPRO_BENCH_SKIP=1|0`` (default unset) — force event-driven round
+  skipping on or off for every trial; unset leaves each engine's own
+  default (on for bitset/bank, off for reference). Results are
+  identical either way (tests/test_skip_properties.py pins this), so
+  the knob exists purely to measure the skip win: artifacts from an
+  explicit setting carry an engine label suffix (``bitset-noskip``,
+  ``reference-skip``) so both sides of the comparison can be
+  committed side by side.
 * ``REPRO_BENCH_REPEATS`` (default 1) — timing repeats per experiment;
   with ≥ 2 the JSON artifact gains a spread and a 95% CI.
 * ``REPRO_BENCH_RESULTS`` — directory for the machine-readable
@@ -49,16 +57,30 @@ __all__ = [
     "BENCH_SCALE",
     "BENCH_ENGINE",
     "BENCH_REPEATS",
+    "BENCH_SKIP",
+    "ENGINE_LABEL",
     "run_experiment",
     "assert_success",
     "assert_contrasts",
     "assert_growth",
     "assert_not_slower_than_reference",
+    "assert_skip_speedup",
 ]
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 BENCH_ENGINE = os.environ.get("REPRO_BENCH_ENGINE", "reference")
 BENCH_REPEATS = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "1")))
+
+_SKIP_ENV = os.environ.get("REPRO_BENCH_SKIP", "").strip().lower()
+#: None = each engine's default; True/False = forced for every trial.
+BENCH_SKIP: Optional[bool] = (
+    None if _SKIP_ENV in ("", "default") else _SKIP_ENV in ("1", "true", "on", "yes")
+)
+
+#: Engine label used in artifact names: the engine itself under default
+#: skip semantics, suffixed when skip is forced so that e.g. ``bitset``
+#: and ``bitset-noskip`` artifacts coexist for the speedup comparison.
+ENGINE_LABEL = BENCH_ENGINE + {True: "-skip", False: "-noskip", None: ""}[BENCH_SKIP]
 
 #: Master seed shared by all benches (the paper year).
 MASTER_SEED = 2013
@@ -92,8 +114,17 @@ def _summarize(seconds: list[float]) -> dict:
     return summary
 
 
-def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
-    """Persist ``BENCH_<exp>_<scale>_<engine>.json`` (returns its path)."""
+def write_bench_artifact(
+    exp_id: str, seconds: list[float], cells: Optional[list[dict]] = None
+) -> Optional[Path]:
+    """Persist ``BENCH_<exp>_<scale>_<engine>.json`` (returns its path).
+
+    ``cells`` (optional) attributes wall time per sweep cell — one
+    ``{"series", "parameter", "seconds"}`` entry per (series, swept
+    parameter) pair, min across repeats. Cell timings are what the
+    skip-speedup guard reads: whole-experiment seconds mix every
+    series, while the skip win lives in specific large-n cells.
+    """
     directory = _results_dir()
     if directory is None:
         return None
@@ -108,6 +139,7 @@ def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
         "experiment": exp_id,
         "scale": BENCH_SCALE,
         "engine": BENCH_ENGINE,
+        "skip": BENCH_SKIP,
         "master_seed": MASTER_SEED,
         # The same dedup key campaign shard records carry: a bench and
         # a shard of the same (experiment, scale, engine) cell share a
@@ -124,7 +156,9 @@ def write_bench_artifact(exp_id: str, seconds: list[float]) -> Optional[Path]:
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
-    path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{BENCH_ENGINE}.json"
+    if cells is not None:
+        payload["cells"] = cells
+    path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{ENGINE_LABEL}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -138,21 +172,39 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
     """
     experiment = ALL_EXPERIMENTS[exp_id]
     seconds: list[float] = []
+    cell_seconds: dict[tuple[str, object], float] = {}
 
     def timed_run() -> ExperimentResult:
         started = time.perf_counter()
         outcome = experiment.run(
-            scale=BENCH_SCALE, master_seed=MASTER_SEED, engine=BENCH_ENGINE
+            scale=BENCH_SCALE,
+            master_seed=MASTER_SEED,
+            engine=BENCH_ENGINE,
+            skip=BENCH_SKIP,
         )
         seconds.append(time.perf_counter() - started)
+        for sr in outcome.series_results:
+            for point in sr.sweep.points:
+                if point.seconds is None:
+                    continue
+                key = (sr.series.label, point.parameter)
+                best = cell_seconds.get(key)
+                if best is None or point.seconds < best:
+                    cell_seconds[key] = point.seconds
         return outcome
 
     result = benchmark.pedantic(timed_run, rounds=BENCH_REPEATS, iterations=1)
-    artifact = write_bench_artifact(exp_id, seconds)
+    cells = [
+        {"series": label, "parameter": parameter, "seconds": round(value, 6)}
+        for (label, parameter), value in sorted(
+            cell_seconds.items(), key=lambda kv: (kv[0][0], repr(kv[0][1]))
+        )
+    ]
+    artifact = write_bench_artifact(exp_id, seconds, cells or None)
     print()
     print(result.render())
     print(
-        f"[engine={BENCH_ENGINE}, repeats={len(seconds)}, "
+        f"[engine={ENGINE_LABEL}, repeats={len(seconds)}, "
         f"median={statistics.median(seconds):.2f}s"
         + (f", artifact={artifact}]" if artifact else "]")
     )
@@ -201,15 +253,68 @@ def assert_not_slower_than_reference(exp_id: str) -> None:
     if directory is None:
         return
     baseline_path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_reference.json"
-    mine_path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{BENCH_ENGINE}.json"
+    mine_path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{ENGINE_LABEL}.json"
     if not baseline_path.exists() or not mine_path.exists():
         return
     baseline = json.loads(baseline_path.read_text())["seconds"]["min"]
     mine = json.loads(mine_path.read_text())["seconds"]["min"]
     assert mine <= baseline * 1.10, (
-        f"{exp_id}/{BENCH_SCALE}: engine {BENCH_ENGINE!r} took {mine:.3f}s "
+        f"{exp_id}/{BENCH_SCALE}: engine {ENGINE_LABEL!r} took {mine:.3f}s "
         f"vs reference {baseline:.3f}s — the fast engine is slower than "
         "the loop it is supposed to beat"
+    )
+
+
+def assert_skip_speedup(
+    exp_id: str,
+    *,
+    series_contains: str,
+    min_ratio: float,
+    engine: str = "bitset",
+) -> None:
+    """The committed skip-on artifact beats skip-off by ``min_ratio``.
+
+    Compares the largest-parameter cell of the matching series between
+    ``BENCH_<exp>_<scale>_<engine>.json`` (skip on by default for fast
+    engines) and ``BENCH_<exp>_<scale>_<engine>-noskip.json``
+    (``REPRO_BENCH_SKIP=0``). Cell-level comparison is deliberate: the
+    whole-experiment total mixes in series and build work that skipping
+    cannot touch, while the claim — event-driven skipping pays at
+    scale — lives in the silence-heavy series' biggest cell.
+
+    A no-op when either artifact is missing or lacks cells (fresh
+    checkout, artifacts disabled); like the reference guard, it bites
+    when artifacts are regenerated.
+    """
+    directory = _results_dir()
+    if directory is None:
+        return
+    pair = {}
+    for label in (engine, f"{engine}-noskip"):
+        path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{label}.json"
+        if not path.exists():
+            return
+        cells = [
+            cell
+            for cell in json.loads(path.read_text()).get("cells", [])
+            if series_contains in cell["series"]
+        ]
+        if not cells:
+            return
+        pair[label] = max(cells, key=lambda cell: cell["parameter"])
+    skipping = pair[engine]
+    full = pair[f"{engine}-noskip"]
+    assert skipping["parameter"] == full["parameter"], (
+        f"{exp_id}/{BENCH_SCALE}: artifacts disagree on the largest "
+        f"parameter ({skipping['parameter']} vs {full['parameter']}) — "
+        "regenerate both sides at the same scale"
+    )
+    ratio = full["seconds"] / skipping["seconds"]
+    assert ratio >= min_ratio, (
+        f"{exp_id}/{BENCH_SCALE}: round skipping bought only {ratio:.2f}x "
+        f"on {skipping['series']!r} at parameter {skipping['parameter']} "
+        f"({full['seconds']:.3f}s -> {skipping['seconds']:.3f}s), "
+        f"claimed >= {min_ratio:g}x"
     )
 
 

@@ -278,6 +278,28 @@ class LinkProcess(abc.ABC):
     def choose_topology(self, view: ObliviousView) -> RoundTopology:
         """Fix the communication topology for ``view.round_index``."""
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        """The skip contract: first round the mask choice can change.
+
+        Returns the first round strictly after ``round_index`` at which
+        :meth:`choose_topology` may return different masks, consume
+        randomness, or have any other observable side effect; ``None``
+        means "fixed forever". Within ``[round_index, boundary)`` the
+        round-skipping engines are licensed to *elide* repeated
+        :meth:`choose_topology` calls and reuse the round-``r`` masks,
+        so an override additionally promises that the elided calls
+        would have been pure (no state mutation, no RNG draws).
+
+        Epoch/pattern adversaries report their next phase flip;
+        degenerate stochastic ones (``p_up`` pinned to 0 or 1) report
+        ``None``; anything that draws per-round randomness or records
+        per-call state must keep the default. The default makes no
+        promise (the distribution may change next round), which
+        disables skipping over this adversary — the safe behavior for
+        adaptive processes and third-party subclasses alike.
+        """
+        return round_index + 1
+
     def describe(self) -> str:
         """Human-readable label for experiment tables."""
         return f"{type(self).__name__}[{self.adversary_class.value}]"

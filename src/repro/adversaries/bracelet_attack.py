@@ -140,6 +140,15 @@ class BraceletObliviousAttacker(LinkProcess):
         dense = self.labels[r] if r < len(self.labels) else True
         return self._dense if dense else self._sparse
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # The schedule is committed at start (obliviousness) and
+        # choose_topology is a pure lookup, so the masks next change at
+        # the end of the current label run — dense forever past the
+        # prediction horizon.
+        from repro.adversaries.schedule_attack import _label_run_boundary
+
+        return _label_run_boundary(self.labels, True, round_index)
+
     def dense_round_fraction(self) -> float:
         """Fraction of scheduled rounds labelled dense (diagnostics)."""
         if not self.labels:

@@ -99,6 +99,11 @@ class OnlineDenseSparseAttacker(LinkProcess):
         self.dense_history.append(dense)
         return self._dense_topology if dense else self._sparse_topology
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # Online adaptive: the dense/sparse label keys on each round's
+        # declared probabilities, so the choice can flip every round.
+        return round_index + 1
+
     def _expected_in_scope(self, view: OnlineAdaptiveView) -> float:
         if self.count_scope_mask is None:
             return view.expected_transmitters()

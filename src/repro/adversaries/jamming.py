@@ -18,6 +18,7 @@ target a cut or sweep a region) while remaining execution-independent:
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from repro.adversaries.base import (
     AdversaryClass,
@@ -70,6 +71,15 @@ class PeriodicCutJammer(LinkProcess):
         offset = (view.round_index + self.phase_offset) % self.period
         return self._dense if offset < self.dense_rounds else self._sparse
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # Pure square wave over two precomputed topologies.
+        if self.dense_rounds in (0, self.period):
+            return None  # degenerate duty cycle: one topology forever
+        offset = (round_index + self.phase_offset) % self.period
+        if offset < self.dense_rounds:
+            return round_index + (self.dense_rounds - offset)
+        return round_index + (self.period - offset)
+
 
 class MovingRegionFade(LinkProcess):
     """A fading disc sweeping left-to-right across an embedded graph.
@@ -109,6 +119,10 @@ class MovingRegionFade(LinkProcess):
         return RoundTopology.from_active_flaky_nodes(
             self.network, active_mask, label="moving-fade"
         )
+
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # The disc moves every round: a fresh mask every call.
+        return round_index + 1
 
 
 # ----------------------------------------------------------------------

@@ -88,6 +88,11 @@ class OfflineSoloBlockerAttacker(LinkProcess):
             self.solo_rounds += 1
         return self._severed
 
+    def next_boundary(self, round_index: int) -> "int | None":
+        # Offline adaptive: the choice keys on each round's realized
+        # coins, so the masks can flip every round.
+        return round_index + 1
+
 
 # ----------------------------------------------------------------------
 # Declarative ScenarioSpec registrations

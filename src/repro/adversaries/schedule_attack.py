@@ -73,6 +73,25 @@ def predict_plain_decay_counts(
     return predict
 
 
+def _label_run_boundary(
+    labels: Sequence[bool], tail: bool, round_index: int
+) -> Optional[int]:
+    """First round after ``round_index`` where a dense/sparse label flips.
+
+    Shared by the precomputed-schedule adversaries (their
+    ``choose_topology`` is a pure lookup over a label list fixed at
+    ``start``): the topology next changes when the current label's run
+    ends, and never again once the schedule has settled into its tail.
+    """
+    current = labels[round_index] if round_index < len(labels) else tail
+    r = round_index + 1
+    while r < len(labels):
+        if labels[r] != current:
+            return r
+        r += 1
+    return None if tail == current else max(r, round_index + 1)
+
+
 class PredictedDenseSparseAttacker(LinkProcess):
     """Dense/sparse attack driven by a clock-only prediction function.
 
@@ -117,6 +136,11 @@ class PredictedDenseSparseAttacker(LinkProcess):
         self.dense_history.append(dense)
         return self._dense if dense else self._sparse
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # Every call appends to dense_history (observable diagnostics),
+        # so elided calls would be detectable: no skipping.
+        return round_index + 1
+
 
 class PrecomputedDenseSparseLinks(LinkProcess):
     """A dense/sparse schedule fixed before the execution.
@@ -146,6 +170,11 @@ class PrecomputedDenseSparseLinks(LinkProcess):
         r = view.round_index
         dense = self.labels[r] if r < len(self.labels) else self.tail_dense
         return self._dense if dense else self._sparse
+
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        return _label_run_boundary(
+            self.labels, self.tail_dense, round_index
+        )
 
 
 # ----------------------------------------------------------------------

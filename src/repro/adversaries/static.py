@@ -19,7 +19,7 @@ alone.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.adversaries.base import (
     AdversaryClass,
@@ -45,6 +45,9 @@ class NoFlakyLinks(LinkProcess):
     def choose_topology(self, view: ObliviousView) -> RoundTopology:
         return self._topology
 
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        return None  # one cached topology, forever
+
 
 class AllFlakyLinks(LinkProcess):
     """Static protocol model on ``G'``: every flaky edge fires every round."""
@@ -57,6 +60,9 @@ class AllFlakyLinks(LinkProcess):
 
     def choose_topology(self, view: ObliviousView) -> RoundTopology:
         return self._topology
+
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        return None  # one cached topology, forever
 
 
 class FixedFlakyLinks(LinkProcess):
@@ -75,6 +81,9 @@ class FixedFlakyLinks(LinkProcess):
 
     def choose_topology(self, view: ObliviousView) -> RoundTopology:
         return self._topology
+
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        return None  # one cached topology, forever
 
 
 class AlternatingLinks(LinkProcess):
@@ -107,6 +116,16 @@ class AlternatingLinks(LinkProcess):
                 return self._topologies[i % len(self._topologies)]
             offset -= length
         return self._topologies[0]  # pragma: no cover - unreachable
+
+    def next_boundary(self, round_index: int) -> Optional[int]:
+        # Pure cycle over precomputed topologies: the masks next change
+        # at the end of the phase containing this round.
+        offset = round_index % self._period
+        for length in self._phase_lengths:
+            if offset < length:
+                return round_index + (length - offset)
+            offset -= length
+        return round_index + 1  # pragma: no cover - unreachable
 
 
 # ----------------------------------------------------------------------

@@ -78,6 +78,11 @@ class BernoulliEdgeLinks(LinkProcess):
         active = [edge for edge in self._flaky_edges if self.rng.random() < self.p_up]
         return RoundTopology.from_flaky_edges(self.network, active, label="bernoulli-edges")
 
+    def next_boundary(self, round_index: int) -> int | None:
+        if self.p_up >= 1.0 or self.p_up <= 0.0:
+            return None  # degenerate coin: one cached topology, no draws
+        return round_index + 1  # fresh per-edge draws every round
+
 
 class GilbertElliottEdgeLinks(LinkProcess):
     """Per-edge two-state Markov (Gilbert–Elliott) bursty links.
@@ -121,6 +126,9 @@ class GilbertElliottEdgeLinks(LinkProcess):
                 active.append(edge)
         return RoundTopology.from_flaky_edges(self.network, active, label="gilbert-elliott-edges")
 
+    def next_boundary(self, round_index: int) -> int | None:
+        return round_index + 1  # the Markov chain steps (and draws) every round
+
 
 class BernoulliNodeFade(LinkProcess):
     """Node-level memoryless fading: ``O(n)`` per round on any graph.
@@ -143,6 +151,9 @@ class BernoulliNodeFade(LinkProcess):
         return RoundTopology.from_active_flaky_nodes(
             self.network, active_mask, label="bernoulli-node-fade"
         )
+
+    def next_boundary(self, round_index: int) -> int | None:
+        return round_index + 1  # one RNG draw per node every round
 
 
 class GilbertElliottNodeFade(LinkProcess):
@@ -196,6 +207,9 @@ class GilbertElliottNodeFade(LinkProcess):
         return RoundTopology.from_active_flaky_nodes(
             self.network, new_mask, label="gilbert-elliott-node-fade"
         )
+
+    def next_boundary(self, round_index: int) -> int | None:
+        return round_index + 1  # the per-node Markov chains step every round
 
 
 # ----------------------------------------------------------------------

@@ -148,6 +148,24 @@ class PlainDecayGlobalProcess(Process):
             return until
         return None
 
+    def next_state_change(self, round_index: int):
+        # Unlike the signature, the *plan* rides the ladder: it changes
+        # every round while the node is active, so only the silent
+        # stretches (uninformed / waiting / window-ended) are stable.
+        if self.message is None:
+            return None  # adoption arrives via feedback
+        if round_index == 0 and self.node_id == self.source:
+            return 1
+        start = self.participate_from
+        if start is None:
+            return None
+        if round_index < start:
+            return start
+        until = self._active_until
+        if until is not None and round_index >= until:
+            return None  # the window ended; silent for good
+        return round_index + 1  # active ladder: a new rung every round
+
     def plan(self, round_index: int) -> RoundPlan:
         if self.message is None:
             return RoundPlan.silence()

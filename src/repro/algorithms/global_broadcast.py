@@ -161,6 +161,22 @@ class ObliviousGlobalBroadcastProcess(Process):
         end = (join + self.epochs_per_node) * self._epoch_len
         return end if round_index < end else None
 
+    def next_state_change(self, round_index: int):
+        # The signature is epoch-stable but the *rung* changes every
+        # round of an active epoch; only the silent stretches are flat.
+        if self._is_source:
+            return 1 if round_index == 0 else None
+        join = self.join_epoch
+        if join is None:
+            return None  # adoption arrives via feedback
+        if round_index < join * self._epoch_len:
+            return join * self._epoch_len
+        if self.epochs_per_node is not None:
+            end = (join + self.epochs_per_node) * self._epoch_len
+            if round_index >= end:
+                return None  # budget exhausted; silent for good
+        return round_index + 1  # active permuted decay: new rung each round
+
     def plan(self, round_index: int) -> RoundPlan:
         if self.node_id == self.source:
             if round_index == 0:
@@ -239,6 +255,14 @@ class UncoordinatedDecayGlobalProcess(Process):
     def plan_signature_expiry(self, round_index: int):
         # Every state transition rides feedback (delivered to this
         # process each round — it is never idle-skipped).
+        if self._is_source:
+            return 1 if round_index == 0 else None
+        return None
+
+    def next_state_change(self, round_index: int):
+        # Absent feedback the committed rung stays put, so the plan is
+        # clock-stable — but idle_feedback_noop is False, so the engine
+        # never actually elides a round for this class.
         if self._is_source:
             return 1 if round_index == 0 else None
         return None

@@ -202,6 +202,11 @@ class GeoLocalBroadcastProcess(Process):
     # ------------------------------------------------------------------
     # Round behavior
     # ------------------------------------------------------------------
+    def next_state_change(self, round_index: int):
+        # The plan walks stage/phase/iteration structure every round
+        # and feedback draws election coins — never claim stability.
+        return round_index + 1
+
     def plan(self, round_index: int) -> RoundPlan:
         stage, block, offset = self.params.locate(round_index)
         if stage == "init":

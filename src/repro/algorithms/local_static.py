@@ -64,6 +64,13 @@ class StaticLocalDecayProcess(Process):
     def plan_signature_expiry(self, round_index: int):
         return None  # roles never change
 
+    def next_state_change(self, round_index: int):
+        if not self.is_broadcaster:
+            return None  # listeners listen forever
+        if self.phase_length == 1:
+            return None  # degenerate ladder: constant probability 1/2
+        return round_index + 1  # a new ladder rung every round
+
     def plan(self, round_index: int) -> RoundPlan:
         if not self.is_broadcaster:
             return RoundPlan.silence()

@@ -164,6 +164,15 @@ class GklnMultiMessageProcess(Process):
             return round_index + 1
         return None
 
+    def next_state_change(self, round_index: int) -> Optional[int]:
+        # Same shape as the expiry: serving and persisting plans move
+        # every round (ladder slot / rotation index); an empty node
+        # stays silent until reception.
+        self._advance(round_index)
+        if self._head_start is not None or self._all_known:
+            return round_index + 1
+        return None
+
     def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:
         self._advance(round_index)
         if received is None or not received.is_data():
@@ -254,6 +263,9 @@ class BackoffMultiMessageProcess(Process):
     def plan_signature_expiry(self, round_index: int) -> Optional[int]:
         # The rotation moves every round while holding messages; empty
         # nodes change only on reception.
+        return round_index + 1 if self._known else None
+
+    def next_state_change(self, round_index: int) -> Optional[int]:
         return round_index + 1 if self._known else None
 
     def on_feedback(self, round_index: int, sent: bool, received: Optional[Message]) -> None:

@@ -93,6 +93,16 @@ class RoundRobinLocalProcess(Process):
         delta = (self.slot - round_index) % self.ctx.n
         return round_index + (delta if delta else 1)
 
+    def next_state_change(self, round_index: int):
+        # The plan is a pure function of ``r mod n``: silence until the
+        # slot round, one certain transmission, silence again.
+        if not self.is_broadcaster:
+            return None
+        if self.ctx.n == 1:
+            return None  # every round is the slot round
+        delta = (self.slot - round_index) % self.ctx.n
+        return round_index + (delta if delta else 1)
+
     def plan(self, round_index: int) -> RoundPlan:
         if self.is_broadcaster and round_index % self.ctx.n == self.slot:
             return RoundPlan.certain(self.message)
@@ -144,6 +154,14 @@ class RoundRobinGlobalProcess(Process):
     def plan_signature_expiry(self, round_index: int):
         if self.message is None:
             return None  # adoption arrives via feedback
+        delta = (self.slot - round_index) % self.ctx.n
+        return round_index + (delta if delta else 1)
+
+    def next_state_change(self, round_index: int):
+        if self.message is None:
+            return None  # adoption arrives via feedback
+        if self.ctx.n == 1:
+            return None  # every round is the slot round
         delta = (self.slot - round_index) % self.ctx.n
         return round_index + (delta if delta else 1)
 

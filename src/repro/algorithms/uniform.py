@@ -66,6 +66,9 @@ class UniformLocalProcess(Process):
     def plan_signature_expiry(self, round_index: int):
         return None  # roles never change
 
+    def next_state_change(self, round_index: int):
+        return None  # constant rate forever, in both roles
+
     def plan(self, round_index: int) -> RoundPlan:
         if not self.is_broadcaster:
             return RoundPlan.silence()
@@ -129,6 +132,11 @@ class UniformGlobalProcess(Process):
         if round_index == 0 and self.message is not None and self.node_id == self.source:
             return 1  # after the announcement the source joins the relays
         return None  # otherwise transitions ride feedback
+
+    def next_state_change(self, round_index: int):
+        if round_index == 0 and self.message is not None and self.node_id == self.source:
+            return 1  # the round-0 announcement gives way to the constant rate
+        return None  # constant rate (or silence) until feedback intervenes
 
     def plan(self, round_index: int) -> RoundPlan:
         if self.message is None:

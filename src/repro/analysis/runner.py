@@ -37,6 +37,7 @@ __all__ = [
     "TrialStats",
     "run_broadcast_trial",
     "run_prepared_trial",
+    "probe_engine_fallbacks",
     "run_bank_trials",
     "run_broadcast_trials",
 ]
@@ -58,6 +59,11 @@ class PreparedTrial:
     here; an *oracle*-mode layer replaces the round loop entirely —
     :func:`run_prepared_trial` routes such trials to the event-driven
     simulation in :mod:`repro.mac.oracle`.
+
+    ``skip`` controls event-driven round skipping (``None`` = the
+    resolved engine's default: on for the fast engines, off for
+    ``reference``); like the engine choice it cannot change results.
+    ``label`` names the scenario in engine-fallback warnings.
     """
 
     network: DualGraph
@@ -68,6 +74,8 @@ class PreparedTrial:
     validate_topologies: bool = False
     engine: str = "reference"
     mac: object = None
+    skip: Optional[bool] = None
+    label: Optional[str] = None
 
 
 #: A scenario builds a fresh :class:`PreparedTrial` from a trial seed.
@@ -189,7 +197,7 @@ class TrialStats:
 
 
 def run_prepared_trial(
-    trial: PreparedTrial, seed: int, *, observer=None
+    trial: PreparedTrial, seed: int, *, observer=None, warn_fallback: bool = True
 ) -> TrialResult:
     """Execute one prepared trial to completion or its round cap.
 
@@ -199,6 +207,10 @@ def run_prepared_trial(
     rounds) can read it off after the run instead of duplicating the
     engine-invocation sequence. Ignored on the oracle path, which has
     no engine rounds to observe.
+
+    ``warn_fallback=False`` suppresses :class:`EngineFallbackWarning`
+    emission — executors pass it for every trial after the first so a
+    degraded scenario warns once per batch, not once per trial.
     """
     mac = trial.mac
     if mac is not None and getattr(mac, "mode", "engine") == "oracle":
@@ -222,6 +234,9 @@ def run_prepared_trial(
         algorithm_info=trial.algorithm.info(),
         validate_topologies=trial.validate_topologies,
         observers=[observer],
+        skip=trial.skip,
+        label=trial.label,
+        warn=warn_fallback,
     )
     result: ExecutionResult = engine.run(
         max_rounds=trial.max_rounds, stop=lambda: observer.solved
@@ -229,11 +244,38 @@ def run_prepared_trial(
     return TrialResult(solved=result.solved, rounds=result.rounds, seed=seed)
 
 
+def probe_engine_fallbacks(trial: PreparedTrial, seed: int) -> list[str]:
+    """The :class:`EngineFallbackWarning` texts this trial would emit.
+
+    Builds the trial's processes (cheap relative to a run) and resolves
+    the engine + skip choice exactly as :func:`run_prepared_trial`
+    will, *without* emitting anything — executors call this once per
+    scenario, warn once with the scenario label attached, and then run
+    every trial with ``warn_fallback=False``. Oracle-mode MAC trials
+    have no engine and therefore no fallbacks.
+    """
+    mac = trial.mac
+    if mac is not None and getattr(mac, "mode", "engine") == "oracle":
+        return []
+    from repro.core.engine import resolve_engine_choice
+
+    processes = trial.algorithm.build_processes(
+        trial.network.n, trial.network.max_degree, seed=seed
+    )
+    _, _, notes = resolve_engine_choice(
+        trial.engine, processes, trial.link_process, skip=trial.skip
+    )
+    if trial.label:
+        notes = [f"{note} [scenario: {trial.label}]" for note in notes]
+    return notes
+
+
 def run_bank_trials(
     scenario: Scenario,
     seeds: Sequence[int],
     *,
     first: Optional[PreparedTrial] = None,
+    warn_fallback: bool = True,
 ) -> list[TrialResult]:
     """Run a whole seed bank of one scenario through the bank engine.
 
@@ -261,7 +303,11 @@ def run_bank_trials(
     ]
 
     def _per_trial() -> list[TrialResult]:
-        return [run_prepared_trial(t, s) for t, s in zip(trials, seeds)]
+        # The first trial carries the (once-per-batch) fallback warning.
+        return [
+            run_prepared_trial(t, s, warn_fallback=warn_fallback and i == 0)
+            for i, (t, s) in enumerate(zip(trials, seeds))
+        ]
 
     lead = trials[0]
     mac = lead.mac
@@ -290,6 +336,21 @@ def run_bank_trials(
         )
         for trial, seed in zip(trials, seeds)
     ]
+    # Lanes bypass create_engine, so resolve the skip flag (and emit
+    # any contract-gap warning, once for the whole bank) here.
+    from repro.core.engine import resolve_engine_choice
+    from repro.core.errors import EngineFallbackWarning
+
+    _, resolved_skip, notes = resolve_engine_choice(
+        "bank", banks[0], lead.link_process, skip=lead.skip
+    )
+    if warn_fallback:
+        import warnings
+
+        for note in notes:
+            if lead.label:
+                note = f"{note} [scenario: {lead.label}]"
+            warnings.warn(note, EngineFallbackWarning, stacklevel=2)
     kernel = build_bank_kernel(banks)
     lanes = []
     for lane_index, (trial, seed) in enumerate(zip(trials, seeds)):
@@ -304,6 +365,7 @@ def run_bank_trials(
             observers=[observer],
             kernel=kernel,
             lane=lane_index,
+            skip=resolved_skip,
         )
         lanes.append(
             BankLane(engine=engine, stop=(lambda obs=observer: obs.solved))
@@ -325,6 +387,7 @@ def run_broadcast_trial(
     max_rounds: Optional[int] = None,
     validate_topologies: bool = False,
     engine: str = "reference",
+    skip: Optional[bool] = None,
 ) -> TrialResult:
     """Convenience single-trial entry point (used by examples/tests).
 
@@ -343,6 +406,7 @@ def run_broadcast_trial(
         max_rounds=cap,
         validate_topologies=validate_topologies,
         engine=engine,
+        skip=skip,
     )
     return run_prepared_trial(trial, seed)
 

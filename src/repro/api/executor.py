@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Sequence
 
@@ -55,7 +56,22 @@ class SerialExecutor(TrialExecutor):
     lockstep lanes of one struct-of-arrays kernel. Results are
     seed-for-seed identical to the plain loop — the batch only changes
     where the numpy work happens.
+
+    A scenario that degrades (adaptive adversary forcing the reference
+    engine, or a component without the skip contract) warns exactly
+    once per ``run_trials`` batch — the first trial carries the
+    :class:`~repro.core.errors.EngineFallbackWarning`, every later
+    trial runs silenced. ``warn_fallback=False`` silences the batch
+    entirely (the parallel executor's workers use this; the parent has
+    already warned).
     """
+
+    #: Class-level default so subclasses that override ``__init__``
+    #: without chaining up still get first-trial warning semantics.
+    warn_fallback = True
+
+    def __init__(self, *, warn_fallback: bool = True) -> None:
+        self.warn_fallback = warn_fallback
 
     def run_trials(self, scenario: Scenario, seeds: Sequence[int]) -> list[TrialResult]:
         seeds = list(seeds)
@@ -65,9 +81,16 @@ class SerialExecutor(TrialExecutor):
         if getattr(first, "engine", None) == "bank":
             from repro.analysis.runner import run_bank_trials
 
-            return run_bank_trials(scenario, seeds, first=first)
-        results = [run_prepared_trial(first, seeds[0])]
-        results.extend(run_prepared_trial(scenario(seed), seed) for seed in seeds[1:])
+            return run_bank_trials(
+                scenario, seeds, first=first, warn_fallback=self.warn_fallback
+            )
+        results = [
+            run_prepared_trial(first, seeds[0], warn_fallback=self.warn_fallback)
+        ]
+        results.extend(
+            run_prepared_trial(scenario(seed), seed, warn_fallback=False)
+            for seed in seeds[1:]
+        )
         return results
 
 
@@ -76,10 +99,12 @@ def _run_chunk(item: tuple[Scenario, Sequence[int]]) -> list[TrialResult]:
 
     Chunks delegate to :class:`SerialExecutor`, so workers bank-batch
     their chunk when the scenario selects ``engine="bank"`` and results
-    stay identical to a fully serial run by construction.
+    stay identical to a fully serial run by construction. Fallback
+    warnings are silenced — the parent process probed the scenario and
+    warned once before fanning out.
     """
     scenario, chunk = item
-    return SerialExecutor().run_trials(scenario, chunk)
+    return SerialExecutor(warn_fallback=False).run_trials(scenario, chunk)
 
 
 class ParallelExecutor(TrialExecutor):
@@ -131,6 +156,15 @@ class ParallelExecutor(TrialExecutor):
                 "scenarios are not — describe the trial as a "
                 "repro.api.ScenarioSpec instead"
             ) from exc
+        # Probe the scenario's engine resolution once in the parent and
+        # warn here; workers run fully silenced, so a degraded scenario
+        # yields exactly one EngineFallbackWarning per batch regardless
+        # of how many chunks or processes it fans out to.
+        from repro.analysis.runner import probe_engine_fallbacks
+        from repro.core.errors import EngineFallbackWarning
+
+        for note in probe_engine_fallbacks(scenario(seeds[0]), seeds[0]):
+            warnings.warn(note, EngineFallbackWarning, stacklevel=2)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         size = self._resolve_chunksize(len(seeds))

@@ -69,17 +69,27 @@ class Simulation:
         self.spec = spec
 
     @classmethod
-    def from_spec(cls, spec: SpecLike, *, engine: Optional[str] = None) -> "Simulation":
+    def from_spec(
+        cls,
+        spec: SpecLike,
+        *,
+        engine: Optional[str] = None,
+        skip: Optional[bool] = None,
+    ) -> "Simulation":
         """Build from a :class:`ScenarioSpec`, spec dict, or JSON string.
 
         ``engine`` (optional) overrides the spec's round-loop
         implementation — e.g. ``engine="bitset"`` opts a stored
         scenario into the vectorized fast path without editing the
-        file. Results are engine-independent; only wall-clock changes.
+        file. ``skip`` (optional) likewise overrides event-driven round
+        skipping. Results are independent of both; only wall-clock
+        changes.
         """
         resolved = _coerce_spec(spec)
         if engine is not None:
             resolved = resolved.with_param("engine", engine)
+        if skip is not None:
+            resolved = resolved.with_param("skip", skip)
         return cls(resolved)
 
     @classmethod
@@ -157,8 +167,9 @@ def run_spec(
     master_seed: int = 2013,
     executor: Optional[TrialExecutor] = None,
     engine: Optional[str] = None,
+    skip: Optional[bool] = None,
 ) -> TrialStats:
     """Convenience: coerce, run, aggregate — the ``repro run-spec`` verb."""
-    return Simulation.from_spec(spec, engine=engine).run(
+    return Simulation.from_spec(spec, engine=engine, skip=skip).run(
         trials=trials, master_seed=master_seed, executor=executor
     )

@@ -132,6 +132,15 @@ class ScenarioSpec:
     is a *performance* knob: it serializes with the spec so a saved
     scenario reruns the way it was tuned, but editing it never alters
     the measured rounds.
+
+    ``skip`` controls event-driven round skipping (see
+    ``docs/architecture.md`` "Round skipping"): ``None`` (default)
+    resolves to the engine's default — on for the fast engines, off
+    for ``reference`` — while ``True``/``False`` force it. Like the
+    engine, skipping is trace-identical by construction, so this is a
+    performance knob too; it is omitted from the serialized form (and
+    the spec hash) when ``None`` so stored specs and artifacts keep
+    their identities.
     """
 
     graph: ComponentRef
@@ -142,6 +151,7 @@ class ScenarioSpec:
     validate_topologies: bool = False
     name: Optional[str] = None
     engine: str = "reference"
+    skip: Optional[bool] = None
     #: Optional abstract MAC layer (``repro.mac``): a registry ref such
     #: as ``("simulated", {})`` or ``("oracle", {"f_ack_factor": 2})``.
     #: ``None`` means "no MAC indirection" — multi-message algorithms
@@ -187,6 +197,11 @@ class ScenarioSpec:
             raise SpecError(
                 f"unknown engine {self.engine!r}; choose from {ENGINE_NAMES}"
             )
+        if self.skip is not None:
+            if not isinstance(self.skip, bool):
+                raise SpecError(
+                    f"skip must be true, false, or null, got {self.skip!r}"
+                )
 
     # ------------------------------------------------------------------
     # Building
@@ -212,6 +227,8 @@ class ScenarioSpec:
             "validate_topologies": self.validate_topologies,
             "engine": self.engine,
         }
+        if self.skip is not None:
+            data["skip"] = self.skip
         if self.mac is not None:
             data["mac"] = self.mac.to_dict()
         if self.messages is not None:
@@ -233,6 +250,7 @@ class ScenarioSpec:
             "validate_topologies",
             "name",
             "engine",
+            "skip",
             "mac",
             "messages",
         }
@@ -252,6 +270,7 @@ class ScenarioSpec:
             validate_topologies=bool(data.get("validate_topologies", False)),
             name=data.get("name"),
             engine=str(data.get("engine", "reference")),
+            skip=data.get("skip"),
             mac=(
                 None
                 if data.get("mac") is None
@@ -317,11 +336,12 @@ class ScenarioSpec:
         ``mac``); ``"messages.<key>"`` edits the message workload (so
         ``sweep(spec, "messages.k", …)`` sweeps the message load); the
         bare field names ``"max_rounds"`` / ``"validate_topologies"``
-        / ``"name"`` / ``"engine"`` set the spec's own fields. This is
+        / ``"name"`` / ``"engine"`` / ``"skip"`` set the spec's own
+        fields. This is
         how :func:`repro.api.sweep` derives one spec per swept value
         and how ``--engine`` overrides ride along an experiment.
         """
-        if path in ("max_rounds", "validate_topologies", "name", "engine"):
+        if path in ("max_rounds", "validate_topologies", "name", "engine", "skip"):
             return dataclasses.replace(self, **{path: value})
         section, dot, key = path.partition(".")
         if section == "messages" and dot and key:
@@ -410,4 +430,6 @@ def build_prepared_trial(spec: ScenarioSpec, seed: int) -> PreparedTrial:
         validate_topologies=spec.validate_topologies,
         engine=spec.engine,
         mac=ctx.mac,
+        skip=spec.skip,
+        label=spec.describe(),
     )

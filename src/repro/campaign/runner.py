@@ -206,6 +206,7 @@ class CampaignRunner:
                 master_seed=shard.master_seed,
                 executor=self.executor,
                 engine=shard.engine,
+                skip=self.spec.skip,
             )
             seconds = time.perf_counter() - started
             self.store.append(

@@ -122,8 +122,16 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (2013,)
     #: Free-form note rendered into reports (e.g. why this grid exists).
     description: str = ""
+    #: Round-skipping override applied to every shard (None = each
+    #: engine's default). Not a grid axis: results are skip-independent,
+    #: so skipping changes wall-clock only — never shard ids or records.
+    skip: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        if self.skip is not None and not isinstance(self.skip, bool):
+            raise SpecError(
+                f"skip must be a bool or None, got {self.skip!r}"
+            )
         if not _NAME_RE.match(self.name):
             raise SpecError(
                 f"campaign name {self.name!r} must be a path-safe slug "
@@ -202,7 +210,7 @@ class CampaignSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "experiments": list(self.experiments),
             "scales": list(self.scales),
@@ -210,6 +218,11 @@ class CampaignSpec:
             "seeds": list(self.seeds),
             "description": self.description,
         }
+        # Omitted when unset so pre-skip campaign files round-trip to
+        # byte-identical JSON.
+        if self.skip is not None:
+            data["skip"] = self.skip
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "CampaignSpec":
@@ -219,6 +232,7 @@ class CampaignSpec:
             )
         unknown = set(data) - {
             "name", "experiments", "scales", "engines", "seeds", "description",
+            "skip",
         }
         if unknown:
             raise SpecError(f"unknown campaign spec keys: {sorted(unknown)}")
@@ -234,6 +248,7 @@ class CampaignSpec:
             engines=data.get("engines", ("reference",)),
             seeds=data.get("seeds", (2013,)),
             description=str(data.get("description", "")),
+            skip=data.get("skip"),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

@@ -90,6 +90,17 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
             "back, with a warning, for adaptive adversaries)"
         ),
     )
+    parser.add_argument(
+        "--skip",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "force event-driven round skipping on (--skip) or off "
+            "(--no-skip); default: the engine's own default (on for "
+            "bitset/bank, off for reference). Trial results are "
+            "identical either way"
+        ),
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -141,6 +152,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
             executor=executor,
             engine=getattr(args, "engine", None),
+            skip=getattr(args, "skip", None),
         )
     finally:
         if executor is not None:
@@ -165,6 +177,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
             verbose=args.verbose,
             parallel=getattr(args, "parallel", None),
             engine=getattr(args, "engine", None),
+            skip=getattr(args, "skip", None),
         )
         print()
         status |= _cmd_run(sub)
@@ -215,7 +228,11 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     except (OSError, ReproError) as exc:
         print(f"cannot load spec: {exc}", file=sys.stderr)
         return 2
-    simulation = Simulation.from_spec(spec, engine=getattr(args, "engine", None))
+    simulation = Simulation.from_spec(
+        spec,
+        engine=getattr(args, "engine", None),
+        skip=getattr(args, "skip", None),
+    )
     print(f"scenario : {simulation.spec.describe()}")
     print(f"engine   : {simulation.spec.engine}")
     started = time.time()
@@ -387,6 +404,7 @@ def _trial_spec(args: argparse.Namespace):
         adversary=adversary,
         max_rounds=args.max_rounds,
         engine=getattr(args, "engine", None) or "reference",
+        skip=getattr(args, "skip", None),
     )
 
 
@@ -439,9 +457,16 @@ def _campaign_spec_from_args(args: argparse.Namespace):
                 f"--spec is authoritative; drop {', '.join(conflicting)}"
             )
         try:
-            return load_campaign(args.spec)
+            campaign = load_campaign(args.spec)
         except (OSError, ReproError) as exc:
             raise SystemExit(f"cannot load campaign spec: {exc}")
+        if getattr(args, "skip", None) is not None:
+            # Unlike grid flags, --skip cannot change shard ids or
+            # results, so overriding a spec file is resume-safe.
+            import dataclasses
+
+            campaign = dataclasses.replace(campaign, skip=args.skip)
+        return campaign
     if args.experiments:
         experiments = list(args.experiments)
     else:
@@ -455,6 +480,7 @@ def _campaign_spec_from_args(args: argparse.Namespace):
             scales=tuple(args.scale or ["tiny"]),
             engines=tuple(args.engine or ["reference"]),
             seeds=tuple(args.seed or [2013]),
+            skip=getattr(args, "skip", None),
         )
     except ReproError as exc:
         raise SystemExit(f"invalid campaign grid: {exc}")
@@ -804,6 +830,16 @@ def build_parser() -> argparse.ArgumentParser:
             action="append",
             type=int,
             help="master seed(s) of the seed bank; repeatable (default: 2013)",
+        )
+        p.add_argument(
+            "--skip",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help=(
+                "force round skipping on/off for every shard (not a grid "
+                "axis: results and shard ids are skip-independent, so it "
+                "combines with --spec)"
+            ),
         )
         p.add_argument(
             "--store",

@@ -385,6 +385,7 @@ class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
         algorithm_info=None,
         validate_topologies: bool = True,
         observers: Sequence = (),
+        skip: bool = False,
         kernel=_AUTO_KERNEL,
         lane: int = 0,
     ) -> None:
@@ -396,12 +397,21 @@ class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
             algorithm_info=algorithm_info,
             validate_topologies=validate_topologies,
             observers=observers,
+            skip=skip,
         )
         if kernel is _AUTO_KERNEL:
             kernel = build_bank_kernel([self.processes])
             lane = 0
         self._kernel = kernel
         self._lane = lane
+        if kernel is not None:
+            # Kernel lanes replace the per-node plan stage with
+            # struct-of-arrays state, bypassing the signature-class
+            # bookkeeping the skip probe reads — and the kernel
+            # protocols are never provably silent anyway (a node that
+            # knows anything keeps a nonzero duty cycle). Skipping
+            # stays a bitset/generic-lane capability.
+            self.skip = False
 
     # Stage overrides: with a kernel, plans and feedback come from the
     # struct-of-arrays state; everything else (coins, topology,
@@ -459,6 +469,15 @@ def run_bank_batch(
     Lanes whose stop condition fires retire immediately: they stop
     drawing coins and stop observing rounds, exactly like a serial
     execution that ended.
+
+    When every lane was built with ``skip=True`` the bank fast-forwards
+    the spans in which *all* lanes are provably silent: the lockstep
+    schedule means a skip is licensed only up to the earliest horizon
+    across lanes (``min`` of the per-lane
+    :meth:`~repro.core.fastpath.BitsetRadioNetworkEngine._skip_horizon`
+    probes), and each lane's coin stream advances round by round so the
+    trace — records, history, RNG positions — matches its solo run
+    bit-for-bit.
     """
     if max_rounds < 0:
         raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
@@ -475,6 +494,7 @@ def run_bank_batch(
     n = lanes[0].engine.network.n
     nbytes = (n + 7) // 8
     modulus = n + 1
+    bank_skip = all(lane.engine.skip for lane in lanes)
     coin_buffer = np.empty((len(lanes), n), dtype=np.float64)
     prob_buffer = np.empty((len(lanes), n), dtype=np.float64)
     executed = 0
@@ -557,6 +577,7 @@ def run_bank_batch(
                 shared_deliveries[j] = deliveries
 
         # Stages 3–6 per lane (topology/deliveries reused when batched).
+        expecteds = [math.fsum(probs[j].tolist()) for j in range(m)]
         still_active: list[int] = []
         for j, i in enumerate(active):
             lane = lanes[i]
@@ -564,7 +585,7 @@ def run_bank_batch(
                 r,
                 transmit[j],
                 masks[j],
-                math.fsum(probs[j].tolist()),
+                expecteds[j],
                 topology=topologies[j],
                 deliveries=shared_deliveries.get(j),
             )
@@ -576,6 +597,47 @@ def run_bank_batch(
                 still_active.append(i)
         active = still_active
         executed += 1
+
+        # Lockstep round skipping: after a round in which EVERY lane
+        # was provably silent (fsum of non-negative probabilities is
+        # 0.0 iff each term is) and every surviving engine is
+        # quiescent, fast-forward all lanes to the earliest per-lane
+        # skip horizon. Rounds are emitted lane by lane through the
+        # solo `_emit_quiet_round`, so each lane's records and coin
+        # stream stay bit-identical to its standalone run.
+        if not (
+            bank_skip
+            and active
+            and executed < max_rounds
+            and len(active) == m  # a retired lane would desync the probe
+            and not any(masks[j] for j in range(m))
+            and all(e == 0.0 for e in expecteds)
+            and all(lanes[i].engine._quiescent() for i in active)
+        ):
+            continue
+        start = executed  # == r + 1: every lane's next round, lockstep
+        limit = start + (max_rounds - executed)
+        h = min(lanes[i].engine._skip_horizon(r, limit) for i in active)
+        if h <= start:
+            continue
+        still_active = []
+        for i in active:
+            lane = lanes[i]
+            retired = False
+            for quiet_round in range(start, h):
+                record = lane.engine._emit_quiet_round(quiet_round)
+                if lane.stop is not None and lane.stop():
+                    results[i] = ExecutionResult(
+                        rounds=quiet_round + 1,
+                        solved=True,
+                        solve_round=record.round_index,
+                    )
+                    retired = True
+                    break
+            if not retired:
+                still_active.append(i)
+        active = still_active
+        executed = h
     for i in active:
         results[i] = ExecutionResult(rounds=executed, solved=False, solve_round=None)
     return results

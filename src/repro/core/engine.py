@@ -64,6 +64,7 @@ __all__ = [
     "StopCondition",
     "ENGINE_NAMES",
     "create_engine",
+    "resolve_engine_choice",
 ]
 
 #: Engine implementations selectable via ``create_engine`` /
@@ -75,6 +76,13 @@ StopCondition = Callable[[], bool]
 
 #: Cap on retained public history entries handed to adaptive views.
 _HISTORY_WINDOW = 4096
+
+#: Longest stretch of rounds a failed skip attempt backs off for. The
+#: reference engine's skip probe polls every process, so attempting it
+#: each round of a busy stretch would double the plan work; doubling
+#: the retry gap caps that overhead at a constant factor while keeping
+#: the probe responsive once the network goes quiet.
+_SKIP_BACKOFF_MAX = 64
 
 
 class _HistoryWindow(_SequenceABC):
@@ -187,6 +195,14 @@ class RadioNetworkEngine:
     observers:
         Initial observer list; more can be added with
         :meth:`add_observer`.
+    skip:
+        Enable event-driven round skipping in :meth:`run`: spans of
+        provably inert rounds (all plans silent and stable, no
+        adversary boundary, no reactive feedback) are fast-forwarded
+        while the coin stream is advanced in lockstep, so the trace —
+        records, history, RNG positions — stays bit-identical to a
+        non-skipping run. Off by default here; :func:`create_engine`
+        turns it on for the fast engines.
     """
 
     def __init__(
@@ -199,6 +215,7 @@ class RadioNetworkEngine:
         algorithm_info: Optional[AlgorithmInfo] = None,
         validate_topologies: bool = True,
         observers: Sequence[Observer] = (),
+        skip: bool = False,
     ) -> None:
         if len(processes) != network.n:
             raise PlanError(
@@ -209,6 +226,7 @@ class RadioNetworkEngine:
         self.link_process = link_process
         self.seed = seed
         self.validate_topologies = validate_topologies
+        self.skip = bool(skip)
         self.observers: list[Observer] = list(observers)
         self.algorithm_info = algorithm_info or AlgorithmInfo(name="anonymous", metadata={})
 
@@ -373,6 +391,8 @@ class RadioNetworkEngine:
         self._ensure_started()
         if stop is not None and stop():
             return ExecutionResult(rounds=0, solved=True, solve_round=-1)
+        if self.skip:
+            return self._run_skipping(max_rounds, stop)
         executed = 0
         while executed < max_rounds:
             record = self.step()
@@ -381,10 +401,193 @@ class RadioNetworkEngine:
                 return ExecutionResult(rounds=executed, solved=True, solve_round=record.round_index)
         return ExecutionResult(rounds=executed, solved=False, solve_round=None)
 
+    # ------------------------------------------------------------------
+    # Round skipping
+    # ------------------------------------------------------------------
+    def _emit_quiet_round(self, i: int) -> RoundRecord:
+        """Materialize one skipped all-silent round.
+
+        Exactly what a full execution of the round would have produced:
+        the coin stream advances by the ``n`` uniforms the Bernoulli
+        stage would have drawn (one :meth:`advance` per round — never
+        batched — so a mid-span stop leaves the stream at precisely the
+        position a non-skipping run would), and the record/history/
+        observer plumbing runs unchanged.
+        """
+        self._coin_rng.bit_generator.advance(self.network.n)
+        record = RoundRecord(
+            round_index=i,
+            transmitter_mask=0,
+            deliveries=(),
+            expected_transmitters=0.0,
+        )
+        self._append_history(record)
+        for observer in self.observers:
+            observer.on_round(record)
+        self._round += 1
+        self._stats.rounds_run += 1
+        return record
+
+    def _quiet_horizon(self, r: int, limit: int) -> int:
+        """First round in ``(r, limit]`` at which anything may change.
+
+        Called right after an all-silent round ``r``: within
+        ``[r + 1, horizon)`` every plan provably stays silent
+        (:meth:`~repro.core.process.Process.next_state_change`) and the
+        adversary's masks stay put
+        (:meth:`~repro.adversaries.base.LinkProcess.next_boundary`), so
+        those rounds can be emitted without executing them. Returns
+        ``r + 1`` when nothing is skippable.
+        """
+        h = limit
+        boundary = self.link_process.next_boundary(r)
+        if boundary is not None and boundary < h:
+            h = boundary
+        if h <= r + 1:
+            return r + 1
+        for process in self.processes:
+            nxt = process.next_state_change(r)
+            if nxt is not None and nxt < h:
+                h = nxt
+                if h <= r + 1:
+                    return r + 1
+        return max(h, r + 1)
+
+    def _run_skipping(self, max_rounds: int, stop: Optional[StopCondition]) -> ExecutionResult:
+        """The skip-enabled run loop (reference implementation).
+
+        Rounds execute through the ordinary :meth:`step`; after each
+        *all-silent* round (``expected == 0.0`` — exact, since fsum of
+        non-negative terms is zero iff every term is) the engine
+        fast-forwards to the quiet horizon. The span's elisions are
+        licensed contract by contract: per-node ``on_feedback`` calls
+        by ``idle_feedback_noop`` — or by not overriding
+        ``on_feedback`` at all, the same automatic detection the
+        bitset engine applies (checked across all classes up front) —
+        ``plan`` calls by ``next_state_change``, and
+        ``choose_topology`` calls by ``next_boundary`` — round ``r``
+        itself always ran normally, so stateful adversaries stay in
+        sync.
+        """
+        skip_ok = all(
+            type(p).idle_feedback_noop
+            or type(p).on_feedback is Process.on_feedback
+            for p in self.processes
+        )
+        executed = 0
+        backoff = 1
+        next_attempt = self._round
+        while executed < max_rounds:
+            record = self.step()
+            executed += 1
+            if stop is not None and stop():
+                return ExecutionResult(
+                    rounds=executed, solved=True, solve_round=record.round_index
+                )
+            if executed >= max_rounds:
+                break
+            if not (
+                skip_ok
+                and record.transmitter_mask == 0
+                and record.expected_transmitters == 0.0
+                and self._round >= next_attempt
+            ):
+                continue
+            start = self._round
+            h = self._quiet_horizon(record.round_index, start + (max_rounds - executed))
+            if h <= start:
+                next_attempt = start + backoff
+                backoff = min(backoff * 2, _SKIP_BACKOFF_MAX)
+                continue
+            backoff = 1
+            for i in range(start, h):
+                quiet = self._emit_quiet_round(i)
+                executed += 1
+                if stop is not None and stop():
+                    return ExecutionResult(
+                        rounds=executed, solved=True, solve_round=quiet.round_index
+                    )
+        return ExecutionResult(rounds=executed, solved=False, solve_round=None)
+
 
 # ----------------------------------------------------------------------
 # Engine selection
 # ----------------------------------------------------------------------
+def _skip_contract_gaps(
+    processes: Sequence[Process], link_process: LinkProcess
+) -> list[str]:
+    """Component types lacking the skip contract (empty = all fine).
+
+    A component "has the contract" when it *overrides* the base-class
+    method: every registered algorithm and adversary carries an
+    explicit override (even a trivial ``r + 1`` one), so a hit here
+    means a third-party component the skip machinery knows nothing
+    about. The base defaults are semantically safe (never skip), but a
+    requested-and-useless skip deserves the fallback warning rather
+    than silent non-acceleration.
+    """
+    gaps: list[str] = []
+    seen: set = set()
+    for process in processes:
+        klass = type(process)
+        if klass in seen:
+            continue
+        seen.add(klass)
+        if klass.next_state_change is Process.next_state_change:
+            gaps.append(f"{klass.__name__}.next_state_change")
+    if type(link_process).next_boundary is LinkProcess.next_boundary:
+        gaps.append(f"{type(link_process).__name__}.next_boundary")
+    return gaps
+
+
+def resolve_engine_choice(
+    engine: str,
+    processes: Sequence[Process],
+    link_process: LinkProcess,
+    *,
+    skip: Optional[bool] = None,
+) -> tuple[str, bool, list[str]]:
+    """Resolve the engine name and skip flag for one execution.
+
+    Returns ``(engine_name, skip, fallback_messages)`` — the messages
+    are the :class:`EngineFallbackWarning` texts :func:`create_engine`
+    would emit, exposed separately so executors can probe the outcome
+    once per scenario (and warn once) instead of once per trial.
+
+    ``skip=None`` resolves to the engine's default: on for the fast
+    engines, off for the reference engine. Two fallbacks apply, in
+    order: adaptive link processes force the reference engine (their
+    views are entitled to per-node plan introspection), and a component
+    lacking the skip contract forces ``skip=False``.
+    """
+    if engine not in ENGINE_NAMES:
+        raise EngineError(
+            f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
+        )
+    notes: list[str] = []
+    resolved = engine
+    if engine in ("bitset", "bank") and (
+        link_process.adversary_class is not AdversaryClass.OBLIVIOUS
+    ):
+        notes.append(
+            f"{engine} engine requested but {link_process.describe()} is "
+            f"{link_process.adversary_class.value}: adaptive link processes "
+            "need per-node plan introspection, using the reference engine"
+        )
+        resolved = "reference"
+    resolved_skip = resolved in ("bitset", "bank") if skip is None else bool(skip)
+    if resolved_skip:
+        gaps = _skip_contract_gaps(processes, link_process)
+        if gaps:
+            notes.append(
+                "round skipping disabled: "
+                + ", ".join(sorted(gaps))
+                + " lacks the skip contract (override it to opt back in)"
+            )
+            resolved_skip = False
+    return resolved, resolved_skip, notes
+
+
 def create_engine(
     network,
     processes: Sequence[Process],
@@ -395,6 +598,9 @@ def create_engine(
     algorithm_info: Optional[AlgorithmInfo] = None,
     validate_topologies: bool = True,
     observers: Sequence[Observer] = (),
+    skip: Optional[bool] = None,
+    label: Optional[str] = None,
+    warn: bool = True,
 ) -> RadioNetworkEngine:
     """Build the requested engine implementation for one execution.
 
@@ -412,44 +618,34 @@ def create_engine(
     engine with an :class:`EngineFallbackWarning` — adaptive views are
     entitled to per-node plan introspection every round, which is
     precisely the per-node work the fast paths elide.
+
+    ``skip`` controls event-driven round skipping (``None`` = the
+    engine's default: on for ``bitset``/``bank``, off for
+    ``reference``); a component lacking the skip contract downgrades it
+    to ``False`` with an :class:`EngineFallbackWarning`. ``label``
+    names the scenario in those warnings, and ``warn=False`` suppresses
+    them entirely (executors probe the outcome once per scenario via
+    :func:`resolve_engine_choice` and warn there instead).
     """
-    if engine not in ENGINE_NAMES:
-        raise EngineError(
-            f"unknown engine {engine!r}; choose from {ENGINE_NAMES}"
-        )
-    if engine in ("bitset", "bank"):
-        if link_process.adversary_class is AdversaryClass.OBLIVIOUS:
-            if engine == "bank":
-                from repro.core.bankpath import BankRadioNetworkEngine
+    resolved, resolved_skip, notes = resolve_engine_choice(
+        engine, processes, link_process, skip=skip
+    )
+    if warn:
+        for note in notes:
+            if label:
+                note = f"{note} [scenario: {label}]"
+            warnings.warn(note, EngineFallbackWarning, stacklevel=2)
+    if resolved == "bank":
+        from repro.core.bankpath import BankRadioNetworkEngine
 
-                return BankRadioNetworkEngine(
-                    network,
-                    processes,
-                    link_process,
-                    seed=seed,
-                    algorithm_info=algorithm_info,
-                    validate_topologies=validate_topologies,
-                    observers=observers,
-                )
-            from repro.core.fastpath import BitsetRadioNetworkEngine
+        engine_cls: type = BankRadioNetworkEngine
+    elif resolved == "bitset":
+        from repro.core.fastpath import BitsetRadioNetworkEngine
 
-            return BitsetRadioNetworkEngine(
-                network,
-                processes,
-                link_process,
-                seed=seed,
-                algorithm_info=algorithm_info,
-                validate_topologies=validate_topologies,
-                observers=observers,
-            )
-        warnings.warn(
-            f"{engine} engine requested but {link_process.describe()} is "
-            f"{link_process.adversary_class.value}: adaptive link processes "
-            "need per-node plan introspection, using the reference engine",
-            EngineFallbackWarning,
-            stacklevel=2,
-        )
-    return RadioNetworkEngine(
+        engine_cls = BitsetRadioNetworkEngine
+    else:
+        engine_cls = RadioNetworkEngine
+    return engine_cls(
         network,
         processes,
         link_process,
@@ -457,4 +653,5 @@ def create_engine(
         algorithm_info=algorithm_info,
         validate_topologies=validate_topologies,
         observers=observers,
+        skip=resolved_skip,
     )

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from fractions import Fraction
 from typing import Optional, Sequence
 
 import numpy as np
@@ -57,7 +58,7 @@ from repro.adversaries.base import (
     ObliviousView,
 )
 from repro.core import rng as rng_mod
-from repro.core.engine import RadioNetworkEngine
+from repro.core.engine import ExecutionResult, RadioNetworkEngine, StopCondition
 from repro.core.errors import EngineError, PlanError
 from repro.core.messages import Message
 from repro.core.process import SILENT_SIGNATURE, Process, RoundPlan
@@ -107,6 +108,18 @@ _COLD_DEMOTE = 8
 #: per-bit indexing; larger ones go through the C-speed bit unpack.
 _SMALL_CLASS = 4
 
+#: Above this node count the packed uint64 solo-cover matrices stop
+#: paying for their O(n²/8) memory (32 MiB per topology at the cap).
+_PACKED_MAX_N = 16384
+
+#: Distinct nonzero contributors beyond which the exact rational
+#: expected-transmitter sum loses to a plain fsum over the vector.
+_EXACT_EXPECTED_TERMS = 64
+
+#: Direct-mode (per-node planned) nodes beyond which the skip horizon
+#: gives up rather than scan ``next_state_change`` node by node.
+_SKIP_DIRECT_CAP = 32
+
 
 class BitsetRadioNetworkEngine(RadioNetworkEngine):
     """Vectorized engine for oblivious link processes.
@@ -135,6 +148,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         algorithm_info: Optional[AlgorithmInfo] = None,
         validate_topologies: bool = True,
         observers: Sequence[Observer] = (),
+        skip: bool = False,
     ) -> None:
         if link_process.adversary_class is not AdversaryClass.OBLIVIOUS:
             raise EngineError(
@@ -150,6 +164,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             algorithm_info=algorithm_info,
             validate_topologies=validate_topologies,
             observers=observers,
+            skip=skip,
         )
         n = network.n
         always = 0      # nodes whose idle feedback cannot be skipped
@@ -216,6 +231,11 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         self._matrix_cache: dict[int, np.ndarray] = {}
         self._matrix_keepalive: list = []
         self._validated_topologies: dict[int, object] = {}
+        # Packed uint64 neighborhood matrices for the skip-gated
+        # solo-cover reception (n beyond the dense-matrix cap).
+        self._packed_words = (n + 63) // 64
+        self._packed_cache: dict[int, np.ndarray] = {}
+        self._packed_keepalive: list = []
 
     # ------------------------------------------------------------------
     # Round execution (same pipeline as the reference engine, batched)
@@ -374,6 +394,10 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         matrix = self._matrix_for(topology.masks)
         if matrix is not None:
             return self._resolve_with_matrix(transmit, matrix)
+        if self.skip:
+            packed = self._packed_for(topology.masks)
+            if packed is not None:
+                return self._resolve_packed(transmitter_mask, topology.masks, packed)
         return self._resolve_candidates(transmitter_mask, topology.masks)
 
     def _apply_feedback(
@@ -445,6 +469,151 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         self._round += 1
         self._stats.rounds_run += 1
         return record
+
+    # ------------------------------------------------------------------
+    # Round skipping
+    # ------------------------------------------------------------------
+    def _expected_exact(self, probs: np.ndarray) -> float:
+        """The round's expected transmitter count, bit-identical to fsum.
+
+        ``math.fsum`` returns the *correctly rounded* sum of its
+        inputs, so any other correctly rounded evaluation of the same
+        float multiset yields the identical value — here an exact
+        rational accumulation over the class composition (count ×
+        probability per signature class, plus the per-node categories),
+        which is O(#classes) instead of O(n). Compositions with more
+        distinct nonzero contributors than the exact sum can beat fall
+        back to the fsum the reference engine uses.
+        """
+        terms: list[tuple[float, int]] = []
+        budget = _EXACT_EXPECTED_TERMS
+        round_plans = self._round_plans
+        for key, mask in self._class_masks.items():
+            p = round_plans[key].probability
+            if p:
+                budget -= 1
+                if budget < 0:
+                    return math.fsum(probs.tolist())
+                terms.append((p, mask.bit_count()))
+        node_plans = self._node_plans
+        singles = self._direct_mask | self._poll_mask
+        while singles:
+            low = singles & -singles
+            singles ^= low
+            p = node_plans[low.bit_length() - 1].probability
+            if p:
+                budget -= 1
+                if budget < 0:
+                    return math.fsum(probs.tolist())
+                terms.append((p, 1))
+        if self._hot_ids:
+            for plan in self._hot_plans:
+                p = plan.probability
+                if p:
+                    budget -= 1
+                    if budget < 0:
+                        return math.fsum(probs.tolist())
+                    terms.append((p, 1))
+        if not terms:
+            return 0.0
+        total = Fraction(0)
+        for p, count in terms:
+            total += Fraction(p) * count
+        return float(total)
+
+    def _quiescent(self) -> bool:
+        """No pending re-polls, hot/poll churners, or reactive feedback."""
+        return not (
+            self._hot_mask
+            or self._poll_mask
+            or self._renew_mask
+            or self._dirty_mask
+            or self._always_feedback_mask
+        )
+
+    def _skip_horizon(self, r: int, limit: int) -> int:
+        """First round in ``(r, limit]`` at which anything may change.
+
+        The incremental class state narrows the reference engine's
+        O(n) probe to O(#classes): silent nodes' transitions are
+        already scheduled on the expiry heap, so only the live class
+        representatives (one ``next_state_change`` per class — members
+        agree by the contract) and the few direct-mode nodes need
+        polling, plus the adversary's boundary.
+        """
+        h = limit
+        heap = self._expiry_heap
+        if heap and heap[0][0] < h:
+            h = heap[0][0]
+        if h <= r + 1:
+            return r + 1
+        boundary = self.link_process.next_boundary(r)
+        if boundary is not None and boundary < h:
+            h = boundary
+        if h <= r + 1:
+            return r + 1
+        processes = self.processes
+        for mask in self._class_masks.values():
+            rep = (mask & -mask).bit_length() - 1
+            nxt = processes[rep].next_state_change(r)
+            if nxt is not None and nxt < h:
+                h = nxt
+                if h <= r + 1:
+                    return r + 1
+        direct = self._direct_mask
+        if direct:
+            if direct.bit_count() > _SKIP_DIRECT_CAP:
+                return r + 1
+            while direct:
+                low = direct & -direct
+                direct ^= low
+                nxt = processes[low.bit_length() - 1].next_state_change(r)
+                if nxt is not None and nxt < h:
+                    h = nxt
+                    if h <= r + 1:
+                        return r + 1
+        return max(h, r + 1)
+
+    def _run_skipping(self, max_rounds: int, stop: Optional[StopCondition]) -> ExecutionResult:
+        """Skip-enabled run loop over the incremental class state.
+
+        Each round executes through the normal staged pipeline (with
+        the exact class-sum replacing the O(n) fsum); after an
+        all-silent round in a quiescent engine, the span up to the
+        skip horizon is emitted without execution — the elided ``plan``
+        calls are licensed by ``next_state_change``, the elided
+        ``choose_topology`` calls by ``next_boundary``, and no feedback
+        is elided at all (an all-silent round with no always-feedback
+        nodes makes zero ``on_feedback`` calls to begin with).
+        """
+        executed = 0
+        while executed < max_rounds:
+            r = self._round
+            probs = self._plan_probs(r)
+            expected = self._expected_exact(probs)
+            transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+            record = self._finish_round(r, transmit, transmitter_mask, expected)
+            executed += 1
+            if stop is not None and stop():
+                return ExecutionResult(
+                    rounds=executed, solved=True, solve_round=record.round_index
+                )
+            if executed >= max_rounds:
+                break
+            if transmitter_mask or expected != 0.0 or not self._quiescent():
+                # expected is an exact sum of non-negative terms, so
+                # 0.0 here certifies every plan was silence.
+                continue
+            start = self._round
+            h = self._skip_horizon(r, start + (max_rounds - executed))
+            for i in range(start, h):
+                quiet = self._emit_quiet_round(i)
+                executed += 1
+                if stop is not None and stop():
+                    return ExecutionResult(
+                        rounds=executed, solved=True, solve_round=quiet.round_index
+                    )
+        return ExecutionResult(rounds=executed, solved=False, solve_round=None)
 
     # ------------------------------------------------------------------
     # Hot-path bookkeeping
@@ -647,4 +816,90 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 deliveries.append(
                     Delivery(receiver=u, sender=sender, message=message_for(sender))
                 )
+        return deliveries
+
+    def _packed_for(self, masks: tuple[int, ...]) -> Optional[np.ndarray]:
+        """Word-packed ``(n, n//64)`` neighborhood matrix, if cached.
+
+        The dense count/sender matvec stops paying for itself beyond
+        ``_MATRIX_MAX_N``; up to ``_PACKED_MAX_N`` the uint64-packed
+        rows keep reception word-parallel (64 listeners per machine
+        word) with a footprint of ``n²/8`` bytes instead of ``8n²``.
+        Same id-keyed cache discipline as :meth:`_matrix_for`.
+        """
+        n = self.network.n
+        if n > _PACKED_MAX_N:
+            return None
+        key = id(masks)
+        packed = self._packed_cache.get(key)
+        if packed is not None:
+            return packed
+        if len(self._packed_cache) >= _MATRIX_CACHE_SIZE:
+            return None  # topology churn: the bigint scan is cheaper
+        words = self._packed_words
+        nbytes = words * 8
+        packed = np.empty((n, words), dtype=np.uint64)
+        for u, mask in enumerate(masks):
+            packed[u] = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint64)
+        self._packed_cache[key] = packed
+        self._packed_keepalive.append(masks)
+        return packed
+
+    def _resolve_packed(
+        self, transmitter_mask: int, masks: Sequence[int], packed: np.ndarray
+    ) -> list[Delivery]:
+        """Reception via a saturating popcount over packed rows.
+
+        By topology symmetry, listener ``v`` hears solo transmitter
+        ``u`` iff bit ``v`` is set in row ``u``; a tree reduction over
+        the transmitters' rows carries (covered-once, covered-twice)
+        word pairs — combine is ``(a1|b1, a2|b2|(a1&b1))`` — so
+        ``cover & ~twice`` marks exactly the listeners with one
+        transmitting neighbor.
+        """
+        if not (transmitter_mask & (transmitter_mask - 1)):
+            # Single transmitter: its neighborhood row is the solo set.
+            u = transmitter_mask.bit_length() - 1
+            message = self._message_for(u)
+            receivers = masks[u] & ~transmitter_mask
+            deliveries: list[Delivery] = []
+            while receivers:
+                low = receivers & -receivers
+                receivers ^= low
+                deliveries.append(
+                    Delivery(
+                        receiver=low.bit_length() - 1, sender=u, message=message
+                    )
+                )
+            return deliveries
+        t_ids = []
+        t = transmitter_mask
+        while t:
+            low = t & -t
+            t_ids.append(low.bit_length() - 1)
+            t ^= low
+        cover = packed[t_ids]
+        twice = np.zeros_like(cover)
+        while cover.shape[0] > 1:
+            half = cover.shape[0] // 2
+            a1, b1 = cover[:half], cover[half : 2 * half]
+            a2, b2 = twice[:half], twice[half : 2 * half]
+            new_cover = a1 | b1
+            new_twice = a2 | b2 | (a1 & b1)
+            if cover.shape[0] & 1:
+                new_cover = np.concatenate([new_cover, cover[-1:]])
+                new_twice = np.concatenate([new_twice, twice[-1:]])
+            cover, twice = new_cover, new_twice
+        solo = int.from_bytes((cover[0] & ~twice[0]).tobytes(), "little")
+        solo &= ~transmitter_mask
+        deliveries = []
+        message_for = self._message_for
+        while solo:
+            low = solo & -solo
+            u = low.bit_length() - 1
+            solo ^= low
+            sender = (masks[u] & transmitter_mask).bit_length() - 1
+            deliveries.append(
+                Delivery(receiver=u, sender=sender, message=message_for(sender))
+            )
         return deliveries

@@ -233,6 +233,40 @@ class Process(abc.ABC):
         """
         return round_index + 1
 
+    def next_state_change(self, round_index: int) -> Optional[int]:
+        """The skip contract: first round the *plan* itself can change.
+
+        Returns the first round strictly after ``round_index`` at which
+        :meth:`plan` may return a different :class:`RoundPlan`
+        (probability *or* message) without this process having received
+        an ``on_feedback`` call in between; ``None`` means "only
+        feedback can change my plan".
+
+        This is deliberately stronger than
+        :meth:`plan_signature_expiry`: a signature can stay stable
+        while the plan it names changes every round (a decay ladder's
+        rung advances with the clock under one constant signature).
+        The round-skipping engines use this promise to fast-forward
+        through spans ``[r, r')`` in which no plan can change — see
+        ``docs/architecture.md`` ("Round skipping").
+
+        Contract requirements for overrides:
+
+        * the promise must hold *absent feedback*: if no
+          ``on_feedback`` call is delivered in ``[round_index, c)``,
+          then ``plan(r') == plan(round_index)`` for every ``r'`` in
+          that span (``c`` the returned round);
+        * processes of the same concrete class whose
+          :meth:`plan_signature` values are equal must return equal
+          values (the engine queries one representative per class);
+        * the call must be pure — no state mutation, no RNG draws.
+
+        The default makes no promise (the plan may change next round),
+        which disables skipping over this process — exactly the safe
+        behavior for third-party subclasses that predate the contract.
+        """
+        return round_index + 1
+
     def describe_state(self) -> str:
         """Optional human-readable state summary for traces."""
         return f"{type(self).__name__}(node={self.node_id})"
@@ -254,4 +288,7 @@ class SilentProcess(Process):
         return SILENT_SIGNATURE
 
     def plan_signature_expiry(self, round_index: int) -> Optional[int]:
+        return None  # silent forever
+
+    def next_state_change(self, round_index: int) -> Optional[int]:
         return None  # silent forever

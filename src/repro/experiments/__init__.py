@@ -1,11 +1,12 @@
 """Experiment registry: every Figure-1 cell, ablation, and MAC workload.
 
 ``ALL_EXPERIMENTS`` maps experiment ids (``"E1a" … "E9"``, ``"A1" …
-"A3"``, ``"M1" … "M3"``) to
+"A3"``, ``"M1" … "M3"``, ``"E1b_large"``) to
 :class:`~repro.experiments.registry.Experiment` bundles; benches run
 them at ``small``/``full`` scale, integration tests at ``tiny``. The
 ``M*`` family measures multi-message broadcast over the abstract MAC
-layers of :mod:`repro.mac`.
+layers of :mod:`repro.mac`; ``E1b_large`` stresses the engines at
+n ≥ 10⁴ (the round-skipping showcase).
 """
 
 from repro.experiments.ablations import (
@@ -13,6 +14,10 @@ from repro.experiments.ablations import (
     A2_COORDINATION,
     A3_SEED_SHARING,
     ABLATION_EXPERIMENTS,
+)
+from repro.experiments.engine_bench import (
+    E1B_LARGE_STATIC_SCALE,
+    ENGINE_BENCH_EXPERIMENTS,
 )
 from repro.experiments.fig1 import (
     E1A_STATIC_GLOBAL_DIAMETER,
@@ -47,6 +52,7 @@ ALL_EXPERIMENTS: dict[str, Experiment] = {
     **FIG1_EXPERIMENTS,
     **ABLATION_EXPERIMENTS,
     **MULTI_MESSAGE_EXPERIMENTS,
+    **ENGINE_BENCH_EXPERIMENTS,
 }
 
 __all__ = [
@@ -58,6 +64,7 @@ __all__ = [
     "FIG1_EXPERIMENTS",
     "ABLATION_EXPERIMENTS",
     "MULTI_MESSAGE_EXPERIMENTS",
+    "ENGINE_BENCH_EXPERIMENTS",
     "ALL_EXPERIMENTS",
     "E1A_STATIC_GLOBAL_DIAMETER",
     "E1B_STATIC_GLOBAL_CONTENTION",
@@ -71,6 +78,7 @@ __all__ = [
     "E7B_OBLIVIOUS_GLOBAL_D",
     "E8_OBLIVIOUS_LOCAL_GENERAL",
     "E9_OBLIVIOUS_LOCAL_GEO",
+    "E1B_LARGE_STATIC_SCALE",
     "A1_PERMUTATION",
     "A2_COORDINATION",
     "A3_SEED_SHARING",

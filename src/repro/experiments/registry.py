@@ -246,27 +246,31 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def _with_engine(
-    scenario_for: Callable[[int], Scenario], engine: str
+def _with_overrides(
+    scenario_for: Callable[[int], Scenario], overrides: Mapping[str, object]
 ) -> Callable[[int], Scenario]:
-    """Wrap a series factory so every derived spec uses ``engine``.
+    """Wrap a series factory so every derived spec carries ``overrides``.
 
-    Relies on the scenario being a :class:`~repro.api.spec.ScenarioSpec`
-    (anything exposing ``with_param``); raises a clear error otherwise
-    — closure-based scenarios predate the engine knob.
+    ``overrides`` maps spec field paths (``"engine"``, ``"skip"``) to
+    values. Relies on the scenario being a
+    :class:`~repro.api.spec.ScenarioSpec` (anything exposing
+    ``with_param``); raises a clear error otherwise — closure-based
+    scenarios predate these knobs.
     """
 
-    def scenario_with_engine(parameter: int) -> Scenario:
+    def scenario_with_overrides(parameter: int) -> Scenario:
         spec = scenario_for(parameter)
-        with_param = getattr(spec, "with_param", None)
-        if with_param is None:
-            raise ExperimentError(
-                "engine override requires spec-based series; "
-                f"{spec!r} has no with_param"
-            )
-        return with_param("engine", engine)
+        for path, value in overrides.items():
+            with_param = getattr(spec, "with_param", None)
+            if with_param is None:
+                raise ExperimentError(
+                    f"{path} override requires spec-based series; "
+                    f"{spec!r} has no with_param"
+                )
+            spec = with_param(path, value)
+        return spec
 
-    return scenario_with_engine
+    return scenario_with_overrides
 
 
 @dataclass(frozen=True)
@@ -300,6 +304,7 @@ class Experiment:
         progress: Optional[Callable[[str, int], None]] = None,
         executor=None,
         engine: Optional[str] = None,
+        skip: Optional[bool] = None,
     ) -> ExperimentResult:
         """Run every series' sweep at the given scale.
 
@@ -308,8 +313,9 @@ class Experiment:
         because trials are pure functions of their derived seeds.
 
         ``engine`` (optional) overrides every series spec's round-loop
-        implementation (``"reference"`` / ``"bitset"`` / ``"bank"``);
-        round counts are engine-independent, so this only changes
+        implementation (``"reference"`` / ``"bitset"`` / ``"bank"``),
+        and ``skip`` (optional) overrides event-driven round skipping;
+        round counts are independent of both, so these only change
         wall-clock time.
         Requires spec-based series (all registry experiments are).
         """
@@ -324,8 +330,13 @@ class Experiment:
             if progress is not None:
                 progress(series.label, 0)
             scenario_for = series.scenario_for
+            overrides: dict[str, object] = {}
             if engine is not None:
-                scenario_for = _with_engine(scenario_for, engine)
+                overrides["engine"] = engine
+            if skip is not None:
+                overrides["skip"] = skip
+            if overrides:
+                scenario_for = _with_overrides(scenario_for, overrides)
             sweep = run_sweep(
                 f"{self.exp_id}:{series.label}",
                 list(plan.parameters),

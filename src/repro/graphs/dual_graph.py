@@ -164,9 +164,48 @@ class DualGraph:
             # masks cannot even be packed into n-bit byte rows below.
             if self.g_masks[u] >> self.n or self.gp_masks[u] >> self.n:
                 raise GraphValidationError(f"node {u} has neighbors outside [0, n)")
-        # Structural checks run on packed byte matrices at C speed —
-        # the per-node Python bit loops this replaces dominated graph
-        # construction for dense families (validated per trial).
+        # Structural checks: sparse graphs (rings, lines, geometric
+        # families at large n) validate in O(E) big-int work, dense
+        # families (cliques, funnels) on packed byte matrices at C
+        # speed — materializing the n × n bit matrix for a 2-regular
+        # ring costs more than the whole simulation at n = 10⁴.
+        total_bits = sum(m.bit_count() for m in self.g_masks) + sum(
+            m.bit_count() for m in self.gp_masks
+        )
+        if total_bits * 16 < self.n * self.n:
+            self._validate_sparse()
+        else:
+            self._validate_dense()
+        if self.embedding is not None and len(self.embedding) != self.n:
+            raise GraphValidationError("embedding must give one point per node")
+        flaky = tuple(self.gp_masks[u] & ~self.g_masks[u] for u in range(self.n))
+        object.__setattr__(self, "_flaky_masks", flaky)
+
+    def _validate_sparse(self) -> None:
+        """O(E) structural checks mirroring :meth:`_validate_dense`.
+
+        Error selection order matches the dense path exactly: lowest
+        offending node first (self-loop preferred over subset violation
+        on ties), then ``G`` asymmetry before ``G'`` asymmetry, lowest
+        ``(u, v)`` first.
+        """
+        for u in range(self.n):
+            g, gp = self.g_masks[u], self.gp_masks[u]
+            if (g >> u) & 1 or (gp >> u) & 1:
+                raise GraphValidationError(f"self-loop at node {u}")
+            if g & ~gp:
+                raise GraphValidationError(
+                    f"node {u} has G edges missing from G' (E ⊆ E' violated)"
+                )
+        for masks, label in ((self.g_masks, "G"), (self.gp_masks, "G'")):
+            for u in range(self.n):
+                for v in iter_bits(masks[u]):
+                    if not (masks[v] >> u) & 1:
+                        raise GraphValidationError(
+                            f"{label} edge ({u}, {v}) is asymmetric"
+                        )
+
+    def _validate_dense(self) -> None:
         g_packed = _packed_adjacency(self.g_masks, self.n)
         gp_packed = _packed_adjacency(self.gp_masks, self.n)
         g_bits = np.unpackbits(g_packed, axis=1, bitorder="little", count=self.n)
@@ -192,10 +231,6 @@ class DualGraph:
         if asym_gp.any():
             u, v = (int(x) for x in np.argwhere(asym_gp)[0])
             raise GraphValidationError(f"G' edge ({u}, {v}) is asymmetric")
-        if self.embedding is not None and len(self.embedding) != self.n:
-            raise GraphValidationError("embedding must give one point per node")
-        flaky = tuple(self.gp_masks[u] & ~self.g_masks[u] for u in range(self.n))
-        object.__setattr__(self, "_flaky_masks", flaky)
 
     # ------------------------------------------------------------------
     # Construction

@@ -8,6 +8,10 @@ cheap), JSON round-tripped through ``to_dict``/``from_dict`` before
 running (so what we test is exactly what a campaign file or the serve
 layer would replay), and held to full-trace identity across
 reference ≡ bitset ≡ bank plus serial ≡ parallel executor identity.
+Each case also draws a random round-skipping setting (``None`` /
+``False`` / ``True``) carried on the spec, so the fuzz sweep samples
+the skip axis alongside the component space; the oracle baseline is
+always the reference engine with skipping off.
 
 The master seed is fixed, so the sampled case list is deterministic —
 a green run stays green, and any future failure names a reproducible
@@ -21,9 +25,11 @@ possible reproduction of each, committed so they cannot return.
 
 from __future__ import annotations
 
+import json
 import os
 import random
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -48,6 +54,28 @@ MAX_ROUNDS = 400
 #: Every N-th case also checks serial ≡ parallel executor identity
 #: (process pools are expensive; trace identity runs on every case).
 PARALLEL_EVERY = 5
+
+#: When set, any failing fuzz case writes its spec payload (plus seed
+#: and failure text) as JSON into this directory before re-raising —
+#: CI's nightly sweep uploads the directory as a build artifact, so a
+#: red nightly run ships its own reproduction files.
+FUZZ_ARTIFACT_DIR = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR", "")
+
+
+def _dump_failing_spec(name: str, spec: ScenarioSpec, seed: int, error: BaseException) -> None:
+    if not FUZZ_ARTIFACT_DIR:
+        return
+    directory = Path(FUZZ_ARTIFACT_DIR)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "case": name,
+        "master_seed": MASTER_SEED,
+        "seed": seed,
+        "max_rounds": MAX_ROUNDS,
+        "spec": spec.to_dict(),
+        "error": f"{type(error).__name__}: {error}",
+    }
+    (directory / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")
 
 
 # ----------------------------------------------------------------------
@@ -187,8 +215,14 @@ def _workload(rng: random.Random) -> dict:
 def generate_spec(case_index: int) -> ScenarioSpec:
     """The deterministic random spec for one fuzz case."""
     rng = random.Random(derive_seed(MASTER_SEED, "fuzz-case", case_index))
+    graph = _graph(rng)
+    adversary = _adversary(rng)
+    workload = _workload(rng)
     return ScenarioSpec(
-        graph=_graph(rng), adversary=_adversary(rng), **_workload(rng)
+        graph=graph,
+        adversary=adversary,
+        skip=rng.choice((None, False, True)),
+        **workload,
     )
 
 
@@ -243,7 +277,7 @@ def _round_trip(spec: ScenarioSpec) -> ScenarioSpec:
     return replayed
 
 
-def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
+def _run_traced(spec: ScenarioSpec, seed: int, engine: str, skip=None):
     trial = spec.build(seed)
     processes = trial.algorithm.build_processes(
         trial.network.n, trial.network.max_degree, seed=seed
@@ -263,15 +297,18 @@ def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
             algorithm_info=trial.algorithm.info(),
             validate_topologies=True,
             observers=[observer, collector],
+            skip=skip,
         )
         result = eng.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
     return result, collector.records
 
 
 def _assert_three_way_identical(spec: ScenarioSpec, seed: int) -> None:
-    ref_result, ref_records = _run_traced(spec, seed, "reference")
-    for engine in ("bitset", "bank"):
-        result, records = _run_traced(spec, seed, engine)
+    # Baseline: reference engine, skipping off. The fast engines run
+    # with the case's fuzzed skip setting (None = engine default).
+    ref_result, ref_records = _run_traced(spec, seed, "reference", skip=False)
+    for engine in ("reference", "bitset", "bank"):
+        result, records = _run_traced(spec, seed, engine, skip=spec.skip)
         assert result == ref_result, f"{engine} result diverged"
         assert len(records) == len(ref_records), f"{engine} round count diverged"
         for ref_record, record in zip(ref_records, records):
@@ -303,16 +340,25 @@ def shared_pool():
 def test_fuzzed_spec_cross_engine_identity(case_index, shared_pool):
     spec = _round_trip(generate_spec(case_index))
     seed = derive_seed(MASTER_SEED, "fuzz-run", case_index)
-    _assert_three_way_identical(spec, seed)
-    if case_index % PARALLEL_EVERY == 0:
-        _assert_executors_identical(spec, shared_pool)
+    try:
+        _assert_three_way_identical(spec, seed)
+        if case_index % PARALLEL_EVERY == 0:
+            _assert_executors_identical(spec, shared_pool)
+    except Exception as error:
+        _dump_failing_spec(f"fuzz-case-{case_index:04d}", spec, seed, error)
+        raise
 
 
 @pytest.mark.parametrize("name", sorted(REGRESSION_CORPUS))
 def test_regression_corpus(name, shared_pool):
     spec = _round_trip(ScenarioSpec.from_dict(REGRESSION_CORPUS[name]))
-    _assert_three_way_identical(spec, derive_seed(MASTER_SEED, "corpus", name))
-    _assert_executors_identical(spec, shared_pool)
+    seed = derive_seed(MASTER_SEED, "corpus", name)
+    try:
+        _assert_three_way_identical(spec, seed)
+        _assert_executors_identical(spec, shared_pool)
+    except Exception as error:
+        _dump_failing_spec(f"corpus-{name}", spec, seed, error)
+        raise
 
 
 def test_generation_is_deterministic():

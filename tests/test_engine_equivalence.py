@@ -1,5 +1,5 @@
-"""Seed-for-seed equivalence of all three engines: a full-trace
-three-way differential harness.
+"""Seed-for-seed equivalence of all three engines × round skipping: a
+full-trace six-way differential harness.
 
 The bitset engine (:mod:`repro.core.fastpath`) restructures the round
 pipeline — plan deduplication by signature class, batched coins,
@@ -20,10 +20,17 @@ engines directly; the 2 adaptive adversaries exercise the automatic
 fallback (and its warning) instead. The M-experiment cells (M1–M3) are
 checked against the *actual registered experiment specs* on top of the
 synthetic matrix.
+
+Each engine additionally runs with event-driven round skipping forced
+on and forced off — the six-way matrix. Skipping elides provably
+silent rounds but must replay them into the trace and advance the coin
+RNG exactly as if they had run, so all six variants compare against
+one baseline: the reference engine with skipping off.
 """
 
 from __future__ import annotations
 
+import functools
 import warnings
 
 import pytest
@@ -38,6 +45,17 @@ from repro.registry import ADVERSARIES, ALGORITHMS, GRAPHS
 
 #: The engines that must reproduce the reference engine's traces.
 FAST_ENGINES = ("bitset", "bank")
+
+#: The full six-way grid: every engine with skipping forced on and
+#: forced off. The (reference, skip=False) cell is the baseline the
+#: other five compare against.
+BASELINE = ("reference", False)
+SIX_WAY_MATRIX = [
+    (engine, skip)
+    for engine in ("reference", "bitset", "bank")
+    for skip in (False, True)
+]
+VARIANTS = [cell for cell in SIX_WAY_MATRIX if cell != BASELINE]
 
 #: create_engine result type for each fast engine (bank *is* a bitset
 #: subclass, so the check is exact-type, not isinstance).
@@ -188,7 +206,7 @@ def _spec(row) -> ScenarioSpec:
     )
 
 
-def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
+def _run_traced(spec: ScenarioSpec, seed: int, engine: str, skip=None):
     """One execution with full round records collected."""
     trial = spec.build(seed)
     processes = trial.algorithm.build_processes(
@@ -205,9 +223,23 @@ def _run_traced(spec: ScenarioSpec, seed: int, engine: str):
         algorithm_info=trial.algorithm.info(),
         validate_topologies=True,
         observers=[observer, collector],
+        skip=skip,
     )
     result = eng.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
     return eng, result, collector.records
+
+
+@functools.lru_cache(maxsize=None)
+def _baseline(row_index: int, seed: int):
+    """Cached (reference, skip=False) run for one matrix cell.
+
+    The five variants all diff against the same baseline; caching it
+    keeps the six-way grid from re-running the reference engine five
+    times per (row, seed).
+    """
+    spec = _spec(EQUIVALENCE_MATRIX[row_index])
+    _, result, records = _run_traced(spec, seed, *BASELINE)
+    return result, records
 
 
 def _row_id(row) -> str:
@@ -232,15 +264,30 @@ class TestComponentCoverage:
 
 
 class TestFastEngineEquivalence:
-    @pytest.mark.parametrize("engine", FAST_ENGINES)
-    @pytest.mark.parametrize("row", EQUIVALENCE_MATRIX, ids=_row_id)
+    @pytest.mark.parametrize(
+        "variant", VARIANTS, ids=lambda v: f"{v[0]}-{'skip' if v[1] else 'noskip'}"
+    )
+    @pytest.mark.parametrize(
+        "row_index",
+        range(len(EQUIVALENCE_MATRIX)),
+        ids=lambda i: _row_id(EQUIVALENCE_MATRIX[i]),
+    )
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_traces_identical(self, row, seed, engine):
-        spec = _spec(row)
-        ref_engine, ref_result, ref_records = _run_traced(spec, seed, "reference")
-        fast_engine, fast_result, fast_records = _run_traced(spec, seed, engine)
-        assert type(fast_engine) is _ENGINE_TYPES[engine]
-        assert type(ref_engine) is not _ENGINE_TYPES[engine]
+    def test_traces_identical(self, row_index, seed, variant):
+        engine, skip = variant
+        spec = _spec(EQUIVALENCE_MATRIX[row_index])
+        ref_result, ref_records = _baseline(row_index, seed)
+        fast_engine, fast_result, fast_records = _run_traced(
+            spec, seed, engine, skip=skip
+        )
+        if engine in _ENGINE_TYPES:
+            assert type(fast_engine) is _ENGINE_TYPES[engine]
+        expected_skip = skip
+        if getattr(fast_engine, "_kernel", None) is not None:
+            # Kernel lanes replace the plan stage wholesale and force
+            # skipping off regardless of the request.
+            expected_skip = False
+        assert fast_engine.skip is expected_skip
         assert fast_result == ref_result
         assert len(fast_records) == len(ref_records)
         for ref_record, fast_record in zip(ref_records, fast_records):

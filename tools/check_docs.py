@@ -127,7 +127,7 @@ def check_document(relative: str) -> list[str]:
 
 
 #: Experiment ids as they appear in prose: `E1a`, `E7b`, `A2`, `M1`, …
-_EXP_ID_RE = re.compile(r"`([EAM]\d+[a-z]?)`")
+_EXP_ID_RE = re.compile(r"`([EAM]\d+[a-z]?(?:_[a-z]+)?)`")
 
 CATALOG = "docs/experiments.md"
 
