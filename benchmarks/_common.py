@@ -28,6 +28,14 @@ Knobs (environment variables):
 * ``REPRO_BENCH_RESULTS`` — directory for the machine-readable
   ``BENCH_<experiment>_<scale>_<engine>.json`` artifacts (default
   ``benchmarks/results/``). Set it empty to disable writing.
+* ``REPRO_BENCH_PROFILE=1`` — run the experiment under ``cProfile``
+  and write the top-20 cumulative-time functions to
+  ``BENCH_<experiment>_<scale>_<engine>.profile.txt`` beside the JSON
+  artifact. This is the first tool to reach for when a bench number
+  moves: the profile names the Python-level hotspot (plan loops, mask
+  minting, observer dispatch) that the timings alone only hint at.
+  Profiling overhead inflates wall times, so profiled runs still write
+  the JSON artifact but should not be committed as timing artifacts.
 
 The JSON artifacts are how the perf trajectory is tracked across PRs:
 each file records the experiment, scale, engine, per-repeat wall
@@ -81,6 +89,15 @@ BENCH_SKIP: Optional[bool] = (
 #: skip semantics, suffixed when skip is forced so that e.g. ``bitset``
 #: and ``bitset-noskip`` artifacts coexist for the speedup comparison.
 ENGINE_LABEL = BENCH_ENGINE + {True: "-skip", False: "-noskip", None: ""}[BENCH_SKIP]
+
+#: When truthy, run each experiment under cProfile and dump the top-20
+#: cumulative functions beside the JSON artifact.
+BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "").strip().lower() in (
+    "1",
+    "true",
+    "on",
+    "yes",
+)
 
 #: Master seed shared by all benches (the paper year).
 MASTER_SEED = 2013
@@ -163,6 +180,22 @@ def write_bench_artifact(
     return path
 
 
+def _write_profile(exp_id: str, profiler) -> Optional[Path]:
+    """Dump the top-20 cumulative-time rows of a finished profiler."""
+    directory = _results_dir()
+    if directory is None:
+        return None
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{ENGINE_LABEL}.profile.txt"
+    path.write_text(buffer.getvalue())
+    return path
+
+
 def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
     """Run experiment ``exp_id`` under the benchmark timer.
 
@@ -173,15 +206,26 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
     experiment = ALL_EXPERIMENTS[exp_id]
     seconds: list[float] = []
     cell_seconds: dict[tuple[str, object], float] = {}
+    profiler = None
+    if BENCH_PROFILE:
+        import cProfile
+
+        profiler = cProfile.Profile()
 
     def timed_run() -> ExperimentResult:
         started = time.perf_counter()
-        outcome = experiment.run(
-            scale=BENCH_SCALE,
-            master_seed=MASTER_SEED,
-            engine=BENCH_ENGINE,
-            skip=BENCH_SKIP,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            outcome = experiment.run(
+                scale=BENCH_SCALE,
+                master_seed=MASTER_SEED,
+                engine=BENCH_ENGINE,
+                skip=BENCH_SKIP,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
         seconds.append(time.perf_counter() - started)
         for sr in outcome.series_results:
             for point in sr.sweep.points:
@@ -208,6 +252,10 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
         f"median={statistics.median(seconds):.2f}s"
         + (f", artifact={artifact}]" if artifact else "]")
     )
+    if profiler is not None:
+        profile_path = _write_profile(exp_id, profiler)
+        if profile_path is not None:
+            print(f"[profile={profile_path}]")
     return result
 
 
@@ -315,6 +363,60 @@ def assert_skip_speedup(
         f"on {skipping['series']!r} at parameter {skipping['parameter']} "
         f"({full['seconds']:.3f}s -> {skipping['seconds']:.3f}s), "
         f"claimed >= {min_ratio:g}x"
+    )
+
+
+def assert_engine_cell_speedup(
+    exp_id: str,
+    *,
+    series_contains: str,
+    min_ratio: float,
+    fast: str = "bank",
+    slow: str = "bitset",
+) -> None:
+    """The committed ``fast``-engine artifact beats ``slow`` by ``min_ratio``.
+
+    Compares the largest-parameter cell of the matching series between
+    ``BENCH_<exp>_<scale>_<fast>.json`` and the corresponding ``slow``
+    artifact. This is the tripwire for the struct-of-arrays decay
+    kernels: the single-message family is supposed to run its whole
+    plan/coin/MAC round on numpy lanes, and losing that path (a kernel
+    selection regression, a silent fallback to per-process simulation)
+    shows up exactly here — the equivalence suite stays green either
+    way because the fallback is byte-identical, just slow.
+
+    Like the other artifact guards this is a no-op when either artifact
+    is missing or lacks cells, and it reads *committed* numbers — the
+    guard bites when someone regenerates the fast artifact on a machine
+    where the kernels stopped paying.
+    """
+    directory = _results_dir()
+    if directory is None:
+        return
+    pair = {}
+    for label in (fast, slow):
+        path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{label}.json"
+        if not path.exists():
+            return
+        cells = [
+            cell
+            for cell in json.loads(path.read_text()).get("cells", [])
+            if series_contains in cell["series"]
+        ]
+        if not cells:
+            return
+        pair[label] = max(cells, key=lambda cell: cell["parameter"])
+    assert pair[fast]["parameter"] == pair[slow]["parameter"], (
+        f"{exp_id}/{BENCH_SCALE}: artifacts disagree on the largest "
+        f"parameter ({pair[fast]['parameter']} vs {pair[slow]['parameter']}) "
+        "— regenerate both engines at the same scale"
+    )
+    ratio = pair[slow]["seconds"] / pair[fast]["seconds"]
+    assert ratio >= min_ratio, (
+        f"{exp_id}/{BENCH_SCALE}: engine {fast!r} beat {slow!r} by only "
+        f"{ratio:.2f}x on {pair[fast]['series']!r} at parameter "
+        f"{pair[fast]['parameter']} ({pair[slow]['seconds']:.3f}s -> "
+        f"{pair[fast]['seconds']:.3f}s), claimed >= {min_ratio:g}x"
     )
 
 

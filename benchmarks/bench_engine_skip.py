@@ -20,6 +20,7 @@ Regenerating the committed artifacts::
 from __future__ import annotations
 
 from benchmarks._common import (
+    assert_engine_cell_speedup,
     assert_growth,
     assert_not_slower_than_reference,
     assert_skip_speedup,
@@ -43,4 +44,13 @@ def test_e1b_large_engine_scale(benchmark):
     assert_not_slower_than_reference("E1b_large")
     assert_skip_speedup(
         "E1b_large", series_contains="round-robin", min_ratio=5.0
+    )
+    # The decay-kernel guard: the committed bank cells must beat the
+    # committed bitset cells 3x on both single-message series' largest
+    # parameter, or the struct-of-arrays path has regressed.
+    assert_engine_cell_speedup(
+        "E1b_large", series_contains="round-robin", min_ratio=3.0
+    )
+    assert_engine_cell_speedup(
+        "E1b_large", series_contains="static-local-decay", min_ratio=3.0
     )

@@ -40,10 +40,11 @@ import numpy as np
 
 from repro.core.errors import TopologyViolationError
 from repro.core.trace import iter_bits
-from repro.graphs.dual_graph import DualGraph, Edge, normalize_edge
+from repro.graphs.dual_graph import DualGraph, Edge, normalize_edge, pack_mask_rows
 
 __all__ = [
     "AdversaryClass",
+    "PACKED_ROWS_MAX_N",
     "RoundTopology",
     "ObliviousView",
     "OnlineAdaptiveView",
@@ -51,6 +52,12 @@ __all__ = [
     "AlgorithmInfo",
     "LinkProcess",
 ]
+
+
+#: Above this node count a topology's packed word rows cost more memory
+#: (n²/8 bytes per distinct pattern) than the engines save; the bitset
+#: resolver switches to candidate scanning in the same regime.
+PACKED_ROWS_MAX_N = 16384
 
 
 class AdversaryClass(enum.Enum):
@@ -93,12 +100,31 @@ class RoundTopology:
     @classmethod
     def reliable_only(cls, network: DualGraph) -> "RoundTopology":
         """Only the reliable edges of ``G``."""
-        return cls(masks=network.g_masks, label="G-only")
+        topology = cls(masks=network.g_masks, label="G-only")
+        topology._seed_packed_from(network, use_gp=False)
+        return topology
 
     @classmethod
     def all_links(cls, network: DualGraph) -> "RoundTopology":
         """Every potential edge of ``G'``."""
-        return cls(masks=network.gp_masks, label="G'-all")
+        topology = cls(masks=network.gp_masks, label="G'-all")
+        topology._seed_packed_from(network, use_gp=True)
+        return topology
+
+    def _seed_packed_from(self, network: DualGraph, *, use_gp: bool) -> None:
+        """Adopt the graph's cached word rows for a whole-graph pattern.
+
+        The stock adversaries rebuild the ``G``-only / full-``G'``
+        topologies once per trial, but sweeps share one registry-cached
+        graph — adopting :meth:`DualGraph.packed_mask_rows` here means
+        the pack cost is paid once per graph, not once per trial. Gated
+        like :meth:`publish_packed`: above ``PACKED_ROWS_MAX_N`` the
+        engines stop consuming packed rows, so nothing is packed.
+        """
+        if len(self.masks) <= PACKED_ROWS_MAX_N:
+            object.__setattr__(
+                self, "_packed_rows_cache", network.packed_mask_rows(use_gp=use_gp)
+            )
 
     @classmethod
     def without_cut(cls, network: DualGraph, side_mask: int, *, label: str = "cut-off") -> "RoundTopology":
@@ -165,6 +191,35 @@ class RoundTopology:
             else:
                 masks.append(network.g_masks[u])
         return cls(masks=tuple(masks), label=label)
+
+    def packed_rows(self) -> np.ndarray:
+        """The masks as a shared ``(n, ⌈n/64⌉)`` uint64 word matrix.
+
+        Built lazily and cached on the (frozen) instance with the same
+        ``object.__setattr__`` idiom as :meth:`DualGraph.word_masks`.
+        Static and cyclic adversaries reuse one :class:`RoundTopology`
+        object across all rounds (and the bank scheduler shares it
+        across lanes), so the pack cost is paid once per *pattern* per
+        run instead of once per round per lane. Treat the array as
+        read-only; it is shared between callers.
+        """
+        rows = getattr(self, "_packed_rows_cache", None)
+        if rows is None:
+            rows = pack_mask_rows(self.masks, len(self.masks))
+            object.__setattr__(self, "_packed_rows_cache", rows)
+        return rows
+
+    def publish_packed(self) -> "RoundTopology":
+        """Precompute :meth:`packed_rows` eagerly; returns ``self``.
+
+        Adversaries that mint their whole mask schedule in ``start()``
+        call this on each cached topology so the word form exists
+        before the first round. A no-op above ``PACKED_ROWS_MAX_N``,
+        where the engines stop consuming packed rows.
+        """
+        if len(self.masks) <= PACKED_ROWS_MAX_N:
+            self.packed_rows()
+        return self
 
     def validate(self, network: DualGraph) -> None:
         """Check ``G ⊆ topology ⊆ G'`` and symmetry; raise on violation."""

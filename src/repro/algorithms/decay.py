@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.algorithms.base import AlgorithmSpec, log2_ceil, spec_source
 from repro.core.messages import Message, MessageKind
 from repro.core.process import SILENT_SIGNATURE, Process, ProcessContext, RoundPlan
@@ -35,6 +37,7 @@ from repro.registry import register_algorithm
 
 __all__ = [
     "decay_probability",
+    "decay_ladder",
     "PlainDecayGlobalProcess",
     "make_plain_decay_global_broadcast",
 ]
@@ -51,6 +54,19 @@ def decay_probability(round_in_phase: int, phase_length: int) -> float:
             f"round_in_phase {round_in_phase} outside [0, {phase_length})"
         )
     return 2.0 ** (-(round_in_phase + 1))
+
+
+def decay_ladder(round_index, phase_length):
+    """Vectorized ladder: ``decay_probability(r mod L, L)``, broadcast.
+
+    ``round_index`` and ``phase_length`` may be scalars or integer
+    arrays (numpy broadcasting applies; ``np.mod`` keeps the result
+    non-negative for negative round offsets, matching Python's ``%``).
+    The rungs are exact powers of two via ``np.ldexp``, bit-identical
+    to the scalar :func:`decay_probability` — the single-message bank
+    kernels rely on this to share one rung across every lane per round.
+    """
+    return np.ldexp(1.0, -np.mod(round_index, phase_length) - 1)
 
 
 class PlainDecayGlobalProcess(Process):

@@ -291,8 +291,10 @@ def run_bank_trials(
     for ``seeds[0]`` so executors that peeked at the scenario don't pay
     the build twice. Trials the batch cannot serve — oracle-mode MAC
     layers, adaptive adversaries (which fall back to the reference
-    engine per trial, with the usual warning), or heterogeneous banks —
-    take the per-trial path instead.
+    engine per trial, with the usual warning), or banks whose trials
+    disagree on the node count — take the per-trial path instead.
+    Heterogeneous ``max_rounds`` is fine: each lane carries its own cap
+    and retires from the lockstep batch when it reaches it.
     """
     seeds = list(seeds)
     if not seeds:
@@ -317,10 +319,7 @@ def run_bank_trials(
 
     if lead.link_process.adversary_class is not AdversaryClass.OBLIVIOUS:
         return _per_trial()
-    if any(
-        t.network.n != lead.network.n or t.max_rounds != lead.max_rounds
-        for t in trials
-    ):
+    if any(t.network.n != lead.network.n for t in trials):
         return _per_trial()
 
     from repro.core.bankpath import (
@@ -368,9 +367,15 @@ def run_bank_trials(
             skip=resolved_skip,
         )
         lanes.append(
-            BankLane(engine=engine, stop=(lambda obs=observer: obs.solved))
+            BankLane(
+                engine=engine,
+                stop=(lambda obs=observer: obs.solved),
+                max_rounds=trial.max_rounds,
+            )
         )
-    results = run_bank_batch(lanes, max_rounds=lead.max_rounds)
+    results = run_bank_batch(
+        lanes, max_rounds=max(t.max_rounds for t in trials)
+    )
     return [
         TrialResult(solved=res.solved, rounds=res.rounds, seed=seed)
         for res, seed in zip(results, seeds)

@@ -53,9 +53,10 @@ class SerialExecutor(TrialExecutor):
     ``engine="bank"`` scenarios are the one structured deviation from
     the literal loop: the whole seed batch is handed to
     :func:`~repro.analysis.runner.run_bank_trials`, which runs it as
-    lockstep lanes of one struct-of-arrays kernel. Results are
-    seed-for-seed identical to the plain loop — the batch only changes
-    where the numpy work happens.
+    lockstep lanes of one struct-of-arrays kernel — lanes may carry
+    different round caps, retiring individually as they hit them.
+    Results are seed-for-seed identical to the plain loop — the batch
+    only changes where the numpy work happens.
 
     A scenario that degrades (adaptive adversary forcing the reference
     engine, or a component without the skip contract) warns exactly

@@ -18,18 +18,27 @@ Three layers cooperate:
    ``engine.run()`` therefore works exactly like bitset (that is what
    :func:`~repro.core.engine.create_engine` returns for a single
    trial); the cross-trial wins need the batch entry points below.
-2. **Vectorized protocol kernels.** For the time-driven MAC protocols
-   (:class:`~repro.algorithms.multi_message.GklnMultiMessageProcess`,
-   :class:`~repro.algorithms.multi_message.BackoffMultiMessageProcess`)
-   the per-node Python state machines are *replaced* by
-   struct-of-arrays state: knowledge as a (trials × nodes × bits)
-   bitmap packed into int64 lanes, append-order message logs, ack
-   windows and back-off epochs folded by vectorized index arithmetic.
-   One batch of numpy ops per round plans every node of every trial;
-   reception feedback degrades to sparse per-delivery updates. The
-   kernels reproduce the reference engine's plans bit-for-bit
+2. **Vectorized protocol kernels.** Two families replace the per-node
+   Python state machines with struct-of-arrays state:
+
+   * the **multi-message MAC protocols**
+     (:class:`~repro.algorithms.multi_message.GklnMultiMessageProcess`,
+     :class:`~repro.algorithms.multi_message.BackoffMultiMessageProcess`)
+     keep knowledge as a (trials × nodes × words) uint64 bitmap —
+     any message count, 64 per word — with append-order message logs,
+     ack windows and back-off epochs folded by vectorized index
+     arithmetic;
+   * the **single-message decay family** (plain decay, permuted decay,
+     static local decay, round robin, uniform) keeps (trials × nodes)
+     informed/participation state and shares one ``np.ldexp``
+     probability ladder (or schedule rung) across every lane per
+     round — one scalar probability per lane per round covers the
+     whole active set, which also makes the expected-transmitter sum
+     exact in O(1).
+
+   The kernels reproduce the reference engine's plans bit-for-bit
    (probabilities are exact powers of two via ``ldexp``; message
-   identity is positional), which ``tests/test_engine_equivalence.py``
+   identity is canonical), which ``tests/test_engine_equivalence.py``
    holds to full-trace identity. Algorithms without a kernel simply run
    the lanes' inherited bitset plan stage — still batched at the
    coins/reception layer, never falling back to a slower path.
@@ -38,8 +47,14 @@ Three layers cooperate:
    batch — one ``Generator.random(out=row)`` per lane against the same
    per-trial ``("engine", "coins")`` stream the other engines consume,
    so per-trial draw order is untouched — then compared and bit-packed
-   in one shot. Lanes whose stop condition fires retire from the bank
-   (their RNGs stop drawing, exactly like a serial run ending).
+   in one shot. Lanes whose stop condition fires (or whose per-lane
+   ``max_rounds`` cap elapses — caps may differ across lanes) retire
+   from the bank: their RNGs stop drawing, exactly like a serial run
+   ending. The single-message kernels keep event-driven round skipping
+   *on*: provably silent spans fast-forward through
+   :meth:`~repro.core.engine.RadioNetworkEngine._emit_quiet_span` when
+   every observer on a lane accepts the batched quiet-span hook, and
+   degrade to per-round records otherwise.
 
 Scope mirrors the bitset engine: oblivious link processes only.
 :func:`~repro.core.engine.create_engine` falls back to the reference
@@ -55,6 +70,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.algorithms.decay import decay_ladder
 from repro.core.engine import ExecutionResult, StopCondition
 from repro.core.fastpath import BitsetRadioNetworkEngine
 from repro.core.messages import Message
@@ -67,12 +83,13 @@ __all__ = [
     "run_bank_batch",
 ]
 
-#: Knowledge bitmaps live in int64 lanes; workloads with more messages
-#: than bits fall back to the generic (bitset-plan) lane path.
-_KERNEL_MAX_BITS = 63
-
 #: Sentinel: "build a single-lane kernel from my own processes".
 _AUTO_KERNEL = object()
+
+#: Sentinel round index for per-node state that is not scheduled to
+#: change ("uninformed", "never joins"): far beyond any execution while
+#: comfortably inside int64 arithmetic.
+_NEVER = 1 << 62
 
 #: Ceiling for the scheduler's per-round dense reception batch: when a
 #: lane's round topology misses the bitset matrix cache (fading
@@ -85,16 +102,16 @@ _DENSE_BATCH_MAX_N = 512
 
 
 # ----------------------------------------------------------------------
-# Vectorized protocol kernels
+# Vectorized protocol kernels: multi-message MAC family
 # ----------------------------------------------------------------------
 class _MultiMessageKernelBase:
     """Shared struct-of-arrays state for the multi-message kernels.
 
     Layout (``T`` trials × ``n`` nodes × ``k`` messages):
 
-    * ``known``  — (T, n) int64 bitmap: bit ``i`` set iff the node holds
-      message ``i`` (the ISSUE's trials × nodes × bits knowledge map,
-      bit-packed).
+    * ``known``  — (T, n, ⌈k/64⌉) uint64 bitmap: bit ``i`` of the row
+      set iff the node holds message ``i`` (the ISSUE's trials × nodes
+      × bits knowledge map, bit-packed 64 per word — any ``k``).
     * ``order``  — (T, n, k) int64 append-order log of message indices;
       both protocols rotate/queue over their knowledge in append order.
     * ``klen``   — (T, n) int64 length of that log.
@@ -103,6 +120,12 @@ class _MultiMessageKernelBase:
       deliveries compare equal to the reference engine's).
     """
 
+    #: The MAC protocols are never provably silent (a node that knows
+    #: anything keeps a nonzero duty cycle), and the kernels do not
+    #: track the class state the skip probe reads — lanes run with
+    #: round skipping disabled.
+    supports_skip = False
+
     def __init__(self, banks: Sequence[Sequence]) -> None:
         first = banks[0][0]
         self.trials = len(banks)
@@ -110,7 +133,8 @@ class _MultiMessageKernelBase:
         self.k = first.assignment.k
         self.assignments = [bank[0].assignment for bank in banks]
         shape = (self.trials, self.n)
-        self.known = np.zeros(shape, dtype=np.int64)
+        words = (self.k + 63) // 64 or 1
+        self.known = np.zeros((*shape, words), dtype=np.uint64)
         self.order = np.zeros((*shape, self.k), dtype=np.int64)
         self.klen = np.zeros(shape, dtype=np.int64)
         self.messages: list[list[Optional[Message]]] = [
@@ -129,7 +153,8 @@ class _MultiMessageKernelBase:
         for position, message in enumerate(messages):
             index = assignment.index_of(message.payload)
             self.order[t, u, position] = index
-            self.known[t, u] |= 1 << index
+            word, bit = divmod(index, 64)
+            self.known[t, u, word] |= np.uint64(1 << bit)
             # Initial messages exist only at their sources, so this is
             # the canonical (source-minted) object for the index.
             self.messages[t][index] = message
@@ -138,10 +163,11 @@ class _MultiMessageKernelBase:
 
     def _learn(self, t: int, u: int, index: int) -> bool:
         """Append message ``index`` to (t, u)'s log; False if known."""
-        bit = 1 << index
-        if self.known[t, u] & bit:
+        word, bit = divmod(index, 64)
+        flag = np.uint64(1 << bit)
+        if self.known[t, u, word] & flag:
             return False
-        self.known[t, u] |= bit
+        self.known[t, u, word] |= flag
         length = int(self.klen[t, u])
         self.order[t, u, length] = index
         self.klen[t, u] = length + 1
@@ -182,8 +208,6 @@ class _GklnBankKernel(_MultiMessageKernelBase):
         for bank in banks:
             first = bank[0]
             if type(first) is not GklnMultiMessageProcess:
-                return False
-            if first.assignment.k > _KERNEL_MAX_BITS:
                 return False
             for process in bank:
                 if type(process) is not GklnMultiMessageProcess:
@@ -236,8 +260,7 @@ class _GklnBankKernel(_MultiMessageKernelBase):
         # ldexp matches the process's ``2.0 ** (-slot % rungs - 1)``
         # bit-for-bit); idle nodes with knowledge persist at the
         # background duty cycle; everyone else is silent.
-        slot = r - head_start
-        ladder = np.ldexp(1.0, -(slot % self.rungs) - 1)
+        ladder = decay_ladder(r - head_start, self.rungs)
         background = np.where((klen > 0) & (self.persist > 0.0), self.persist, 0.0)
         self._probs = np.where(serving, ladder, background)
         return self._probs
@@ -278,8 +301,6 @@ class _BackoffBankKernel(_MultiMessageKernelBase):
         for bank in banks:
             first = bank[0]
             if type(first) is not BackoffMultiMessageProcess:
-                return False
-            if first.assignment.k > _KERNEL_MAX_BITS:
                 return False
             for process in bank:
                 if type(process) is not BackoffMultiMessageProcess:
@@ -340,7 +361,652 @@ class _BackoffBankKernel(_MultiMessageKernelBase):
                 self.last_new[t, delivery.receiver] = r + 1
 
 
-_KERNELS = (_GklnBankKernel, _BackoffBankKernel)
+# ----------------------------------------------------------------------
+# Vectorized protocol kernels: single-message decay family
+# ----------------------------------------------------------------------
+class _SingleMessageKernelBase:
+    """Shared scaffolding for the single-message decay-family kernels.
+
+    These protocols share one structural property the kernels exploit:
+    in any given round, every transmitting node of a lane declares the
+    *same* probability (a ladder rung, a schedule rung, a constant
+    rate, or the certain 1.0 of a slot/announcement). Each kernel's
+    :meth:`probabilities` therefore fills, per lane:
+
+    * ``_counts[t]`` — how many nodes hold the live probability;
+    * ``_rungs[t]``  — that probability.
+
+    which makes :meth:`expected_exact` O(1): ``count × p`` is the
+    *correctly rounded* value of the real sum of ``count`` copies of
+    ``p`` (``count`` is exactly representable, and ``fsum`` rounds the
+    same real number once), so it is bit-identical to the reference
+    engine's fsum — the licence round skipping needs.
+
+    State changes ride deliveries only (eligibility pins the exact
+    process types, whose idle/transmit feedback are no-ops), so the
+    kernels also answer :meth:`next_state_change` for the skip probe:
+    ``supports_skip`` stays True and bank lanes keep event-driven
+    skipping, compounding with the struct-of-arrays plan stage.
+    """
+
+    supports_skip = True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        self.trials = len(banks)
+        self.n = len(banks[0])
+        self._r = -1
+        self._probs: Optional[np.ndarray] = None
+        self._counts: Optional[np.ndarray] = None
+        self._rungs: Optional[np.ndarray] = None
+
+    def expected_exact(self, t: int, r: int) -> float:
+        """The round's expected transmitter count, bit-identical to fsum."""
+        if r != self._r:
+            self.probabilities(r)
+        count = int(self._counts[t])
+        if not count:
+            return 0.0
+        return count * float(self._rungs[t])
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """Reception feedback; the static schedules have none."""
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        """First round > ``r`` on which lane ``t`` could transmit.
+
+        The licence behind *active-round* fast-forwarding: every round
+        in ``(r, result)`` has zero transmission probability for every
+        node of the lane, assuming no deliveries land in between (which
+        is vacuous — all-silent rounds deliver nothing). ``None`` means
+        the lane never transmits again without a delivery. Unlike
+        :meth:`next_state_change` — whose contract is "plans unchanged
+        since round r", meaningful only after an executed silent round
+        — this holds regardless of what round ``r`` itself did, so the
+        scheduler may skip straight from a slot round to the next one.
+        The default promises nothing beyond the next round, disabling
+        the fast-forward for kernels that don't override it.
+        """
+        return r + 1
+
+    def _announcement_round(self, source: np.ndarray) -> np.ndarray:
+        """Round-0 probabilities: the certain source announcement."""
+        probs = np.zeros((self.trials, self.n))
+        probs[np.arange(self.trials), source] = 1.0
+        self._counts = np.ones(self.trials, dtype=np.int64)
+        self._rungs = np.ones(self.trials)
+        return probs
+
+
+class _PlainDecayBankKernel(_SingleMessageKernelBase):
+    """All trials of a BGI plain-decay bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.decay.PlainDecayGlobalProcess`:
+    ``start[t, u]`` is the node's ``participate_from`` (every join lies
+    on a phase boundary — ``start ≡ 1 mod L`` — so one ladder rung
+    ``2^{-((r-1) mod L)-1}`` serves the whole informed set of a lane),
+    ``_NEVER`` marks uninformed nodes, and adoption computes the next
+    boundary exactly like ``on_feedback``.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.decay import PlainDecayGlobalProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not PlainDecayGlobalProcess:
+                return False
+            for u, process in enumerate(bank):
+                if type(process) is not PlainDecayGlobalProcess:
+                    return False
+                if (
+                    process.source != first.source
+                    or process.phase_length != first.phase_length
+                    # A finite active window re-ties the plan to each
+                    # node's join round; the generic lanes handle it.
+                    or process.active_phases is not None
+                ):
+                    return False
+                if (process.message is not None) != (u == first.source):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.phase = np.array(
+            [[bank[0].phase_length] for bank in banks], dtype=np.int64
+        )
+        self.source = np.array([bank[0].source for bank in banks], dtype=np.int64)
+        self.start = np.full((self.trials, self.n), _NEVER, dtype=np.int64)
+        self.message: list[Message] = []
+        for t, bank in enumerate(banks):
+            for u, process in enumerate(bank):
+                if process.participate_from is not None:
+                    self.start[t, u] = process.participate_from
+            self.message.append(bank[int(self.source[t])].message)
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        if r == 0:
+            self._probs = self._announcement_round(self.source)
+            return self._probs
+        active = self.start <= r
+        rung = decay_ladder(r - 1, self.phase)  # (T, 1): shared rung
+        self._probs = np.where(active, rung, 0.0)
+        self._counts = active.sum(axis=1)
+        self._rungs = rung[:, 0]
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Every transmitter relays the trial's canonical message."""
+        return self.message[t]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """First data reception adopts; join at the next phase boundary."""
+        start = self.start
+        phase = int(self.phase[t, 0])
+        for delivery in deliveries:
+            u = delivery.receiver
+            if start[t, u] != _NEVER or not delivery.message.is_data():
+                continue
+            # Same arithmetic as on_feedback: the next round r+1, pushed
+            # to the boundary of the global phase clock (epoch offset 1).
+            remainder = r % phase
+            wait = 0 if remainder == 0 else phase - remainder
+            start[t, u] = r + 1 + wait
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        if r == 0:
+            return 1  # the announcement gives way to the ladder
+        start = self.start[t]
+        informed = start[start != _NEVER]
+        if informed.size == 0:
+            return None  # adoption arrives via feedback
+        if bool((informed <= r).any()):
+            return r + 1  # active ladder: a new rung every round
+        return int(informed.min())  # earliest pending phase boundary
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        start = self.start[t]
+        informed = start[start != _NEVER]
+        if informed.size == 0:
+            return None  # only a delivery can wake the lane
+        # An already-active participant rides the ladder every round;
+        # otherwise the earliest pending phase boundary is next.
+        return max(r + 1, int(informed.min()))
+
+
+class _PermutedDecayBankKernel(_SingleMessageKernelBase):
+    """All trials of a Section-4.1 permuted-decay bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.global_broadcast.ObliviousGlobalBroadcastProcess`:
+    ``join_epoch[t, u]`` is the first epoch node ``u`` participates in
+    (``_NEVER`` = uninformed; the source never joins — its role ends
+    with the announcement). Lemma 4.2's sharing structure does the rest:
+    all active nodes of a lane read the same chunk of ``S`` for the same
+    epoch, so the round's rung is one schedule lookup per lane.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.global_broadcast import ObliviousGlobalBroadcastProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not ObliviousGlobalBroadcastProcess:
+                return False
+            for u, process in enumerate(bank):
+                if type(process) is not ObliviousGlobalBroadcastProcess:
+                    return False
+                if (
+                    process.source != first.source
+                    or process.schedule != first.schedule
+                    or process.num_chunks != first.num_chunks
+                    # A finite epoch budget re-ties the plan to each
+                    # node's join epoch; the generic lanes handle it.
+                    or process.epochs_per_node is not None
+                ):
+                    return False
+                if (process.message is not None) != (u == first.source):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.source = np.array([bank[0].source for bank in banks], dtype=np.int64)
+        self.schedule = [bank[0].schedule for bank in banks]
+        self.num_chunks = [bank[0].num_chunks for bank in banks]
+        self.epoch_len = [bank[0].epoch_length for bank in banks]
+        self.message = [bank[int(self.source[t])].message for t, bank in enumerate(banks)]
+        self.shared = [message.shared_bits for message in self.message]
+        self.join_epoch = np.full((self.trials, self.n), _NEVER, dtype=np.int64)
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        if r == 0:
+            self._probs = self._announcement_round(self.source)
+            return self._probs
+        probs = np.empty((self.trials, self.n))
+        counts = np.empty(self.trials, dtype=np.int64)
+        rungs = np.empty(self.trials)
+        for t in range(self.trials):
+            epoch, round_in_epoch = divmod(r, self.epoch_len[t])
+            schedule = self.schedule[t]
+            chunk_offset = (epoch % self.num_chunks[t]) * schedule.bits_per_call
+            # One schedule lookup serves the lane's whole active set —
+            # the same call plan() makes, so the float is identical.
+            p = schedule.probability(self.shared[t], chunk_offset, round_in_epoch)
+            active = self.join_epoch[t] <= epoch
+            np.multiply(active, p, out=probs[t])
+            counts[t] = active.sum()
+            rungs[t] = p
+        self._probs = probs
+        self._counts = counts
+        self._rungs = rungs
+        return probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Every transmitter relays the trial's canonical ⟨m', S⟩."""
+        return self.message[t]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """First ⟨m', S⟩ reception adopts; join at the next epoch boundary."""
+        join = self.join_epoch
+        source = int(self.source[t])
+        epoch_len = self.epoch_len[t]
+        for delivery in deliveries:
+            u = delivery.receiver
+            if u == source or join[t, u] != _NEVER:
+                continue
+            message = delivery.message
+            if not message.is_data() or message.shared_bits is None:
+                continue
+            # First epoch boundary strictly after this round.
+            join[t, u] = (r + 1 + epoch_len - 1) // epoch_len
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        if r == 0:
+            return 1  # the announcement; then the source falls silent
+        joins = self.join_epoch[t]
+        joined = joins[joins != _NEVER]
+        if joined.size == 0:
+            return None  # adoption arrives via feedback
+        epoch_len = self.epoch_len[t]
+        if bool((joined * epoch_len <= r).any()):
+            return r + 1  # active permuted decay: new rung each round
+        return int(joined.min()) * epoch_len  # earliest pending epoch
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        joins = self.join_epoch[t]
+        joined = joins[joins != _NEVER]
+        if joined.size == 0:
+            # The source's role ends with the round-0 announcement;
+            # only a delivery can create a relay.
+            return None
+        return max(r + 1, int(joined.min()) * self.epoch_len[t])
+
+
+class _StaticDecayBankKernel(_SingleMessageKernelBase):
+    """All trials of an [8]-style static local decay bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.local_static.StaticLocalDecayProcess`:
+    broadcasters ride the public ladder ``2^{-(r mod L)-1}`` from round
+    0 forever; there is no feedback at all, so the whole kernel is one
+    masked ladder broadcast per round.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.local_static import StaticLocalDecayProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not StaticLocalDecayProcess:
+                return False
+            for process in bank:
+                if type(process) is not StaticLocalDecayProcess:
+                    return False
+                if process.phase_length != first.phase_length:
+                    return False
+                if process.is_broadcaster != (process.message is not None):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.phase = np.array(
+            [[bank[0].phase_length] for bank in banks], dtype=np.int64
+        )
+        self.broadcaster = np.array(
+            [[process.is_broadcaster for process in bank] for bank in banks]
+        )
+        self.messages = [[process.message for process in bank] for bank in banks]
+        self._bcount = self.broadcaster.sum(axis=1)
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        rung = decay_ladder(r, self.phase)  # (T, 1): the public ladder
+        self._probs = np.where(self.broadcaster, rung, 0.0)
+        self._counts = self._bcount
+        self._rungs = rung[:, 0]
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Broadcasters carry per-node messages (origin = own id)."""
+        return self.messages[t][u]
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        if not int(self._bcount[t]):
+            return None  # listeners listen forever
+        if int(self.phase[t, 0]) == 1:
+            return None  # degenerate ladder: constant probability 1/2
+        return r + 1  # a new ladder rung every round
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        # Broadcasters ride the public ladder every round, forever.
+        return r + 1 if int(self._bcount[t]) else None
+
+
+class _RoundRobinLocalBankKernel(_SingleMessageKernelBase):
+    """All trials of a footnote-4 round-robin local bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.round_robin.RoundRobinLocalProcess`:
+    broadcaster ``u`` transmits (certainly) iff ``r ≡ slots[u] (mod n)``;
+    roles and slots never change, so the plan is one equality compare.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.round_robin import RoundRobinLocalProcess
+
+        for bank in banks:
+            for process in bank:
+                if type(process) is not RoundRobinLocalProcess:
+                    return False
+                if process.is_broadcaster != (process.message is not None):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.slots = np.array(
+            [[process.slot for process in bank] for bank in banks], dtype=np.int64
+        )
+        self.role = np.array(
+            [[process.is_broadcaster for process in bank] for bank in banks]
+        )
+        self.messages = [[process.message for process in bank] for bank in banks]
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        certain = self.role & (self.slots == r % self.n)
+        self._probs = certain.astype(np.float64)
+        self._counts = certain.sum(axis=1)
+        self._rungs = np.ones(self.trials)
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Broadcasters carry per-node messages (origin = own id)."""
+        return self.messages[t][u]
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        return _next_slot_round(self.slots[t][self.role[t]], r, self.n)
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        return _next_slot_round_after(self.slots[t][self.role[t]], r, self.n)
+
+
+class _RoundRobinGlobalBankKernel(_SingleMessageKernelBase):
+    """All trials of a footnote-5 round-robin global bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.round_robin.RoundRobinGlobalProcess`:
+    informed nodes transmit (certainly) in their slot and adopt the
+    message on first data reception.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.round_robin import RoundRobinGlobalProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not RoundRobinGlobalProcess:
+                return False
+            for u, process in enumerate(bank):
+                if type(process) is not RoundRobinGlobalProcess:
+                    return False
+                if process.source != first.source:
+                    return False
+                if (process.message is not None) != (u == first.source):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.slots = np.array(
+            [[process.slot for process in bank] for bank in banks], dtype=np.int64
+        )
+        self.source = np.array([bank[0].source for bank in banks], dtype=np.int64)
+        self.message = [bank[int(self.source[t])].message for t, bank in enumerate(banks)]
+        self.informed = np.zeros((self.trials, self.n), dtype=bool)
+        self.informed[np.arange(self.trials), self.source] = True
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        certain = self.informed & (self.slots == r % self.n)
+        self._probs = certain.astype(np.float64)
+        self._counts = certain.sum(axis=1)
+        self._rungs = np.ones(self.trials)
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Every transmitter relays the trial's canonical message."""
+        return self.message[t]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """First data reception adopts the message (slot is unchanged)."""
+        informed = self.informed
+        for delivery in deliveries:
+            u = delivery.receiver
+            if not informed[t, u] and delivery.message.is_data():
+                informed[t, u] = True
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        # Uninformed nodes stay silent through their slot, so only the
+        # informed set's slots can change the lane's behavior.
+        return _next_slot_round(self.slots[t][self.informed[t]], r, self.n)
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        return _next_slot_round_after(self.slots[t][self.informed[t]], r, self.n)
+
+
+def _next_slot_round(slots: np.ndarray, r: int, n: int) -> Optional[int]:
+    """First round > ``r`` on which any of ``slots`` matches the clock."""
+    if n == 1:
+        return None  # every round is the slot round
+    if slots.size == 0:
+        return None
+    step = int(((slots - r) % n).min())
+    return r + (step if step else 1)
+
+
+def _next_slot_round_after(slots: np.ndarray, r: int, n: int) -> Optional[int]:
+    """First round *strictly* after ``r`` on which any of ``slots`` fires.
+
+    Unlike :func:`_next_slot_round` (whose step-0 case conservatively
+    answers ``r + 1`` because it is only consulted from silent rounds),
+    this maps a slot firing at ``r`` itself a full cycle forward — the
+    active-round fast-forward asks exactly "when does the *next* slot
+    land?" while standing on one.
+    """
+    if slots.size == 0:
+        return None
+    if n == 1:
+        return r + 1
+    return r + 1 + int(((slots - (r + 1)) % n).min())
+
+
+class _UniformLocalBankKernel(_SingleMessageKernelBase):
+    """All trials of a constant-rate local bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.uniform.UniformLocalProcess`:
+    broadcasters transmit at the fixed rate forever; no feedback.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.uniform import UniformLocalProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not UniformLocalProcess:
+                return False
+            for process in bank:
+                if type(process) is not UniformLocalProcess:
+                    return False
+                if process.probability != first.probability:
+                    return False
+                if process.is_broadcaster != (process.message is not None):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.rate = np.array(
+            [[bank[0].probability] for bank in banks], dtype=np.float64
+        )
+        self.broadcaster = np.array(
+            [[process.is_broadcaster for process in bank] for bank in banks]
+        )
+        self.messages = [[process.message for process in bank] for bank in banks]
+        self._bcount = self.broadcaster.sum(axis=1)
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        self._probs = np.where(self.broadcaster, self.rate, 0.0)
+        self._counts = self._bcount
+        self._rungs = self.rate[:, 0]
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Broadcasters carry per-node messages (origin = own id)."""
+        return self.messages[t][u]
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        return None  # constant rate forever, in both roles
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        if int(self._bcount[t]) and float(self.rate[t, 0]) > 0.0:
+            return r + 1  # a live rate is a coin flip every round
+        return None
+
+
+class _UniformGlobalBankKernel(_SingleMessageKernelBase):
+    """All trials of a constant-rate global bank, as arrays.
+
+    Mirrors :class:`~repro.algorithms.uniform.UniformGlobalProcess`:
+    the source announces in round 0; informed nodes then relay at the
+    fixed rate, adopting on first data reception.
+    """
+
+    @classmethod
+    def eligible(cls, banks: Sequence[Sequence]) -> bool:
+        from repro.algorithms.uniform import UniformGlobalProcess
+
+        for bank in banks:
+            first = bank[0]
+            if type(first) is not UniformGlobalProcess:
+                return False
+            for u, process in enumerate(bank):
+                if type(process) is not UniformGlobalProcess:
+                    return False
+                if (
+                    process.source != first.source
+                    or process.probability != first.probability
+                ):
+                    return False
+                if (process.message is not None) != (u == first.source):
+                    return False
+        return True
+
+    def __init__(self, banks: Sequence[Sequence]) -> None:
+        super().__init__(banks)
+        self.rate = np.array(
+            [[bank[0].probability] for bank in banks], dtype=np.float64
+        )
+        self.source = np.array([bank[0].source for bank in banks], dtype=np.int64)
+        self.message = [bank[int(self.source[t])].message for t, bank in enumerate(banks)]
+        self.informed = np.zeros((self.trials, self.n), dtype=bool)
+        self.informed[np.arange(self.trials), self.source] = True
+
+    def probabilities(self, r: int) -> np.ndarray:
+        """(T, n) transmission probabilities for round ``r`` (cached)."""
+        if r == self._r:
+            return self._probs
+        self._r = r
+        if r == 0:
+            self._probs = self._announcement_round(self.source)
+            return self._probs
+        self._probs = np.where(self.informed, self.rate, 0.0)
+        self._counts = self.informed.sum(axis=1)
+        self._rungs = self.rate[:, 0]
+        return self._probs
+
+    def message_for(self, t: int, u: int) -> Message:
+        """Every transmitter relays the trial's canonical message."""
+        return self.message[t]
+
+    def apply_feedback(self, t: int, r: int, deliveries: Sequence[Delivery]) -> None:
+        """First data reception adopts the message."""
+        informed = self.informed
+        for delivery in deliveries:
+            u = delivery.receiver
+            if not informed[t, u] and delivery.message.is_data():
+                informed[t, u] = True
+
+    def next_state_change(self, t: int, r: int) -> Optional[int]:
+        if r == 0:
+            return 1  # the announcement gives way to the constant rate
+        return None  # constant rate (or silence) until feedback intervenes
+
+    def next_active_round(self, t: int, r: int) -> Optional[int]:
+        if r == 0 or float(self.rate[t, 0]) > 0.0:
+            # The round-1 case is conservative for a zero rate, but a
+            # zero-rate global relay is a degenerate config not worth a
+            # special case here.
+            return r + 1
+        return None
+
+
+_KERNELS = (
+    _GklnBankKernel,
+    _BackoffBankKernel,
+    _PlainDecayBankKernel,
+    _PermutedDecayBankKernel,
+    _StaticDecayBankKernel,
+    _RoundRobinLocalBankKernel,
+    _RoundRobinGlobalBankKernel,
+    _UniformLocalBankKernel,
+    _UniformGlobalBankKernel,
+)
 
 
 def build_bank_kernel(banks: Sequence[Sequence]):
@@ -354,6 +1020,8 @@ def build_bank_kernel(banks: Sequence[Sequence]):
     capability probe, not a fallback to a slower engine).
     """
     if not banks or not banks[0]:
+        return None
+    if any(len(bank) != len(banks[0]) for bank in banks):
         return None
     for kernel_cls in _KERNELS:
         if kernel_cls.eligible(banks):
@@ -404,13 +1072,13 @@ class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
             lane = 0
         self._kernel = kernel
         self._lane = lane
-        if kernel is not None:
-            # Kernel lanes replace the per-node plan stage with
-            # struct-of-arrays state, bypassing the signature-class
-            # bookkeeping the skip probe reads — and the kernel
-            # protocols are never provably silent anyway (a node that
-            # knows anything keeps a nonzero duty cycle). Skipping
-            # stays a bitset/generic-lane capability.
+        if kernel is not None and not kernel.supports_skip:
+            # The multi-message kernels replace the per-node plan stage
+            # with struct-of-arrays state, bypassing the signature-class
+            # bookkeeping the skip probe reads — and those protocols are
+            # never provably silent anyway (a node that knows anything
+            # keeps a nonzero duty cycle). The single-message kernels
+            # answer the probe themselves and keep skipping on.
             self.skip = False
 
     # Stage overrides: with a kernel, plans and feedback come from the
@@ -435,16 +1103,75 @@ class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
             # only receivers carry state changes.
             self._kernel.apply_feedback(self._lane, r, deliveries)
 
+    # Skip-probe overrides: a skip-capable kernel answers from its
+    # struct-of-arrays state instead of the signature-class bookkeeping
+    # (which kernel lanes never maintain).
+    def _expected_exact(self, probs: np.ndarray) -> float:
+        kernel = self._kernel
+        if kernel is None:
+            return super()._expected_exact(probs)
+        if kernel.supports_skip:
+            return kernel.expected_exact(self._lane, kernel._r)
+        return math.fsum(probs.tolist())
+
+    def _quiescent(self) -> bool:
+        if self._kernel is None:
+            return super()._quiescent()
+        # Eligibility pinned process types whose idle/transmit feedback
+        # are no-ops and whose state changes ride deliveries only — an
+        # all-silent round cannot change kernel state.
+        return self._kernel.supports_skip
+
+    def _skip_horizon(self, r: int, limit: int) -> int:
+        if self._kernel is None:
+            return super()._skip_horizon(r, limit)
+        h = limit
+        boundary = self.link_process.next_boundary(r)
+        if boundary is not None and boundary < h:
+            h = boundary
+        nxt = self._kernel.next_state_change(self._lane, r)
+        if nxt is not None and nxt < h:
+            h = nxt
+        return max(h, r + 1)
+
+    def _silent_horizon(self, r: int, limit: int) -> Optional[int]:
+        """Skip licence from an *active* round ``r``, or ``None``.
+
+        Only a skip-capable kernel can prove the coming span silent
+        without executing any of it — its schedule lives in
+        struct-of-arrays state (slot gaps, pending phase boundaries),
+        whereas the generic signature bookkeeping infers silence from
+        an executed silent round and so offers no licence here. Clamped
+        like :meth:`_skip_horizon`: the adversary's purity boundary
+        gates eliding its ``choose_topology`` calls, the cap gates the
+        span.
+        """
+        kernel = self._kernel
+        if kernel is None or not kernel.supports_skip or not self.skip:
+            return None
+        nxt = kernel.next_active_round(self._lane, r)
+        h = limit if nxt is None else min(nxt, limit)
+        boundary = self.link_process.next_boundary(r)
+        if boundary is not None and boundary < h:
+            h = boundary
+        return max(h, r + 1)
+
 
 # ----------------------------------------------------------------------
 # The lockstep bank scheduler
 # ----------------------------------------------------------------------
 @dataclass
 class BankLane:
-    """One trial riding the bank: its engine plus its stop condition."""
+    """One trial riding the bank: engine, stop condition, round cap.
+
+    ``max_rounds`` (``None`` = the batch-wide cap) lets trials with
+    heterogeneous round budgets share one bank: a lane retires at its
+    own cap while the rest keep running.
+    """
 
     engine: BankRadioNetworkEngine
     stop: Optional[StopCondition] = None
+    max_rounds: Optional[int] = None
 
 
 def run_bank_batch(
@@ -459,32 +1186,42 @@ def run_bank_batch(
     * coins: one ``Generator.random(out=row)`` per lane per round (the
       lane's own per-trial stream, same draw count as a serial run),
       then one (active × n) comparison + ``packbits`` for the bank;
-    * plans: kernel-backed lanes share one (T, n) probability batch;
+    * plans: kernel-backed lanes share one (T, n) probability batch,
+      and skip-capable kernels answer the expected-transmitter sum in
+      O(1) (bit-identical to fsum) instead of an O(n) reduction;
     * reception: lanes whose topology hits the bitset matrix cache
       resolve by cached matvec; cache misses (per-round fading masks)
       are folded into one dense batched matvec for the whole bank; only
       networks past ``_DENSE_BATCH_MAX_N`` fall back to the per-lane
-      bigint scan.
+      scan over the adversary's published packed mask rows.
 
-    Lanes whose stop condition fires retire immediately: they stop
-    drawing coins and stop observing rounds, exactly like a serial
-    execution that ended.
+    Lanes whose stop condition fires — or whose per-lane ``max_rounds``
+    cap elapses — retire immediately: they stop drawing coins and stop
+    observing rounds, exactly like a serial execution that ended, while
+    the surviving lanes keep the lockstep going.
 
     When every lane was built with ``skip=True`` the bank fast-forwards
-    the spans in which *all* lanes are provably silent: the lockstep
-    schedule means a skip is licensed only up to the earliest horizon
-    across lanes (``min`` of the per-lane
+    the spans in which *all surviving* lanes are provably silent: the
+    lockstep schedule means a skip is licensed only up to the earliest
+    horizon across lanes (``min`` of the per-lane
     :meth:`~repro.core.fastpath.BitsetRadioNetworkEngine._skip_horizon`
-    probes), and each lane's coin stream advances round by round so the
-    trace — records, history, RNG positions — matches its solo run
-    bit-for-bit.
+    probes, each clamped to its own cap). A lane whose observers all
+    accept the batched quiet-span hook emits the span through one
+    :meth:`~repro.core.engine.RadioNetworkEngine._emit_quiet_span`
+    (one RNG jump-ahead, one observer call); any other lane emits round
+    by round through the solo ``_emit_quiet_round``, so its records and
+    coin stream stay bit-identical to its standalone run.
     """
     if max_rounds < 0:
         raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
     results: list[Optional[ExecutionResult]] = [None] * len(lanes)
     active: list[int] = []
+    caps: list[int] = []
     for i, lane in enumerate(lanes):
         lane.engine._ensure_started()
+        caps.append(
+            max_rounds if lane.max_rounds is None else min(lane.max_rounds, max_rounds)
+        )
         if lane.stop is not None and lane.stop():
             results[i] = ExecutionResult(rounds=0, solved=True, solve_round=-1)
         else:
@@ -495,10 +1232,33 @@ def run_bank_batch(
     nbytes = (n + 7) // 8
     modulus = n + 1
     bank_skip = all(lane.engine.skip for lane in lanes)
+    # Batched quiet-span emission is engaged per lane, and only when
+    # every observer on that lane accepts the span hook; lanes carrying
+    # a per-round consumer (e.g. a TraceCollector) keep materializing
+    # each quiet round's record.
+    span_ok = [
+        all(
+            callable(getattr(observer, "on_round_batch", None))
+            for observer in lane.engine.observers
+        )
+        for lane in lanes
+    ]
     coin_buffer = np.empty((len(lanes), n), dtype=np.float64)
     prob_buffer = np.empty((len(lanes), n), dtype=np.float64)
     executed = 0
-    while active and executed < max_rounds:
+    while active:
+        # Retire lanes whose own round budget has elapsed (the lockstep
+        # clock equals every active lane's rounds-run count, so a lane
+        # at its cap has run exactly caps[i] rounds).
+        if any(caps[i] <= executed for i in active):
+            for i in active:
+                if caps[i] <= executed:
+                    results[i] = ExecutionResult(
+                        rounds=caps[i], solved=False, solve_round=None
+                    )
+            active = [i for i in active if caps[i] > executed]
+            if not active:
+                break
         r = executed
         m = len(active)
         coins = coin_buffer[:m]
@@ -577,8 +1337,13 @@ def run_bank_batch(
                 shared_deliveries[j] = deliveries
 
         # Stages 3–6 per lane (topology/deliveries reused when batched).
-        expecteds = [math.fsum(probs[j].tolist()) for j in range(m)]
-        still_active: list[int] = []
+        # The expected-transmitter sum goes through each engine's exact
+        # class/kernel reduction — bit-identical to fsum, O(1) for the
+        # single-message kernels instead of an O(n) per-lane pass.
+        expecteds = [
+            lanes[i].engine._expected_exact(probs[j]) for j, i in enumerate(active)
+        ]
+        survivors: list[tuple[int, int]] = []  # (bank position j, lane i)
         for j, i in enumerate(active):
             lane = lanes[i]
             record = lane.engine._finish_round(
@@ -594,38 +1359,53 @@ def run_bank_batch(
                     rounds=r + 1, solved=True, solve_round=record.round_index
                 )
             else:
-                still_active.append(i)
-        active = still_active
+                survivors.append((j, i))
+        active = [i for _, i in survivors]
         executed += 1
 
-        # Lockstep round skipping: after a round in which EVERY lane
-        # was provably silent (fsum of non-negative probabilities is
-        # 0.0 iff each term is) and every surviving engine is
-        # quiescent, fast-forward all lanes to the earliest per-lane
-        # skip horizon. Rounds are emitted lane by lane through the
-        # solo `_emit_quiet_round`, so each lane's records and coin
-        # stream stay bit-identical to its standalone run.
-        if not (
-            bank_skip
-            and active
-            and executed < max_rounds
-            and len(active) == m  # a retired lane would desync the probe
-            and not any(masks[j] for j in range(m))
-            and all(e == 0.0 for e in expecteds)
-            and all(lanes[i].engine._quiescent() for i in active)
-        ):
+        # Lockstep round skipping. A lane that just retired no longer
+        # constrains the probes.
+        if not (bank_skip and survivors):
             continue
         start = executed  # == r + 1: every lane's next round, lockstep
-        limit = start + (max_rounds - executed)
-        h = min(lanes[i].engine._skip_horizon(r, limit) for i in active)
+        if (
+            all(masks[j] == 0 for j, _ in survivors)
+            and all(expecteds[j] == 0.0 for j, _ in survivors)
+            and all(lanes[i].engine._quiescent() for _, i in survivors)
+        ):
+            # Every surviving lane was provably silent this round (the
+            # exact expected sum of non-negative probabilities is 0.0
+            # iff each term is) and quiescent: fast-forward to the
+            # earliest per-lane skip horizon (each clamped to its cap).
+            h = min(lanes[i].engine._skip_horizon(r, caps[i]) for i in active)
+        else:
+            # The round was active somewhere, but skip-capable kernels
+            # can still prove the coming span silent from schedule
+            # state alone (slot gaps, pending phase boundaries) —
+            # skipping straight from one slot round to the next instead
+            # of executing a probe round in between. One lane without a
+            # licence keeps the lockstep stepping round by round.
+            horizons = [lanes[i].engine._silent_horizon(r, caps[i]) for i in active]
+            if any(horizon is None for horizon in horizons):
+                continue
+            h = min(horizons)
         if h <= start:
             continue
-        still_active = []
+        still_active: list[int] = []
         for i in active:
             lane = lanes[i]
+            engine = lane.engine
+            if span_ok[i]:
+                # Batch-capable observers are span-invariant over
+                # all-silent rounds, so the stop condition (a function
+                # of observer state) cannot fire mid-span: one call
+                # covers the whole span.
+                engine._emit_quiet_span(start, h)
+                still_active.append(i)
+                continue
             retired = False
             for quiet_round in range(start, h):
-                record = lane.engine._emit_quiet_round(quiet_round)
+                record = engine._emit_quiet_round(quiet_round)
                 if lane.stop is not None and lane.stop():
                     results[i] = ExecutionResult(
                         rounds=quiet_round + 1,
@@ -638,6 +1418,4 @@ def run_bank_batch(
                 still_active.append(i)
         active = still_active
         executed = h
-    for i in active:
-        results[i] = ExecutionResult(rounds=executed, solved=False, solve_round=None)
     return results

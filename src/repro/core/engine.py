@@ -409,10 +409,11 @@ class RadioNetworkEngine:
 
         Exactly what a full execution of the round would have produced:
         the coin stream advances by the ``n`` uniforms the Bernoulli
-        stage would have drawn (one :meth:`advance` per round — never
-        batched — so a mid-span stop leaves the stream at precisely the
-        position a non-skipping run would), and the record/history/
-        observer plumbing runs unchanged.
+        stage would have drawn (one :meth:`advance` per round on this
+        per-round path, so a mid-span stop leaves the stream at
+        precisely the position a non-skipping run would), and the
+        record/history/observer plumbing runs unchanged. The bank
+        scheduler's batched alternative is :meth:`_emit_quiet_span`.
         """
         self._coin_rng.bit_generator.advance(self.network.n)
         record = RoundRecord(
@@ -427,6 +428,31 @@ class RadioNetworkEngine:
         self._round += 1
         self._stats.rounds_run += 1
         return record
+
+    def _emit_quiet_span(self, start: int, stop: int) -> None:
+        """Emit all-silent rounds ``start .. stop-1`` as one batch.
+
+        Observable-equivalent to calling :meth:`_emit_quiet_round` for
+        each round of the span: the coin stream advances by exactly
+        ``n · span`` uniforms (one :meth:`advance` call — the PCG64
+        jump-ahead is O(log span), and the final stream position is
+        identical), observers get one ``on_round_batch(start, stop)``
+        instead of ``span`` materialized records, and the round/stat
+        counters land on the same values. Callers must ensure every
+        attached observer implements the batch hook (see
+        :class:`~repro.core.trace.Observer`) and that no mid-span stop
+        check is needed — batch-capable observers are span-invariant
+        over all-silent rounds, so a stop condition that is false at
+        ``start`` stays false through ``stop``. History entries are
+        *not* appended: retained history feeds adaptive adversary
+        views, and every caller of this path serves oblivious link
+        processes only.
+        """
+        self._coin_rng.bit_generator.advance(self.network.n * (stop - start))
+        for observer in self.observers:
+            observer.on_round_batch(start, stop)
+        self._round = stop
+        self._stats.rounds_run += stop - start
 
     def _quiet_horizon(self, r: int, limit: int) -> int:
         """First round in ``(r, limit]`` at which anything may change.

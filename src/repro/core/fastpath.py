@@ -52,6 +52,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.adversaries.base import (
+    PACKED_ROWS_MAX_N,
     AdversaryClass,
     AlgorithmInfo,
     LinkProcess,
@@ -110,7 +111,9 @@ _SMALL_CLASS = 4
 
 #: Above this node count the packed uint64 solo-cover matrices stop
 #: paying for their O(n²/8) memory (32 MiB per topology at the cap).
-_PACKED_MAX_N = 16384
+#: Shared with the adversaries' eager publication cap so a published
+#: schedule is exactly what this engine consumes.
+_PACKED_MAX_N = PACKED_ROWS_MAX_N
 
 #: Distinct nonzero contributors beyond which the exact rational
 #: expected-transmitter sum loses to a plain fsum over the vector.
@@ -167,10 +170,15 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             skip=skip,
         )
         n = network.n
-        always = 0      # nodes whose idle feedback cannot be skipped
-        send_skip = 0   # nodes whose pure-transmit feedback is a no-op
-        poll = 0        # nodes without an expiry promise: re-signed every round
-        class_traits: dict = {}  # class-level decisions, resolved once
+        # Per-node trait masks, assembled in byte rows: ``mask |= 1 << u``
+        # on a growing bigint is O(u/64) per node — O(n²/64) for the
+        # whole loop — while a bytearray bit-set plus one ``from_bytes``
+        # is O(n) total. Traits are class-level decisions resolved once.
+        nbytes = (n + 7) // 8
+        always_bits = bytearray(nbytes)     # idle feedback cannot be skipped
+        send_skip_bits = bytearray(nbytes)  # pure-transmit feedback is a no-op
+        poll_bits = bytearray(nbytes)       # no expiry promise: re-signed every round
+        class_traits: dict = {}
         for u, process in enumerate(self.processes):
             klass = type(process)
             traits = class_traits.get(klass)
@@ -182,14 +190,16 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                     klass.plan_signature_expiry is Process.plan_signature_expiry,
                 )
                 class_traits[klass] = traits
+            bit = 1 << (u & 7)
             if traits[0]:
-                always |= 1 << u
+                always_bits[u >> 3] |= bit
             if traits[1]:
-                send_skip |= 1 << u
+                send_skip_bits[u >> 3] |= bit
             if traits[2]:
-                poll |= 1 << u
-        self._always_feedback_mask = always
-        self._send_feedback_skip_mask = send_skip
+                poll_bits[u >> 3] |= bit
+        poll = int.from_bytes(poll_bits, "little")
+        self._always_feedback_mask = int.from_bytes(always_bits, "little")
+        self._send_feedback_skip_mask = int.from_bytes(send_skip_bits, "little")
         self._poll_mask = poll
         # Incremental signature-class state. All non-poll nodes start
         # dirty so round 0 classifies everyone.
@@ -395,7 +405,7 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         if matrix is not None:
             return self._resolve_with_matrix(transmit, matrix)
         if self.skip:
-            packed = self._packed_for(topology.masks)
+            packed = self._packed_for(topology)
             if packed is not None:
                 return self._resolve_packed(transmitter_mask, topology.masks, packed)
         return self._resolve_candidates(transmitter_mask, topology.masks)
@@ -818,29 +828,29 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 )
         return deliveries
 
-    def _packed_for(self, masks: tuple[int, ...]) -> Optional[np.ndarray]:
+    def _packed_for(self, topology) -> Optional[np.ndarray]:
         """Word-packed ``(n, n//64)`` neighborhood matrix, if cached.
 
         The dense count/sender matvec stops paying for itself beyond
         ``_MATRIX_MAX_N``; up to ``_PACKED_MAX_N`` the uint64-packed
         rows keep reception word-parallel (64 listeners per machine
         word) with a footprint of ``n²/8`` bytes instead of ``8n²``.
-        Same id-keyed cache discipline as :meth:`_matrix_for`.
+        Same id-keyed cache discipline as :meth:`_matrix_for`; the rows
+        themselves come from :meth:`RoundTopology.packed_rows`, so a
+        schedule an adversary published in ``start()`` is shared across
+        every engine lane rather than re-packed per engine.
         """
         n = self.network.n
         if n > _PACKED_MAX_N:
             return None
+        masks = topology.masks
         key = id(masks)
         packed = self._packed_cache.get(key)
         if packed is not None:
             return packed
         if len(self._packed_cache) >= _MATRIX_CACHE_SIZE:
             return None  # topology churn: the bigint scan is cheaper
-        words = self._packed_words
-        nbytes = words * 8
-        packed = np.empty((n, words), dtype=np.uint64)
-        for u, mask in enumerate(masks):
-            packed[u] = np.frombuffer(mask.to_bytes(nbytes, "little"), dtype=np.uint64)
+        packed = topology.packed_rows()
         self._packed_cache[key] = packed
         self._packed_keepalive.append(masks)
         return packed

@@ -89,7 +89,7 @@ class RoundPlan:
 _SILENCE = RoundPlan(probability=0.0, message=None)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessContext:
     """Per-node immutable context handed to a process at construction.
 

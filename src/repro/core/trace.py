@@ -85,7 +85,27 @@ class RoundRecord:
 
 
 class Observer(Protocol):
-    """Anything that wants to watch rounds as they complete."""
+    """Anything that wants to watch rounds as they complete.
+
+    ``on_round`` is the only required hook. Observers may additionally
+    implement the **batched quiet-span hook**::
+
+        def on_round_batch(self, start: int, stop: int) -> None: ...
+
+    The skipping engines call it *instead of* per-round ``on_round``
+    for a span of provably silent rounds ``start .. stop-1`` (every
+    round in the span has an empty transmitter mask, no deliveries,
+    and ``expected_transmitters == 0.0``), and only when **every**
+    observer attached to the engine implements it — mixing batch-aware
+    and per-round observers on one engine falls back to materializing
+    each round's :class:`RoundRecord` for everyone, so no observer ever
+    sees a partial stream. Observers whose state is delivery-driven
+    (the problem observers) implement it as a no-op; counters add the
+    span size. :class:`TraceCollector` deliberately does *not*
+    implement it: attaching one forces lazy per-round materialization,
+    which is what keeps skip-on/skip-off traces byte-comparable in the
+    equivalence suites.
+    """
 
     def on_round(self, record: RoundRecord) -> None:  # pragma: no cover - protocol
         ...
@@ -137,6 +157,12 @@ class DeliveryCounter:
             self.max_concurrent_transmitters = count
         if count == 0:
             self.silent_rounds += 1
+
+    def on_round_batch(self, start: int, stop: int) -> None:
+        """A span of all-silent rounds: only the counters move."""
+        span = stop - start
+        self.rounds += span
+        self.silent_rounds += span
 
 
 def first_delivery_round(

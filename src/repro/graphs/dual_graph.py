@@ -22,7 +22,7 @@ reach the network sizes the lower-bound sweeps need.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
@@ -36,6 +36,7 @@ __all__ = [
     "normalize_edge",
     "edges_from_adjacency",
     "masks_to_neighbor_matrix",
+    "pack_mask_rows",
 ]
 
 
@@ -126,6 +127,58 @@ def _packed_adjacency(masks: Sequence[int], n: int) -> np.ndarray:
     return np.frombuffer(buffer, dtype=np.uint8).reshape(len(masks), nbytes)
 
 
+def _first_asymmetric_edge(packed: np.ndarray, n: int) -> Optional[tuple[int, int]]:
+    """Lexicographically smallest ``(u, v)`` with ``v ∈ N(u)`` but ``u ∉ N(v)``.
+
+    Works on the packed byte matrix without unpacking it: only bytes
+    that actually carry edge bits (≤ 2|E| of them) are expanded, so the
+    symmetry check is O(n²/8) scan plus O(E log E) set membership
+    instead of O(E) big-int shifts.
+    """
+    rows, cols = np.nonzero(packed)
+    if rows.size == 0:
+        return None
+    vals = packed[rows, cols]
+    parts_u: list[np.ndarray] = []
+    parts_v: list[np.ndarray] = []
+    for bit in range(8):
+        hit = ((vals >> np.uint8(bit)) & np.uint8(1)).astype(bool)
+        if hit.any():
+            parts_u.append(rows[hit])
+            parts_v.append((cols[hit] << 3) + bit)
+    u = np.concatenate(parts_u)
+    v = np.concatenate(parts_v)
+    forward = u * np.int64(n) + v
+    reverse = v * np.int64(n) + u
+    missing = ~np.isin(reverse, forward, assume_unique=True)
+    if not missing.any():
+        return None
+    worst = int(forward[missing].min())
+    return worst // n, worst % n
+
+
+def pack_mask_rows(masks: Sequence[int], n: int) -> np.ndarray:
+    """Bitmasks as a read-only ``(len(masks), ⌈n/64⌉)`` uint64 word matrix.
+
+    This is the engines' shared word form: the bitset engine's packed
+    reception resolver and the bank scheduler both consume it, and
+    static/cyclic adversaries publish their whole mask schedule through
+    it once per run instead of letting every engine lane re-pack the
+    same big-int tuples round after round. Single-word graphs take the
+    direct ``np.array`` route; wider graphs serialize through
+    little-endian bytes so each row's words are ``mask``'s 64-bit limbs
+    in ascending order. The result is frozen — it is shared between
+    engine lanes.
+    """
+    words = (n + 63) // 64
+    if words == 1:
+        rows = np.array(masks, dtype=np.uint64).reshape(len(masks), 1)
+        rows.flags.writeable = False
+        return rows
+    buffer = b"".join(mask.to_bytes(words * 8, "little") for mask in masks)
+    return np.frombuffer(buffer, dtype=np.uint64).reshape(len(masks), words)
+
+
 @dataclass(frozen=True)
 class DualGraph:
     """An immutable dual graph with precomputed adjacency bitmasks.
@@ -152,58 +205,77 @@ class DualGraph:
     gp_masks: tuple[int, ...]
     embedding: Optional[tuple[tuple[float, float], ...]] = None
     name: str = "dual-graph"
+    #: Set ``validate=False`` only when the structural invariants
+    #: (symmetry, no self-loops, E ⊆ E', masks within range) hold *by
+    #: construction* — :meth:`from_edges` sets both directions of every
+    #: edge and builds ``G'`` as a superset of ``G``, so re-deriving
+    #: those facts from the finished masks is pure overhead at large n.
+    #: Externally supplied masks must keep the default.
+    validate: InitVar[bool] = True
     _flaky_masks: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate: bool) -> None:
         if self.n < 1:
             raise GraphValidationError(f"need at least one node, got n={self.n}")
         if len(self.g_masks) != self.n or len(self.gp_masks) != self.n:
             raise GraphValidationError("adjacency mask lists must have length n")
-        for u in range(self.n):
-            # Range stays a per-node int check: negative or oversized
-            # masks cannot even be packed into n-bit byte rows below.
-            if self.g_masks[u] >> self.n or self.gp_masks[u] >> self.n:
-                raise GraphValidationError(f"node {u} has neighbors outside [0, n)")
-        # Structural checks: sparse graphs (rings, lines, geometric
-        # families at large n) validate in O(E) big-int work, dense
-        # families (cliques, funnels) on packed byte matrices at C
-        # speed — materializing the n × n bit matrix for a 2-regular
-        # ring costs more than the whole simulation at n = 10⁴.
-        total_bits = sum(m.bit_count() for m in self.g_masks) + sum(
-            m.bit_count() for m in self.gp_masks
-        )
-        if total_bits * 16 < self.n * self.n:
-            self._validate_sparse()
-        else:
-            self._validate_dense()
+        if validate:
+            for u in range(self.n):
+                # Range stays a per-node int check (bit_length is O(1),
+                # unlike shifting an n-bit mask): negative or oversized
+                # masks cannot even be packed into n-bit byte rows below.
+                g, gp = self.g_masks[u], self.gp_masks[u]
+                if g < 0 or gp < 0 or g.bit_length() > self.n or gp.bit_length() > self.n:
+                    raise GraphValidationError(f"node {u} has neighbors outside [0, n)")
+            # Structural checks: sparse graphs (rings, lines, geometric
+            # families at large n) validate on packed byte rows without
+            # ever unpacking them, dense families (cliques, funnels) on
+            # the full unpacked bit matrix — materializing n × n bits
+            # for a 2-regular ring costs more than the simulation at
+            # n = 10⁴.
+            total_bits = sum(m.bit_count() for m in self.g_masks) + sum(
+                m.bit_count() for m in self.gp_masks
+            )
+            if total_bits * 16 < self.n * self.n:
+                self._validate_sparse()
+            else:
+                self._validate_dense()
         if self.embedding is not None and len(self.embedding) != self.n:
             raise GraphValidationError("embedding must give one point per node")
         flaky = tuple(self.gp_masks[u] & ~self.g_masks[u] for u in range(self.n))
         object.__setattr__(self, "_flaky_masks", flaky)
 
     def _validate_sparse(self) -> None:
-        """O(E) structural checks mirroring :meth:`_validate_dense`.
+        """Structural checks on packed byte rows, mirroring :meth:`_validate_dense`.
 
-        Error selection order matches the dense path exactly: lowest
-        offending node first (self-loop preferred over subset violation
-        on ties), then ``G`` asymmetry before ``G'`` asymmetry, lowest
-        ``(u, v)`` first.
+        Unlike the dense path this never materializes the n × n bit
+        matrix: subset and self-loop checks scan the ⌈n/8⌉-byte rows
+        directly, and symmetry expands only the bytes that carry edge
+        bits. Error selection order matches the dense path exactly:
+        lowest offending node first (self-loop preferred over subset
+        violation on ties), then ``G`` asymmetry before ``G'``
+        asymmetry, lowest ``(u, v)`` first.
         """
-        for u in range(self.n):
-            g, gp = self.g_masks[u], self.gp_masks[u]
-            if (g >> u) & 1 or (gp >> u) & 1:
-                raise GraphValidationError(f"self-loop at node {u}")
-            if g & ~gp:
+        g_packed = _packed_adjacency(self.g_masks, self.n)
+        gp_packed = _packed_adjacency(self.gp_masks, self.n)
+        diagonal = np.arange(self.n)
+        diag_bytes = g_packed[diagonal, diagonal >> 3] | gp_packed[diagonal, diagonal >> 3]
+        loops = (diag_bytes >> (diagonal & 7).astype(np.uint8)) & np.uint8(1)
+        subset_rows = (g_packed & ~gp_packed).any(axis=1)
+        if loops.any() or subset_rows.any():
+            loop_u = int(np.argmax(loops)) if loops.any() else self.n
+            subset_u = int(np.argmax(subset_rows)) if subset_rows.any() else self.n
+            if loop_u <= subset_u:
+                raise GraphValidationError(f"self-loop at node {loop_u}")
+            raise GraphValidationError(
+                f"node {subset_u} has G edges missing from G' (E ⊆ E' violated)"
+            )
+        for packed, label in ((g_packed, "G"), (gp_packed, "G'")):
+            pair = _first_asymmetric_edge(packed, self.n)
+            if pair is not None:
                 raise GraphValidationError(
-                    f"node {u} has G edges missing from G' (E ⊆ E' violated)"
+                    f"{label} edge ({pair[0]}, {pair[1]}) is asymmetric"
                 )
-        for masks, label in ((self.g_masks, "G"), (self.gp_masks, "G'")):
-            for u in range(self.n):
-                for v in iter_bits(masks[u]):
-                    if not (masks[v] >> u) & 1:
-                        raise GraphValidationError(
-                            f"{label} edge ({u}, {v}) is asymmetric"
-                        )
 
     def _validate_dense(self) -> None:
         g_packed = _packed_adjacency(self.g_masks, self.n)
@@ -249,6 +321,11 @@ class DualGraph:
 
         ``extra_gp_edges`` lists only the unreliable edges; ``G'`` is
         their union with ``G``, so ``E ⊆ E'`` holds by construction.
+        Structural re-validation is skipped for the same reason:
+        :func:`normalize_edge` rejects self-loops, :func:`_masks_from_edges`
+        range-checks endpoints and sets both directions of every edge,
+        and the superset union gives ``E ⊆ E'`` — nothing is left for
+        ``__post_init__`` to find.
         """
         g_edge_set = {normalize_edge(u, v) for u, v in g_edges}
         extra_set = {normalize_edge(u, v) for u, v in extra_gp_edges} - g_edge_set
@@ -260,6 +337,7 @@ class DualGraph:
             gp_masks=tuple(gp_masks),
             embedding=tuple((float(x), float(y)) for x, y in embedding) if embedding else None,
             name=name,
+            validate=False,
         )
 
     @classmethod
@@ -323,6 +401,28 @@ class DualGraph:
             object.__setattr__(self, "_word_mask_cache", arrays)
         return arrays
 
+    def packed_mask_rows(self, *, use_gp: bool = False) -> np.ndarray:
+        """``g_masks`` (or ``gp_masks``) through :func:`pack_mask_rows`, cached.
+
+        The two static round topologies — reliable-only and full-``G'``
+        — are rebuilt per trial by the stock adversaries, but their
+        word form depends only on the graph, which sweeps share across
+        trials via the registry cache. Caching the packed rows here
+        means a sweep packs each pattern once instead of once per
+        trial. The rows are frozen; treat them as read-only.
+        """
+        cache = getattr(self, "_packed_rows_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_packed_rows_cache", cache)
+        key = "gp" if use_gp else "g"
+        rows = cache.get(key)
+        if rows is None:
+            masks = self.gp_masks if use_gp else self.g_masks
+            rows = pack_mask_rows(masks, self.n)
+            cache[key] = rows
+        return rows
+
     def g_neighbors(self, u: int) -> list[int]:
         """Neighbors of ``u`` in the reliable graph ``G``."""
         return list(iter_bits(self.g_masks[u]))
@@ -343,8 +443,17 @@ class DualGraph:
 
     @property
     def max_degree(self) -> int:
-        """The paper's ``Δ = max |N_{G'}(u)|`` (known to processes)."""
-        return max(popcount(mask) for mask in self.gp_masks)
+        """The paper's ``Δ = max |N_{G'}(u)|`` (known to processes).
+
+        Memoized on the instance: every trial setup asks for it (the
+        processes are entitled to know Δ), and the n popcounts are not
+        free at sweep scale.
+        """
+        cached = getattr(self, "_max_degree_cache", None)
+        if cached is None:
+            cached = max(popcount(mask) for mask in self.gp_masks)
+            object.__setattr__(self, "_max_degree_cache", cached)
+        return cached
 
     def g_edges(self) -> set[Edge]:
         """Canonical edge set of ``G``."""
@@ -388,8 +497,18 @@ class DualGraph:
         return dist
 
     def is_g_connected(self) -> bool:
-        """True iff the reliable graph ``G`` is connected."""
-        return all(d >= 0 for d in self.bfs_distances(0))
+        """True iff the reliable graph ``G`` is connected.
+
+        Memoized on the instance: the graph is immutable, and problem
+        constructors re-check connectivity once per trial while sweeps
+        share one registry-cached graph across every trial and series —
+        without the memo the BFS dominates trial setup at large ``n``.
+        """
+        cached = getattr(self, "_g_connected_cache", None)
+        if cached is None:
+            cached = all(d >= 0 for d in self.bfs_distances(0))
+            object.__setattr__(self, "_g_connected_cache", cached)
+        return cached
 
     def g_diameter(self) -> int:
         """Diameter of ``G`` (the paper's ``D``). Exact via all-sources BFS.
@@ -441,12 +560,15 @@ class DualGraph:
         emb = None
         if self.embedding is not None:
             emb = tuple(self.embedding[node] for node in nodes)
+        # An induced subgraph of a valid dual graph is valid: symmetry,
+        # loop-freedom, and E ⊆ E' all restrict to the node subset.
         return DualGraph(
             n=k,
             g_masks=tuple(g_masks),
             gp_masks=tuple(gp_masks),
             embedding=emb,
             name=name or f"{self.name}[induced {k}]",
+            validate=False,
         )
 
     def as_static(self, *, use_gp: bool = False, name: Optional[str] = None) -> "DualGraph":
@@ -458,6 +580,7 @@ class DualGraph:
             gp_masks=masks,
             embedding=self.embedding,
             name=name or f"{self.name}[static]",
+            validate=False,
         )
 
     def to_networkx(self):  # pragma: no cover - optional dependency convenience

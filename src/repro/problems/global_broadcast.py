@@ -48,6 +48,9 @@ class GlobalBroadcastObserver(ProblemObserver):
                 self.informed_mask |= bit
                 self.first_informed_round[delivery.receiver] = record.round_index
 
+    def on_round_batch(self, start: int, stop: int) -> None:
+        """All-silent span: no deliveries, so the frontier cannot move."""
+
     def progress(self) -> float:
         return self.informed_count / self.n
 

@@ -28,8 +28,10 @@ from repro.core.trace import TraceCollector
 
 MASTER_SEED = 414213562
 
-#: A kernel workload (gkln), a generic-lane workload (plain-decay), and
-#: a per-node-RNG workload (uncoordinated decay draws from LazyRng).
+#: MAC-kernel (gkln) and single-message-kernel (plain/permuted decay)
+#: workloads, a generic-lane workload (plain-decay with a finite
+#: active_phases window, which opts out of the decay kernel), and a
+#: per-node-RNG workload (uncoordinated decay draws from LazyRng).
 SPECS = {
     "gkln-kernel": ScenarioSpec(
         graph=("ring", {"n": 12}),
@@ -40,10 +42,24 @@ SPECS = {
         messages={"k": 3, "sources": "spread"},
         engine="bank",
     ),
-    "generic-lane": ScenarioSpec(
+    "decay-kernel": ScenarioSpec(
         graph=("line", {"n": 12, "extra_flaky_skips": 2}),
         problem=("global-broadcast", {"source": 0}),
         algorithm=("plain-decay", {}),
+        adversary=("alternating", {"phase_lengths": [2, 3]}),
+        engine="bank",
+    ),
+    "permuted-kernel": ScenarioSpec(
+        graph=("funnel", {"n": 14}),
+        problem=("global-broadcast", {"source": 0}),
+        algorithm=("permuted-decay", {}),
+        adversary=("cut-jammer", {"period": 4, "dense_rounds": 1, "side": "first-half"}),
+        engine="bank",
+    ),
+    "generic-lane": ScenarioSpec(
+        graph=("line", {"n": 12, "extra_flaky_skips": 2}),
+        problem=("global-broadcast", {"source": 0}),
+        algorithm=("plain-decay", {"active_phases": 3}),
         adversary=("alternating", {"phase_lengths": [2, 3]}),
         engine="bank",
     ),
@@ -54,6 +70,17 @@ SPECS = {
         adversary=("bernoulli-edge", {"p_up": 0.6}),
         engine="bank",
     ),
+}
+
+#: Which kernel class (by name) each spec's bank must select; ``None``
+#: pins the generic per-process lane. Rotting expectations here would
+#: silently turn the kernel rows above into generic-lane rows.
+EXPECTED_KERNEL = {
+    "gkln-kernel": "_GklnBankKernel",
+    "decay-kernel": "_PlainDecayBankKernel",
+    "permuted-kernel": "_PermutedDecayBankKernel",
+    "generic-lane": None,
+    "lazy-node-rng": None,
 }
 
 MAX_ROUNDS = 600
@@ -114,6 +141,21 @@ def _serial_engine(spec: ScenarioSpec, seed: int, engine_name: str):
     )
     result = engine.run(max_rounds=MAX_ROUNDS, stop=lambda: observer.solved)
     return engine, result, collector
+
+
+class TestKernelSelection:
+    """Each spec engages exactly the kernel (or generic lane) it pins."""
+
+    @pytest.mark.parametrize("name", sorted(SPECS))
+    def test_expected_kernel_engages(self, name):
+        _, lanes = _bank_lanes(SPECS[name], _seeds(2))
+        expected = EXPECTED_KERNEL[name]
+        for lane, _ in lanes:
+            kernel = lane.engine._kernel
+            if expected is None:
+                assert kernel is None
+            else:
+                assert type(kernel).__name__ == expected
 
 
 class TestPerTrialStreamIdentity:

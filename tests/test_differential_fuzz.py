@@ -172,7 +172,10 @@ def _workload(rng: random.Random) -> dict:
     if kind == "global":
         algorithm = rng.choice(
             [
-                ("plain-decay", {}),
+                # Bare plain-decay rides the single-message bank kernel;
+                # a finite active_phases window opts out of it, keeping
+                # the generic per-process lane in the fuzz pool too.
+                ("plain-decay", {} if rng.random() < 0.5 else {"active_phases": 2}),
                 ("uncoordinated-decay", {}),
                 ("permuted-decay", {}),
                 ("round-robin-global", {"random_slots": rng.random() < 0.5}),
@@ -233,11 +236,19 @@ def generate_spec(case_index: int) -> ScenarioSpec:
 #: * ``bank-non-mac-algorithm`` — kernel eligibility probing crashed
 #:   with ``AttributeError`` on processes without an ``assignment``
 #:   (any non-MAC algorithm through ``engine="bank"``).
-#: * ``bank-k-over-bitmap`` — workloads with more messages than the
-#:   64-bit knowledge bitmap must take the generic lane path, not
-#:   overflow the kernel.
+#: * ``bank-k-over-bitmap`` — workloads with more messages than one
+#:   64-bit knowledge word must spill into the second word of the
+#:   (trials, nodes, words) knowledge tensor, not overflow the kernel
+#:   (before multi-word lanes landed, these fell back to the generic
+#:   lane path; now they stay on the kernel).
 #: * ``bank-single-message-backoff`` — k = 1 degenerate rotation
 #:   (``(r + id) % 1``) through the vectorized back-off kernel.
+#: * ``bank-plain-decay-kernel`` — plain decay through the
+#:   single-message bank kernel, with adversary gaps exercising the
+#:   phase-boundary join arithmetic in the kernel's feedback stage.
+#: * ``bank-permuted-decay-kernel`` — permuted decay's epoch/offset
+#:   arithmetic through its bank kernel, with a schedule that leaves
+#:   whole silent epochs for the skip probe.
 REGRESSION_CORPUS = {
     "bank-non-mac-algorithm": {
         "graph": {"name": "star", "params": {"n": 9, "flaky_rim": True}},
@@ -262,6 +273,21 @@ REGRESSION_CORPUS = {
         "adversary": {"name": "ge-fade", "params": {"p_fail": 0.3, "p_recover": 0.4}},
         "mac": {"name": "simulated", "params": {}},
         "messages": {"k": 1, "sources": "spread"},
+    },
+    "bank-plain-decay-kernel": {
+        "graph": {"name": "line", "params": {"n": 11, "extra_flaky_skips": 2}},
+        "problem": {"name": "global-broadcast", "params": {"source": 5}},
+        "algorithm": {"name": "plain-decay", "params": {}},
+        "adversary": {"name": "alternating", "params": {"phase_lengths": [2, 3]}},
+    },
+    "bank-permuted-decay-kernel": {
+        "graph": {"name": "funnel", "params": {"n": 16}},
+        "problem": {"name": "global-broadcast", "params": {"source": 0}},
+        "algorithm": {"name": "permuted-decay", "params": {}},
+        "adversary": {
+            "name": "cut-jammer",
+            "params": {"period": 4, "dense_rounds": 1, "side": "first-half"},
+        },
     },
 }
 

@@ -283,9 +283,12 @@ class TestFastEngineEquivalence:
         if engine in _ENGINE_TYPES:
             assert type(fast_engine) is _ENGINE_TYPES[engine]
         expected_skip = skip
-        if getattr(fast_engine, "_kernel", None) is not None:
-            # Kernel lanes replace the plan stage wholesale and force
-            # skipping off regardless of the request.
+        kernel = getattr(fast_engine, "_kernel", None)
+        if kernel is not None and not kernel.supports_skip:
+            # Multi-message kernel lanes replace the plan stage
+            # wholesale and force skipping off regardless of the
+            # request; the single-message kernels answer the skip
+            # probe themselves and honor it.
             expected_skip = False
         assert fast_engine.skip is expected_skip
         assert fast_result == ref_result

@@ -23,10 +23,11 @@ scenarios with nothing to skip at all):
   cannot rot into vacuously comparing two non-skipping loops.
 
 Boundary behaviour rides along: ``max_rounds`` landing mid-skip-span,
-bank batches of zero/one seed, and the k = 63 knowledge-bitmap lane
-edge. Fallback-warning dedup (one ``EngineFallbackWarning`` per
-scenario batch, naming the component and the scenario) is pinned for
-both executors at the bottom.
+bank batches of zero/one seed, heterogeneous per-trial round caps
+through the lockstep bank, and the k = 63/64/65 knowledge word
+boundary (one uint64 word vs two). Fallback-warning dedup (one
+``EngineFallbackWarning`` per scenario batch, naming the component and
+the scenario) is pinned for both executors at the bottom.
 """
 
 from __future__ import annotations
@@ -105,6 +106,33 @@ CORPUS = [
             adversary=("bernoulli-edge", {"p_up": 0.7}),
         ),
         400,
+        False,
+    ),
+    (
+        "plain-decay-kernel-line",  # decay bank kernel: ladder always live
+        dict(
+            # Mid-line source under an alternating adversary: the bank
+            # engine serves this from _PlainDecayBankKernel, whose
+            # exact expected-count answers feed the skip probe (which
+            # must never fire — informed nodes ride the ladder with
+            # positive probability every round).
+            graph=("line", {"n": 20, "extra_flaky_skips": 2}),
+            problem=("global-broadcast", {"source": 10}),
+            algorithm=("plain-decay", {}),
+            adversary=("alternating", {"phase_lengths": [2, 3]}),
+        ),
+        400,
+        False,
+    ),
+    (
+        "static-local-decay-ring",  # static decay kernel, constant churn
+        dict(
+            graph=("ring", {"n": 24}),
+            problem=("local-broadcast", {"fraction": 0.25}),
+            algorithm=("static-local-decay", {}),
+            adversary=("cut-jammer", {"period": 5, "dense_rounds": 2, "side": "first-half"}),
+        ),
+        300,
         False,
     ),
     (
@@ -269,23 +297,95 @@ class TestBankBoundaries:
         solos = [run_prepared_trial(scenario(s), s) for s in seeds]
         assert banked == solos
 
-    def test_k63_knowledge_lane_boundary(self):
-        """63 messages: the last id still fits the 64-bit knowledge
-        bitmap (bit 62 of 0..63), one short of the kernel's lane edge."""
+    @pytest.mark.parametrize("k", (63, 64, 65))
+    def test_knowledge_word_boundary(self, k):
+        """The kernel's knowledge tensor is (trials, nodes, words)
+        uint64: k = 63/64 fill a single word (top bits 62/63), k = 65
+        spills into a second. The kernel must engage on all three —
+        message counts above one word used to force the generic lane —
+        and match the reference engine exactly."""
         spec = ScenarioSpec(
-            graph=("clique", {"n": 63}),
+            graph=("clique", {"n": k}),
             problem=("multi-message", {}),
             algorithm=("gkln-multi-message", {}),
             adversary=("none", {}),
             mac=("simulated", {}),
-            messages={"k": 63, "sources": "spread"},
+            messages={"k": k, "sources": "spread"},
             max_rounds=4000,
         )
-        reference = run_prepared_trial(spec.build(SEEDS[0]), SEEDS[0])
-        banked = run_prepared_trial(
-            spec.with_param("engine", "bank").build(SEEDS[0]), SEEDS[0]
+        trial = spec.build(SEEDS[0])
+        processes = trial.algorithm.build_processes(
+            trial.network.n, trial.network.max_degree, seed=SEEDS[0]
         )
-        assert banked == reference
+        observer = trial.problem.make_observer()
+        engine = create_engine(
+            trial.network,
+            processes,
+            trial.link_process,
+            engine="bank",
+            seed=SEEDS[0],
+            algorithm_info=trial.algorithm.info(),
+            observers=[observer],
+        )
+        kernel = engine._kernel
+        assert kernel is not None
+        assert kernel.known.shape[2] == (k + 63) // 64
+        result = engine.run(max_rounds=4000, stop=lambda: observer.solved)
+        reference = run_prepared_trial(spec.build(SEEDS[0]), SEEDS[0])
+        assert (result.solved, result.rounds) == (
+            reference.solved,
+            reference.rounds,
+        )
+
+
+class TestBankHeterogeneousRounds:
+    """Banks whose trials carry different round caps stay batched."""
+
+    SPEC = dict(
+        graph=("geographic", {"n": 32}),
+        problem=("local-broadcast", {"fraction": 0.25}),
+        algorithm=("round-robin-local", {}),
+        adversary=("none", {}),
+    )
+    #: seed → cap; 9 censors mid-span, 400 lets the trial solve.
+    CAPS = {11: 9, 12: 400, 13: 37, 14: 123}
+
+    def _scenario(self):
+        spec = _spec(self.SPEC).with_param("engine", "bank")
+        caps = self.CAPS
+
+        def build(seed):
+            trial = spec.build(seed)
+            trial.max_rounds = caps[seed]
+            return trial
+
+        return build
+
+    def test_heterogeneous_caps_match_solo_runs(self):
+        scenario = self._scenario()
+        seeds = sorted(self.CAPS)
+        banked = run_bank_trials(scenario, seeds)
+        solos = [run_prepared_trial(scenario(s), s) for s in seeds]
+        assert banked == solos
+
+    def test_heterogeneous_caps_stay_on_batch_path(self, monkeypatch):
+        """Regression: trials disagreeing on ``max_rounds`` used to hit
+        the silent per-trial fallback; now each lane carries its own
+        cap and retires from the lockstep batch when it reaches it."""
+        import repro.core.bankpath as bankpath
+
+        calls = []
+        original = bankpath.run_bank_batch
+
+        def spy(lanes, *, max_rounds):
+            calls.append((len(lanes), max_rounds))
+            return original(lanes, max_rounds=max_rounds)
+
+        monkeypatch.setattr(bankpath, "run_bank_batch", spy)
+        scenario = self._scenario()
+        seeds = sorted(self.CAPS)
+        run_bank_trials(scenario, seeds)
+        assert calls == [(len(seeds), max(self.CAPS.values()))]
 
 
 class TestFallbackWarningDedup:
