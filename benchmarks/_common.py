@@ -29,13 +29,23 @@ Knobs (environment variables):
   ``BENCH_<experiment>_<scale>_<engine>.json`` artifacts (default
   ``benchmarks/results/``). Set it empty to disable writing.
 * ``REPRO_BENCH_PROFILE=1`` — run the experiment under ``cProfile``
-  and write the top-20 cumulative-time functions to
-  ``BENCH_<experiment>_<scale>_<engine>.profile.txt`` beside the JSON
-  artifact. This is the first tool to reach for when a bench number
-  moves: the profile names the Python-level hotspot (plan loops, mask
-  minting, observer dispatch) that the timings alone only hint at.
-  Profiling overhead inflates wall times, so profiled runs still write
-  the JSON artifact but should not be committed as timing artifacts.
+  (via :func:`repro.obs.profile.profiled`, the same helper behind
+  ``repro trace --profile``) and write the top-20 cumulative-time
+  functions to ``BENCH_<experiment>_<scale>_<engine>.profile.txt``
+  beside the JSON artifact. This is the first tool to reach for when a
+  bench number moves: the profile names the Python-level hotspot (plan
+  loops, mask minting, observer dispatch) that the timings alone only
+  hint at. Profiling overhead inflates wall times, so profiled runs
+  still write the JSON artifact but should not be committed as timing
+  artifacts.
+* ``REPRO_BENCH_TRACE=0`` — disable the per-phase breakdown. By
+  default each bench also runs under a timing-only
+  :mod:`repro.obs.recorder` and writes the engine-phase nanoseconds
+  plus semantic counters to ``TRACE_<experiment>_<scale>_<engine>.json``
+  beside the timing artifact (the ``TRACE_`` prefix keeps it out of the
+  store's ``BENCH_*.json`` merge glob). Tracing overhead is pinned at
+  ≤ 3% by ``tests/test_obs.py``, and it is applied uniformly, so
+  committed artifacts stay comparable.
 
 The JSON artifacts are how the perf trajectory is tracked across PRs:
 each file records the experiment, scale, engine, per-repeat wall
@@ -97,6 +107,14 @@ BENCH_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "").strip().lower() in (
     "true",
     "on",
     "yes",
+)
+
+#: Phase breakdown: on unless REPRO_BENCH_TRACE explicitly disables it.
+BENCH_TRACE = os.environ.get("REPRO_BENCH_TRACE", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
 )
 
 #: Master seed shared by all benches (the paper year).
@@ -185,14 +203,47 @@ def _write_profile(exp_id: str, profiler) -> Optional[Path]:
     directory = _results_dir()
     if directory is None:
         return None
-    import io
-    import pstats
+    from repro.obs.profile import profile_text
 
-    buffer = io.StringIO()
-    pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{exp_id}_{BENCH_SCALE}_{ENGINE_LABEL}.profile.txt"
-    path.write_text(buffer.getvalue())
+    path.write_text(profile_text(profiler))
+    return path
+
+
+def _write_phases(exp_id: str, delta: dict, repeats: int) -> Optional[Path]:
+    """Persist the phase/counter breakdown beside the timing artifact.
+
+    ``delta`` is a recorder counter delta spanning every repeat;
+    ``phase.*`` keys become the nanosecond phase map, the rest stay
+    semantic counters. The ``TRACE_`` filename prefix keeps the file
+    out of the store's ``BENCH_*.json`` merge glob.
+    """
+    directory = _results_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "kind": "bench-phases",
+        "experiment": exp_id,
+        "scale": BENCH_SCALE,
+        "engine": BENCH_ENGINE,
+        "skip": BENCH_SKIP,
+        "repeats": repeats,
+        "phases_ns": {
+            name[len("phase."):]: value
+            for name, value in sorted(delta.items())
+            if name.startswith("phase.")
+        },
+        "counters": {
+            name: value
+            for name, value in sorted(delta.items())
+            if not name.startswith("phase.")
+        },
+    }
+    path = directory / f"TRACE_{exp_id}_{BENCH_SCALE}_{ENGINE_LABEL}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 
@@ -211,6 +262,21 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
         import cProfile
 
         profiler = cProfile.Profile()
+    obs = None
+    obs_mark: Optional[dict] = None
+    if BENCH_TRACE:
+        from repro.obs.recorder import enable as _obs_enable
+        from repro.obs.recorder import recorder as _obs_recorder
+
+        # Respect an externally-enabled recorder; otherwise own a
+        # timing-only one for the span of this experiment.
+        obs = _obs_recorder()
+        owns_obs = obs is None
+        if owns_obs:
+            obs = _obs_enable(None)
+        obs_mark = obs.checkpoint()
+    else:
+        owns_obs = False
 
     def timed_run() -> ExperimentResult:
         started = time.perf_counter()
@@ -238,6 +304,15 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
         return outcome
 
     result = benchmark.pedantic(timed_run, rounds=BENCH_REPEATS, iterations=1)
+    phases_path = None
+    if obs is not None and obs_mark is not None:
+        delta = obs.delta(obs_mark)
+        if owns_obs:
+            from repro.obs.recorder import disable as _obs_disable
+
+            _obs_disable()
+        if delta:
+            phases_path = _write_phases(exp_id, delta, len(seconds))
     cells = [
         {"series": label, "parameter": parameter, "seconds": round(value, 6)}
         for (label, parameter), value in sorted(
@@ -252,6 +327,8 @@ def run_experiment(benchmark, exp_id: str) -> ExperimentResult:
         f"median={statistics.median(seconds):.2f}s"
         + (f", artifact={artifact}]" if artifact else "]")
     )
+    if phases_path is not None:
+        print(f"[phases={phases_path}]")
     if profiler is not None:
         profile_path = _write_profile(exp_id, profiler)
         if profile_path is not None:

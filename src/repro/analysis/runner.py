@@ -346,9 +346,12 @@ def run_bank_trials(
     if warn_fallback:
         import warnings
 
+        from repro.obs.recorder import inc as _obs_inc
+
         for note in notes:
             if lead.label:
                 note = f"{note} [scenario: {lead.label}]"
+            _obs_inc("engine.fallback.warned")
             warnings.warn(note, EngineFallbackWarning, stacklevel=2)
     kernel = build_bank_kernel(banks)
     lanes = []

@@ -163,8 +163,10 @@ class ParallelExecutor(TrialExecutor):
         # of how many chunks or processes it fans out to.
         from repro.analysis.runner import probe_engine_fallbacks
         from repro.core.errors import EngineFallbackWarning
+        from repro.obs.recorder import inc as _obs_inc
 
         for note in probe_engine_fallbacks(scenario(seeds[0]), seeds[0]):
+            _obs_inc("engine.fallback.warned")
             warnings.warn(note, EngineFallbackWarning, stacklevel=2)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)

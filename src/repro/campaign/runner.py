@@ -20,22 +20,38 @@ from __future__ import annotations
 
 import platform
 import time
-from dataclasses import dataclass
-from typing import Callable, Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
 from repro.campaign.spec import CampaignSpec, Shard
 from repro.campaign.store import SCHEMA_VERSION, ResultStore
+from repro.core.errors import EngineFallbackWarning
+from repro.obs.recorder import recorder as _obs_recorder
 
 __all__ = ["CampaignRunner", "CampaignStatus", "ShardOutcome", "shard_record"]
 
 
-def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
+def shard_record(
+    shard: Shard,
+    aggregate: dict,
+    *,
+    seconds: float,
+    fallbacks: Sequence[str] = (),
+    obs_counters: Optional[dict] = None,
+) -> dict:
     """Assemble the JSONL checkpoint record for one finished shard.
 
     ``aggregate`` (from
     :meth:`~repro.experiments.registry.ExperimentResult.to_record`) is
     the seed-determined payload; everything volatile lives under
-    ``meta`` and is excluded from the byte-identity surface.
+    ``meta`` and is excluded from the byte-identity surface. That is
+    where the observability data goes too: ``fallbacks`` (the deduped
+    :class:`~repro.core.errors.EngineFallbackWarning` texts the shard
+    raised) and ``obs_counters`` (the shard's slice of the active trace
+    recorder's counters — ``phase.*`` nanoseconds plus semantic
+    counts) are timing/diagnostic facts about *this* execution, never
+    part of the seed-determined surface.
 
     ``spec_hash`` (:meth:`Shard.spec_hash`, deterministic, so it stays
     inside the byte-identity surface) is what lets
@@ -43,6 +59,14 @@ def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
     later submissions — including ones arriving through the serve API
     under a different campaign name.
     """
+    meta: dict = {
+        "seconds": round(seconds, 6),
+        "python": platform.python_version(),
+    }
+    if fallbacks:
+        meta["fallbacks"] = list(fallbacks)
+    if obs_counters:
+        meta["obs"] = dict(obs_counters)
     return {
         "schema": SCHEMA_VERSION,
         "kind": "shard",
@@ -54,10 +78,7 @@ def shard_record(shard: Shard, aggregate: dict, *, seconds: float) -> dict:
         "master_seed": shard.master_seed,
         "spec_hash": shard.spec_hash(),
         "aggregate": aggregate,
-        "meta": {
-            "seconds": round(seconds, 6),
-            "python": platform.python_version(),
-        },
+        "meta": meta,
     }
 
 
@@ -76,11 +97,19 @@ class ShardOutcome:
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """Progress of a campaign against its spec's shard list."""
+    """Progress of a campaign against its spec's shard list.
+
+    ``fallbacks_by_id`` carries each completed shard's recorded
+    :class:`~repro.core.errors.EngineFallbackWarning` texts (from the
+    checkpoint records' ``meta`` side), so ``campaign status --json``
+    surfaces silent per-trial engine fallbacks without re-running
+    anything.
+    """
 
     spec: CampaignSpec
     completed: tuple[Shard, ...]
     pending: tuple[Shard, ...]
+    fallbacks_by_id: dict = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -119,6 +148,9 @@ class CampaignStatus:
                     "shard_id": shard.shard_id,
                     "spec_hash": shard.spec_hash(),
                     "state": "done" if shard.shard_id in done_ids else "pending",
+                    "fallbacks": list(
+                        self.fallbacks_by_id.get(shard.shard_id, ())
+                    ),
                 }
                 for shard in self.spec.shards()
             ],
@@ -169,8 +201,16 @@ class CampaignRunner:
         completed, pending = [], []
         for shard in self.spec.shards():
             (completed if shard.shard_id in done_ids else pending).append(shard)
+        fallbacks_by_id = {
+            record["shard_id"]: record["meta"]["fallbacks"]
+            for record in self.store.shard_records(self.spec.name)
+            if record.get("meta", {}).get("fallbacks")
+        }
         return CampaignStatus(
-            spec=self.spec, completed=tuple(completed), pending=tuple(pending)
+            spec=self.spec,
+            completed=tuple(completed),
+            pending=tuple(pending),
+            fallbacks_by_id=fallbacks_by_id,
         )
 
     def reset(self) -> None:
@@ -201,16 +241,61 @@ class CampaignRunner:
             if self.progress is not None:
                 self.progress(shard, "start", 0.0)
             started = time.perf_counter()
-            result = ALL_EXPERIMENTS[shard.experiment].run(
-                scale=shard.scale,
-                master_seed=shard.master_seed,
-                executor=self.executor,
-                engine=shard.engine,
-                skip=self.spec.skip,
-            )
+            rec = _obs_recorder()
+            mark = rec.checkpoint() if rec is not None else None
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = ALL_EXPERIMENTS[shard.experiment].run(
+                    scale=shard.scale,
+                    master_seed=shard.master_seed,
+                    executor=self.executor,
+                    engine=shard.engine,
+                    skip=self.spec.skip,
+                )
             seconds = time.perf_counter() - started
+            # Fallback warnings become shard metadata (deduped, in
+            # first-seen order); everything else is re-emitted so the
+            # recording context stays invisible to other consumers.
+            fallbacks: list[str] = []
+            for caught_warning in caught:
+                if issubclass(caught_warning.category, EngineFallbackWarning):
+                    text = str(caught_warning.message)
+                    if text not in fallbacks:
+                        fallbacks.append(text)
+                else:
+                    warnings.warn_explicit(
+                        caught_warning.message,
+                        caught_warning.category,
+                        caught_warning.filename,
+                        caught_warning.lineno,
+                    )
+            obs_counters = rec.delta(mark) if rec is not None else None
+            if rec is not None:
+                rec.emit(
+                    {
+                        "kind": "shard",
+                        "shard_id": shard.shard_id,
+                        "seconds": round(seconds, 6),
+                        "phases": {
+                            name[len("phase."):]: value
+                            for name, value in obs_counters.items()
+                            if name.startswith("phase.")
+                        },
+                        "counters": {
+                            name: value
+                            for name, value in obs_counters.items()
+                            if not name.startswith("phase.")
+                        },
+                    }
+                )
             self.store.append(
-                shard_record(shard, result.to_record(), seconds=seconds)
+                shard_record(
+                    shard,
+                    result.to_record(),
+                    seconds=seconds,
+                    fallbacks=fallbacks,
+                    obs_counters=obs_counters,
+                )
             )
             outcomes.append(ShardOutcome(shard, "done", seconds))
             if self.progress is not None:

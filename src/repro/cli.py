@@ -9,8 +9,11 @@ Entry points (also available as ``python -m repro``):
 * ``run-all [--scale S] [--parallel [W]]`` — run the whole registry in
   order (this is how ``full_scale_results.txt`` and the EXPERIMENTS.md
   numbers are produced);
-* ``run-spec SPEC.json [--trials N] [--parallel [W]]`` — execute a
-  declarative :class:`~repro.api.spec.ScenarioSpec` from a JSON file;
+* ``run-spec SPEC.json [--trials N] [--parallel [W]] [--trace PATH]``
+  — execute a declarative :class:`~repro.api.spec.ScenarioSpec` from a
+  JSON file (``--trace`` writes a :mod:`repro.obs` JSONL trace);
+* ``trace TARGET [--json] [--profile]`` — render a trace file's
+  per-engine phase-time table, or run a spec traced and render it;
 * ``components [--json]`` — list every registered graph family,
   algorithm, adversary, problem, MAC layer, engine, and experiment id
   a spec may name (``--json`` emits the machine-readable payload that
@@ -237,6 +240,11 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     print(f"engine   : {simulation.spec.engine}")
     started = time.time()
     executor = _executor_from_args(args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        from repro.obs.recorder import enable as _obs_enable
+
+        _obs_enable(trace_path)
     try:
         stats = simulation.run(
             trials=args.trials,
@@ -249,6 +257,15 @@ def _cmd_run_spec(args: argparse.Namespace) -> int:
     finally:
         if executor is not None:
             executor.shutdown()
+        if trace_path is not None:
+            from repro.obs.recorder import disable as _obs_disable
+
+            rec = _obs_disable()
+            if rec is not None:
+                print(
+                    f"trace    : {trace_path} ({rec.records_emitted} records) "
+                    f"— render with `repro trace {trace_path}`"
+                )
     row = stats.summary_row()
     print(
         render_table(
@@ -427,6 +444,112 @@ def _cmd_trial(args: argparse.Namespace) -> int:
     return 0 if result.solved else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: render a trace, or run a spec traced and render.
+
+    ``TARGET`` is either a JSONL trace file (written by ``--trace`` on
+    ``run-spec``/``campaign run``) or a ScenarioSpec JSON file — a spec
+    is recognized by its ``graph`` section and is run traced first
+    (``--trials``/``--seed``/``--engine`` apply; ``--out`` keeps the
+    trace file). Either way the result is the per-engine, per-phase
+    wall-time table; ``--json`` emits the summary document instead, and
+    ``--profile`` (spec targets only) adds a cProfile hot-spot listing.
+    """
+    import json
+
+    from repro.obs import read_trace, render_phase_table, summarize
+
+    document: object = None
+    try:
+        with open(args.target, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read {args.target}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError:
+        document = None  # multi-line JSONL (or garbage read_trace rejects)
+
+    if isinstance(document, dict) and "graph" in document:
+        return _trace_spec_run(args)
+    if args.profile:
+        print(
+            "--profile re-runs a spec under cProfile; give a ScenarioSpec "
+            "JSON file as the target, not a trace",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = read_trace(args.target)
+    except ValueError as exc:
+        print(f"not a trace file: {exc}", file=sys.stderr)
+        return 2
+    summary = summarize(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(render_phase_table(summary, title=f"phase breakdown ({args.target}):"))
+    return 0
+
+
+def _trace_spec_run(args: argparse.Namespace) -> int:
+    """Run a ScenarioSpec traced, then render its phase table."""
+    import json
+    import os
+    import tempfile
+
+    from repro.api import Simulation, load_spec
+    from repro.core.errors import ReproError
+    from repro.obs import profile_text, profiled, read_trace, render_phase_table, summarize
+    from repro.obs.recorder import disable as _obs_disable
+    from repro.obs.recorder import enable as _obs_enable
+
+    try:
+        spec = load_spec(args.target)
+    except (OSError, ReproError) as exc:
+        print(f"cannot load spec: {exc}", file=sys.stderr)
+        return 2
+    simulation = Simulation.from_spec(
+        spec,
+        engine=getattr(args, "engine", None),
+        skip=getattr(args, "skip", None),
+    )
+    trace_path = args.out
+    cleanup = False
+    if trace_path is None:
+        fd, trace_path = tempfile.mkstemp(prefix="repro-trace-", suffix=".jsonl")
+        os.close(fd)
+        cleanup = True
+    profiler = None
+    _obs_enable(trace_path)
+    try:
+        if args.profile:
+            with profiled() as profiler:
+                simulation.run(trials=args.trials, master_seed=args.seed)
+        else:
+            simulation.run(trials=args.trials, master_seed=args.seed)
+    except ReproError as exc:
+        print(f"cannot run spec: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        _obs_disable()
+    try:
+        summary = summarize(read_trace(trace_path))
+    finally:
+        if cleanup:
+            os.unlink(trace_path)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        title = f"phase breakdown ({spec.describe()}, trials={args.trials}):"
+        print(render_phase_table(summary, title=title))
+        if not cleanup:
+            print(f"trace    : {trace_path}")
+    if profiler is not None:
+        print()
+        print(profile_text(profiler, limit=args.profile_limit))
+    return 0
+
+
 #: Default directory for campaign checkpoints (kept out of git).
 _DEFAULT_STORE = "campaigns/store"
 
@@ -513,6 +636,11 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     print(spec.describe())
     print(f"store    : {store.shard_path(spec.name)}")
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None:
+        from repro.obs.recorder import enable as _obs_enable
+
+        _obs_enable(trace_path)
     try:
         outcomes = runner.run(resume=not args.fresh)
     except ReproError as exc:
@@ -521,6 +649,15 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     finally:
         if runner.executor is not None:
             runner.executor.shutdown()
+        if trace_path is not None:
+            from repro.obs.recorder import disable as _obs_disable
+
+            rec = _obs_disable()
+            if rec is not None:
+                print(
+                    f"trace    : {trace_path} ({rec.records_emitted} records) "
+                    f"— render with `repro trace {trace_path}`"
+                )
     ran = sum(1 for o in outcomes if o.ran)
     resumed = len(outcomes) - ran
     print(
@@ -608,7 +745,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"store    : {store.root}")
     print(f"workers  : {args.workers} (spawn, warm)")
     print("endpoints: POST /v1/runs · GET /v1/runs[/<id>[/events]] · "
-          "GET /v1/components · GET /v1/results · GET /v1/health")
+          "GET /v1/components · GET /v1/results · GET /v1/health · "
+          "GET /v1/metrics")
     server.serve_forever()
     return 0
 
@@ -793,9 +931,49 @@ def build_parser() -> argparse.ArgumentParser:
     run_spec.add_argument("--trials", type=int, default=1)
     run_spec.add_argument("--seed", type=int, default=2013)
     run_spec.add_argument("--verbose", action="store_true")
+    run_spec.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL phase/counter trace (render with `repro trace PATH`)",
+    )
     _add_parallel_flag(run_spec)
     _add_engine_flag(run_spec)
     run_spec.set_defaults(func=_cmd_run_spec)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSONL trace's phase-time table (or run a spec traced)",
+    )
+    trace.add_argument(
+        "target",
+        help="a JSONL trace file, or a ScenarioSpec JSON file to run traced",
+    )
+    trace.add_argument(
+        "--trials", type=int, default=1, help="trials when the target is a spec"
+    )
+    trace.add_argument(
+        "--seed", type=int, default=2013, help="master seed when the target is a spec"
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="keep the trace JSONL here when the target is a spec",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the summary document as JSON"
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="re-run a spec target under cProfile and print the hot spots",
+    )
+    trace.add_argument(
+        "--profile-limit", type=int, default=20, help="profile rows to print"
+    )
+    _add_engine_flag(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     campaign = sub.add_parser(
         "campaign",
@@ -860,6 +1038,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh",
         action="store_true",
         help="discard this campaign's checkpoints and re-run every shard",
+    )
+    campaign_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL phase/counter trace (render with `repro trace PATH`)",
     )
     _add_parallel_flag(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)

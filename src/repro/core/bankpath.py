@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Optional, Sequence
 
 import numpy as np
@@ -75,6 +76,8 @@ from repro.core.engine import ExecutionResult, StopCondition
 from repro.core.fastpath import BitsetRadioNetworkEngine
 from repro.core.messages import Message
 from repro.core.trace import Delivery
+from repro.obs.recorder import inc as _obs_inc
+from repro.obs.recorder import recorder as _obs_recorder
 
 __all__ = [
     "BankRadioNetworkEngine",
@@ -1025,7 +1028,11 @@ def build_bank_kernel(banks: Sequence[Sequence]):
         return None
     for kernel_cls in _KERNELS:
         if kernel_cls.eligible(banks):
+            _obs_inc("bank.kernel.hit")
             return kernel_cls(banks)
+    # Not a slower path (the lanes stay coin/reception-batched), but a
+    # measurable one: per-trial plan stages instead of one kernel.
+    _obs_inc("bank.kernel.fallback")
     return None
 
 
@@ -1042,6 +1049,8 @@ class BankRadioNetworkEngine(BitsetRadioNetworkEngine):
     own processes for a kernel (a bank of one); without a kernel it
     behaves exactly like the bitset engine.
     """
+
+    engine_name = "bank"
 
     def __init__(
         self,
@@ -1228,6 +1237,20 @@ def run_bank_batch(
             active.append(i)
     if not lanes:
         return []
+    # Tracing: each lane accumulates its own phase spans/counters and
+    # emits its own trial record on retirement, exactly as a standalone
+    # run() would. Batched stages (packbits, the dense reception batch)
+    # are timed once and credited evenly across the lanes they served.
+    rec = _obs_recorder()
+    traced = rec is not None
+    if traced:
+        for lane in lanes:
+            lane.engine._trace_begin(rec)
+
+    def _credit(phase: str, ns: int, members: Sequence[int]) -> None:
+        share = ns // len(members)
+        for i in members:
+            lanes[i].engine._phase_ns[phase] += share
     n = lanes[0].engine.network.n
     nbytes = (n + 7) // 8
     modulus = n + 1
@@ -1266,16 +1289,31 @@ def run_bank_batch(
 
         # Stages 1–2, batched: per-lane plans and per-trial coin rows,
         # one comparison + packbits for the whole bank.
-        for j, i in enumerate(active):
-            engine = lanes[i].engine
-            np.copyto(probs[j], engine._plan_probs(r))
-            engine._coin_rng.random(out=coins[j])
+        if traced:
+            for j, i in enumerate(active):
+                engine = lanes[i].engine
+                ta = perf_counter_ns()
+                np.copyto(probs[j], engine._plan_probs(r))
+                tb = perf_counter_ns()
+                engine._coin_rng.random(out=coins[j])
+                tc = perf_counter_ns()
+                ph = engine._phase_ns
+                ph["plan"] += tb - ta
+                ph["coins"] += tc - tb
+            t0 = perf_counter_ns()
+        else:
+            for j, i in enumerate(active):
+                engine = lanes[i].engine
+                np.copyto(probs[j], engine._plan_probs(r))
+                engine._coin_rng.random(out=coins[j])
         transmit = coins < probs
         packed = np.packbits(transmit, axis=1, bitorder="little").tobytes()
         masks = [
             int.from_bytes(packed[j * nbytes : (j + 1) * nbytes], "little")
             for j in range(m)
         ]
+        if traced:
+            _credit("coins", perf_counter_ns() - t0, active)
 
         # Stage 3 per lane; stage 4 batched. Lanes whose topology hits
         # the bitset matrix cache (static adversaries, shared graphs)
@@ -1285,7 +1323,14 @@ def run_bank_batch(
         # dense (lanes × n × n) neighbor batch built straight from the
         # masks — one ``unpackbits`` plus one batched matvec for the
         # whole bank instead of per-lane bigint candidate scans.
-        topologies = [lanes[i].engine._choose_topology(r) for i in active]
+        if traced:
+            topologies = []
+            for i in active:
+                ta = perf_counter_ns()
+                topologies.append(lanes[i].engine._choose_topology(r))
+                lanes[i].engine._phase_ns["adversary"] += perf_counter_ns() - ta
+        else:
+            topologies = [lanes[i].engine._choose_topology(r) for i in active]
         shared_deliveries: dict[int, list[Delivery]] = {}
         fresh: list[int] = []
         for j, topology in enumerate(topologies):
@@ -1293,14 +1338,20 @@ def run_bank_batch(
                 shared_deliveries[j] = []  # silent round: nothing to hear
                 continue
             engine = lanes[active[j]].engine
+            if traced:
+                ta = perf_counter_ns()
             matrix = engine._matrix_for(topology.masks)
             if matrix is not None:
                 shared_deliveries[j] = engine._resolve_with_matrix(
                     transmit[j], matrix
                 )
+                if traced:
+                    engine._phase_ns["reception"] += perf_counter_ns() - ta
             elif n <= _DENSE_BATCH_MAX_N:
                 fresh.append(j)
         if fresh:
+            if traced:
+                t0 = perf_counter_ns()
             if n <= 64:
                 # Single-word masks: one C-loop conversion + byte view.
                 packed_masks = np.array(
@@ -1335,14 +1386,24 @@ def run_bank_batch(
                             )
                         )
                 shared_deliveries[j] = deliveries
+            if traced:
+                _credit(
+                    "reception",
+                    perf_counter_ns() - t0,
+                    [active[j] for j in fresh],
+                )
 
         # Stages 3–6 per lane (topology/deliveries reused when batched).
         # The expected-transmitter sum goes through each engine's exact
         # class/kernel reduction — bit-identical to fsum, O(1) for the
         # single-message kernels instead of an O(n) per-lane pass.
+        if traced:
+            t0 = perf_counter_ns()
         expecteds = [
             lanes[i].engine._expected_exact(probs[j]) for j, i in enumerate(active)
         ]
+        if traced:
+            _credit("plan", perf_counter_ns() - t0, active)
         survivors: list[tuple[int, int]] = []  # (bank position j, lane i)
         for j, i in enumerate(active):
             lane = lanes[i]
@@ -1367,6 +1428,9 @@ def run_bank_batch(
         # constrains the probes.
         if not (bank_skip and survivors):
             continue
+        if traced:
+            ts = perf_counter_ns()
+            probed = active
         start = executed  # == r + 1: every lane's next round, lockstep
         if (
             all(masks[j] == 0 for j, _ in survivors)
@@ -1387,9 +1451,13 @@ def run_bank_batch(
             # licence keeps the lockstep stepping round by round.
             horizons = [lanes[i].engine._silent_horizon(r, caps[i]) for i in active]
             if any(horizon is None for horizon in horizons):
+                if traced:
+                    _credit("skip", perf_counter_ns() - ts, probed)
                 continue
             h = min(horizons)
         if h <= start:
+            if traced:
+                _credit("skip", perf_counter_ns() - ts, probed)
             continue
         still_active: list[int] = []
         for i in active:
@@ -1418,4 +1486,11 @@ def run_bank_batch(
                 still_active.append(i)
         active = still_active
         executed = h
+        if traced:
+            _credit("skip", perf_counter_ns() - ts, probed)
+    if traced:
+        for lane, result in zip(lanes, results):
+            lane.engine._trace = None
+            if result is not None:
+                lane.engine._trace_end(rec, result)
     return results

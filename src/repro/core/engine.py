@@ -39,6 +39,7 @@ import random
 import warnings
 from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -55,6 +56,8 @@ from repro.adversaries.base import (
 )
 from repro.core import rng as rng_mod
 from repro.core.errors import EngineError, EngineFallbackWarning, PlanError
+from repro.obs.recorder import inc as _obs_inc
+from repro.obs.recorder import recorder as _obs_recorder
 from repro.core.process import Process, RoundPlan
 from repro.core.trace import Delivery, Observer, RoundRecord
 
@@ -205,6 +208,10 @@ class RadioNetworkEngine:
         turns it on for the fast engines.
     """
 
+    #: Name this implementation reports in trace records (one of
+    #: :data:`ENGINE_NAMES`; subclasses override).
+    engine_name = "reference"
+
     def __init__(
         self,
         network,
@@ -237,6 +244,14 @@ class RadioNetworkEngine:
         self._round = 0
         self._started = False
         self._stats = _EngineStats()
+        # Tracing state: ``_trace`` holds the active recorder for the
+        # duration of one :meth:`run` (``None`` otherwise, so every
+        # instrumented site is a single pointer comparison when tracing
+        # is off). Phase nanoseconds and semantic counters accumulate
+        # locally and flush as one trial record at the end of the run.
+        self._trace = None
+        self._phase_ns: dict[str, int] = {}
+        self._trace_counts: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -266,6 +281,12 @@ class RadioNetworkEngine:
         self._ensure_started()
         r = self._round
         n = self.network.n
+        # Phase spans are timed only while a recorder is active for the
+        # surrounding run(); the disabled cost per phase is the pointer
+        # comparison on ``ph``.
+        ph = self._phase_ns if self._trace is not None else None
+        if ph is not None:
+            t0 = perf_counter_ns()
 
         # 1. Deterministic plans.
         plans: list[RoundPlan] = [process.plan(r) for process in self.processes]
@@ -274,20 +295,36 @@ class RadioNetworkEngine:
         # the bitset fast path — which discovers the same probability
         # multiset in a different order — records bit-identical values.
         expected = math.fsum(probabilities)
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["plan"] += t1 - t0
+            t0 = t1
 
         # 2. Vectorized Bernoulli coins (shared with the fast path).
         _, transmitter_mask = rng_mod.transmission_coins(
             self._coin_rng, np.asarray(probabilities, dtype=np.float64)
         )
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["coins"] += t1 - t0
+            t0 = t1
 
         # 3. Adversary fixes the round topology through its typed view.
         view = self._build_view(r, probabilities, transmitter_mask)
         topology = self.link_process.choose_topology(view)
         if self.validate_topologies:
             topology.validate(self.network)
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["adversary"] += t1 - t0
+            t0 = t1
 
         # 4. Radio reception: exactly-one-transmitting-neighbor rule.
         deliveries = self._resolve_receptions(plans, transmitter_mask, topology)
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["reception"] += t1 - t0
+            t0 = t1
 
         # 5. Feedback to processes.
         received_by: dict[int, Delivery] = {d.receiver: d for d in deliveries}
@@ -295,6 +332,10 @@ class RadioNetworkEngine:
             sent = bool((transmitter_mask >> u) & 1)
             delivery = received_by.get(u)
             process.on_feedback(r, sent, delivery.message if delivery else None)
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["feedback"] += t1 - t0
+            t0 = t1
 
         # 6. Record keeping.
         record = RoundRecord(
@@ -308,6 +349,10 @@ class RadioNetworkEngine:
             observer.on_round(record)
         self._round += 1
         self._stats.rounds_run += 1
+        if ph is not None:
+            ph["observers"] += perf_counter_ns() - t0
+            counts = self._trace_counts
+            counts["rounds.executed"] = counts.get("rounds.executed", 0) + 1
         return record
 
     def _history_snapshot(self) -> _HistoryWindow:
@@ -388,6 +433,20 @@ class RadioNetworkEngine:
         """
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
+        rec = _obs_recorder()
+        if rec is None:
+            return self._run_impl(max_rounds, stop)
+        self._trace_begin(rec)
+        try:
+            result = self._run_impl(max_rounds, stop)
+        finally:
+            self._trace = None
+        self._trace_end(rec, result)
+        return result
+
+    def _run_impl(
+        self, max_rounds: int, stop: Optional[StopCondition]
+    ) -> ExecutionResult:
         self._ensure_started()
         if stop is not None and stop():
             return ExecutionResult(rounds=0, solved=True, solve_round=-1)
@@ -400,6 +459,51 @@ class RadioNetworkEngine:
             if stop is not None and stop():
                 return ExecutionResult(rounds=executed, solved=True, solve_round=record.round_index)
         return ExecutionResult(rounds=executed, solved=False, solve_round=None)
+
+    # ------------------------------------------------------------------
+    # Tracing (see repro.obs: timing only, never semantics)
+    # ------------------------------------------------------------------
+    def _trace_begin(self, rec) -> None:
+        """Arm per-phase timing for one :meth:`run`."""
+        self._trace = rec
+        self._phase_ns = {
+            "plan": 0,
+            "coins": 0,
+            "adversary": 0,
+            "reception": 0,
+            "feedback": 0,
+            "observers": 0,
+            "skip": 0,
+        }
+        self._trace_counts = {}
+
+    def _trace_end(self, rec, result: ExecutionResult) -> None:
+        """Flush the accumulated phases/counters as one trial record.
+
+        Phase nanoseconds are also folded into the recorder's counters
+        under ``phase.<name>``, so consumers that only see the counter
+        surface (shard rollups, serve workers diffing
+        :meth:`~repro.obs.recorder.Recorder.checkpoint`) still get the
+        per-phase breakdown without parsing the JSONL stream.
+        """
+        counts = self._trace_counts
+        if counts:
+            rec.merge_counters(counts)
+        rec.merge_counters(
+            {f"phase.{name}": ns for name, ns in self._phase_ns.items() if ns}
+        )
+        rec.emit(
+            {
+                "kind": "trial",
+                "engine": self.engine_name,
+                "seed": self.seed,
+                "n": self.network.n,
+                "rounds": result.rounds,
+                "solved": result.solved,
+                "phases": {k: v for k, v in self._phase_ns.items() if v},
+                "counters": {k: v for k, v in counts.items() if v},
+            }
+        )
 
     # ------------------------------------------------------------------
     # Round skipping
@@ -427,6 +531,9 @@ class RadioNetworkEngine:
             observer.on_round(record)
         self._round += 1
         self._stats.rounds_run += 1
+        if self._trace is not None:
+            counts = self._trace_counts
+            counts["rounds.skipped"] = counts.get("rounds.skipped", 0) + 1
         return record
 
     def _emit_quiet_span(self, start: int, stop: int) -> None:
@@ -453,6 +560,11 @@ class RadioNetworkEngine:
             observer.on_round_batch(start, stop)
         self._round = stop
         self._stats.rounds_run += stop - start
+        if self._trace is not None:
+            counts = self._trace_counts
+            counts["rounds.skipped"] = counts.get("rounds.skipped", 0) + (stop - start)
+            counts["skip.spans"] = counts.get("skip.spans", 0) + 1
+            self._trace.observe("skip.span_rounds", stop - start)
 
     def _quiet_horizon(self, r: int, limit: int) -> int:
         """First round in ``(r, limit]`` at which anything may change.
@@ -519,20 +631,33 @@ class RadioNetworkEngine:
                 and self._round >= next_attempt
             ):
                 continue
+            ph = self._phase_ns if self._trace is not None else None
+            if ph is not None:
+                ts = perf_counter_ns()
             start = self._round
             h = self._quiet_horizon(record.round_index, start + (max_rounds - executed))
             if h <= start:
+                if ph is not None:
+                    ph["skip"] += perf_counter_ns() - ts
                 next_attempt = start + backoff
                 backoff = min(backoff * 2, _SKIP_BACKOFF_MAX)
                 continue
             backoff = 1
-            for i in range(start, h):
-                quiet = self._emit_quiet_round(i)
-                executed += 1
-                if stop is not None and stop():
-                    return ExecutionResult(
-                        rounds=executed, solved=True, solve_round=quiet.round_index
-                    )
+            if ph is not None:
+                counts = self._trace_counts
+                counts["skip.spans"] = counts.get("skip.spans", 0) + 1
+                self._trace.observe("skip.span_rounds", h - start)
+            try:
+                for i in range(start, h):
+                    quiet = self._emit_quiet_round(i)
+                    executed += 1
+                    if stop is not None and stop():
+                        return ExecutionResult(
+                            rounds=executed, solved=True, solve_round=quiet.round_index
+                        )
+            finally:
+                if ph is not None:
+                    ph["skip"] += perf_counter_ns() - ts
         return ExecutionResult(rounds=executed, solved=False, solve_round=None)
 
 
@@ -611,6 +736,11 @@ def resolve_engine_choice(
                 + " lacks the skip contract (override it to opt back in)"
             )
             resolved_skip = False
+    if notes:
+        # Counted per resolution (executor probes and per-trial
+        # create_engine calls alike), mirroring the deduped
+        # EngineFallbackWarning surface as a measurable quantity.
+        _obs_inc("engine.fallback", len(notes))
     return resolved, resolved_skip, notes
 
 
@@ -660,6 +790,7 @@ def create_engine(
         for note in notes:
             if label:
                 note = f"{note} [scenario: {label}]"
+            _obs_inc("engine.fallback.warned")
             warnings.warn(note, EngineFallbackWarning, stacklevel=2)
     if resolved == "bank":
         from repro.core.bankpath import BankRadioNetworkEngine

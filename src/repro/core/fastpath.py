@@ -47,6 +47,7 @@ from __future__ import annotations
 import heapq
 import math
 from fractions import Fraction
+from time import perf_counter_ns
 from typing import Optional, Sequence
 
 import numpy as np
@@ -140,6 +141,8 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
     requiring plans to be deterministic, side-effect-free functions of
     start-of-round state.
     """
+
+    engine_name = "bitset"
 
     def __init__(
         self,
@@ -260,6 +263,9 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         """Execute exactly one round and return its record."""
         self._ensure_started()
         r = self._round
+        ph = self._phase_ns if self._trace is not None else None
+        if ph is not None:
+            t0 = perf_counter_ns()
 
         # 1. Plans, as a per-node probability vector.
         probs = self._plan_probs(r)
@@ -268,9 +274,15 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         # reference engine's fsum over the same probability multiset
         # (extra exact zeros cannot change an exactly-rounded sum).
         expected = math.fsum(probs.tolist())
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["plan"] += t1 - t0
+            t0 = t1
 
         # 2. Vectorized Bernoulli coins — the shared coin stream.
         transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+        if ph is not None:
+            ph["coins"] += perf_counter_ns() - t0
 
         return self._finish_round(r, transmit, transmitter_mask, expected)
 
@@ -460,11 +472,26 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         that share a round topology); left as ``None``, the stages run
         per engine exactly as in a standalone ``step``.
         """
+        ph = self._phase_ns if self._trace is not None else None
+        if ph is not None:
+            t0 = perf_counter_ns()
         if topology is None:
             topology = self._choose_topology(r)
+            if ph is not None:
+                t1 = perf_counter_ns()
+                ph["adversary"] += t1 - t0
+                t0 = t1
         if deliveries is None:
             deliveries = self._resolve(transmit, transmitter_mask, topology)
+            if ph is not None:
+                t1 = perf_counter_ns()
+                ph["reception"] += t1 - t0
+                t0 = t1
         self._apply_feedback(r, transmitter_mask, deliveries)
+        if ph is not None:
+            t1 = perf_counter_ns()
+            ph["feedback"] += t1 - t0
+            t0 = t1
 
         # 6. Record keeping — identical to the reference engine.
         record = RoundRecord(
@@ -478,6 +505,10 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
             observer.on_round(record)
         self._round += 1
         self._stats.rounds_run += 1
+        if ph is not None:
+            ph["observers"] += perf_counter_ns() - t0
+            counts = self._trace_counts
+            counts["rounds.executed"] = counts.get("rounds.executed", 0) + 1
         return record
 
     # ------------------------------------------------------------------
@@ -597,11 +628,20 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         nodes makes zero ``on_feedback`` calls to begin with).
         """
         executed = 0
+        ph = self._phase_ns if self._trace is not None else None
         while executed < max_rounds:
             r = self._round
+            if ph is not None:
+                t0 = perf_counter_ns()
             probs = self._plan_probs(r)
             expected = self._expected_exact(probs)
+            if ph is not None:
+                t1 = perf_counter_ns()
+                ph["plan"] += t1 - t0
+                t0 = t1
             transmit, transmitter_mask = rng_mod.transmission_coins(self._coin_rng, probs)
+            if ph is not None:
+                ph["coins"] += perf_counter_ns() - t0
             record = self._finish_round(r, transmit, transmitter_mask, expected)
             executed += 1
             if stop is not None and stop():
@@ -614,16 +654,40 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
                 # expected is an exact sum of non-negative terms, so
                 # 0.0 here certifies every plan was silence.
                 continue
+            if ph is not None:
+                ts = perf_counter_ns()
             start = self._round
             h = self._skip_horizon(r, start + (max_rounds - executed))
-            for i in range(start, h):
-                quiet = self._emit_quiet_round(i)
-                executed += 1
-                if stop is not None and stop():
-                    return ExecutionResult(
-                        rounds=executed, solved=True, solve_round=quiet.round_index
-                    )
+            if ph is not None and h > start:
+                counts = self._trace_counts
+                counts["skip.spans"] = counts.get("skip.spans", 0) + 1
+                self._trace.observe("skip.span_rounds", h - start)
+            try:
+                for i in range(start, h):
+                    quiet = self._emit_quiet_round(i)
+                    executed += 1
+                    if stop is not None and stop():
+                        return ExecutionResult(
+                            rounds=executed, solved=True, solve_round=quiet.round_index
+                        )
+            finally:
+                if ph is not None:
+                    ph["skip"] += perf_counter_ns() - ts
         return ExecutionResult(rounds=executed, solved=False, solve_round=None)
+
+    def _trace_end(self, rec, result: ExecutionResult) -> None:
+        """Stamp the end-of-run signature-class composition, then flush.
+
+        Snapshot counters (not per-round aggregates): they answer "how
+        many classes was this population sharing when the run ended",
+        which is the quantity the class machinery's wins hinge on.
+        """
+        counts = self._trace_counts
+        counts["classes.signature"] = len(self._class_masks)
+        counts["classes.hot"] = self._hot_mask.bit_count()
+        counts["classes.direct"] = self._direct_mask.bit_count()
+        counts["classes.silent"] = self._silent_mask.bit_count()
+        super()._trace_end(rec, result)
 
     # ------------------------------------------------------------------
     # Hot-path bookkeeping
@@ -755,16 +819,21 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
     def _matrix_for(self, masks: tuple[int, ...]) -> Optional[np.ndarray]:
         """Dense neighbor matrix for a round topology, if worth caching."""
         network = self.network
+        counts = self._trace_counts if self._trace is not None else None
         if network.n > _MATRIX_MAX_N:
             return None
-        if masks is network.g_masks:
-            return network.neighbor_matrix()
-        if masks is network.gp_masks:
-            return network.neighbor_matrix(use_gp=True)
+        if masks is network.g_masks or masks is network.gp_masks:
+            if counts is not None:
+                counts["cache.matrix.hit"] = counts.get("cache.matrix.hit", 0) + 1
+            return network.neighbor_matrix(use_gp=masks is network.gp_masks)
         key = id(masks)
         matrix = self._matrix_cache.get(key)
         if matrix is not None:
+            if counts is not None:
+                counts["cache.matrix.hit"] = counts.get("cache.matrix.hit", 0) + 1
             return matrix
+        if counts is not None:
+            counts["cache.matrix.miss"] = counts.get("cache.matrix.miss", 0) + 1
         if len(self._matrix_cache) >= _MATRIX_CACHE_SIZE:
             return None  # topology churn: the bigint scan is cheaper
         matrix = masks_to_neighbor_matrix(masks, network.n)
@@ -843,11 +912,16 @@ class BitsetRadioNetworkEngine(RadioNetworkEngine):
         n = self.network.n
         if n > _PACKED_MAX_N:
             return None
+        counts = self._trace_counts if self._trace is not None else None
         masks = topology.masks
         key = id(masks)
         packed = self._packed_cache.get(key)
         if packed is not None:
+            if counts is not None:
+                counts["cache.packed.hit"] = counts.get("cache.packed.hit", 0) + 1
             return packed
+        if counts is not None:
+            counts["cache.packed.miss"] = counts.get("cache.packed.miss", 0) + 1
         if len(self._packed_cache) >= _MATRIX_CACHE_SIZE:
             return None  # topology churn: the bigint scan is cheaper
         packed = topology.packed_rows()

@@ -35,6 +35,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs.recorder import observe as _obs_observe
+
 if TYPE_CHECKING:  # the runner imports this module lazily; avoid a cycle
     from repro.analysis.runner import PreparedTrial, TrialResult
 
@@ -182,12 +184,14 @@ def simulate_oracle(trial: "PreparedTrial", seed: int) -> OracleOutcome:
                 seed, "mac-oracle", "ack", u, m, low=max(1, f_ack // 2), high=f_ack
             )
             next_free[u] = start + ack
+            _obs_observe("mac.f_ack_delay", ack)
         else:
             start = t
         for v in iter_bits(network.g_masks[u]):
             delay = _delay(
                 seed, "mac-oracle", "prog", u, v, m, low=1, high=prog_high
             )
+            _obs_observe("mac.f_prog_delay", delay)
             arrival = start + delay
             known = learn[v][m]
             if known is None or arrival < known:

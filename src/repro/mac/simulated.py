@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import SpecError
+from repro.obs.recorder import observe as _obs_observe
 from repro.mac.base import (
     AbstractMACLayer,
     _log2_ceil,
@@ -74,17 +75,24 @@ class SimulatedMACLayer(AbstractMACLayer):
 
     def f_ack(self, n: int, max_degree: int) -> int:
         if self.ack_window is not None:
-            return int(self.ack_window)
-        window = round(self.ack_window_factor * default_f_ack(n, max_degree))
-        # Never shorter than one full ladder sweep: an ack window that
-        # skips rungs would leave some contention level untried.
-        return max(self.ladder_rungs(max_degree), int(window))
+            value = int(self.ack_window)
+        else:
+            window = round(self.ack_window_factor * default_f_ack(n, max_degree))
+            # Never shorter than one full ladder sweep: an ack window
+            # that skips rungs would leave some contention level
+            # untried.
+            value = max(self.ladder_rungs(max_degree), int(window))
+        _obs_observe("mac.f_ack_window", value)
+        return value
 
     def f_prog(self, n: int, max_degree: int) -> int:
         if self.ack_window is not None:
-            return max(1, int(self.ack_window) // 2)
-        window = round(self.ack_window_factor * default_f_prog(n, max_degree))
-        return max(1, int(window))
+            value = max(1, int(self.ack_window) // 2)
+        else:
+            window = round(self.ack_window_factor * default_f_prog(n, max_degree))
+            value = max(1, int(window))
+        _obs_observe("mac.f_prog_window", value)
+        return value
 
     def contention_probability(self, slot: int, max_degree: int) -> float:
         """The ladder probability for slot ``slot`` of an ack window.

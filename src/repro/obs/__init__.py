@@ -1,0 +1,46 @@
+"""repro.obs — tracing, metrics, and profiling for the repro stack.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.recorder` — the opt-in trace recorder behind
+  :func:`enable`/:func:`disable`. Off by default; instrumented code
+  pays one pointer comparison per phase while disabled.
+* :mod:`repro.obs.prometheus` — the always-on :class:`MetricsRegistry`
+  the serve layer exposes at ``GET /v1/metrics``.
+* :mod:`repro.obs.profile` / :mod:`repro.obs.report` — the shared
+  cProfile helper and the ``repro trace`` phase-table summarizer.
+"""
+
+from repro.obs.profile import profile_text, profiled
+from repro.obs.prometheus import MetricsRegistry, parse_prometheus, render_prometheus
+from repro.obs.recorder import (
+    Histogram,
+    Recorder,
+    disable,
+    enable,
+    enabled,
+    inc,
+    observe,
+    recorder,
+)
+from repro.obs.report import PHASES, read_trace, render_phase_table, summarize
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "Recorder",
+    "disable",
+    "enable",
+    "enabled",
+    "inc",
+    "observe",
+    "parse_prometheus",
+    "profile_text",
+    "profiled",
+    "read_trace",
+    "recorder",
+    "render_phase_table",
+    "render_prometheus",
+    "summarize",
+]

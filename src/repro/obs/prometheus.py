@@ -1,0 +1,143 @@
+"""Always-on serve metrics and the Prometheus text exposition.
+
+The trace recorder (:mod:`repro.obs.recorder`) is off by default and
+scoped to one run; the serve layer instead wants metrics that are *on
+for the life of the service* and scrape-able at any moment. That is
+:class:`MetricsRegistry`: a thread-safe bag of counters, histograms,
+and gauge callbacks owned by :class:`~repro.serve.server.ReproServer`
+and shared with its pool and job manager, rendered by
+:func:`render_prometheus` for ``GET /v1/metrics``.
+
+The exposition follows the Prometheus text format, version 0.0.4:
+``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}`` rows
+for histograms, and a trailing newline. Metric names are fixed at
+registration so the scrape surface is stable (CI's serve-smoke job
+asserts the pool/job families parse).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.obs.recorder import Histogram
+
+__all__ = ["MetricsRegistry", "render_prometheus"]
+
+#: Duration bucket bounds in seconds (queue waits, task/job runtimes).
+_SECONDS_BOUNDS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+class MetricsRegistry:
+    """Named counters, duration histograms, and gauge callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Callable[[], float]] = {}
+        self._help: dict[str, str] = {}
+
+    def describe(self, name: str, help_text: str) -> None:
+        """Attach a ``# HELP`` line to a metric family."""
+        with self._lock:
+            self._help[name] = help_text
+
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe_seconds(self, name: str, seconds: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(_SECONDS_BOUNDS)
+            histogram.observe(seconds)
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge sampled at render time (pool sizes etc.)."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: h.to_dict() for name, h in self._histograms.items()
+                },
+            }
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _format_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _format_value(bound)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    with registry._lock:
+        counters = dict(registry._counters)
+        histograms = dict(registry._histograms)
+        gauges = dict(registry._gauges)
+        help_text = dict(registry._help)
+    for name in sorted(counters):
+        if name in help_text:
+            lines.append(f"# HELP {name} {help_text[name]}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        try:
+            value = float(gauges[name]())
+        except Exception:
+            continue  # a failing gauge must not break the scrape
+        if name in help_text:
+            lines.append(f"# HELP {name} {help_text[name]}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        if name in help_text:
+            lines.append(f"# HELP {name} {help_text[name]}")
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in histogram.cumulative():
+            lines.append(
+                f'{name}_bucket{{le="{_format_le(bound)}"}} {cumulative}'
+            )
+        lines.append(f"{name}_sum {_format_value(histogram.total)}")
+        lines.append(f"{name}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Sample-name → value map (no labels merged; test/CI helper).
+
+    Minimal by design: enough to assert "counter X is present with a
+    finite value" in smoke tests without a client library. Labeled
+    samples keep their label string as part of the key.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        out[name] = float(value)
+    return out

@@ -1,0 +1,241 @@
+"""The trace recorder: counters, histograms, and JSONL trial records.
+
+Design contract (see docs/architecture.md "Observability"):
+
+* **off by default, nothing in the way.** The module-level recorder is
+  ``None`` until :func:`enable` installs one; every instrumentation
+  site either fetches it once per run into a local (engines) or goes
+  through the no-op module helpers :func:`inc`/:func:`observe`, so a
+  disabled run pays one pointer comparison per instrumented phase —
+  never a dict lookup, never a clock read. Disabling fully restores
+  the uninstrumented behavior (the overhead guard in
+  ``tests/test_obs.py`` pins the residue at ≤ 3%).
+* **timing only, never semantics.** The recorder observes wall time
+  and counts; it never touches an RNG, a record, or any state the
+  determinism surface covers. Traces-on runs produce byte-identical
+  seed-determined records and identical RNG stream positions
+  (``tests/test_obs.py`` pins this across all three engines).
+* **structured output.** When enabled with a path, every
+  :meth:`Recorder.emit` call appends one JSON line; the schema is
+  validated by ``tools/check_trace_schema.py`` against the committed
+  sample trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import threading
+from typing import IO, Optional
+
+__all__ = [
+    "Histogram",
+    "Recorder",
+    "enable",
+    "disable",
+    "enabled",
+    "recorder",
+    "inc",
+    "observe",
+]
+
+#: Exponential (power-of-two) default bucket bounds: right for round
+#: counts, span lengths, and delay draws alike. Durations are recorded
+#: in nanoseconds as counters, not histograms, so one bound set serves.
+_DEFAULT_BOUNDS = tuple(float(1 << k) for k in range(0, 21))
+
+
+class Histogram:
+    """A fixed-bucket histogram with Prometheus-compatible semantics.
+
+    ``bounds`` are inclusive upper bounds (``le``); values above the
+    last bound land in the implicit ``+Inf`` bucket. Bucket counts are
+    stored *non*-cumulative and accumulated at render time, which keeps
+    :meth:`observe` a single ``bisect`` + increment.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.buckets):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the trace-record shape for histograms)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(self.bounds, self.buckets)
+                if count
+            ],
+        }
+
+
+class Recorder:
+    """One enabled trace session: counters + histograms + JSONL sink.
+
+    Thread-safe: engines run single-threaded, but the serve layer's
+    monitor thread and request threads may share one recorder, so every
+    mutation takes the lock. (Engine hot loops avoid the cost anyway by
+    accumulating phase nanoseconds locally and flushing once per run.)
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.records_emitted = 0
+        self._lock = threading.Lock()
+        self._sink: Optional[IO[str]] = None
+        if path is not None:
+            self._sink = open(path, "w", encoding="utf-8")
+
+    # -- mutation ------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def merge_counters(self, counters: dict[str, float]) -> None:
+        """Fold a batch of counter deltas in under one lock acquisition."""
+        with self._lock:
+            for name, value in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    def emit(self, record: dict) -> None:
+        """Append one structured trace record (a JSON line when sinked)."""
+        with self._lock:
+            self.records_emitted += 1
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+                self._sink.flush()
+
+    # -- introspection -------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe view of every counter and histogram."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: histogram.to_dict()
+                    for name, histogram in self.histograms.items()
+                },
+            }
+
+    def checkpoint(self) -> dict[str, float]:
+        """Counter snapshot; pass to :meth:`delta` to diff a span of work."""
+        with self._lock:
+            return dict(self.counters)
+
+    def delta(self, checkpoint: dict[str, float]) -> dict[str, float]:
+        """Counters accumulated since ``checkpoint`` (zero deltas dropped)."""
+        with self._lock:
+            current = dict(self.counters)
+        out: dict[str, float] = {}
+        for name, value in current.items():
+            diff = value - checkpoint.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+
+# ----------------------------------------------------------------------
+# The module-level recorder slot
+# ----------------------------------------------------------------------
+_RECORDER: Optional[Recorder] = None
+
+
+def recorder() -> Optional[Recorder]:
+    """The active recorder, or ``None`` when tracing is disabled.
+
+    Instrumented hot paths call this once per run and keep the result
+    in a local: ``None`` means "take the uninstrumented branch", so the
+    per-phase cost of disabled tracing is one pointer comparison.
+    """
+    return _RECORDER
+
+
+def enabled() -> bool:
+    return _RECORDER is not None
+
+
+def enable(path: Optional[str] = None) -> Recorder:
+    """Install a fresh recorder (closing any previous one).
+
+    ``path`` adds a JSONL sink for :meth:`Recorder.emit`; without it the
+    recorder accumulates counters/histograms only (the serve workers'
+    timing-only mode).
+    """
+    global _RECORDER
+    if _RECORDER is not None:
+        _RECORDER.close()
+    _RECORDER = Recorder(path)
+    return _RECORDER
+
+
+def disable() -> Optional[Recorder]:
+    """Remove the active recorder and return it (sink closed)."""
+    global _RECORDER
+    rec = _RECORDER
+    _RECORDER = None
+    if rec is not None:
+        rec.close()
+    return rec
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Counter increment that is a no-op while tracing is disabled.
+
+    For cold call sites (engine construction, fallback resolution,
+    cache management) where a branch per call is immaterial; hot loops
+    fetch :func:`recorder` once instead.
+    """
+    rec = _RECORDER
+    if rec is not None:
+        rec.inc(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Histogram observation that is a no-op while tracing is disabled."""
+    rec = _RECORDER
+    if rec is not None:
+        rec.observe(name, value)

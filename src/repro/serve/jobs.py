@@ -42,6 +42,7 @@ from repro.campaign.spec import CampaignSpec, Shard
 from repro.campaign.store import SCHEMA_VERSION, ResultStore
 from repro.core.canonical import stable_hash
 from repro.core.errors import ReproError, ServeError
+from repro.obs.prometheus import MetricsRegistry
 from repro.serve.pool import WorkerPool
 
 __all__ = [
@@ -314,15 +315,63 @@ def parse_submission(
 
 
 class JobManager:
-    """Owns the job table, the dedup maps, and the store writes."""
+    """Owns the job table, the dedup maps, and the store writes.
 
-    def __init__(self, store: ResultStore, pool: WorkerPool) -> None:
+    With a ``metrics`` registry attached, the manager publishes job
+    lifecycle counters (``repro_jobs_submitted_total`` /
+    ``_done_total`` / ``_failed_total``), dedup counters
+    (``repro_jobs_dedup_inflight_total`` for submissions served by an
+    identical running job, ``repro_jobs_dedup_store_total`` for tasks
+    answered straight from the result store), and duration histograms
+    (``repro_job_seconds`` submit→terminal,
+    ``repro_job_task_exec_seconds`` per executed task).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        pool: WorkerPool,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.store = store
         self.pool = pool
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}  # insertion-ordered
         self._inflight: dict[str, str] = {}  # dedup key -> job id
         self._counter = 0
+        if metrics is not None:
+            for name, help_text in (
+                ("repro_jobs_submitted_total", "Jobs created from submissions"),
+                ("repro_jobs_done_total", "Jobs finished successfully"),
+                ("repro_jobs_failed_total", "Jobs finished with a failed task"),
+                (
+                    "repro_jobs_dedup_inflight_total",
+                    "Submissions served by an identical in-flight job",
+                ),
+                (
+                    "repro_jobs_dedup_store_total",
+                    "Tasks answered from the result store without running",
+                ),
+                ("repro_job_seconds", "Wall seconds from job submit to terminal"),
+                ("repro_job_task_exec_seconds", "Worker wall seconds per executed task"),
+                (
+                    "repro_worker_spec_cache_hit_total",
+                    "Scenario specs served from a worker's prepared-spec cache",
+                ),
+                (
+                    "repro_worker_spec_cache_miss_total",
+                    "Scenario specs parsed fresh in a worker",
+                ),
+            ):
+                metrics.describe(name, help_text)
+                if not name.endswith("_seconds"):
+                    metrics.inc(name, 0)  # surface the family before first event
+
+    def _metric_inc(self, name: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -353,6 +402,7 @@ class JobManager:
         self._counter += 1
         job = Job(f"job-{self._counter:06d}", *args, **kwargs)
         self._jobs[job.job_id] = job
+        self._metric_inc("repro_jobs_submitted_total")
         return job
 
     def _submit_scenario(self, spec: ScenarioSpec, seed: int, trials: int) -> Job:
@@ -366,6 +416,7 @@ class JobManager:
             if inflight is not None:
                 job = self._jobs[inflight]
                 job.deduped = True
+                self._metric_inc("repro_jobs_dedup_inflight_total")
                 return job
             job = self._new_job_locked(
                 "scenario",
@@ -409,6 +460,7 @@ class JobManager:
             if inflight is not None:
                 job = self._jobs[inflight]
                 job.deduped = True
+                self._metric_inc("repro_jobs_dedup_inflight_total")
                 return job
             job = self._new_job_locked(
                 "campaign",
@@ -478,6 +530,7 @@ class JobManager:
         task.status = "resumed"
         task.cached = True
         task.record = record
+        self._metric_inc("repro_jobs_dedup_store_total")
         self._emit(
             job,
             {
@@ -529,16 +582,29 @@ class JobManager:
                     task.record = record
                     task.seconds = float(info["seconds"])
                     task.status = "done"
-                self._emit(
-                    job,
-                    {
-                        "event": "shard",
-                        "job": job.job_id,
-                        "shard": task.label,
-                        "status": "done" if task.status == "done" else "error",
-                        "seconds": round(float(info["seconds"]), 6),
-                    },
-                )
+                if self.metrics is not None:
+                    self.metrics.observe_seconds(
+                        "repro_job_task_exec_seconds", float(info["seconds"])
+                    )
+                    for counter, value in (info.get("counters") or {}).items():
+                        if counter.startswith("serve.spec_cache."):
+                            suffix = counter.rsplit(".", 1)[1]
+                            self.metrics.inc(
+                                f"repro_worker_spec_cache_{suffix}_total", value
+                            )
+                done_event = {
+                    "event": "shard",
+                    "job": job.job_id,
+                    "shard": task.label,
+                    "status": "done" if task.status == "done" else "error",
+                    "seconds": round(float(info["seconds"]), 6),
+                }
+                # Per-job phase timings ride the NDJSON stream: the
+                # worker's trace recorder attributes its wall time to
+                # engine phases (nanoseconds, repro.obs phase taxonomy).
+                if info.get("phases"):
+                    done_event["phases"] = info["phases"]
+                self._emit(job, done_event)
                 self._maybe_finish(job, key)
             elif event == "error":
                 task.status = "failed"
@@ -565,6 +631,13 @@ class JobManager:
         job.state = (
             "failed" if any(t.status == "failed" for t in job.tasks) else "done"
         )
+        self._metric_inc(
+            "repro_jobs_failed_total" if job.state == "failed" else "repro_jobs_done_total"
+        )
+        if self.metrics is not None:
+            self.metrics.observe_seconds(
+                "repro_job_seconds", max(0.0, time.time() - job.created)
+            )
         if key is not None:
             with self._lock:
                 self._inflight.pop(key, None)

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.errors import ServeError
+from repro.obs.prometheus import MetricsRegistry
 from repro.serve.worker import worker_main
 
 __all__ = ["WorkerPool", "PoolTask"]
@@ -91,6 +92,14 @@ class WorkerPool:
         Monitor cadence in seconds: how often result queues are drained
         and worker liveness is checked. The ceiling on kill-detection
         latency.
+    metrics:
+        Optional :class:`~repro.obs.prometheus.MetricsRegistry`. When
+        given, the pool publishes lifecycle counters
+        (``repro_pool_workers_spawned_total`` / ``_died_total``,
+        ``repro_pool_tasks_done_total`` / ``_error_total`` /
+        ``_requeued_total``, ``repro_pool_broken_total``), a
+        ``repro_pool_task_seconds`` histogram, and render-time gauges
+        for the :meth:`describe` fields (alive/warm/busy/backlog).
     """
 
     #: A task killed this many times stops being requeued and errors
@@ -103,11 +112,18 @@ class WorkerPool:
     #: all — e.g. a spawn context with no importable ``__main__``).
     MAX_CRASH_STREAK = 8
 
-    def __init__(self, workers: int = 2, *, poll_interval: float = 0.05) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        poll_interval: float = 0.05,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if workers < 1:
             raise ServeError(f"worker pool needs at least one worker, got {workers}")
         self.size = workers
         self.poll_interval = poll_interval
+        self.metrics = metrics
         self._ctx = multiprocessing.get_context("spawn")
         self._lock = threading.Lock()
         self._tasks: dict[int, PoolTask] = {}
@@ -118,6 +134,8 @@ class WorkerPool:
         self._closed = threading.Event()
         self._crash_streak = 0
         self._broken = False
+        if metrics is not None:
+            self._register_metrics(metrics)
         with self._lock:
             for _ in range(workers):
                 self._spawn_worker()
@@ -125,6 +143,33 @@ class WorkerPool:
             target=self._monitor_loop, name="repro-serve-pool", daemon=True
         )
         self._monitor.start()
+
+    def _register_metrics(self, metrics: MetricsRegistry) -> None:
+        """Describe the counter families and hook up describe() gauges."""
+        for name, help_text in (
+            ("repro_pool_workers_spawned_total", "Worker processes started"),
+            ("repro_pool_workers_died_total", "Worker processes found dead"),
+            ("repro_pool_tasks_done_total", "Tasks finished successfully"),
+            ("repro_pool_tasks_error_total", "Tasks finished in error"),
+            ("repro_pool_tasks_requeued_total", "Tasks requeued after a worker death"),
+            ("repro_pool_broken_total", "Times the pool declared itself broken"),
+            ("repro_pool_task_seconds", "Wall seconds per completed pool task"),
+        ):
+            metrics.describe(name, help_text)
+            if not name.endswith("_seconds"):
+                metrics.inc(name, 0)  # surface the family before first event
+        for field_name in ("alive", "warm", "busy", "backlog"):
+            gauge = f"repro_pool_workers_{field_name}"
+            if field_name == "backlog":
+                gauge = "repro_pool_backlog"
+            metrics.describe(gauge, f"Pool describe() field: {field_name}")
+            metrics.gauge(
+                gauge, lambda field_name=field_name: self.describe()[field_name]
+            )
+
+    def _metric_inc(self, name: str, value: float = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, value)
 
     # ------------------------------------------------------------------
     # Public API
@@ -243,6 +288,7 @@ class WorkerPool:
         self._workers[worker_id] = _Worker(
             worker_id=worker_id, process=process, tasks=tasks, results=results
         )
+        self._metric_inc("repro_pool_workers_spawned_total")
 
     def _dispatch_locked(self) -> None:
         """Hand backlog tasks to idle workers (caller holds the lock)."""
@@ -307,6 +353,15 @@ class WorkerPool:
         # Terminal message: the worker is idle again either way.
         worker.busy = None
         worker.stats["done" if tag == "done" else "errors"] += 1
+        self._metric_inc(
+            "repro_pool_tasks_done_total"
+            if tag == "done"
+            else "repro_pool_tasks_error_total"
+        )
+        if tag == "done" and self.metrics is not None and info:
+            self.metrics.observe_seconds(
+                "repro_pool_task_seconds", float(info.get("seconds", 0.0))
+            )
         if task.terminal:
             # Duplicate terminal (a requeued task's first run finished
             # right before its worker died): results are deterministic,
@@ -332,6 +387,7 @@ class WorkerPool:
                         break
                     fired.extend(self._handle_locked(worker, message))
                 lost_id = worker.busy
+                self._metric_inc("repro_pool_workers_died_total")
                 if not worker.warm:
                     self._crash_streak += 1
                 del self._workers[worker.worker_id]
@@ -349,6 +405,7 @@ class WorkerPool:
                             # This payload keeps killing workers; stop
                             # feeding it to fresh ones.
                             task.state = "error"
+                            self._metric_inc("repro_pool_tasks_error_total")
                             fired.append(
                                 (
                                     task.callback,
@@ -365,6 +422,7 @@ class WorkerPool:
                             task.state = "queued"
                             task.requeues += 1
                             self._backlog.appendleft(lost_id)
+                            self._metric_inc("repro_pool_tasks_requeued_total")
                             fired.append((task.callback, "requeued", None))
                 if self._crash_streak >= self.MAX_CRASH_STREAK:
                     fired.extend(self._break_locked())
@@ -377,6 +435,7 @@ class WorkerPool:
     def _break_locked(self) -> list[tuple]:
         """Give up on a crash-looping environment: fail everything queued."""
         self._broken = True
+        self._metric_inc("repro_pool_broken_total")
         fired: list[tuple] = []
         message = (
             "worker pool is broken: workers crash before becoming ready "
@@ -386,5 +445,6 @@ class WorkerPool:
             task = self._tasks[self._backlog.popleft()]
             if not task.terminal:
                 task.state = "error"
+                self._metric_inc("repro_pool_tasks_error_total")
                 fired.append((task.callback, "error", {"message": message}))
         return fired

@@ -23,6 +23,11 @@ to one :class:`~repro.serve.jobs.JobManager` (and, through it, one
                           :meth:`~repro.campaign.store.ResultStore.find`;
                           bare, it returns the aggregate rows.
 ``GET /v1/health``        pool liveness/warmth + job counts.
+``GET /v1/metrics``       Prometheus text exposition (0.0.4): pool worker
+                          lifecycle and requeue/crash-loop counters, job and
+                          task duration histograms, dedup hits — rendered
+                          from the server's
+                          :class:`~repro.obs.prometheus.MetricsRegistry`.
 ========================  ====================================================
 
 Transport choices, deliberately boring: ``HTTP/1.0`` (close-delimited
@@ -42,6 +47,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.campaign.store import ResultStore
 from repro.core.errors import ReproError, ServeError
+from repro.obs.prometheus import MetricsRegistry, render_prometheus
 from repro.serve.jobs import JobManager, stream_events
 from repro.serve.pool import WorkerPool
 
@@ -100,6 +106,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(components_payload())
             elif parts == ["v1", "health"]:
                 self._send_json(self.server.repro_server.health())  # type: ignore[attr-defined]
+            elif parts == ["v1", "metrics"]:
+                self._send_metrics()
             elif parts == ["v1", "results"]:
                 self._send_json(self._results_payload(query))
             elif parts == ["v1", "runs"]:
@@ -135,6 +143,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, f"{type(exc).__name__}: {exc}")
 
     # -- endpoint bodies ----------------------------------------------
+    def _send_metrics(self) -> None:
+        text = render_prometheus(self.server.repro_server.metrics)  # type: ignore[attr-defined]
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _results_payload(self, query: dict) -> dict:
         store: ResultStore = self.manager.store
         spec_hash = query.get("spec_hash", [None])[0]
@@ -178,8 +195,9 @@ class ReproServer:
         quiet: bool = True,
     ) -> None:
         self.store = store
-        self.pool = WorkerPool(workers=workers)
-        self.manager = JobManager(store, self.pool)
+        self.metrics = MetricsRegistry()
+        self.pool = WorkerPool(workers=workers, metrics=self.metrics)
+        self.manager = JobManager(store, self.pool, metrics=self.metrics)
         self.quiet = quiet
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True

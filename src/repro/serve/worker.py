@@ -61,11 +61,15 @@ _PREPARED_SPECS: dict = {}
 
 def _scenario_for(spec_hash: str, spec_dict: dict):
     from repro.api.spec import ScenarioSpec
+    from repro.obs.recorder import inc as _obs_inc
 
     spec = _PREPARED_SPECS.get(spec_hash)
     if spec is None:
+        _obs_inc("serve.spec_cache.miss")
         spec = ScenarioSpec.from_dict(spec_dict)
         _PREPARED_SPECS[spec_hash] = spec
+    else:
+        _obs_inc("serve.spec_cache.hit")
     return spec
 
 
@@ -101,9 +105,34 @@ def execute_task(kind: str, payload: dict) -> tuple[dict, float]:
     return record, time.perf_counter() - started
 
 
+def _split_obs_delta(delta: dict) -> tuple[dict, dict]:
+    """Separate a recorder counter delta into (phase ns, other counters)."""
+    phases = {
+        name[len("phase."):]: value
+        for name, value in delta.items()
+        if name.startswith("phase.")
+    }
+    counters = {
+        name: value for name, value in delta.items() if not name.startswith("phase.")
+    }
+    return phases, counters
+
+
 def worker_main(worker_id: int, tasks, results) -> None:
-    """Worker process entry point (module-level for ``spawn`` pickling)."""
+    """Worker process entry point (module-level for ``spawn`` pickling).
+
+    Each worker runs a timing-only trace recorder (no JSONL sink) for
+    its whole life, so every task's ``done`` message carries the
+    per-phase nanoseconds and semantic counters the engines accumulated
+    while running it — that is what the job layer surfaces as
+    ``phases`` in the NDJSON event stream. Tracing never touches the
+    RNG stream or the record (the determinism contract in
+    :mod:`repro.obs.recorder`), so results stay byte-identical.
+    """
     warm_imports()
+    from repro.obs.recorder import enable as _obs_enable
+
+    obs = _obs_enable(None)  # timing-only: counters, no sink
     results.put(("ready", worker_id, None, None))
     while True:
         item = tasks.get()
@@ -111,6 +140,7 @@ def worker_main(worker_id: int, tasks, results) -> None:
             return
         task_id, kind, payload = item
         results.put(("started", worker_id, task_id, None))
+        mark = obs.checkpoint()
         try:
             record, seconds = execute_task(kind, payload)
         except Exception as exc:  # surfaced as a job failure, not a crash
@@ -123,11 +153,10 @@ def worker_main(worker_id: int, tasks, results) -> None:
                 )
             )
         else:
-            results.put(
-                (
-                    "done",
-                    worker_id,
-                    task_id,
-                    {"record": record, "seconds": round(seconds, 6)},
-                )
-            )
+            phases, counters = _split_obs_delta(obs.delta(mark))
+            info = {"record": record, "seconds": round(seconds, 6)}
+            if phases:
+                info["phases"] = phases
+            if counters:
+                info["counters"] = counters
+            results.put(("done", worker_id, task_id, info))

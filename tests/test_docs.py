@@ -91,6 +91,18 @@ def test_results_md_is_generated_and_marked():
     assert "## Verdicts by cell" in results
 
 
+def test_committed_sample_trace_matches_schema():
+    """tools/check_trace_schema.py passes on the committed sample."""
+    spec = importlib.util.spec_from_file_location(
+        "check_trace_schema", REPO_ROOT / "tools" / "check_trace_schema.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_trace_schema", module)
+    spec.loader.exec_module(module)
+    problems = module.check_trace(module.SAMPLE, require_coverage=True)
+    assert not problems, "\n".join(problems)
+
+
 def test_readme_engine_names_match_registry():
     from repro.core.engine import ENGINE_NAMES
 

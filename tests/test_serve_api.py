@@ -183,6 +183,57 @@ class TestErrorPaths:
         assert excinfo.value.code == 400
 
 
+class TestMetrics:
+    def _scrape(self, server):
+        with urllib.request.urlopen(f"{server.url}/v1/metrics") as response:
+            return response.headers.get("Content-Type"), response.read().decode(
+                "utf-8"
+            )
+
+    def test_metrics_endpoint_is_prometheus_text(self, server, client):
+        from repro.obs import parse_prometheus
+
+        client.run(CELL_DOC)  # ensure at least one job has completed
+        content_type, text = self._scrape(server)
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        samples = parse_prometheus(text)  # raises on malformed lines
+        # Pool worker lifecycle + warm/alive gauges.
+        assert samples["repro_pool_workers_spawned_total"] >= 2
+        assert samples["repro_pool_workers_alive"] == 2
+        assert samples["repro_pool_tasks_done_total"] >= 1
+        assert samples["repro_pool_tasks_requeued_total"] == 0
+        # Job lifecycle counters and duration histograms.
+        assert samples["repro_jobs_submitted_total"] >= 1
+        assert samples["repro_jobs_done_total"] >= 1
+        assert samples["repro_jobs_failed_total"] == 0
+        assert (
+            samples['repro_job_seconds_bucket{le="+Inf"}']
+            == samples["repro_job_seconds_count"]
+            >= 1
+        )
+        assert samples["repro_pool_task_seconds_count"] >= 1
+
+    def test_dedup_hits_are_counted(self, server, client):
+        client.run(CELL_DOC)
+        before = server.metrics.counter_value("repro_jobs_dedup_store_total")
+        client.run(CELL_DOC)  # identical resubmit → store-level dedup
+        after = server.metrics.counter_value("repro_jobs_dedup_store_total")
+        assert after == before + 1
+
+    def test_done_events_carry_phase_timings(self, client):
+        job_id = client.run(
+            {"scenario": SPEC_DOC, "seed": SEED + 100, "trials": 2}
+        )["id"]
+        done = [e for e in client.events(job_id) if e.get("status") == "done"]
+        assert done, "an executed job must log a done event"
+        phases = done[0].get("phases")
+        assert phases, "done events carry the worker's per-phase breakdown"
+        from repro.obs import PHASES
+
+        assert set(phases) <= set(PHASES)
+        assert sum(phases.values()) > 0
+
+
 class TestCliVerbs:
     def test_submit_json_reports_cache_hit(self, server, client, tmp_path, capsys):
         client.run(CELL_DOC)  # warm the cache
